@@ -1,0 +1,22 @@
+"""Benchmark harness configuration.
+
+Every benchmark reproduces one paper table/figure: it runs the experiment
+once (rounds=1 — these are reproduction harnesses, not micro-benchmarks),
+asserts the paper's qualitative shape, and prints the paper-style rows so
+``pytest benchmarks/ --benchmark-only -s`` regenerates the evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

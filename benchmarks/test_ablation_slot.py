@@ -1,0 +1,62 @@
+"""Ablation: control-slot length (the paper defaults to 10 minutes).
+
+Short slots re-plan often (responsive, but the predictor sees noisier
+series); long slots commit to stale ratios across multiple peaks.
+"""
+
+import dataclasses
+
+from repro.config import ControllerConfig, prototype_buffer, \
+    prototype_cluster
+from repro.core import make_policy
+from repro.sim import HybridBuffers, Simulation
+from repro.units import hours, minutes
+from repro.workloads import get_workload
+
+SLOT_MINUTES = (5.0, 10.0, 20.0, 30.0)
+
+
+def run_sweep():
+    hybrid = prototype_buffer()
+    cluster = dataclasses.replace(prototype_cluster(),
+                                  utility_budget_w=243.0)
+    trace = get_workload("MS", duration_s=hours(4), seed=1)
+    rows = {}
+    for slot_min in SLOT_MINUTES:
+        controller = ControllerConfig(slot_seconds=minutes(slot_min))
+        policy = make_policy("HEB-D", hybrid=hybrid, controller=controller)
+        buffers = HybridBuffers(hybrid)
+        result = Simulation(trace, policy, buffers, cluster_config=cluster,
+                            controller_config=controller).run()
+        rows[slot_min] = {
+            "energy_efficiency": result.metrics.energy_efficiency,
+            "downtime_s": result.metrics.server_downtime_s,
+            "relay_switches": result.metrics.relay_switches,
+            "slots": len(result.slots),
+        }
+    return rows
+
+
+def test_ablation_slot_length(once):
+    rows = once(run_sweep)
+    print()
+    print("Ablation — control slot length (HEB-D, MS, 243 W budget)")
+    for slot_min, row in rows.items():
+        print(f"  slot={slot_min:>4.0f}min EE={row['energy_efficiency']:.3f} "
+              f"down={row['downtime_s']:.0f}s "
+              f"switches={row['relay_switches']} slots={row['slots']}")
+
+    # Slot count scales inversely with length.
+    assert rows[5.0]["slots"] > rows[30.0]["slots"]
+    # All slot lengths remain functional.
+    for row in rows.values():
+        assert row["energy_efficiency"] > 0.7
+    # The paper's 10-minute default stays within the observed band.
+    best = max(r["energy_efficiency"] for r in rows.values())
+    assert rows[10.0]["energy_efficiency"] >= best - 0.08
+    # No slot length degrades resiliency catastrophically (the engine's
+    # per-tick fallback keeps even stale plans functional; observed trend
+    # on this workload actually favours longer slots, which re-plan less
+    # often mid-peak).
+    downtimes = [r["downtime_s"] for r in rows.values()]
+    assert max(downtimes) <= 5.0 * max(min(downtimes), 100.0)

@@ -1,0 +1,15 @@
+"""Benchmark: Figure 1(a) — provisioning levels vs MPPU."""
+
+from repro.experiments import format_fig01, run_fig01
+
+
+def test_fig01_provisioning(once):
+    levels = once(run_fig01, duration_days=7.0, seed=1)
+    print()
+    print(format_fig01(levels))
+
+    mppus = [level.mppu for level in levels]
+    assert mppus == sorted(mppus), "MPPU must rise as provisioning drops"
+    assert levels[0].mppu < 0.05, "full provisioning is rarely reached"
+    assert levels[-1].mppu > 0.2, "40% provisioning is heavily utilized"
+    assert levels[-1].capped_energy_fraction > levels[0].capped_energy_fraction

@@ -1,0 +1,20 @@
+"""Benchmark: Figure 3 — round-trip efficiency, recovery, on/off waste."""
+
+from repro.experiments import format_fig03, run_fig03
+
+
+def test_fig03_efficiency(once):
+    rows = once(run_fig03)
+    print()
+    print(format_fig03(rows))
+
+    # Paper shape: SCs 90-95%, batteries <80% and falling with load.
+    for row in rows.values():
+        assert row.sc_efficiency >= 0.88
+        assert row.battery_efficiency < 0.80
+    assert (rows[1].battery_efficiency > rows[2].battery_efficiency
+            > rows[4].battery_efficiency)
+    # Recovery pays once the battery actually saturates (2 and 4 servers),
+    # and off/on cycling eats a large share of the recovered energy.
+    assert rows[4].battery_recovery_gain > 0.05
+    assert rows[4].onoff_waste_fraction > 0.3

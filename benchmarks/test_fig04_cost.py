@@ -1,0 +1,23 @@
+"""Benchmark: Figure 4 — storage technology cost comparison."""
+
+from repro.experiments import format_fig04, run_fig04
+
+
+def test_fig04_cost(once):
+    rows = once(run_fig04)
+    print()
+    print(format_fig04(rows))
+
+    sc = rows["supercapacitor"]
+    lead = rows["lead-acid"]
+    # Initial: SCs are 10k-30k $/kWh vs 100-300 for lead-acid.
+    assert sc.initial_low / lead.initial_high >= 30
+    # Amortized: SC lands near 0.4 $/kWh/cycle, above lead-acid and in
+    # the NiCd/Li-ion neighbourhood.
+    sc_mid = 0.5 * (sc.amortized_low + sc.amortized_high)
+    assert 0.2 <= sc_mid <= 0.7
+    assert lead.amortized_high < sc_mid
+    for name in ("nicd", "li-ion"):
+        other_mid = 0.5 * (rows[name].amortized_low
+                           + rows[name].amortized_high)
+        assert 0.3 <= sc_mid / other_mid <= 3.0

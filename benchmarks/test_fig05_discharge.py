@@ -1,0 +1,26 @@
+"""Benchmark: Figure 5 — discharge voltage behaviour, battery vs SC."""
+
+from repro.experiments import format_fig05, run_fig05
+
+
+def test_fig05_discharge(once):
+    curves = once(run_fig05)
+    print()
+    print(format_fig05(curves))
+
+    # Battery sag grows with demand; SC declines gently and linearly.
+    assert (curves["battery/4"].initial_drop_v
+            > curves["battery/2"].initial_drop_v
+            > curves["battery/1"].initial_drop_v)
+    for servers in (1, 2, 4):
+        battery_rel = curves[f"battery/{servers}"].initial_drop_v / 25.6
+        sc_rel = curves[f"sc/{servers}"].initial_drop_v / 16.0
+        assert battery_rel > sc_rel
+        assert curves[f"sc/{servers}"].linearity_r2 > 0.95
+    # Peukert signature: quadrupling the power costs the battery far more
+    # than 4x the runtime; the SC scales almost proportionally.
+    battery_ratio = curves["battery/1"].runtime_s / curves[
+        "battery/4"].runtime_s
+    sc_ratio = curves["sc/1"].runtime_s / curves["sc/4"].runtime_s
+    assert battery_ratio > 4.5
+    assert sc_ratio < battery_ratio

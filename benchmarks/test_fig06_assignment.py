@@ -1,0 +1,18 @@
+"""Benchmark: Figure 6 — optimal server assignment between SC and battery."""
+
+from repro.experiments import format_fig06, run_fig06
+from repro.experiments.fig06_assignment import optimal_assignment
+
+
+def test_fig06_assignment(once):
+    points = once(run_fig06)
+    print()
+    print(format_fig06(points))
+
+    best = optimal_assignment(points)
+    # An interior optimum exists: never lean fully on either device.
+    assert 0 < best.servers_on_sc < 6
+    # Heavy SC assignment costs substantial runtime (paper: ~25%).
+    assert points[5].runtime_s < 0.85 * best.runtime_s
+    # And battery-only is also not optimal.
+    assert points[0].runtime_s < best.runtime_s

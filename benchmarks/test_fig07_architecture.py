@@ -1,0 +1,35 @@
+"""Benchmark: Figures 7/8 — architecture and deployment comparison."""
+
+from repro.experiments.fig07_architecture import (
+    format_fig07,
+    run_fig07,
+    run_fig08,
+)
+
+
+def test_fig07_architecture(once):
+    architectures = run_fig07()
+    deployments = once(run_fig08, duration_h=4.0, seed=1)
+    print()
+    print(format_fig07(architectures, deployments))
+
+    central = architectures["centralized"]
+    distributed = architectures["distributed"]
+    heb = architectures["heb"]
+
+    # Section 4.1's argument, quantified:
+    # centralized double-converts the whole load all the time...
+    assert central.steady_overhead_w > 10.0
+    assert heb.steady_overhead_w == 0.0
+    assert distributed.steady_overhead_w == 0.0
+    # ...distributed cannot pool energy; HEB does both.
+    assert not distributed.shares_energy
+    assert heb.shares_energy and heb.per_server_control
+    assert heb.supports_heterogeneous
+
+    # Figure 8: rack-level DC delivery beats cluster-level end to end.
+    rack = deployments["rack-level"]
+    cluster = deployments["cluster-level"]
+    assert rack.delivery_efficiency > cluster.delivery_efficiency
+    assert rack.energy_efficiency >= cluster.energy_efficiency
+    assert rack.downtime_s <= cluster.downtime_s + 1.0

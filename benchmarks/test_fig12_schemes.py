@@ -1,0 +1,47 @@
+"""Benchmark: Figure 12 — the headline comparison of all six schemes.
+
+This is the paper's main result, run over the full Table 1 workload set
+(Table 1 and Table 2 are exercised here by construction).  Headline
+targets (HEB-D vs BaOnly): EE +39.7%, downtime −41%, battery lifetime
+4.7x, REU +81.2%.  We assert ordering and direction; measured magnitudes
+are recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments import format_fig12, run_fig12
+
+
+def test_fig12_schemes(once):
+    results = once(run_fig12, duration_h=4.0, seed=1)
+    print()
+    print(format_fig12(results))
+
+    rows = results.scheme_rows()
+
+    # (a) Energy efficiency: BaOnly ~ BaFirst < SCFirst <= HEB family.
+    assert rows["BaFirst"]["ee_vs_baonly"] < 1.1
+    assert rows["SCFirst"]["energy_efficiency"] > rows["BaOnly"][
+        "energy_efficiency"]
+    assert rows["HEB-D"]["energy_efficiency"] >= rows["HEB-F"][
+        "energy_efficiency"] - 1e-9
+    assert rows["HEB-D"]["ee_vs_baonly"] > 1.10
+
+    # (b) Downtime: HEB-D sheds the least.
+    assert rows["HEB-D"]["downtime_vs_baonly"] < 0.9
+    assert rows["HEB-D"]["downtime_s"] <= min(
+        rows[s]["downtime_s"] for s in ("BaOnly", "BaFirst", "SCFirst"))
+
+    # (c) Battery lifetime: SC-preferential schemes spare the battery.
+    assert rows["HEB-D"]["lifetime_vs_baonly"] > 1.5
+    assert rows["SCFirst"]["lifetime_years"] > rows["BaFirst"][
+        "lifetime_years"]
+
+    # (d) REU: hybrids beat BaOnly on total REU and by a wide margin on
+    #     surplus capture (the charge-ceiling effect).
+    assert rows["HEB-D"]["reu_vs_baonly"] > 1.05
+    assert rows["HEB-D"]["capture_vs_baonly"] > 1.5
+    assert abs(rows["HEB-D"]["reu"] - rows["SCFirst"]["reu"]) < 0.05
+
+    # Small peaks benefit more than large peaks (paper: 52.5% vs 27.1%).
+    split = results.small_large_split()
+    assert (split["small_peaks"]["heb_d_ee_gain"]
+            >= split["large_peaks"]["heb_d_ee_gain"] * 0.98)

@@ -1,0 +1,34 @@
+"""Benchmark: Figure 13 — SC:battery capacity ratio sweep."""
+
+from repro.experiments import format_fig13, run_fig13
+from repro.experiments.fig13_ratio import normalize_to_default
+
+
+def test_fig13_ratio(once):
+    points = once(run_fig13, duration_h=3.0, seed=1)
+    print()
+    print(format_fig13(points))
+
+    normalized = normalize_to_default(points)
+    low, high = normalized[0.1], normalized[0.5]
+
+    # More SC share improves every metric (downtime falls).
+    assert high["energy_efficiency"] > low["energy_efficiency"]
+    assert high["lifetime"] > low["lifetime"]
+    assert high["reu"] >= low["reu"] * 0.98
+    assert high["downtime"] <= low["downtime"]
+
+    # Battery lifetime is the most ratio-sensitive metric (paper: "the
+    # battery lifetime has the most significant improvement"), and the
+    # EE/downtime improvement flattens out toward high SC shares.
+    lifetime_span = high["lifetime"] / max(low["lifetime"], 1e-9)
+    ee_span = (high["energy_efficiency"]
+               / max(low["energy_efficiency"], 1e-9))
+    reu_span = high["reu"] / max(low["reu"], 1e-9)
+    assert lifetime_span > ee_span
+    assert lifetime_span > reu_span
+    ee_first_step = (normalized[0.2]["energy_efficiency"]
+                     - normalized[0.1]["energy_efficiency"])
+    ee_last_step = (normalized[0.5]["energy_efficiency"]
+                    - normalized[0.4]["energy_efficiency"])
+    assert ee_last_step <= ee_first_step + 1e-9

@@ -1,0 +1,23 @@
+"""Benchmark: Figure 14 — installed-capacity growth via DoD levels."""
+
+from repro.experiments import format_fig14, run_fig14
+
+
+def test_fig14_capacity(once):
+    points = once(run_fig14, duration_h=3.0, seed=1)
+    print()
+    print(format_fig14(points))
+
+    smallest, largest = points[0.4], points[0.8]
+    # Larger usable capacity improves resiliency strongly; efficiency and
+    # REU stay roughly flat (more usable battery slightly dilutes EE).
+    assert largest.energy_efficiency >= smallest.energy_efficiency - 0.02
+    assert largest.downtime_s <= smallest.downtime_s
+    assert largest.reu >= smallest.reu - 0.01
+    # ... but the relationship is non-linear: the last increment buys
+    # less than the first (the right-sizing argument of Section 7.5).
+    dods = sorted(points)
+    first_gain = points[dods[1]].downtime_s - points[dods[0]].downtime_s
+    last_gain = points[dods[-1]].downtime_s - points[dods[-2]].downtime_s
+    assert abs(last_gain) <= abs(first_gain) + 1e-6 or (
+        largest.downtime_s == 0.0)

@@ -1,0 +1,29 @@
+"""Benchmark: Figure 15 — cost breakdown, ROI, peak-shaving revenue."""
+
+from repro.experiments import format_fig15, run_fig15
+
+
+def test_fig15_tco(once):
+    results = once(run_fig15)
+    print()
+    print(format_fig15(results))
+
+    # (a) ESDs dominate the node cost (~55%); node < 16% of server cost.
+    fractions = results.breakdown.fractions()
+    assert abs(fractions["esd"] - 0.55) < 0.05
+    assert results.breakdown.total < 0.16 * results.server_cost
+
+    # (b) Positive ROI across most operating regions.
+    positive = sum(1 for p in results.roi_points if p.worthwhile)
+    assert positive / len(results.roi_points) > 0.5
+
+    # (c) Break-even ordering and the >1.9x revenue headline.
+    table = results.peak_shaving
+    assert (table["HEB"]["break_even_year"]
+            < table["BaOnly"]["break_even_year"]
+            < table["SCFirst"]["break_even_year"]
+            < table["BaFirst"]["break_even_year"])
+    assert abs(table["HEB"]["break_even_year"] - 3.7) < 0.7
+    assert abs(table["BaOnly"]["break_even_year"] - 4.2) < 0.7
+    assert table["HEB"]["net_vs_baonly"] >= 1.9
+    assert table["BaFirst"]["final_net"] < table["BaOnly"]["final_net"]

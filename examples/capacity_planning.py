@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Scenario: right-sizing a hybrid buffer before buying hardware.
+
+The Section 7.5 question: for a given workload mix, how much SC should a
+deployment buy, and how much total capacity?  This example walks the two
+planning axes exactly as the paper does — the SC:battery ratio at fixed
+total capacity (Figure 13) and total capacity growth via DoD (Figure 14)
+— and then prices the options (Figure 15c economics).
+
+Run with::
+
+    python examples/capacity_planning.py
+"""
+
+from repro.experiments import (
+    format_fig13,
+    format_fig14,
+    run_fig13,
+    run_fig14,
+)
+from repro.tco import (
+    PeakShavingScenario,
+    break_even_year,
+    peak_shaving_revenue,
+)
+from repro.tco.peak_shaving import DEFAULT_SCHEMES, SchemeEconomics, capex
+
+
+def ratio_section() -> None:
+    print("=== Axis 1: how much of the capacity should be SC? ===")
+    points = run_fig13(duration_h=2.0, workloads=["DA"])
+    print(format_fig13(points))
+    print("-> battery lifetime responds most; EE and downtime flatten "
+          "past ~3:7, which is why the paper defaults there.")
+
+
+def capacity_section() -> None:
+    print()
+    print("=== Axis 2: how much total capacity (usable via DoD)? ===")
+    points = run_fig14(duration_h=2.0, workloads=["DA"])
+    print(format_fig14(points))
+    print("-> resiliency keeps improving, but with diminishing returns: "
+          "the right-sizing argument of Section 7.5.")
+
+
+def pricing_section() -> None:
+    print()
+    print("=== Pricing the chosen design (Figure 15c economics) ===")
+    scenario = PeakShavingScenario()
+    for name in ("BaOnly", "HEB"):
+        scheme = DEFAULT_SCHEMES[name]
+        series = peak_shaving_revenue(scheme, scenario)
+        breakeven = break_even_year(series)
+        print(f"{name:>7s}: capex ${capex(scheme, scenario):>7,.0f}, "
+              f"break-even {breakeven:.2f} y, "
+              f"8-year net ${series.final_net:,.0f}")
+
+    print()
+    print("A bigger SC would capture more valleys — check the marginal "
+          "economics:")
+    for sc_kwh in (1.0, 1.35, 2.0, 3.0):
+        scheme = SchemeEconomics(
+            name=f"HEB/{sc_kwh}kWh", ee_gain=1.397,
+            availability_gain=1.21, battery_kwh=14.0, sc_kwh=sc_kwh,
+            battery_life_years=12.0)
+        series = peak_shaving_revenue(scheme, scenario)
+        breakeven = break_even_year(series)
+        breakeven_text = (f"{breakeven:.2f} y" if breakeven is not None
+                          else "never")
+        print(f"  SC={sc_kwh:>4.2f} kWh: capex "
+              f"${capex(scheme, scenario):>7,.0f}, break-even "
+              f"{breakeven_text}, 8-year net ${series.final_net:,.0f}")
+    print("-> at 10k $/kWh, SC capacity beyond the power-buffering need "
+          "erodes the return.")
+
+
+def main() -> None:
+    ratio_section()
+    capacity_section()
+    pricing_section()
+
+
+if __name__ == "__main__":
+    main()

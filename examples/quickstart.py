@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: run one HEB simulation and read the headline metrics.
+
+This is the smallest end-to-end use of the library: generate a Table 1
+workload, build the prototype's hybrid buffer (3:7 SC:battery, 150 Wh),
+run the full HEB-D power-management framework against a 260 W utility
+budget for two simulated hours, and print what happened.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import POLICY_NAMES, quick_run
+from repro.units import joules_to_wh
+
+
+def main() -> None:
+    print("=== One run: HEB-D on the PageRank workload (2 h) ===")
+    result = quick_run("HEB-D", "PR", hours=2.0, seed=7)
+    metrics = result.metrics
+    print(f"energy efficiency : {metrics.energy_efficiency:.3f}")
+    print(f"server downtime   : {metrics.server_downtime_s:.0f} s")
+    print(f"battery lifetime  : {metrics.battery_lifetime_years:.2f} years "
+          f"({metrics.battery_equivalent_cycles:.2f} equivalent cycles)")
+    print(f"buffer energy out : "
+          f"{joules_to_wh(metrics.buffer_energy_out_j):.1f} Wh")
+    print(f"buffer energy in  : "
+          f"{joules_to_wh(metrics.buffer_energy_in_j):.1f} Wh")
+    print(f"relay actuations  : {metrics.relay_switches}")
+
+    print()
+    print("=== Per-slot planning log (first six control slots) ===")
+    for record in result.slots[:6]:
+        print(f"slot {record.index:>2d}: {record.note:<34s} "
+              f"peak={record.peak_w:5.0f} W "
+              f"SC left={joules_to_wh(record.sc_usable_end_j):5.1f} Wh "
+              f"BA left={joules_to_wh(record.battery_usable_end_j):5.1f} Wh")
+
+    print()
+    print("=== All six Table 2 schemes on the same workload ===")
+    print(f"{'scheme':>8s} {'EE':>7s} {'downtime':>9s} {'lifetime':>9s}")
+    for scheme in POLICY_NAMES:
+        run = quick_run(scheme, "PR", hours=2.0, seed=7)
+        print(f"{scheme:>8s} {run.metrics.energy_efficiency:>7.3f} "
+              f"{run.metrics.server_downtime_s:>8.0f}s "
+              f"{run.metrics.battery_lifetime_years:>8.2f}y")
+
+
+if __name__ == "__main__":
+    main()

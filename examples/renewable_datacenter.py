@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Scenario: a solar-powered datacenter maximizing renewable utilization.
+
+The second motivating deployment (Section 2.2): the cluster runs off a
+photovoltaic feed whose cloud transients create deep valleys and sudden
+deficits.  Batteries cannot absorb the valleys fast enough (charge-current
+ceiling) nor ride the deficits gracefully; the hybrid buffer does both.
+
+This example compares the schemes' renewable energy utilization (REU),
+surplus capture, and downtime over a cloudy solar day, then shows the
+sensitivity to cloud depth.
+
+Run with::
+
+    python examples/renewable_datacenter.py
+"""
+
+from repro import POLICY_NAMES, make_policy, prototype_buffer, \
+    prototype_cluster
+from repro.sim import HybridBuffers, Simulation
+from repro.units import hours, joules_to_wh
+from repro.workloads import generate_solar_trace, get_workload
+from repro.workloads.solar import SolarConfig
+
+
+def run_solar(scheme: str, solar_config: SolarConfig,
+              duration_h: float = 4.0, seed: int = 9):
+    cluster = prototype_cluster()
+    hybrid = prototype_buffer()
+    trace = get_workload("WS", duration_s=hours(duration_h), seed=seed)
+    supply = generate_solar_trace(hours(duration_h), config=solar_config,
+                                  seed=seed, start_time_s=hours(9.0))
+    policy = make_policy(scheme, hybrid=hybrid)
+    buffers = HybridBuffers(hybrid, include_sc=scheme != "BaOnly")
+    simulation = Simulation(trace, policy, buffers, cluster_config=cluster,
+                            supply=supply, renewable=True)
+    return simulation.run()
+
+
+def comparison_section(solar_config: SolarConfig) -> None:
+    print("=== Scheme comparison on a cloudy solar day ===")
+    print(f"array: {solar_config.rated_power_w:.0f} W rated, clouds cut "
+          f"output to {solar_config.cloud_attenuation:.0%}")
+    print(f"{'scheme':>8s} {'REU':>7s} {'capture':>8s} {'stored':>8s} "
+          f"{'downtime':>9s}")
+    for scheme in POLICY_NAMES:
+        result = run_solar(scheme, solar_config)
+        metrics = result.metrics
+        print(f"{scheme:>8s} {metrics.reu:>7.3f} "
+              f"{metrics.renewable_capture:>8.3f} "
+              f"{joules_to_wh(metrics.buffer_energy_in_j):>7.1f}Wh "
+              f"{metrics.server_downtime_s:>8.0f}s")
+    print("-> REU counts all generation put to use; 'capture' isolates "
+          "the valley surplus the buffers absorbed —")
+    print("   the quantity the battery's charge-current ceiling throttles "
+          "(Section 2.2).")
+
+
+def sensitivity_section() -> None:
+    print()
+    print("=== Sensitivity to cloud depth (HEB-D vs BaOnly) ===")
+    print(f"{'cloud output':>13s} {'BaOnly REU':>11s} {'HEB-D REU':>10s} "
+          f"{'gap':>6s}")
+    for attenuation in (0.4, 0.25, 0.1):
+        config = SolarConfig(rated_power_w=520.0,
+                             cloud_attenuation=attenuation,
+                             mean_cloud_s=700.0, mean_clear_s=900.0)
+        battery_only = run_solar("BaOnly", config)
+        heb = run_solar("HEB-D", config)
+        gap = heb.metrics.reu / battery_only.metrics.reu
+        print(f"{attenuation:>12.0%} {battery_only.metrics.reu:>11.3f} "
+              f"{heb.metrics.reu:>10.3f} {gap:>6.2f}x")
+    print("-> the deeper the valleys, the more the hybrid's fast charging "
+          "pays.")
+
+
+def main() -> None:
+    solar_config = SolarConfig(rated_power_w=520.0, cloud_attenuation=0.15,
+                               mean_cloud_s=700.0, mean_clear_s=900.0)
+    comparison_section(solar_config)
+    sensitivity_section()
+
+
+if __name__ == "__main__":
+    main()

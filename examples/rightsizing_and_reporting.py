@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Scenario: size a buffer for a recorded workload and export a report.
+
+Workflow a deployment team would actually run:
+
+1. record (here: generate and persist) the cluster's demand trace;
+2. replay it through the simulator and ask the right-sizing advisor for
+   the smallest hybrid buffer meeting a downtime budget;
+3. validate the recommendation across all six schemes and export the
+   comparison as CSV + Markdown.
+
+Run with::
+
+    python examples/rightsizing_and_reporting.py
+"""
+
+import dataclasses
+import tempfile
+from pathlib import Path
+
+from repro import POLICY_NAMES, make_policy, prototype_buffer, \
+    prototype_cluster
+from repro.core import right_size_buffer
+from repro.sim import (
+    HybridBuffers,
+    Simulation,
+    compare_schemes,
+    comparison_to_markdown,
+    results_to_csv,
+)
+from repro.units import hours
+from repro.workloads import (
+    load_trace_npz,
+    mixed_workload,
+    save_trace_npz,
+)
+
+
+def record_trace(workdir: Path):
+    """Step 1: 'record' a mixed-tenant demand trace and persist it."""
+    print("=== 1. Recording the cluster's demand trace ===")
+    trace = mixed_workload(["MS", "DA", "WS", "TS", "HB", "DFS"],
+                           duration_s=hours(3), seed=13)
+    path = workdir / "cluster_demand.npz"
+    save_trace_npz(trace, path)
+    stats = trace.aggregate().stats()
+    print(f"recorded {trace.num_servers} servers x "
+          f"{trace.num_samples} s to {path.name}")
+    print(f"aggregate: mean {stats.mean_w:.0f} W, peak {stats.peak_w:.0f} W"
+          f" (budget 260 W)")
+    return path
+
+
+def size_buffer(path: Path):
+    """Step 2: replay the recording and right-size the buffer."""
+    print()
+    print("=== 2. Right-sizing the hybrid buffer ===")
+    trace = load_trace_npz(path)
+    cluster = prototype_cluster()
+    sizing = right_size_buffer(trace, cluster, downtime_target_s=0.0,
+                               min_wh=30.0, max_wh=400.0,
+                               tolerance_wh=25.0)
+    if not sizing.feasible:
+        print("no feasible capacity in the bracket!")
+        return trace, 150.0
+    print(f"smallest zero-downtime buffer: "
+          f"~{sizing.total_energy_wh:.0f} Wh "
+          f"(SC share {sizing.sc_fraction:.0%})")
+    print(f"estimated CAP-EX: ${sizing.capex_dollars:,.0f} "
+          f"({sizing.evaluations} simulations)")
+    return trace, sizing.total_energy_wh
+
+
+def validate_and_export(trace, total_wh: float, workdir: Path) -> None:
+    """Step 3: validate across schemes and export the report."""
+    print()
+    print("=== 3. Validating the sizing across all schemes ===")
+    hybrid = prototype_buffer(total_energy_wh=total_wh)
+    results = []
+    for scheme in POLICY_NAMES:
+        policy = make_policy(scheme, hybrid=hybrid)
+        buffers = HybridBuffers(hybrid, include_sc=scheme != "BaOnly")
+        results.append(Simulation(trace, policy, buffers,
+                                  cluster_config=prototype_cluster()).run())
+
+    csv_path = workdir / "validation.csv"
+    results_to_csv(results, csv_path)
+    print(f"wrote per-run metrics to {csv_path.name}")
+    print()
+    print(comparison_to_markdown(compare_schemes(results),
+                                 title=f"{total_wh:.0f} Wh buffer"))
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+        path = record_trace(workdir)
+        trace, total_wh = size_buffer(path)
+        validate_and_export(trace, total_wh, workdir)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""repro — reproduction of HEB (ISCA 2015): hybrid energy buffers for
+datacenter efficiency and economy.
+
+The library simulates a datacenter cluster whose power mismatches are
+buffered by a pooled supercapacitor + lead-acid-battery system under six
+power-management schemes (Table 2 of the paper), and reproduces every
+table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import quick_run
+
+    result = quick_run("HEB-D", "PR", hours=2.0)
+    print(result.metrics.energy_efficiency)
+
+See ``examples/`` for full scenarios and ``benchmarks/`` for the
+per-figure reproduction harness.
+"""
+
+from __future__ import annotations
+
+from . import config, core, power, server, sim, storage, tco, workloads
+from .config import (
+    BatteryConfig,
+    ClusterConfig,
+    ControllerConfig,
+    HybridBufferConfig,
+    PATConfig,
+    PredictorConfig,
+    ServerConfig,
+    SimulationConfig,
+    SupercapConfig,
+    TCOConfig,
+    paper_tco,
+    prototype_battery,
+    prototype_buffer,
+    prototype_cluster,
+    prototype_controller,
+    prototype_supercap,
+)
+from .core import make_policy, POLICY_NAMES
+from .errors import ReproError
+from .sim import HybridBuffers, RunResult, Simulation, compare_schemes
+from .units import hours as _hours
+from .workloads import get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "config", "core", "power", "server", "sim", "storage", "tco",
+    "workloads",
+    "BatteryConfig", "ClusterConfig", "ControllerConfig",
+    "HybridBufferConfig", "PATConfig", "PredictorConfig", "ServerConfig",
+    "SimulationConfig", "SupercapConfig", "TCOConfig",
+    "paper_tco", "prototype_battery", "prototype_buffer",
+    "prototype_cluster", "prototype_controller", "prototype_supercap",
+    "make_policy", "POLICY_NAMES",
+    "ReproError",
+    "HybridBuffers", "RunResult", "Simulation", "compare_schemes",
+    "get_workload", "workload_names",
+    "quick_run",
+]
+
+
+def quick_run(scheme: str, workload: str, hours: float = 2.0,
+              seed: int = 0, budget_w: float | None = None,
+              sc_fraction: float = 0.3) -> RunResult:
+    """Run one (scheme, workload) simulation with prototype defaults.
+
+    Args:
+        scheme: One of :data:`POLICY_NAMES` ("BaOnly" ... "HEB-D").
+        workload: One of the Table 1 abbreviations ("PR" ... "TS").
+        hours: Simulated duration.
+        seed: Workload RNG seed.
+        budget_w: Utility budget override (prototype default 260 W).
+        sc_fraction: SC share of the buffer capacity (paper default 0.3).
+
+    Returns:
+        The :class:`repro.sim.RunResult` of the run.
+    """
+    import dataclasses
+
+    cluster_config = prototype_cluster()
+    if budget_w is not None:
+        cluster_config = dataclasses.replace(
+            cluster_config, utility_budget_w=budget_w)
+    hybrid = prototype_buffer(sc_fraction=sc_fraction)
+    trace = get_workload(workload, duration_s=_hours(hours),
+                         num_servers=cluster_config.num_servers,
+                         server=cluster_config.server, seed=seed)
+    policy = make_policy(scheme, hybrid=hybrid)
+    buffers = HybridBuffers(hybrid,
+                            include_sc=scheme.lower() != "baonly")
+    simulation = Simulation(trace, policy, buffers,
+                            cluster_config=cluster_config)
+    return simulation.run()

@@ -1,0 +1,141 @@
+"""Command-line entry point: regenerate any paper figure from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig12 --hours 2 --seed 3
+    python -m repro fig15
+    python -m repro run HEB-D PR --hours 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from . import experiments, quick_run
+from .core import POLICY_NAMES
+from .workloads import workload_names
+
+
+def _fig01(args) -> str:
+    return experiments.format_fig01(
+        experiments.run_fig01(duration_days=args.days, seed=args.seed))
+
+
+def _fig03(args) -> str:
+    return experiments.format_fig03(experiments.run_fig03())
+
+
+def _fig04(args) -> str:
+    return experiments.format_fig04(experiments.run_fig04())
+
+
+def _fig05(args) -> str:
+    return experiments.format_fig05(experiments.run_fig05())
+
+
+def _fig06(args) -> str:
+    return experiments.format_fig06(experiments.run_fig06())
+
+
+def _fig07(args) -> str:
+    return experiments.format_fig07(
+        experiments.run_fig07(),
+        experiments.run_fig08(duration_h=args.hours, seed=args.seed))
+
+
+def _fig12(args) -> str:
+    return experiments.format_fig12(
+        experiments.run_fig12(duration_h=args.hours, seed=args.seed))
+
+
+def _fig13(args) -> str:
+    return experiments.format_fig13(
+        experiments.run_fig13(duration_h=args.hours, seed=args.seed))
+
+
+def _fig14(args) -> str:
+    return experiments.format_fig14(
+        experiments.run_fig14(duration_h=args.hours, seed=args.seed))
+
+
+def _fig15(args) -> str:
+    return experiments.format_fig15(experiments.run_fig15())
+
+
+FIGURES: Dict[str, Callable] = {
+    "fig01": _fig01,
+    "fig03": _fig03,
+    "fig04": _fig04,
+    "fig05": _fig05,
+    "fig06": _fig06,
+    "fig07": _fig07,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "fig15": _fig15,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce figures from the HEB paper (ISCA 2015).")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available figures")
+
+    for name in FIGURES:
+        sub = subparsers.add_parser(name, help=f"regenerate {name}")
+        sub.add_argument("--hours", type=float, default=4.0,
+                         help="simulated hours per run (where applicable)")
+        sub.add_argument("--days", type=float, default=7.0,
+                         help="trace days (fig01 only)")
+        sub.add_argument("--seed", type=int, default=1)
+
+    run = subparsers.add_parser(
+        "run", help="run one (scheme, workload) simulation")
+    run.add_argument("scheme", choices=list(POLICY_NAMES))
+    run.add_argument("workload", choices=list(workload_names()))
+    run.add_argument("--hours", type=float, default=2.0)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--budget", type=float, default=None,
+                     help="utility budget in watts (default 260)")
+    return parser
+
+
+def _run_single(args) -> str:
+    result = quick_run(args.scheme, args.workload, hours=args.hours,
+                       seed=args.seed, budget_w=args.budget)
+    metrics = result.metrics
+    lines = [
+        f"{args.scheme} on {args.workload} "
+        f"({args.hours:g} h, seed {args.seed}):",
+        f"  energy efficiency : {metrics.energy_efficiency:.3f}",
+        f"  server downtime   : {metrics.server_downtime_s:.0f} s",
+        f"  battery lifetime  : {metrics.battery_lifetime_years:.2f} y",
+        f"  buffer out / in   : {metrics.buffer_energy_out_j / 3600:.1f} / "
+        f"{metrics.buffer_energy_in_j / 3600:.1f} Wh",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        print("figures:", ", ".join(FIGURES))
+        print("schemes:", ", ".join(POLICY_NAMES))
+        print("workloads:", ", ".join(workload_names()))
+        return 0
+    if args.command == "run":
+        print(_run_single(args))
+        return 0
+    print(FIGURES[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,414 @@
+"""Configuration dataclasses for every subsystem, plus paper-prototype presets.
+
+Each config is a frozen dataclass validated on construction.  The
+``prototype_*`` factory functions reproduce the scale-down prototype from
+Section 6 of the paper: six low-power servers (30 W idle / 70 W peak), a
+260 W utility budget, a 24 V lead-acid battery string, Maxwell-class 16 V /
+600 F supercapacitor modules, and 10-minute control slots.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from .errors import ConfigurationError
+from .units import kwh_to_joules, minutes, wh_to_joules
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class BatteryConfig:
+    """Parameters of a lead-acid battery string modelled with KiBaM.
+
+    Attributes:
+        nominal_voltage_v: Open-circuit voltage of the full string at 100% SoC.
+        empty_voltage_v: Open-circuit voltage at 0% SoC (linear interpolation
+            between the two approximates the lead-acid OCV curve).
+        capacity_ah: Nominal 20-hour-rate capacity of the string.
+        internal_resistance_ohm: Lumped series resistance; produces the sharp
+            terminal-voltage drop under large currents seen in Figure 5.
+        kibam_c: KiBaM fraction of charge in the available well (0 < c < 1).
+        kibam_k_per_s: KiBaM inter-well rate constant (1/s).  Smaller values
+            make the recovery effect (Section 3.1) more pronounced.
+        peukert_exponent: Peukert constant; 1.0 disables the effect.
+        reference_current_a: Current at which ``capacity_ah`` is rated
+            (the 20-hour rate by convention).
+        charge_efficiency: Coulombic+conversion efficiency while charging
+            (below the gassing region).
+        discharge_efficiency: Efficiency while discharging.  The product of
+            the two is the round-trip efficiency (~0.80 for lead acid).
+        gassing_soc_threshold: State of charge above which charge
+            acceptance degrades (electrolysis/gassing dominates the top of
+            charge in lead-acid chemistry).  Shallow cycles that hover
+            near full — exactly the small-peak BaOnly usage pattern —
+            therefore recharge very inefficiently.
+        gassing_penalty: Fractional charge-efficiency loss at 100% SoC
+            (linearly ramped from the threshold).
+        max_charge_current_a: Charging ceiling ("batteries cannot be
+            re-charged very fast", Section 1); the source of the REU gap.
+        min_terminal_voltage_v: Below this the served load browns out.
+        rated_cycles: Cycle life at ``rated_dod`` used by the Ah-throughput
+            lifetime model.
+        rated_dod: Depth of discharge at which ``rated_cycles`` is specified.
+    """
+
+    nominal_voltage_v: float = 25.6
+    empty_voltage_v: float = 21.0
+    capacity_ah: float = 4.4
+    internal_resistance_ohm: float = 0.15
+    kibam_c: float = 0.62
+    kibam_k_per_s: float = 4.5e-4
+    peukert_exponent: float = 1.125
+    reference_current_a: float = 2.0
+    charge_efficiency: float = 0.87
+    discharge_efficiency: float = 0.98
+    gassing_soc_threshold: float = 0.8
+    gassing_penalty: float = 0.3
+    max_charge_current_a: float = 1.1
+    min_terminal_voltage_v: float = 19.0
+    rated_cycles: float = 2500.0
+    rated_dod: float = 0.8
+
+    def __post_init__(self) -> None:
+        _require(self.nominal_voltage_v > self.empty_voltage_v > 0,
+                 "battery voltages must satisfy nominal > empty > 0")
+        _require(self.capacity_ah > 0, "battery capacity must be positive")
+        _require(self.internal_resistance_ohm >= 0,
+                 "internal resistance cannot be negative")
+        _require(0 < self.kibam_c < 1, "kibam_c must lie in (0, 1)")
+        _require(self.kibam_k_per_s > 0, "kibam_k_per_s must be positive")
+        _require(self.peukert_exponent >= 1.0,
+                 "peukert exponent below 1 is unphysical")
+        _require(self.reference_current_a > 0,
+                 "reference current must be positive")
+        _require(0 < self.charge_efficiency <= 1, "charge efficiency in (0,1]")
+        _require(0 < self.discharge_efficiency <= 1,
+                 "discharge efficiency in (0,1]")
+        _require(0 < self.gassing_soc_threshold < 1,
+                 "gassing threshold must lie in (0, 1)")
+        _require(0 <= self.gassing_penalty < 1,
+                 "gassing penalty must lie in [0, 1)")
+        _require(self.max_charge_current_a > 0,
+                 "max charge current must be positive")
+        _require(0 < self.rated_dod <= 1, "rated DoD in (0, 1]")
+        _require(self.rated_cycles > 0, "rated cycles must be positive")
+
+    @property
+    def nominal_energy_j(self) -> float:
+        """Nominal stored energy of the string at 100% SoC (joules)."""
+        mean_voltage = 0.5 * (self.nominal_voltage_v + self.empty_voltage_v)
+        return wh_to_joules(self.capacity_ah * mean_voltage)
+
+    def scaled_to_energy(self, energy_j: float) -> "BatteryConfig":
+        """Return a copy rescaled (capacity and current limits) to hold
+        ``energy_j`` joules at 100% SoC, preserving the C-rate limits."""
+        _require(energy_j > 0, "target energy must be positive")
+        factor = energy_j / self.nominal_energy_j
+        return dataclasses.replace(
+            self,
+            capacity_ah=self.capacity_ah * factor,
+            reference_current_a=self.reference_current_a * factor,
+            max_charge_current_a=self.max_charge_current_a * factor,
+            internal_resistance_ohm=self.internal_resistance_ohm / factor,
+        )
+
+
+@dataclass(frozen=True)
+class SupercapConfig:
+    """Parameters of a supercapacitor module bank (Maxwell 16 V / 600 F class).
+
+    Attributes:
+        capacitance_f: Total capacitance of the bank.
+        max_voltage_v: Fully charged voltage.
+        min_voltage_v: Converter cut-off voltage; charge below it is unusable.
+        esr_ohm: Equivalent series resistance; sized so the round trip lands
+            in the 90-95% band measured in Section 3.1.
+        max_charge_current_a: Practical converter ceiling.  Very large by
+            default — SCs charge "without the limitation of upper-bound
+            charging current" relative to batteries.
+        rated_cycles: Cycle life (two to three orders beyond batteries).
+    """
+
+    capacitance_f: float = 600.0
+    max_voltage_v: float = 16.0
+    min_voltage_v: float = 6.0
+    esr_ohm: float = 0.05
+    max_charge_current_a: float = 200.0
+    rated_cycles: float = 1_000_000.0
+
+    def __post_init__(self) -> None:
+        _require(self.capacitance_f > 0, "capacitance must be positive")
+        _require(self.max_voltage_v > self.min_voltage_v >= 0,
+                 "SC voltages must satisfy max > min >= 0")
+        _require(self.esr_ohm >= 0, "ESR cannot be negative")
+        _require(self.max_charge_current_a > 0,
+                 "max charge current must be positive")
+        _require(self.rated_cycles > 0, "rated cycles must be positive")
+
+    @property
+    def nominal_energy_j(self) -> float:
+        """Usable energy between min and max voltage (joules)."""
+        return 0.5 * self.capacitance_f * (
+            self.max_voltage_v ** 2 - self.min_voltage_v ** 2)
+
+    def scaled_to_energy(self, energy_j: float) -> "SupercapConfig":
+        """Return a copy with capacitance rescaled to hold ``energy_j``."""
+        _require(energy_j > 0, "target energy must be positive")
+        factor = energy_j / self.nominal_energy_j
+        return dataclasses.replace(
+            self,
+            capacitance_f=self.capacitance_f * factor,
+            max_charge_current_a=self.max_charge_current_a * factor,
+            esr_ohm=self.esr_ohm / factor,
+        )
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Power model of one server (Section 6 prototype nodes).
+
+    Attributes:
+        idle_power_w: Measured idle draw (30 W in the paper).
+        peak_power_w: Measured peak draw (70 W in the paper).
+        low_frequency_ghz / high_frequency_ghz: The two ondemand-governor
+            operating points used to construct small/large peak groups.
+        restart_energy_j: Energy wasted by one off/on cycle; Section 3.1
+            notes this can consume "nearly half of the recovered energy".
+        restart_duration_s: Time a server stays unavailable after shutdown.
+    """
+
+    idle_power_w: float = 30.0
+    peak_power_w: float = 70.0
+    low_frequency_ghz: float = 1.3
+    high_frequency_ghz: float = 1.8
+    restart_energy_j: float = 3000.0
+    restart_duration_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        _require(0 <= self.idle_power_w < self.peak_power_w,
+                 "server power must satisfy 0 <= idle < peak")
+        _require(0 < self.low_frequency_ghz <= self.high_frequency_ghz,
+                 "frequencies must satisfy 0 < low <= high")
+        _require(self.restart_energy_j >= 0, "restart energy >= 0")
+        _require(self.restart_duration_s >= 0, "restart duration >= 0")
+
+
+@dataclass(frozen=True)
+class PredictorConfig:
+    """Holt-Winters triple exponential smoothing parameters (Section 5.2)."""
+
+    alpha: float = 0.45
+    beta: float = 0.12
+    gamma: float = 0.25
+    season_length: int = 12
+
+    def __post_init__(self) -> None:
+        for name in ("alpha", "beta", "gamma"):
+            value = getattr(self, name)
+            _require(0 < value < 1, f"{name} must lie in (0, 1)")
+        _require(self.season_length >= 2, "season length must be >= 2")
+
+
+@dataclass(frozen=True)
+class PATConfig:
+    """Power Allocation Table parameters (Sections 5.2-5.3).
+
+    Attributes:
+        energy_quantum_j: Rounding quantum for SC/battery energy keys when
+            coarse-graining new entries (Figure 10, line 14).
+        power_quantum_w: Rounding quantum for the power-demand key.
+        delta_r: The Δr load-ratio correction step (1% by default).
+        max_entries: Safety bound on table growth.
+    """
+
+    energy_quantum_j: float = wh_to_joules(10.0)
+    power_quantum_w: float = 20.0
+    delta_r: float = 0.01
+    max_entries: int = 4096
+
+    def __post_init__(self) -> None:
+        _require(self.energy_quantum_j > 0, "energy quantum must be positive")
+        _require(self.power_quantum_w > 0, "power quantum must be positive")
+        _require(0 < self.delta_r < 1, "delta_r must lie in (0, 1)")
+        _require(self.max_entries > 0, "max_entries must be positive")
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """hControl decision parameters (Section 5).
+
+    Attributes:
+        slot_seconds: Control interval (10 minutes by default).
+        small_peak_power_w: ΔPM at or below which a predicted peak counts as
+            "small" and is handled by the two-tier SC-first policy.
+        small_peak_duration_s: Predicted peak duration threshold; both the
+            height and duration criteria must hold for the small-peak path.
+        dod_battery / dod_supercap: Depth-of-discharge ceilings enforced by
+            the controller (the capacity-planning knob of Section 7.5).
+    """
+
+    slot_seconds: float = minutes(10)
+    small_peak_power_w: float = 60.0
+    small_peak_duration_s: float = minutes(5)
+    dod_battery: float = 0.8
+    dod_supercap: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require(self.slot_seconds > 0, "slot length must be positive")
+        _require(self.small_peak_power_w >= 0, "small-peak power >= 0")
+        _require(self.small_peak_duration_s >= 0, "small-peak duration >= 0")
+        _require(0 < self.dod_battery <= 1, "battery DoD in (0, 1]")
+        _require(0 < self.dod_supercap <= 1, "supercap DoD in (0, 1]")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """The server cluster and its utility supply.
+
+    Attributes:
+        num_servers: Cluster size (six in the prototype).
+        server: Per-server power model.
+        utility_budget_w: Maximum draw from the utility/renewable feed
+            (260 W for six servers in the paper).
+        converter_efficiency: Buffer-to-server delivery efficiency; models
+            the DC/AC inverter of the cluster-level deployment (Figure 8b).
+    """
+
+    num_servers: int = 6
+    server: ServerConfig = field(default_factory=ServerConfig)
+    utility_budget_w: float = 260.0
+    converter_efficiency: float = 0.95
+
+    def __post_init__(self) -> None:
+        _require(self.num_servers > 0, "cluster needs at least one server")
+        _require(self.utility_budget_w >= 0, "utility budget >= 0")
+        _require(0 < self.converter_efficiency <= 1,
+                 "converter efficiency in (0, 1]")
+
+    @property
+    def peak_demand_w(self) -> float:
+        """Worst-case cluster demand (all servers at peak)."""
+        return self.num_servers * self.server.peak_power_w
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Discrete-time engine parameters."""
+
+    tick_seconds: float = 1.0
+    seed: int = 20150613  # ISCA'15 opening day; fixed for reproducibility.
+
+    def __post_init__(self) -> None:
+        _require(self.tick_seconds > 0, "tick length must be positive")
+
+
+@dataclass(frozen=True)
+class HybridBufferConfig:
+    """Sizing of the hybrid pool: total capacity and SC share.
+
+    The paper compares systems of *equal total capacity* with an initial
+    SC:battery ratio of 3:7 (Section 7).
+    """
+
+    total_energy_j: float = wh_to_joules(150.0)
+    sc_fraction: float = 0.3
+    battery: BatteryConfig = field(default_factory=BatteryConfig)
+    supercap: SupercapConfig = field(default_factory=SupercapConfig)
+
+    def __post_init__(self) -> None:
+        _require(self.total_energy_j > 0, "total energy must be positive")
+        _require(0 <= self.sc_fraction <= 1, "sc_fraction in [0, 1]")
+
+    @property
+    def sc_energy_j(self) -> float:
+        return self.total_energy_j * self.sc_fraction
+
+    @property
+    def battery_energy_j(self) -> float:
+        return self.total_energy_j * (1.0 - self.sc_fraction)
+
+    def with_ratio(self, sc_fraction: float) -> "HybridBufferConfig":
+        """Return a copy with a different SC share, same total capacity."""
+        return dataclasses.replace(self, sc_fraction=sc_fraction)
+
+    def with_total_energy(self, total_energy_j: float) -> "HybridBufferConfig":
+        """Return a copy with a different total capacity, same SC share."""
+        return dataclasses.replace(self, total_energy_j=total_energy_j)
+
+
+@dataclass(frozen=True)
+class TCOConfig:
+    """Economic constants used by Section 7.6.
+
+    Costs are in dollars; energies in kWh at this boundary because that is
+    how the paper (and vendors) quote them.
+    """
+
+    battery_cost_per_kwh: float = 300.0
+    supercap_cost_per_kwh: float = 10_000.0
+    battery_lifetime_years: float = 4.0
+    supercap_lifetime_years: float = 12.0
+    infrastructure_lifetime_years: float = 12.0
+    peak_tariff_per_kw: float = 12.0
+    datacenter_power_kw: float = 100.0
+    buffer_energy_kwh: float = 20.0
+    sc_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        _require(self.battery_cost_per_kwh > 0, "battery cost must be > 0")
+        _require(self.supercap_cost_per_kwh > 0, "supercap cost must be > 0")
+        for name in ("battery_lifetime_years", "supercap_lifetime_years",
+                     "infrastructure_lifetime_years", "peak_tariff_per_kw",
+                     "datacenter_power_kw", "buffer_energy_kwh"):
+            _require(getattr(self, name) > 0, f"{name} must be positive")
+        _require(0 <= self.sc_fraction <= 1, "sc_fraction in [0, 1]")
+
+    @property
+    def hybrid_cost_per_kwh(self) -> float:
+        """Blended $/kWh of the hybrid buffer (C_HEB components)."""
+        return (self.battery_cost_per_kwh * (1.0 - self.sc_fraction)
+                + self.supercap_cost_per_kwh * self.sc_fraction)
+
+
+def prototype_battery() -> BatteryConfig:
+    """The 24 V lead-acid string of the prototype (Figure 11, item 7/10)."""
+    return BatteryConfig()
+
+
+def prototype_supercap() -> SupercapConfig:
+    """A Maxwell 16 V / 600 F class module bank (Figure 11, item 9)."""
+    return SupercapConfig()
+
+
+def prototype_cluster() -> ClusterConfig:
+    """Six 30/70 W servers behind a 260 W utility budget (Section 6)."""
+    return ClusterConfig()
+
+
+def prototype_buffer(sc_fraction: float = 0.3,
+                     total_energy_wh: float = 150.0) -> HybridBufferConfig:
+    """Equal-capacity hybrid pool at the paper's default 3:7 SC:BA ratio."""
+    return HybridBufferConfig(
+        total_energy_j=wh_to_joules(total_energy_wh),
+        sc_fraction=sc_fraction,
+    )
+
+
+def prototype_controller() -> ControllerConfig:
+    """Default hControl settings (10-minute slots, Section 5.2)."""
+    return ControllerConfig()
+
+
+def paper_tco() -> TCOConfig:
+    """The 100 kW / 20 kWh / 12 $/kW scenario of Figure 15(c)."""
+    return TCOConfig()
+
+
+# Figure 15(b) sweeps infrastructure CAP-EX over this range ($/W).
+CAPEX_RANGE_DOLLARS_PER_WATT: Tuple[float, float] = (2.0, 20.0)

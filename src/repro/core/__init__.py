@@ -1,0 +1,62 @@
+"""The paper's contribution: the HEB power-management framework.
+
+Section 5's three pillars map onto:
+
+* :mod:`repro.core.predictor` — Holt-Winters prediction of next-slot
+  peak/valley power;
+* :mod:`repro.core.pat` (+ :mod:`repro.core.profiling`) — the Power
+  Allocation Table and its pilot-run seeding and online Δr optimization;
+* :mod:`repro.core.scheduler` — turning an R_lambda ratio into per-server
+  relay assignments;
+* :mod:`repro.core.policies` — the six evaluated schemes of Table 2.
+"""
+
+from .advisor import SizingResult, right_size_buffer
+from .predictor import HoltWintersPredictor, SlotPrediction
+from .peaks import PeakAnalysis, analyze_slot, classify_peak
+from .pat import PowerAllocationTable, PATEntry
+from .profiling import profile_optimal_ratio, runtime_for_ratio, seed_pat
+from .scheduler import LoadScheduler, Assignment
+from .policies import (
+    Policy,
+    SlotObservation,
+    SlotPlan,
+    SlotResult,
+    BaOnlyPolicy,
+    BaFirstPolicy,
+    SCFirstPolicy,
+    HebFPolicy,
+    HebSPolicy,
+    HebDPolicy,
+    make_policy,
+    POLICY_NAMES,
+)
+
+__all__ = [
+    "SizingResult",
+    "right_size_buffer",
+    "HoltWintersPredictor",
+    "SlotPrediction",
+    "PeakAnalysis",
+    "analyze_slot",
+    "classify_peak",
+    "PowerAllocationTable",
+    "PATEntry",
+    "profile_optimal_ratio",
+    "runtime_for_ratio",
+    "seed_pat",
+    "LoadScheduler",
+    "Assignment",
+    "Policy",
+    "SlotObservation",
+    "SlotPlan",
+    "SlotResult",
+    "BaOnlyPolicy",
+    "BaFirstPolicy",
+    "SCFirstPolicy",
+    "HebFPolicy",
+    "HebSPolicy",
+    "HebDPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+]

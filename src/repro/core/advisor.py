@@ -1,0 +1,148 @@
+"""Capacity right-sizing advisor.
+
+Section 7.5 closes with: "The results contribute to the right-sizing of
+the heterogeneous energy buffers for the real systems as the cost of
+provisioning energy buffers grows with the increased capacity."  This
+module turns that observation into a tool: given a workload and a
+downtime budget, find the smallest hybrid buffer (by bisection over total
+capacity) that meets it, and price the result.
+
+This is an extension beyond the paper's evaluation, built from the same
+primitives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import ClusterConfig, HybridBufferConfig, prototype_buffer
+from ..errors import ConfigurationError
+from ..sim import HybridBuffers, Simulation
+from ..units import joules_to_kwh, wh_to_joules
+from ..workloads.base import ClusterTrace
+
+
+@dataclass(frozen=True)
+class SizingResult:
+    """Outcome of a right-sizing search.
+
+    Attributes:
+        total_energy_wh: Smallest capacity meeting the target (None when
+            even the upper bound fails).
+        sc_fraction: SC share used throughout the search.
+        downtime_s: Downtime measured at the recommended capacity.
+        downtime_target_s: The requirement.
+        capex_dollars: Purchase cost at the given $/kWh prices.
+        evaluations: How many simulations the bisection spent.
+    """
+
+    total_energy_wh: Optional[float]
+    sc_fraction: float
+    downtime_s: float
+    downtime_target_s: float
+    capex_dollars: Optional[float]
+    evaluations: int
+
+    @property
+    def feasible(self) -> bool:
+        return self.total_energy_wh is not None
+
+
+def _downtime_at(trace: ClusterTrace, cluster: ClusterConfig,
+                 hybrid: HybridBufferConfig, scheme: str) -> float:
+    from . import make_policy  # local import to avoid a cycle
+
+    policy = make_policy(scheme, hybrid=hybrid)
+    buffers = HybridBuffers(hybrid, include_sc=scheme.lower() != "baonly")
+    result = Simulation(trace, policy, buffers,
+                        cluster_config=cluster).run()
+    return result.metrics.server_downtime_s
+
+
+def right_size_buffer(trace: ClusterTrace,
+                      cluster: ClusterConfig,
+                      downtime_target_s: float = 0.0,
+                      sc_fraction: float = 0.3,
+                      scheme: str = "HEB-D",
+                      min_wh: float = 20.0,
+                      max_wh: float = 600.0,
+                      tolerance_wh: float = 10.0,
+                      battery_cost_per_kwh: float = 300.0,
+                      supercap_cost_per_kwh: float = 10_000.0,
+                      ) -> SizingResult:
+    """Find the smallest buffer meeting a downtime budget by bisection.
+
+    Downtime is monotone non-increasing in capacity for a fixed policy
+    and trace (more stored energy never forces extra shedding), which
+    makes bisection sound.
+
+    Args:
+        trace: The demand to survive.
+        cluster: Cluster and utility budget.
+        downtime_target_s: Maximum acceptable aggregate downtime.
+        sc_fraction: SC share of the buffer (paper default 0.3).
+        scheme: Power-management scheme to size for.
+        min_wh / max_wh: Search bracket (total capacity).
+        tolerance_wh: Bracket width at which the search stops.
+        battery_cost_per_kwh / supercap_cost_per_kwh: Pricing for the
+            CAP-EX figure.
+
+    Returns:
+        A :class:`SizingResult`; infeasible when even ``max_wh`` misses
+        the target.
+    """
+    if downtime_target_s < 0:
+        raise ConfigurationError("downtime target cannot be negative")
+    if not 0 < min_wh < max_wh:
+        raise ConfigurationError("need 0 < min_wh < max_wh")
+    if tolerance_wh <= 0:
+        raise ConfigurationError("tolerance must be positive")
+
+    def hybrid_at(total_wh: float) -> HybridBufferConfig:
+        return prototype_buffer(sc_fraction=sc_fraction,
+                                total_energy_wh=total_wh)
+
+    evaluations = 0
+
+    def downtime(total_wh: float) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        return _downtime_at(trace, cluster, hybrid_at(total_wh), scheme)
+
+    upper_downtime = downtime(max_wh)
+    if upper_downtime > downtime_target_s:
+        return SizingResult(
+            total_energy_wh=None, sc_fraction=sc_fraction,
+            downtime_s=upper_downtime,
+            downtime_target_s=downtime_target_s, capex_dollars=None,
+            evaluations=evaluations)
+
+    lower_downtime = downtime(min_wh)
+    if lower_downtime <= downtime_target_s:
+        best_wh, best_downtime = min_wh, lower_downtime
+    else:
+        low, high = min_wh, max_wh
+        best_wh, best_downtime = max_wh, upper_downtime
+        while high - low > tolerance_wh:
+            mid = 0.5 * (low + high)
+            mid_downtime = downtime(mid)
+            if mid_downtime <= downtime_target_s:
+                high, best_wh, best_downtime = mid, mid, mid_downtime
+            else:
+                low = mid
+    capex = _capex(hybrid_at(best_wh), battery_cost_per_kwh,
+                   supercap_cost_per_kwh)
+    return SizingResult(
+        total_energy_wh=best_wh, sc_fraction=sc_fraction,
+        downtime_s=best_downtime, downtime_target_s=downtime_target_s,
+        capex_dollars=capex, evaluations=evaluations)
+
+
+def _capex(hybrid: HybridBufferConfig, battery_cost_per_kwh: float,
+           supercap_cost_per_kwh: float) -> float:
+    battery_kwh = joules_to_kwh(hybrid.battery_energy_j)
+    sc_kwh = joules_to_kwh(hybrid.sc_energy_j)
+    return (battery_kwh * battery_cost_per_kwh
+            + sc_kwh * supercap_cost_per_kwh)

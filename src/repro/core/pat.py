@@ -1,0 +1,176 @@
+"""The Power Allocation Table (PAT) — Sections 5.2-5.3, Figure 10.
+
+Each entry keys on the coarse-grained triple (SC energy, battery energy,
+power mismatch) and stores the server ratio R_lambda to assign to SCs.
+Lookups prefer an exact (quantized) match and fall back to the nearest
+entry under a normalized distance — the paper's ``Similar()`` search.
+
+Runtime optimization (Figure 10 lines 12-23): at slot end the controller
+compares the realized SC:battery capacity-decline ratio against the slot's
+starting ratio and nudges the entry's R_lambda by ±Δr, so profiling
+inaccuracy and device aging are corrected progressively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..config import PATConfig
+from ..errors import ConfigurationError
+from ..units import clamp
+
+Key = Tuple[float, float, float]
+
+
+@dataclass
+class PATEntry:
+    """One allocation rule: state key -> R_lambda.
+
+    Attributes:
+        sc_energy_j / battery_energy_j / power_w: Quantized state key.
+        r_lambda: Fraction of buffer-served servers assigned to SCs.
+        updates: How many times online optimization touched this entry.
+        source: "profile" for pilot-seeded entries, "online" for entries
+            added at runtime (Figure 10 line 15).
+    """
+
+    sc_energy_j: float
+    battery_energy_j: float
+    power_w: float
+    r_lambda: float
+    updates: int = 0
+    source: str = "profile"
+
+    @property
+    def key(self) -> Key:
+        return (self.sc_energy_j, self.battery_energy_j, self.power_w)
+
+
+class PowerAllocationTable:
+    """The hControl's lookup table of load-assignment ratios."""
+
+    def __init__(self, config: PATConfig | None = None) -> None:
+        self.config = config or PATConfig()
+        self._entries: Dict[Key, PATEntry] = {}
+        self.lookups = 0
+        self.exact_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> Tuple[PATEntry, ...]:
+        """All entries (stable order for reproducibility)."""
+        return tuple(self._entries[key] for key in sorted(self._entries))
+
+    # ------------------------------------------------------------------
+    # Quantization
+    # ------------------------------------------------------------------
+
+    def quantize(self, sc_energy_j: float, battery_energy_j: float,
+                 power_w: float) -> Key:
+        """Round a raw state to the table's coarse grid (Figure 10 line 14)."""
+        eq = self.config.energy_quantum_j
+        pq = self.config.power_quantum_w
+        return (round(sc_energy_j / eq) * eq,
+                round(battery_energy_j / eq) * eq,
+                round(power_w / pq) * pq)
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+
+    def add(self, sc_energy_j: float, battery_energy_j: float,
+            power_w: float, r_lambda: float,
+            source: str = "profile") -> PATEntry:
+        """Insert (or overwrite) an entry at the quantized key."""
+        if not 0.0 <= r_lambda <= 1.0:
+            raise ConfigurationError(
+                f"r_lambda must lie in [0, 1], got {r_lambda!r}")
+        if len(self._entries) >= self.config.max_entries:
+            self._evict_one()
+        key = self.quantize(sc_energy_j, battery_energy_j, power_w)
+        entry = PATEntry(key[0], key[1], key[2], r_lambda, source=source)
+        self._entries[key] = entry
+        return entry
+
+    def _evict_one(self) -> None:
+        """Drop the least-updated online entry to bound table growth."""
+        online = [e for e in self._entries.values() if e.source == "online"]
+        victims = online or list(self._entries.values())
+        victim = min(victims, key=lambda e: (e.updates, e.key))
+        del self._entries[victim.key]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, sc_energy_j: float, battery_energy_j: float,
+               power_w: float) -> Optional[PATEntry]:
+        """Exact-then-nearest search (Figure 10 lines 2-10).
+
+        Returns None only when the table is empty.
+        """
+        self.lookups += 1
+        if not self._entries:
+            return None
+        key = self.quantize(sc_energy_j, battery_energy_j, power_w)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.exact_hits += 1
+            return entry
+        return self._nearest(key)
+
+    def _nearest(self, key: Key) -> PATEntry:
+        """The paper's Similar(): nearest entry in normalized state space."""
+        eq = self.config.energy_quantum_j
+        pq = self.config.power_quantum_w
+
+        def distance(entry_key: Key) -> float:
+            return (((entry_key[0] - key[0]) / eq) ** 2
+                    + ((entry_key[1] - key[1]) / eq) ** 2
+                    + ((entry_key[2] - key[2]) / pq) ** 2)
+
+        best_key = min(sorted(self._entries), key=distance)
+        return self._entries[best_key]
+
+    # ------------------------------------------------------------------
+    # Online optimization (Figure 10 lines 12-23)
+    # ------------------------------------------------------------------
+
+    def record_outcome(self,
+                       sc_start_j: float, battery_start_j: float,
+                       power_w: float, r_lambda_used: float,
+                       sc_end_j: float, battery_end_j: float,
+                       matched_entry: Optional[PATEntry]) -> PATEntry:
+        """Fold a finished slot's outcome back into the table.
+
+        If the slot's state had no (quantized) entry, add one seeded with
+        the ratio actually used.  Otherwise nudge the matched entry:
+        a battery that declined *faster* than the starting balance implies
+        too much battery load, so R_lambda rises by Δr; the converse
+        lowers it.
+        """
+        key = self.quantize(sc_start_j, battery_start_j, power_w)
+        existing = self._entries.get(key)
+        if existing is None or matched_entry is None:
+            return self.add(sc_start_j, battery_start_j, power_w,
+                            clamp(r_lambda_used, 0.0, 1.0), source="online")
+
+        start_ratio = _safe_ratio(sc_start_j, battery_start_j)
+        end_ratio = _safe_ratio(sc_end_j, battery_end_j)
+        delta = self.config.delta_r
+        if end_ratio > start_ratio:
+            # Battery fell faster than SC: push more servers onto SCs.
+            existing.r_lambda = clamp(existing.r_lambda + delta, 0.0, 1.0)
+        elif end_ratio < start_ratio:
+            existing.r_lambda = clamp(existing.r_lambda - delta, 0.0, 1.0)
+        existing.updates += 1
+        return existing
+
+
+def _safe_ratio(numerator: float, denominator: float) -> float:
+    """SC:battery energy ratio that tolerates an empty battery pool."""
+    if denominator <= 1e-9:
+        return float("inf") if numerator > 1e-9 else 1.0
+    return numerator / denominator

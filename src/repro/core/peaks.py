@@ -1,0 +1,117 @@
+"""Peak detection and the small/large classification (Section 5.2).
+
+The HEB controller branches on "the average height of predicted power
+mismatching" and its duration: mild-and-short peaks take the two-tier
+SC-first path; significant-and-long peaks take the joint PAT-driven path.
+This module provides both the classifier used at planning time (from a
+prediction) and the slot analyzer used at observation time (from realized
+samples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..config import ControllerConfig
+from ..workloads.base import PowerTrace
+from ..workloads.synthetic import PeakClass
+
+
+@dataclass(frozen=True)
+class PeakEvent:
+    """One contiguous above-budget interval within a slot."""
+
+    start_s: float
+    duration_s: float
+    mean_excess_w: float
+    max_excess_w: float
+
+
+@dataclass(frozen=True)
+class PeakAnalysis:
+    """Realized peak/valley structure of one control slot.
+
+    Attributes:
+        peak_w: Maximum aggregate demand in the slot.
+        valley_w: Minimum aggregate demand in the slot.
+        mismatch_w: peak - valley (the realized ΔPM).
+        time_over_budget_s: Total time demand exceeded the budget.
+        excess_energy_j: Energy above the budget (what buffers must supply).
+        surplus_energy_j: Energy headroom below the budget (charging
+            opportunity).
+        events: The individual above-budget intervals.
+    """
+
+    peak_w: float
+    valley_w: float
+    mismatch_w: float
+    time_over_budget_s: float
+    excess_energy_j: float
+    surplus_energy_j: float
+    events: Tuple[PeakEvent, ...]
+
+
+def classify_peak(mismatch_w: float, duration_s: float,
+                  config: ControllerConfig) -> PeakClass:
+    """Small/large classification used by the HEB planner.
+
+    A peak is *small* only when both the predicted height and the expected
+    duration are below their thresholds; anything tall **or** long is
+    treated as large (the conservative direction — misclassifying a large
+    peak as small risks stranding the load on a depleted SC pool).
+    """
+    if (mismatch_w <= config.small_peak_power_w
+            and duration_s <= config.small_peak_duration_s):
+        return PeakClass.SMALL
+    return PeakClass.LARGE
+
+
+def analyze_slot(slot: PowerTrace, budget_w: float) -> PeakAnalysis:
+    """Measure the realized peak structure of one slot against a budget."""
+    values = slot.values_w
+    dt = slot.dt_s
+    over = values > budget_w
+    excess = np.maximum(values - budget_w, 0.0)
+    surplus = np.maximum(budget_w - values, 0.0)
+
+    events: List[PeakEvent] = []
+    start = None
+    for index, flag in enumerate(over):
+        if flag and start is None:
+            start = index
+        elif not flag and start is not None:
+            events.append(_make_event(excess, start, index, dt))
+            start = None
+    if start is not None:
+        events.append(_make_event(excess, start, len(values), dt))
+
+    return PeakAnalysis(
+        peak_w=float(values.max()),
+        valley_w=float(values.min()),
+        mismatch_w=float(values.max() - values.min()),
+        time_over_budget_s=float(over.sum()) * dt,
+        excess_energy_j=float(excess.sum()) * dt,
+        surplus_energy_j=float(surplus.sum()) * dt,
+        events=tuple(events),
+    )
+
+
+def _make_event(excess: np.ndarray, start: int, stop: int,
+                dt: float) -> PeakEvent:
+    window = excess[start:stop]
+    return PeakEvent(
+        start_s=start * dt,
+        duration_s=(stop - start) * dt,
+        mean_excess_w=float(window.mean()),
+        max_excess_w=float(window.max()),
+    )
+
+
+def expected_peak_duration_s(analysis: PeakAnalysis) -> float:
+    """Mean above-budget event duration of a slot (0 when no events)."""
+    if not analysis.events:
+        return 0.0
+    return sum(e.duration_s for e in analysis.events) / len(analysis.events)

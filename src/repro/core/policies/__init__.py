@@ -1,0 +1,128 @@
+"""The six evaluated power-management schemes (Table 2) and their factory.
+
+:func:`make_policy` builds any scheme by its paper name, including the
+pilot-run PAT seeding the HEB variants require.  Seeding results are
+memoized per buffer configuration, since the pilot profile of a given
+hardware setup is run once in practice, not once per experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ...config import (
+    ControllerConfig,
+    HybridBufferConfig,
+    PATConfig,
+    PredictorConfig,
+)
+from ...errors import ConfigurationError
+from ...storage.battery import LeadAcidBattery
+from ...storage.supercap import Supercapacitor
+from ..pat import PowerAllocationTable
+from ..profiling import seed_pat
+from .base import Policy, SlotObservation, SlotPlan, SlotResult
+from .priority import BaFirstPolicy, BaOnlyPolicy, SCFirstPolicy
+from .heb import HebDPolicy, HebFPolicy, HebSPolicy
+
+POLICY_NAMES: Tuple[str, ...] = (
+    "BaOnly", "BaFirst", "SCFirst", "HEB-F", "HEB-S", "HEB-D")
+
+# Pilot profiles are deterministic per buffer configuration; memoize the
+# seeded entries so repeated policy construction is cheap.
+_SEED_CACHE: Dict[Tuple, Tuple[Tuple[float, float, float, float], ...]] = {}
+
+_DENSE_GRID = {
+    "soc_levels": (0.34, 0.67, 1.0),
+    "power_levels_w": (40.0, 80.0, 120.0, 160.0),
+}
+_COARSE_GRID = {
+    "soc_levels": (1.0,),
+    "power_levels_w": (60.0, 140.0),
+}
+
+
+def _build_seeded_pat(hybrid: HybridBufferConfig,
+                      pat_config: Optional[PATConfig],
+                      grid: dict) -> PowerAllocationTable:
+    """Seed a PAT from pilot runs, with memoization."""
+    pat = PowerAllocationTable(pat_config)
+    cache_key = (hybrid, pat.config, grid["soc_levels"],
+                 grid["power_levels_w"])
+    cached = _SEED_CACHE.get(cache_key)
+    if cached is not None:
+        for sc_j, ba_j, power_w, ratio in cached:
+            pat.add(sc_j, ba_j, power_w, ratio, source="profile")
+        return pat
+
+    sc_config = hybrid.supercap.scaled_to_energy(hybrid.sc_energy_j)
+    battery_config = hybrid.battery.scaled_to_energy(hybrid.battery_energy_j)
+    seed_pat(
+        pat,
+        sc_factory=lambda: Supercapacitor(sc_config),
+        battery_factory=lambda: LeadAcidBattery(battery_config),
+        sc_nominal_j=hybrid.sc_energy_j,
+        battery_nominal_j=hybrid.battery_energy_j,
+        soc_levels=grid["soc_levels"],
+        power_levels_w=grid["power_levels_w"],
+        dt=10.0,
+    )
+    _SEED_CACHE[cache_key] = tuple(
+        (e.sc_energy_j, e.battery_energy_j, e.power_w, e.r_lambda)
+        for e in pat.entries())
+    return pat
+
+
+def make_policy(name: str,
+                hybrid: HybridBufferConfig | None = None,
+                controller: ControllerConfig | None = None,
+                predictor: PredictorConfig | None = None,
+                pat_config: PATConfig | None = None) -> Policy:
+    """Build a Table 2 scheme by name.
+
+    Args:
+        name: One of :data:`POLICY_NAMES` (case-insensitive).
+        hybrid: Buffer sizing; required by the HEB variants for their
+            pilot-run PAT seeding.  Defaults to the prototype 3:7 pool.
+        controller: Small/large thresholds and slot length.
+        predictor: Holt-Winters smoothing parameters (HEB-S / HEB-D).
+        pat_config: PAT quantization and Δr settings.
+
+    Raises:
+        ConfigurationError: For an unknown scheme name.
+    """
+    key = name.strip().lower().replace("_", "-")
+    if key == "baonly":
+        return BaOnlyPolicy()
+    if key == "bafirst":
+        return BaFirstPolicy()
+    if key == "scfirst":
+        return SCFirstPolicy()
+
+    hybrid = hybrid or HybridBufferConfig()
+    if key == "heb-f":
+        return HebFPolicy(controller)
+    if key == "heb-s":
+        pat = _build_seeded_pat(hybrid, pat_config, _COARSE_GRID)
+        return HebSPolicy(pat, controller, predictor)
+    if key == "heb-d":
+        pat = _build_seeded_pat(hybrid, pat_config, _DENSE_GRID)
+        return HebDPolicy(pat, controller, predictor)
+    raise ConfigurationError(
+        f"unknown policy {name!r}; known: {', '.join(POLICY_NAMES)}")
+
+
+__all__ = [
+    "Policy",
+    "SlotObservation",
+    "SlotPlan",
+    "SlotResult",
+    "BaOnlyPolicy",
+    "BaFirstPolicy",
+    "SCFirstPolicy",
+    "HebFPolicy",
+    "HebSPolicy",
+    "HebDPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+]

@@ -1,0 +1,103 @@
+"""Policy protocol shared by the six evaluated schemes (Table 2).
+
+A policy is consulted once per control slot (10 minutes by default) and
+returns a :class:`SlotPlan`; the simulation engine executes the plan tick
+by tick.  The plan captures everything the schemes differ in:
+
+* ``r_lambda`` — the fraction of buffer-served servers on the SC pool;
+* ``charge_order`` — which pool absorbs valley surplus first;
+* ``use_sc`` / ``use_battery`` — which pools exist for the scheme;
+* ``fallback`` — whether a depleted pool's load fails over to the other
+  pool (all hybrid schemes) or is simply shed (BaOnly).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class SlotObservation:
+    """Everything the hControl can see at a slot boundary (Section 5.1).
+
+    Attributes:
+        index: Slot number (0-based).
+        start_s: Simulation time of the slot start.
+        budget_w: Utility budget in force for this slot.
+        sc_usable_j / battery_usable_j: Usable stored energy per pool
+            (the ΔSC and ΔBA sensor feedback of Section 5.1).
+        sc_nominal_j / battery_nominal_j: Pool capacities.
+        last_peak_w / last_valley_w: Realized aggregate demand extremes of
+            the previous slot (zero for the first slot).
+        last_peak_duration_s: Mean above-budget event duration last slot.
+        num_servers: Cluster size.
+    """
+
+    index: int
+    start_s: float
+    budget_w: float
+    sc_usable_j: float
+    battery_usable_j: float
+    sc_nominal_j: float
+    battery_nominal_j: float
+    last_peak_w: float
+    last_valley_w: float
+    last_peak_duration_s: float
+    num_servers: int
+
+    @property
+    def last_mismatch_w(self) -> float:
+        """Realized ΔPM of the previous slot."""
+        return max(0.0, self.last_peak_w - self.last_valley_w)
+
+
+@dataclass(frozen=True)
+class SlotPlan:
+    """One slot's execution directives for the engine."""
+
+    r_lambda: float
+    charge_order: Tuple[str, ...]
+    use_sc: bool = True
+    use_battery: bool = True
+    fallback: bool = True
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class SlotResult:
+    """What actually happened during a slot (fed back to the policy)."""
+
+    observation: SlotObservation
+    plan: SlotPlan
+    sc_usable_end_j: float
+    battery_usable_end_j: float
+    actual_peak_w: float
+    actual_valley_w: float
+    actual_peak_duration_s: float
+    downtime_s: float
+
+    @property
+    def actual_mismatch_w(self) -> float:
+        return max(0.0, self.actual_peak_w - self.actual_valley_w)
+
+
+class Policy(ABC):
+    """Base class for the Table 2 power-management schemes."""
+
+    #: Scheme name as used in the paper's figures.
+    name: str = "policy"
+
+    @abstractmethod
+    def begin_slot(self, observation: SlotObservation) -> SlotPlan:
+        """Decide this slot's buffer usage."""
+
+    def end_slot(self, result: SlotResult) -> None:
+        """Learning hook; default is stateless."""
+
+    def reset(self) -> None:
+        """Clear any learned state before a fresh run."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

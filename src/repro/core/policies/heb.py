@@ -1,0 +1,230 @@
+"""The three HEB variants: HEB-F, HEB-S and HEB-D (Table 2).
+
+All three share the small/large peak dichotomy of Section 5.2 — small
+peaks go two-tier (all buffered servers on SCs, batteries as backstop),
+large peaks split the buffered servers by an R_lambda ratio.  They differ
+exactly along the paper's two ablation axes:
+
+========  ==================================  ============================
+Variant   peak estimate                       R_lambda source
+========  ==================================  ============================
+HEB-F     last slot's realized peak           naive energy-proportional
+HEB-S     Holt-Winters prediction             coarse static PAT
+HEB-D     Holt-Winters prediction             dense PAT + online Δr
+========  ==================================  ============================
+
+Planning quantity: the paper's ΔPM = P_peak − P_valley is the net buffer
+demand in its setup, where the valley defines what the source supplies.
+Under a fixed utility budget (or a solar feed) the energy the buffers must
+deliver is ``max(0, P_peak − budget)``, so the planner classifies and
+keys the PAT on that *deficit*; the raw peak/valley pair still feeds the
+predictor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...config import ControllerConfig, PredictorConfig
+from ...units import clamp
+from ...workloads.synthetic import PeakClass
+from ..pat import PATEntry, PowerAllocationTable
+from ..peaks import classify_peak
+from ..predictor import HoltWintersPredictor
+from .base import Policy, SlotObservation, SlotPlan, SlotResult
+
+_CHARGE_ORDER = ("sc", "battery")
+
+# Safety margin on the predicted peak energy before trusting the SC pool
+# to cover a large peak alone.
+_SC_COVERAGE_MARGIN = 1.5
+
+
+class _HebBase(Policy):
+    """Shared HEB machinery: classification and plan assembly."""
+
+    def __init__(self, controller: ControllerConfig | None = None) -> None:
+        self.controller = controller or ControllerConfig()
+        self._last_deficit_w = 0.0
+
+    # -- subclass hooks -------------------------------------------------
+
+    def estimate_peak(self, observation: SlotObservation) -> float:
+        """Next-slot aggregate peak-demand estimate (variant-specific)."""
+        raise NotImplementedError
+
+    def choose_ratio(self, observation: SlotObservation,
+                     deficit_w: float) -> float:
+        """R_lambda for a large peak (variant-specific)."""
+        raise NotImplementedError
+
+    def estimate_duration(self, observation: SlotObservation) -> float:
+        """Expected peak duration; persistence of last slot by default."""
+        return observation.last_peak_duration_s
+
+    # -- planning --------------------------------------------------------
+
+    def begin_slot(self, observation: SlotObservation) -> SlotPlan:
+        peak = self.estimate_peak(observation)
+        deficit = max(0.0, peak - observation.budget_w)
+        duration = self.estimate_duration(observation)
+        peak_class = classify_peak(deficit, duration, self.controller)
+        self._last_deficit_w = deficit
+
+        if peak_class is PeakClass.SMALL:
+            # Two-tier: SCs exclusively; the engine's fallback path brings
+            # batteries in the moment SCs run out (Section 5.2).
+            return SlotPlan(
+                r_lambda=1.0,
+                charge_order=_CHARGE_ORDER,
+                fallback=True,
+                note=f"small-peak (deficit~{deficit:.0f}W)",
+            )
+        # Scenario awareness (Section 3.2: the ideal usage "depends on
+        # power mismatching scenarios"): a large peak whose expected
+        # energy fits comfortably in the SC pool is still best served by
+        # SCs alone — joint discharge only pays when the peak would
+        # outlast them.
+        expected_energy_j = deficit * duration * _SC_COVERAGE_MARGIN
+        if duration > 0 and expected_energy_j <= observation.sc_usable_j:
+            return SlotPlan(
+                r_lambda=1.0,
+                charge_order=_CHARGE_ORDER,
+                fallback=True,
+                note=f"large-peak sc-covered (deficit~{deficit:.0f}W)",
+            )
+        r_lambda = self.choose_ratio(observation, deficit)
+        return SlotPlan(
+            r_lambda=r_lambda,
+            charge_order=_CHARGE_ORDER,
+            fallback=True,
+            note=f"large-peak (deficit~{deficit:.0f}W, r={r_lambda:.2f})",
+        )
+
+    def reset(self) -> None:
+        self._last_deficit_w = 0.0
+
+
+class HebFPolicy(_HebBase):
+    """HEB-F: "load-aware assignment based on power demand value of the
+    last time-slot" — the naive end of the design space.
+
+    Uses the previous slot's realized peak verbatim (a persistence
+    forecast) and splits buffered servers in proportion to stored energy,
+    ignoring the battery's rate-dependent capacity — the mistake the PAT
+    exists to avoid.
+    """
+
+    name = "HEB-F"
+
+    def estimate_peak(self, observation: SlotObservation) -> float:
+        return observation.last_peak_w
+
+    def choose_ratio(self, observation: SlotObservation,
+                     deficit_w: float) -> float:
+        total = observation.sc_usable_j + observation.battery_usable_j
+        if total <= 1e-9:
+            return 0.5
+        return clamp(observation.sc_usable_j / total, 0.0, 1.0)
+
+
+class HebSPolicy(_HebBase):
+    """HEB-S: "load-aware assignment based on statics and limited
+    profiling information" — the coarse-table ablation.
+
+    Predicts with Holt-Winters like HEB-D, but its PAT has only a handful
+    of profiled entries and is never updated, so lookups usually land on a
+    mediocre nearest neighbour (profiled at full charge only).
+    """
+
+    name = "HEB-S"
+
+    def __init__(self, pat: PowerAllocationTable,
+                 controller: ControllerConfig | None = None,
+                 predictor: PredictorConfig | None = None) -> None:
+        super().__init__(controller)
+        self.pat = pat
+        self.predictor = HoltWintersPredictor(predictor)
+
+    def estimate_peak(self, observation: SlotObservation) -> float:
+        if self.predictor.observations == 0:
+            return observation.last_peak_w
+        return self.predictor.predict().peak_w
+
+    def choose_ratio(self, observation: SlotObservation,
+                     deficit_w: float) -> float:
+        entry = self.pat.lookup(observation.sc_usable_j,
+                                observation.battery_usable_j, deficit_w)
+        return entry.r_lambda if entry is not None else 0.5
+
+    def end_slot(self, result: SlotResult) -> None:
+        self.predictor.observe_slot(result.actual_peak_w,
+                                    result.actual_valley_w)
+
+    def reset(self) -> None:
+        super().reset()
+        self.predictor = HoltWintersPredictor(self.predictor.config)
+
+
+class HebDPolicy(_HebBase):
+    """HEB-D: the full framework of Section 5 — Holt-Winters prediction,
+    profiled PAT, and online optimization (new entries + Δr nudges,
+    Figure 10 lines 12-23)."""
+
+    name = "HEB-D"
+
+    def __init__(self, pat: PowerAllocationTable,
+                 controller: ControllerConfig | None = None,
+                 predictor: PredictorConfig | None = None) -> None:
+        super().__init__(controller)
+        self.pat = pat
+        self.predictor = HoltWintersPredictor(predictor)
+        self._last_entry: Optional[PATEntry] = None
+        self._last_was_large = False
+
+    def estimate_peak(self, observation: SlotObservation) -> float:
+        if self.predictor.observations == 0:
+            return observation.last_peak_w
+        return self.predictor.predict().peak_w
+
+    def choose_ratio(self, observation: SlotObservation,
+                     deficit_w: float) -> float:
+        entry = self.pat.lookup(observation.sc_usable_j,
+                                observation.battery_usable_j, deficit_w)
+        self._last_entry = entry
+        return entry.r_lambda if entry is not None else 0.5
+
+    def begin_slot(self, observation: SlotObservation) -> SlotPlan:
+        self._last_entry = None
+        plan = super().begin_slot(observation)
+        # Learn only on slots where the PAT ratio was actually exercised
+        # (not small-peak or sc-covered slots, whose r_lambda is fixed).
+        self._last_was_large = plan.note.startswith("large-peak (")
+        return plan
+
+    def end_slot(self, result: SlotResult) -> None:
+        self.predictor.observe_slot(result.actual_peak_w,
+                                    result.actual_valley_w)
+        # Only large-peak slots that actually hit the buffers teach the
+        # table anything about joint allocation.
+        if not self._last_was_large:
+            return
+        realized_deficit = max(
+            0.0, result.actual_peak_w - result.observation.budget_w)
+        if realized_deficit <= 0:
+            return
+        self.pat.record_outcome(
+            sc_start_j=result.observation.sc_usable_j,
+            battery_start_j=result.observation.battery_usable_j,
+            power_w=realized_deficit,
+            r_lambda_used=result.plan.r_lambda,
+            sc_end_j=result.sc_usable_end_j,
+            battery_end_j=result.battery_usable_end_j,
+            matched_entry=self._last_entry,
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self.predictor = HoltWintersPredictor(self.predictor.config)
+        self._last_entry = None
+        self._last_was_large = False

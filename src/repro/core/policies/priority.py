@@ -1,0 +1,88 @@
+"""The three priority-based baselines: BaOnly, BaFirst, SCFirst (Table 2).
+
+None of these schemes performs load-aware assignment; they fix a priority
+between the pools and only flip when the preferred pool runs dry — exactly
+the behaviour Section 7.1 criticizes ("they lack intelligent server
+allocation policies and only employ a priority-based method").
+"""
+
+from __future__ import annotations
+
+from .base import Policy, SlotObservation, SlotPlan
+
+# A pool below this usable-energy fraction counts as "used up" for the
+# purposes of flipping priority.
+_DEPLETION_FRACTION = 0.02
+
+
+def _depleted(usable_j: float, nominal_j: float) -> bool:
+    if nominal_j <= 0:
+        return True
+    return usable_j <= _DEPLETION_FRACTION * nominal_j
+
+
+class BaOnlyPolicy(Policy):
+    """Homogeneous battery buffering (prior work, e.g. Govindan et al.).
+
+    The battery pool holds the *entire* installed capacity (the paper
+    compares equal-capacity systems) and there is no SC pool at all, so a
+    collapsing battery sheds load directly.
+    """
+
+    name = "BaOnly"
+
+    def begin_slot(self, observation: SlotObservation) -> SlotPlan:
+        return SlotPlan(
+            r_lambda=0.0,
+            charge_order=("battery",),
+            use_sc=False,
+            use_battery=True,
+            fallback=False,
+            note="battery-only",
+        )
+
+
+class BaFirstPolicy(Policy):
+    """Hybrid pools, battery priority.
+
+    Discharges batteries first and touches SCs only once the batteries are
+    empty; charges batteries first too — which is why it "may lose some
+    chances to absorb renewable energy with large charging current"
+    (Section 7.4) and ends up barely better than BaOnly.
+    """
+
+    name = "BaFirst"
+
+    def begin_slot(self, observation: SlotObservation) -> SlotPlan:
+        battery_dry = _depleted(observation.battery_usable_j,
+                                observation.battery_nominal_j)
+        return SlotPlan(
+            r_lambda=1.0 if battery_dry else 0.0,
+            charge_order=("battery", "sc"),
+            use_sc=True,
+            use_battery=True,
+            fallback=True,
+            note="battery-priority" + (" (battery dry)" if battery_dry else ""),
+        )
+
+
+class SCFirstPolicy(Policy):
+    """Hybrid pools, supercapacitor priority.
+
+    Greatly reduces round-trip loss, but once the SCs deplete "batteries
+    would have to handle all the high current drawn which still leads to
+    efficiency degradation" (Section 7.1).
+    """
+
+    name = "SCFirst"
+
+    def begin_slot(self, observation: SlotObservation) -> SlotPlan:
+        sc_dry = _depleted(observation.sc_usable_j, observation.sc_nominal_j)
+        return SlotPlan(
+            r_lambda=0.0 if sc_dry else 1.0,
+            charge_order=("sc", "battery"),
+            use_sc=True,
+            use_battery=True,
+            fallback=True,
+            note="sc-priority" + (" (sc dry)" if sc_dry else ""),
+        )

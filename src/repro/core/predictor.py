@@ -1,0 +1,149 @@
+"""Holt-Winters triple-exponential-smoothing predictor (Section 5.2).
+
+The hControl "maintains two groups of series data: the peak power and
+valley power.  It predicts the peak power demands (P_peak) and valley
+power (P_valley) of next time-slot."  We implement the classical additive
+Holt-Winters recurrences (level + trend + seasonal), one instance per
+series, wrapped in a single :class:`HoltWintersPredictor` that consumes
+per-slot observations and emits :class:`SlotPrediction` objects.
+
+Before a full season of history exists the predictor falls back to
+last-value prediction — matching how a freshly deployed controller must
+behave before it has seen a full cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..config import PredictorConfig
+from ..errors import PredictionError
+
+
+@dataclass(frozen=True)
+class SlotPrediction:
+    """Next-slot forecast.
+
+    Attributes:
+        peak_w: Predicted peak power demand.
+        valley_w: Predicted valley power demand.
+        mismatch_w: Predicted net buffer demand, ΔPM = P_peak - P_valley
+            (floored at zero).
+        warmed_up: False while the forecast is a last-value fallback.
+    """
+
+    peak_w: float
+    valley_w: float
+    warmed_up: bool
+
+    @property
+    def mismatch_w(self) -> float:
+        return max(0.0, self.peak_w - self.valley_w)
+
+
+class _HoltWintersSeries:
+    """Additive Holt-Winters state for one scalar series."""
+
+    def __init__(self, config: PredictorConfig) -> None:
+        self.config = config
+        self.history: List[float] = []
+        self.level: Optional[float] = None
+        self.trend: float = 0.0
+        self.seasonal: List[float] = []
+
+    @property
+    def warmed_up(self) -> bool:
+        return self.level is not None
+
+    def _initialize(self) -> None:
+        """Bootstrap level/trend/seasonals from the first full season."""
+        season = self.config.season_length
+        window = self.history[:season]
+        mean = sum(window) / season
+        self.level = mean
+        self.trend = (window[-1] - window[0]) / max(1, season - 1)
+        self.seasonal = [value - mean for value in window]
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the smoothing state."""
+        self.history.append(value)
+        season = self.config.season_length
+        if self.level is None:
+            if len(self.history) >= season:
+                self._initialize()
+            return
+        alpha = self.config.alpha
+        beta = self.config.beta
+        gamma = self.config.gamma
+        index = (len(self.history) - 1) % season
+        seasonal = self.seasonal[index]
+        previous_level = self.level
+        self.level = (alpha * (value - seasonal)
+                      + (1.0 - alpha) * (self.level + self.trend))
+        self.trend = (beta * (self.level - previous_level)
+                      + (1.0 - beta) * self.trend)
+        self.seasonal[index] = (gamma * (value - self.level)
+                                + (1.0 - gamma) * seasonal)
+
+    def forecast(self) -> float:
+        """One-step-ahead forecast (last value before warm-up)."""
+        if not self.history:
+            raise PredictionError("forecast requested before any observation")
+        if self.level is None:
+            return self.history[-1]
+        season = self.config.season_length
+        index = len(self.history) % season
+        return self.level + self.trend + self.seasonal[index]
+
+
+class HoltWintersPredictor:
+    """Per-slot peak and valley power predictor for the hControl."""
+
+    def __init__(self, config: PredictorConfig | None = None) -> None:
+        self.config = config or PredictorConfig()
+        self._peak = _HoltWintersSeries(self.config)
+        self._valley = _HoltWintersSeries(self.config)
+        self.observations = 0
+
+    def observe_slot(self, peak_w: float, valley_w: float) -> None:
+        """Record the realized peak/valley of a finished control slot."""
+        if peak_w < 0 or valley_w < 0:
+            raise PredictionError("power observations cannot be negative")
+        if valley_w > peak_w:
+            peak_w, valley_w = valley_w, peak_w
+        self._peak.observe(peak_w)
+        self._valley.observe(valley_w)
+        self.observations += 1
+
+    def predict(self) -> SlotPrediction:
+        """Forecast the next slot's peak and valley.
+
+        Raises:
+            PredictionError: Before the first observation.
+        """
+        peak = max(0.0, self._peak.forecast())
+        valley = max(0.0, self._valley.forecast())
+        if valley > peak:
+            valley = peak
+        return SlotPrediction(
+            peak_w=peak,
+            valley_w=valley,
+            warmed_up=self._peak.warmed_up and self._valley.warmed_up,
+        )
+
+    def mean_absolute_error(self) -> float:
+        """In-sample one-step MAE of the peak series (diagnostics).
+
+        Replays the history through a fresh smoother, comparing each
+        one-step forecast against the realized value.
+        """
+        series = _HoltWintersSeries(self.config)
+        errors = []
+        for value in self._peak.history:
+            if series.history:
+                errors.append(abs(series.forecast() - value))
+            series.observe(value)
+        if not errors:
+            return 0.0
+        return sum(errors) / len(errors)

@@ -1,0 +1,119 @@
+"""Turning an R_lambda ratio into per-server relay assignments.
+
+The hControl "dynamically control[s] the on/off power switches to assign
+different ratio servers powered by SCs or batteries" (Section 5.2).  The
+scheduler decides, each tick:
+
+1. *who leaves utility* — the smallest set of servers whose removal brings
+   the remaining utility draw within budget (moving the hungriest servers
+   first frees the most budget per switch);
+2. *how the buffered set splits* — ``round(R_lambda * n_buffered)``
+   servers to the SC pool (highest-demand first, because SCs tolerate
+   high current), the rest to the battery pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import SimulationError
+from ..server.server import PowerSource
+from ..units import clamp
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One tick's relay plan.
+
+    Attributes:
+        sources: Per-server feed selection (index-aligned with servers).
+        utility_draw_w: Total demand left on the utility feed.
+        sc_draw_w: Total demand assigned to the SC pool.
+        battery_draw_w: Total demand assigned to the battery pool.
+        n_buffered: How many servers were moved off utility.
+    """
+
+    sources: tuple
+    utility_draw_w: float
+    sc_draw_w: float
+    battery_draw_w: float
+    n_buffered: int
+
+    @property
+    def buffered_draw_w(self) -> float:
+        return self.sc_draw_w + self.battery_draw_w
+
+
+class LoadScheduler:
+    """Stateless assignment logic shared by all policies."""
+
+    def assign(self,
+               demands_w: Sequence[float],
+               available: Sequence[bool],
+               budget_w: float,
+               r_lambda: float,
+               use_sc: bool = True,
+               use_battery: bool = True) -> Assignment:
+        """Compute relay positions for one tick.
+
+        Args:
+            demands_w: Per-server demand (including restart power).
+            available: Per-server availability flags; unavailable servers
+                are never assigned a feed.
+            budget_w: Utility power budget for this tick.
+            r_lambda: Fraction of buffered servers on the SC pool.
+            use_sc / use_battery: Which pools the scheme may touch (BaOnly
+                systems have no SC pool).
+
+        Returns:
+            An :class:`Assignment`; if neither pool is usable all servers
+            stay on utility (over-budget draw is the engine's problem to
+            resolve by shedding).
+        """
+        if budget_w < 0:
+            raise SimulationError("budget cannot be negative")
+        if len(demands_w) != len(available):
+            raise SimulationError("demands and availability length mismatch")
+        r_lambda = clamp(r_lambda, 0.0, 1.0)
+        n = len(demands_w)
+        sources: List[PowerSource] = [PowerSource.NONE] * n
+
+        active = [i for i in range(n) if available[i]]
+        for i in active:
+            sources[i] = PowerSource.UTILITY
+        total = sum(float(demands_w[i]) for i in active)
+
+        if total <= budget_w or not (use_sc or use_battery):
+            return Assignment(tuple(sources), total, 0.0, 0.0, 0)
+
+        # Move the hungriest servers off utility until within budget.
+        order = sorted(active, key=lambda i: (-float(demands_w[i]), i))
+        buffered: List[int] = []
+        utility_draw = total
+        for i in order:
+            if utility_draw <= budget_w:
+                break
+            buffered.append(i)
+            utility_draw -= float(demands_w[i])
+
+        if not use_sc:
+            n_sc = 0
+        elif not use_battery:
+            n_sc = len(buffered)
+        else:
+            n_sc = int(round(r_lambda * len(buffered)))
+        # Highest-demand buffered servers go to SCs (they tolerate the
+        # current); `buffered` is already in descending-demand order.
+        sc_set = set(buffered[:n_sc])
+        sc_draw = battery_draw = 0.0
+        for i in buffered:
+            if i in sc_set:
+                sources[i] = PowerSource.SUPERCAP
+                sc_draw += float(demands_w[i])
+            else:
+                sources[i] = PowerSource.BATTERY
+                battery_draw += float(demands_w[i])
+
+        return Assignment(tuple(sources), utility_draw, sc_draw,
+                          battery_draw, len(buffered))

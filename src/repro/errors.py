@@ -1,0 +1,61 @@
+"""Exception hierarchy for the HEB reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate on the specific failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is out of range or internally inconsistent."""
+
+
+class StorageError(ReproError):
+    """Base class for energy-storage device failures."""
+
+
+class DepletedError(StorageError):
+    """A discharge was requested from a device with no usable energy left.
+
+    Callers that dispatch power across a pool normally check
+    :meth:`EnergyStorageDevice.usable_energy` first; this exception guards
+    against logic errors rather than expected run-time conditions.
+    """
+
+
+class OverchargeError(StorageError):
+    """A charge was requested that would exceed the device's capacity."""
+
+
+class CurrentLimitError(StorageError):
+    """A requested current exceeds the device's safe operating limit."""
+
+
+class TopologyError(ReproError):
+    """A power-delivery topology was wired inconsistently."""
+
+
+class SwitchError(TopologyError):
+    """A power switch was actuated into an invalid state."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class TraceError(ReproError):
+    """A power trace is malformed (wrong length, negative power, ...)."""
+
+
+class PredictionError(ReproError):
+    """The predictor was asked for a forecast before seeing enough data."""
+
+
+class TCOError(ReproError):
+    """An economics computation received inconsistent inputs."""

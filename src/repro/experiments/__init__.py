@@ -1,0 +1,43 @@
+"""Experiment runners: one module per paper table/figure.
+
+Each module exposes a ``run_*`` function returning structured results and
+a ``format_*`` helper that prints the same rows/series the paper reports.
+The benchmark harness under ``benchmarks/`` drives these; the modules are
+also directly importable for interactive exploration.
+"""
+
+from .common import (
+    ExperimentSetup,
+    run_scheme,
+    run_all_schemes,
+    run_renewable,
+    format_table,
+)
+from .fig01_provisioning import run_fig01, format_fig01
+from .fig03_efficiency import run_fig03, format_fig03
+from .fig04_cost import run_fig04, format_fig04
+from .fig05_discharge import run_fig05, format_fig05
+from .fig06_assignment import run_fig06, format_fig06
+from .fig07_architecture import run_fig07, run_fig08, format_fig07
+from .fig12_schemes import run_fig12, format_fig12
+from .fig13_ratio import run_fig13, format_fig13
+from .fig14_capacity import run_fig14, format_fig14
+from .fig15_tco import run_fig15, format_fig15
+
+__all__ = [
+    "ExperimentSetup",
+    "run_scheme",
+    "run_all_schemes",
+    "run_renewable",
+    "format_table",
+    "run_fig01", "format_fig01",
+    "run_fig03", "format_fig03",
+    "run_fig04", "format_fig04",
+    "run_fig05", "format_fig05",
+    "run_fig06", "format_fig06",
+    "run_fig07", "run_fig08", "format_fig07",
+    "run_fig12", "format_fig12",
+    "run_fig13", "format_fig13",
+    "run_fig14", "format_fig14",
+    "run_fig15", "format_fig15",
+]

@@ -1,0 +1,53 @@
+"""Figure 4: initial vs amortized cost of storage technologies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..tco import STORAGE_TECHNOLOGIES, amortized_cost_per_kwh_cycle
+
+
+@dataclass(frozen=True)
+class CostRow:
+    """One technology's Figure 4 entry."""
+
+    name: str
+    initial_low: float
+    initial_high: float
+    amortized_low: float
+    amortized_high: float
+
+
+def run_fig04() -> Dict[str, CostRow]:
+    """Initial ($/kWh) and amortized ($/kWh/cycle) costs per technology."""
+    rows: Dict[str, CostRow] = {}
+    for name, tech in STORAGE_TECHNOLOGIES.items():
+        rows[name] = CostRow(
+            name=name,
+            initial_low=tech.initial_cost_low,
+            initial_high=tech.initial_cost_high,
+            amortized_low=amortized_cost_per_kwh_cycle(tech),
+            amortized_high=amortized_cost_per_kwh_cycle(tech,
+                                                        use_high=True),
+        )
+    return rows
+
+
+def format_fig04(rows: Dict[str, CostRow]) -> str:
+    lines = ["Figure 4 — storage technology costs",
+             f"{'technology':>15s} {'initial $/kWh':>18s} "
+             f"{'amortized $/kWh/cycle':>24s}"]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:>15s} {row.initial_low:>8.0f}-{row.initial_high:<8.0f} "
+            f"{row.amortized_low:>11.3f}-{row.amortized_high:<11.3f}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_fig04(run_fig04()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

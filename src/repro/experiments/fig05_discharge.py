@@ -1,0 +1,100 @@
+"""Figure 5: discharge voltage curves of batteries vs SCs at 1/2/4 servers.
+
+The paper's observation: "the SC discharging voltage shows linearly
+declining trend irrespective of power demands.  However, batteries exhibit
+a sharp voltage drop in light of large power demands."  We quantify both —
+the initial voltage drop (battery sag) and the linearity of the decline
+(R^2 of a straight-line fit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..config import prototype_battery, prototype_buffer, prototype_supercap
+from ..storage import (
+    CharacterizationResult,
+    LeadAcidBattery,
+    Supercapacitor,
+    discharge_voltage_curve,
+)
+
+
+@dataclass(frozen=True)
+class DischargeCurve:
+    """Summary of one constant-power discharge trace."""
+
+    device: str
+    servers: int
+    power_w: float
+    runtime_s: float
+    initial_drop_v: float
+    linearity_r2: float
+    curve: CharacterizationResult
+
+
+def _linearity(voltages: List[float]) -> float:
+    """R^2 of a straight-line fit to the voltage trajectory."""
+    if len(voltages) < 3:
+        return 1.0
+    y = np.asarray(voltages)
+    x = np.arange(len(y), dtype=float)
+    slope, intercept = np.polyfit(x, y, 1)
+    residuals = y - (slope * x + intercept)
+    total = float(((y - y.mean()) ** 2).sum())
+    if total <= 0:
+        return 1.0
+    return 1.0 - float((residuals ** 2).sum()) / total
+
+
+def run_fig05(server_power_w: float = 70.0) -> Dict[str, DischargeCurve]:
+    """Record curves for both devices at 1, 2 and 4 servers."""
+    hybrid = prototype_buffer()
+    sc_config = prototype_supercap().scaled_to_energy(hybrid.sc_energy_j)
+    battery_config = prototype_battery().scaled_to_energy(
+        hybrid.battery_energy_j)
+    curves: Dict[str, DischargeCurve] = {}
+    for servers in (1, 2, 4):
+        power = servers * server_power_w
+        battery = LeadAcidBattery(battery_config)
+        open_circuit = battery.open_circuit_voltage()
+        curve = discharge_voltage_curve(battery, power)
+        curves[f"battery/{servers}"] = DischargeCurve(
+            device="battery", servers=servers, power_w=power,
+            runtime_s=curve.runtime_s,
+            initial_drop_v=open_circuit - curve.voltages_v[0],
+            linearity_r2=_linearity(curve.voltages_v),
+            curve=curve)
+        supercap = Supercapacitor(sc_config)
+        sc_open = supercap.voltage
+        curve = discharge_voltage_curve(supercap, power)
+        curves[f"sc/{servers}"] = DischargeCurve(
+            device="sc", servers=servers, power_w=power,
+            runtime_s=curve.runtime_s,
+            initial_drop_v=sc_open - curve.voltages_v[0],
+            linearity_r2=_linearity(curve.voltages_v),
+            curve=curve)
+    return curves
+
+
+def format_fig05(curves: Dict[str, DischargeCurve]) -> str:
+    lines = ["Figure 5 — discharge voltage behaviour",
+             f"{'device':>12s} {'servers':>8s} {'runtime(s)':>11s} "
+             f"{'initial drop(V)':>16s} {'linearity R2':>13s}"]
+    for key in sorted(curves):
+        row = curves[key]
+        lines.append(
+            f"{row.device:>12s} {row.servers:>8d} {row.runtime_s:>11.0f} "
+            f"{row.initial_drop_v:>16.2f} {row.linearity_r2:>13.4f}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_fig05(run_fig05()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

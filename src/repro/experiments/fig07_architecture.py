@@ -1,0 +1,138 @@
+"""Figures 7 & 8: energy-storage architecture and deployment comparison.
+
+Section 4 argues for the HEB topology qualitatively; this experiment makes
+the comparison quantitative:
+
+* **Figure 7 axis** — per-architecture steady-state overhead and buffered
+  delivery efficiency: the centralized online UPS double-converts the
+  whole load all the time; distributed per-server batteries deliver
+  efficiently but cannot pool energy; HEB pools and delivers efficiently.
+* **Figure 8 axis** — HEB cluster-level (one hControl, DC/AC conversion
+  on the buffer path) versus rack-level (DC direct, no sharing across
+  racks): we run the same workload through the simulator with each
+  deployment's delivery efficiency and compare end-to-end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict
+
+from ..config import prototype_buffer, prototype_cluster
+from ..core import make_policy
+from ..power.topology import (
+    StorageTopology,
+    centralized_topology,
+    distributed_topology,
+    heb_topology,
+)
+from ..sim import HybridBuffers, Simulation
+from ..units import hours
+from ..workloads import get_workload
+
+
+@dataclass(frozen=True)
+class ArchitectureRow:
+    """One architecture's Figure 7 summary."""
+
+    name: str
+    delivery_efficiency: float
+    steady_overhead_w: float
+    shares_energy: bool
+    per_server_control: bool
+    supports_heterogeneous: bool
+
+
+def run_fig07(steady_load_w: float = 260.0) -> Dict[str, ArchitectureRow]:
+    """Compare the three Figure 7 architectures on static properties."""
+    rows: Dict[str, ArchitectureRow] = {}
+    for topology in (centralized_topology(), distributed_topology(),
+                     heb_topology(rack_level=True)):
+        rows[topology.kind.value] = ArchitectureRow(
+            name=topology.name,
+            delivery_efficiency=topology.delivery_efficiency,
+            steady_overhead_w=topology.steady_state_overhead(steady_load_w),
+            shares_energy=topology.shares_energy,
+            per_server_control=topology.per_server_control,
+            supports_heterogeneous=topology.supports_heterogeneous,
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class DeploymentRow:
+    """One HEB deployment's simulated end-to-end outcome (Figure 8)."""
+
+    name: str
+    delivery_efficiency: float
+    energy_efficiency: float
+    downtime_s: float
+    buffer_energy_out_wh: float
+
+
+def run_fig08(duration_h: float = 4.0, seed: int = 1,
+              workload: str = "DA",
+              budget_w: float = 248.0) -> Dict[str, DeploymentRow]:
+    """Simulate HEB-D under cluster-level vs rack-level deployment.
+
+    The deployments differ in the buffer->server conversion chain
+    (Figure 8b pays a DC/AC inverter plus the server PSU; Figure 8c
+    delivers DC directly), which the engine models as the cluster's
+    converter efficiency.
+    """
+    hybrid = prototype_buffer()
+    trace = get_workload(workload, duration_s=hours(duration_h), seed=seed)
+    deployments = {
+        "cluster-level": heb_topology(rack_level=False),
+        "rack-level": heb_topology(rack_level=True),
+    }
+    rows: Dict[str, DeploymentRow] = {}
+    for name, topology in deployments.items():
+        cluster = dataclasses.replace(
+            prototype_cluster(),
+            utility_budget_w=budget_w,
+            converter_efficiency=topology.delivery_efficiency)
+        policy = make_policy("HEB-D", hybrid=hybrid)
+        buffers = HybridBuffers(hybrid)
+        result = Simulation(trace, policy, buffers,
+                            cluster_config=cluster).run()
+        rows[name] = DeploymentRow(
+            name=name,
+            delivery_efficiency=topology.delivery_efficiency,
+            energy_efficiency=result.metrics.energy_efficiency,
+            downtime_s=result.metrics.server_downtime_s,
+            buffer_energy_out_wh=result.metrics.buffer_energy_out_j / 3600.0,
+        )
+    return rows
+
+
+def format_fig07(architectures: Dict[str, ArchitectureRow],
+                 deployments: Dict[str, DeploymentRow]) -> str:
+    lines = ["Figure 7 — storage architecture comparison",
+             f"{'architecture':>13s} {'delivery':>9s} {'idle loss(W)':>13s} "
+             f"{'shares':>7s} {'per-srv':>8s} {'hybrid':>7s}"]
+    for key, row in architectures.items():
+        lines.append(
+            f"{key:>13s} {row.delivery_efficiency:>9.3f} "
+            f"{row.steady_overhead_w:>13.1f} "
+            f"{str(row.shares_energy):>7s} "
+            f"{str(row.per_server_control):>8s} "
+            f"{str(row.supports_heterogeneous):>7s}")
+    lines.append("Figure 8 — HEB deployment levels (simulated, HEB-D)")
+    lines.append(f"{'deployment':>14s} {'delivery':>9s} {'EE':>7s} "
+                 f"{'downtime':>9s} {'buffered(Wh)':>13s}")
+    for name, row in deployments.items():
+        lines.append(f"{name:>14s} {row.delivery_efficiency:>9.3f} "
+                     f"{row.energy_efficiency:>7.3f} "
+                     f"{row.downtime_s:>8.0f}s "
+                     f"{row.buffer_energy_out_wh:>13.1f}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_fig07(run_fig07(), run_fig08()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,76 @@
+"""Figure 15: the TCO analysis — cost breakdown, ROI, peak-shaving gain."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..config import TCOConfig, paper_tco
+from ..tco import (
+    CostBreakdown,
+    ROIPoint,
+    compare_peak_shaving,
+    prototype_cost_breakdown,
+    roi_sweep,
+)
+
+
+@dataclass
+class Fig15Results:
+    """All three panels of Figure 15."""
+
+    breakdown: CostBreakdown
+    server_cost: float
+    roi_points: List[ROIPoint]
+    peak_shaving: Dict[str, Dict[str, float]]
+
+
+def run_fig15(config: TCOConfig | None = None) -> Fig15Results:
+    """Compute all three panels with the paper's constants."""
+    config = config or paper_tco()
+    breakdown, server_cost = prototype_cost_breakdown()
+    return Fig15Results(
+        breakdown=breakdown,
+        server_cost=server_cost,
+        roi_points=roi_sweep(config=config),
+        peak_shaving=compare_peak_shaving(),
+    )
+
+
+def format_fig15(results: Fig15Results) -> str:
+    lines = ["Figure 15(a) — prototype cost breakdown"]
+    for component, fraction in results.breakdown.fractions().items():
+        lines.append(f"  {component:>22s}: {fraction:>6.1%}")
+    lines.append(f"  node total ${results.breakdown.total:.0f} "
+                 f"({results.breakdown.total / results.server_cost:.1%} of "
+                 f"the ${results.server_cost:.0f} server cost)")
+
+    lines.append("Figure 15(b) — ROI sweep (positive cells / total)")
+    positive = sum(1 for p in results.roi_points if p.worthwhile)
+    lines.append(f"  {positive}/{len(results.roi_points)} operating points "
+                 "have positive ROI")
+    best = max(results.roi_points, key=lambda p: p.roi)
+    worst = min(results.roi_points, key=lambda p: p.roi)
+    lines.append(f"  best  ROI {best.roi:+.2f} at C_cap="
+                 f"{best.capex_per_watt:.0f} $/W, "
+                 f"{best.peak_duration_h:.2f} h peaks")
+    lines.append(f"  worst ROI {worst.roi:+.2f} at C_cap="
+                 f"{worst.capex_per_watt:.0f} $/W, "
+                 f"{worst.peak_duration_h:.2f} h peaks")
+
+    lines.append("Figure 15(c) — 8-year peak-shaving comparison")
+    lines.append(f"  {'scheme':>8s} {'break-even(y)':>14s} "
+                 f"{'8y net($)':>11s} {'vs BaOnly':>10s}")
+    for scheme, row in results.peak_shaving.items():
+        ratio = row.get("net_vs_baonly", 1.0)
+        lines.append(f"  {scheme:>8s} {row['break_even_year']:>14.2f} "
+                     f"{row['final_net']:>11.0f} {ratio:>10.2f}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_fig15(run_fig15()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

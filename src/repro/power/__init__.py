@@ -1,0 +1,46 @@
+"""Electrical-infrastructure substrate: switches, converters, topologies.
+
+Behavioural models of the power-delivery hardware the prototype uses
+(Figure 11): two-way relays and the switch fabric, the IPDU metering/
+switching unit, AC/DC conversion stages, and the three energy-storage
+topologies compared in Figure 7.
+"""
+
+from .components import (
+    Relay,
+    RelayPosition,
+    SwitchFabric,
+    IPDU,
+    AutomaticTransferSwitch,
+    PowerDistributionUnit,
+)
+from .converter import Converter, IDEAL_CONVERTER, DOUBLE_CONVERSION_UPS
+from .topology import (
+    TopologyKind,
+    StorageTopology,
+    centralized_topology,
+    distributed_topology,
+    heb_topology,
+)
+from .budget import ProvisioningLevel, mppu, capped_energy_fraction, provisioning_analysis
+
+__all__ = [
+    "Relay",
+    "RelayPosition",
+    "SwitchFabric",
+    "IPDU",
+    "AutomaticTransferSwitch",
+    "PowerDistributionUnit",
+    "Converter",
+    "IDEAL_CONVERTER",
+    "DOUBLE_CONVERSION_UPS",
+    "TopologyKind",
+    "StorageTopology",
+    "centralized_topology",
+    "distributed_topology",
+    "heb_topology",
+    "ProvisioningLevel",
+    "mppu",
+    "capped_energy_fraction",
+    "provisioning_analysis",
+]

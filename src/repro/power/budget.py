@@ -1,0 +1,107 @@
+"""Provisioning analysis: MPPU and capped energy (Figure 1a).
+
+Section 2.1 defines the maximum provisioning utilization power::
+
+    MPPU = sum(t) / sum(T)
+
+where ``sum(t)`` is the time demand reaches the provisioned budget and
+``sum(T)`` the total running time.  An aggressively under-provisioned
+budget yields a high MPPU (the infrastructure is well used) at the price
+of more frequent power mismatches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..workloads.base import PowerTrace
+
+
+@dataclass(frozen=True)
+class ProvisioningLevel:
+    """Outcome of provisioning a budget against a demand trace.
+
+    Attributes:
+        name: Display label (P1..P4 in the paper).
+        budget_w: The provisioned power budget.
+        budget_fraction: Budget relative to the trace's peak demand.
+        mppu: Fraction of time demand reaches the budget.
+        capped_energy_fraction: Share of demand energy above the budget
+            (what must be shaved by buffers or lost to capping).
+        mismatch_events: Number of contiguous intervals above the budget.
+        capital_cost_low / capital_cost_high: Infrastructure CAP-EX range
+            at the paper's $10-20 per provisioned watt.
+    """
+
+    name: str
+    budget_w: float
+    budget_fraction: float
+    mppu: float
+    capped_energy_fraction: float
+    mismatch_events: int
+    capital_cost_low: float
+    capital_cost_high: float
+
+
+def mppu(trace: PowerTrace, budget_w: float) -> float:
+    """Fraction of time demand reaches or exceeds the budget."""
+    if budget_w <= 0:
+        raise ConfigurationError("budget must be positive")
+    return float((trace.values_w >= budget_w).mean())
+
+
+def capped_energy_fraction(trace: PowerTrace, budget_w: float) -> float:
+    """Share of total demand energy above the budget."""
+    if budget_w <= 0:
+        raise ConfigurationError("budget must be positive")
+    total = trace.values_w.sum()
+    if total <= 0:
+        return 0.0
+    over = np.maximum(trace.values_w - budget_w, 0.0).sum()
+    return float(over / total)
+
+
+def count_mismatch_events(trace: PowerTrace, budget_w: float) -> int:
+    """Number of contiguous above-budget intervals."""
+    over = trace.values_w >= budget_w
+    if not over.any():
+        return 0
+    transitions = np.diff(over.astype(int))
+    rising = int((transitions == 1).sum())
+    return rising + int(over[0])
+
+
+def provisioning_analysis(trace: PowerTrace,
+                          fractions: Sequence[float] = (1.0, 0.8, 0.6, 0.4),
+                          cost_low_per_w: float = 10.0,
+                          cost_high_per_w: float = 20.0,
+                          ) -> list[ProvisioningLevel]:
+    """Evaluate provisioning levels P1..Pn against a demand trace.
+
+    Reproduces the Figure 1(a) analysis: P1 covers the peak (MPPU near
+    zero, high cost), P4 provisions 40% (high MPPU, frequent mismatches).
+    """
+    if not fractions:
+        raise ConfigurationError("need at least one provisioning fraction")
+    peak = trace.stats().peak_w
+    levels = []
+    for index, fraction in enumerate(fractions, start=1):
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(
+                f"provisioning fraction must lie in (0, 1]: {fraction!r}")
+        budget = peak * fraction
+        levels.append(ProvisioningLevel(
+            name=f"P{index}",
+            budget_w=budget,
+            budget_fraction=fraction,
+            mppu=mppu(trace, budget),
+            capped_energy_fraction=capped_energy_fraction(trace, budget),
+            mismatch_events=count_mismatch_events(trace, budget),
+            capital_cost_low=budget * cost_low_per_w,
+            capital_cost_high=budget * cost_high_per_w,
+        ))
+    return levels

@@ -1,0 +1,186 @@
+"""Power-path components: relays, switch fabric, IPDU, ATS, PDU.
+
+These are behavioural models of the prototype hardware (Figure 11 items
+1, 3 and the IPDU): they track state, meter energy, and enforce wiring
+invariants, so experiments can count switching operations and metered
+energy exactly as the real hControl does over SNMP.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import SwitchError, TopologyError
+
+
+class RelayPosition(enum.Enum):
+    """The two positions of a two-way relay (plus open)."""
+
+    UTILITY = "utility"
+    STORAGE = "storage"
+    OPEN = "open"
+
+
+class Relay:
+    """One two-way relay feeding a single server.
+
+    The prototype has "six two-way relays ... which can simultaneously
+    connect to six servers".  Switching is counted because relay wear and
+    switching transients are real operational concerns.
+    """
+
+    def __init__(self, relay_id: int,
+                 position: RelayPosition = RelayPosition.UTILITY) -> None:
+        self.relay_id = relay_id
+        self.position = position
+        self.switch_count = 0
+
+    def switch_to(self, position: RelayPosition) -> bool:
+        """Move the relay; returns True if the position actually changed."""
+        if not isinstance(position, RelayPosition):
+            raise SwitchError(f"invalid relay position: {position!r}")
+        if position is self.position:
+            return False
+        self.position = position
+        self.switch_count += 1
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Relay {self.relay_id} {self.position.value}>"
+
+
+class SwitchFabric:
+    """The bank of per-server relays the hControl actuates each slot."""
+
+    def __init__(self, num_relays: int) -> None:
+        if num_relays <= 0:
+            raise TopologyError("fabric needs at least one relay")
+        self.relays: List[Relay] = [Relay(i) for i in range(num_relays)]
+
+    def apply(self, positions: List[RelayPosition]) -> int:
+        """Actuate all relays; returns how many actually moved."""
+        if len(positions) != len(self.relays):
+            raise SwitchError(
+                f"expected {len(self.relays)} positions, "
+                f"got {len(positions)}")
+        return sum(relay.switch_to(position)
+                   for relay, position in zip(self.relays, positions))
+
+    def total_switches(self) -> int:
+        """Cumulative relay actuations (a wear/stability indicator)."""
+        return sum(relay.switch_count for relay in self.relays)
+
+    def positions(self) -> List[RelayPosition]:
+        return [relay.position for relay in self.relays]
+
+
+@dataclass
+class MeterReading:
+    """One per-second sample the IPDU reports to the controller."""
+
+    timestamp_s: float
+    per_outlet_w: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_w(self) -> float:
+        return sum(self.per_outlet_w.values())
+
+
+class IPDU:
+    """Intelligent PDU: meters per-outlet power and switches outlets.
+
+    "The IPDU can switch ON/OFF server power supply, report the server
+    power draw every second and send it to the controller by SNMP commands
+    over the Ethernet" (Section 6).  We keep a bounded history so long
+    simulations do not grow without limit.
+    """
+
+    def __init__(self, num_outlets: int, history_limit: int = 3600) -> None:
+        if num_outlets <= 0:
+            raise TopologyError("IPDU needs at least one outlet")
+        if history_limit <= 0:
+            raise TopologyError("history limit must be positive")
+        self.num_outlets = num_outlets
+        self.outlet_on = [True] * num_outlets
+        self.history_limit = history_limit
+        self._history: List[MeterReading] = []
+        self.energy_metered_j = 0.0
+
+    def set_outlet(self, outlet: int, on: bool) -> None:
+        """Switch one outlet."""
+        if not 0 <= outlet < self.num_outlets:
+            raise SwitchError(f"no such outlet: {outlet}")
+        self.outlet_on[outlet] = on
+
+    def record(self, timestamp_s: float,
+               per_outlet_w: Dict[int, float], dt: float = 1.0) -> MeterReading:
+        """Meter one sample; off outlets read zero regardless of demand."""
+        metered = {
+            outlet: (power if self.outlet_on[outlet] else 0.0)
+            for outlet, power in per_outlet_w.items()
+            if 0 <= outlet < self.num_outlets}
+        reading = MeterReading(timestamp_s, metered)
+        self.energy_metered_j += reading.total_w * dt
+        self._history.append(reading)
+        if len(self._history) > self.history_limit:
+            self._history = self._history[-self.history_limit:]
+        return reading
+
+    def latest(self) -> Optional[MeterReading]:
+        return self._history[-1] if self._history else None
+
+    def history(self) -> List[MeterReading]:
+        return list(self._history)
+
+
+class AutomaticTransferSwitch:
+    """ATS: selects between two upstream feeds (utility / generator).
+
+    Present for completeness of the Figure 7 topologies; in the HEB
+    architecture the ATS sits upstream of the PDU and is not on the
+    per-server storage path.
+    """
+
+    def __init__(self, feeds: List[str], active: Optional[str] = None) -> None:
+        if not feeds:
+            raise TopologyError("ATS needs at least one feed")
+        self.feeds = list(feeds)
+        self.active = active if active is not None else feeds[0]
+        if self.active not in self.feeds:
+            raise TopologyError(f"active feed {self.active!r} not in feeds")
+        self.transfer_count = 0
+
+    def transfer(self, feed: str) -> None:
+        """Switch to another upstream feed."""
+        if feed not in self.feeds:
+            raise SwitchError(f"unknown feed: {feed!r}")
+        if feed != self.active:
+            self.active = feed
+            self.transfer_count += 1
+
+
+class PowerDistributionUnit:
+    """PDU: splits one feed across branch circuits with a rating limit."""
+
+    def __init__(self, rating_w: float, num_branches: int) -> None:
+        if rating_w <= 0:
+            raise TopologyError("PDU rating must be positive")
+        if num_branches <= 0:
+            raise TopologyError("PDU needs at least one branch")
+        self.rating_w = rating_w
+        self.num_branches = num_branches
+        self.overload_events = 0
+
+    def check_load(self, branch_loads_w: List[float]) -> bool:
+        """True when within rating; counts overload events otherwise."""
+        if len(branch_loads_w) > self.num_branches:
+            raise TopologyError(
+                f"{len(branch_loads_w)} branches on a "
+                f"{self.num_branches}-branch PDU")
+        total = sum(branch_loads_w)
+        if total > self.rating_w:
+            self.overload_events += 1
+            return False
+        return True

@@ -1,0 +1,67 @@
+"""Power-conversion stages and their losses.
+
+Conversion losses are central to the paper's architecture argument
+(Section 4.1): a centralized online UPS "always performs double converting
+(AC-DC-AC), which leads to 4-10% power losses", while rack-level DC
+delivery "can avoid the DC/AC conversion".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Converter:
+    """One conversion stage with a flat efficiency.
+
+    Attributes:
+        name: Human-readable stage name.
+        efficiency: Output power / input power, in (0, 1].
+    """
+
+    name: str
+    efficiency: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ConfigurationError(
+                f"{self.name}: efficiency must lie in (0, 1], "
+                f"got {self.efficiency!r}")
+
+    def deliver(self, power_w: float) -> float:
+        """Power at the output given power at the input."""
+        if power_w < 0:
+            raise ConfigurationError("power cannot be negative")
+        return power_w * self.efficiency
+
+    def required_input(self, output_w: float) -> float:
+        """Power that must enter the stage to deliver ``output_w``."""
+        if output_w < 0:
+            raise ConfigurationError("power cannot be negative")
+        return output_w / self.efficiency
+
+    def loss(self, power_w: float) -> float:
+        """Power dissipated in the stage for a given input."""
+        return power_w - self.deliver(power_w)
+
+    def chain(self, other: "Converter") -> "Converter":
+        """Compose two stages into one equivalent converter."""
+        return Converter(name=f"{self.name}+{other.name}",
+                         efficiency=self.efficiency * other.efficiency)
+
+
+IDEAL_CONVERTER = Converter(name="ideal", efficiency=1.0)
+
+# A centralized online UPS double-converts (AC-DC-AC): 4-10% loss.  We use
+# the middle of the paper's range.
+DOUBLE_CONVERSION_UPS = Converter(name="ups-double-conversion",
+                                  efficiency=0.93)
+
+# One DC/AC inverter stage (cluster-level HEB deployment, Figure 8b).
+DC_AC_INVERTER = Converter(name="dc-ac-inverter", efficiency=0.95)
+
+# Server PSU AC-to-DC stage (present on every AC path).
+SERVER_PSU = Converter(name="server-psu", efficiency=0.94)

@@ -1,0 +1,140 @@
+"""The three energy-storage topologies of Figure 7.
+
+Each topology is summarized by the properties Section 4.1 compares:
+
+* the conversion chain between stored energy and server load (and hence
+  the delivery efficiency of buffered energy);
+* whether stored energy is shared across servers;
+* whether the buffer can shave peaks at fine (per-server) granularity;
+* scalability of the design.
+
+The :class:`StorageTopology` objects are used by the architecture
+comparison benchmark and by the TCO analysis; the simulation engine takes
+just the resulting delivery efficiency.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .converter import (
+    Converter,
+    DC_AC_INVERTER,
+    DOUBLE_CONVERSION_UPS,
+    IDEAL_CONVERTER,
+    SERVER_PSU,
+)
+
+
+class TopologyKind(enum.Enum):
+    """The storage architectures compared in Figure 7."""
+
+    CENTRALIZED = "centralized"
+    DISTRIBUTED = "distributed"
+    HEB = "heb"
+
+
+@dataclass(frozen=True)
+class StorageTopology:
+    """Architecture summary used for cross-topology comparisons.
+
+    Attributes:
+        kind: Which Figure 7 architecture this is.
+        name: Display name.
+        discharge_path: Conversion chain from buffer to server load.
+        charge_path: Conversion chain from source into the buffer.
+        shares_energy: Whether servers can draw on a common pool.
+        per_server_control: Whether individual servers can be switched
+            between feeds (fine-grained peak shaving).
+        always_online: Whether load power permanently flows through the
+            storage system's converters (the centralized online UPS) even
+            when no peak is being shaved.
+        supports_heterogeneous: Whether batteries and SCs can be pooled.
+    """
+
+    kind: TopologyKind
+    name: str
+    discharge_path: Converter
+    charge_path: Converter
+    shares_energy: bool
+    per_server_control: bool
+    always_online: bool
+    supports_heterogeneous: bool
+
+    @property
+    def delivery_efficiency(self) -> float:
+        """Fraction of buffered energy that reaches server load."""
+        return self.discharge_path.efficiency
+
+    @property
+    def round_trip_path_efficiency(self) -> float:
+        """Conversion efficiency across charge and discharge paths
+        (excludes the storage device's own internal losses)."""
+        return self.charge_path.efficiency * self.discharge_path.efficiency
+
+    def steady_state_overhead(self, load_w: float) -> float:
+        """Power lost while *not* shaving peaks.
+
+        Only the centralized online-UPS design pays this: the whole load
+        continuously flows through its double conversion.
+        """
+        if load_w < 0:
+            raise ConfigurationError("load cannot be negative")
+        if not self.always_online:
+            return 0.0
+        return self.discharge_path.loss(load_w)
+
+
+def centralized_topology() -> StorageTopology:
+    """Figure 7(a): central online UPS between the ATS and the PDUs."""
+    return StorageTopology(
+        kind=TopologyKind.CENTRALIZED,
+        name="Centralized UPS (Figure 7a)",
+        discharge_path=DOUBLE_CONVERSION_UPS.chain(SERVER_PSU),
+        charge_path=DOUBLE_CONVERSION_UPS,
+        shares_energy=True,
+        per_server_control=False,
+        always_online=True,
+        supports_heterogeneous=False,
+    )
+
+
+def distributed_topology() -> StorageTopology:
+    """Figure 7(b): per-server / per-rack batteries (Google/Facebook)."""
+    return StorageTopology(
+        kind=TopologyKind.DISTRIBUTED,
+        name="Distributed batteries (Figure 7b)",
+        discharge_path=IDEAL_CONVERTER,  # battery sits after the PSU
+        charge_path=SERVER_PSU,
+        shares_energy=False,
+        per_server_control=True,
+        always_online=False,
+        supports_heterogeneous=False,
+    )
+
+
+def heb_topology(rack_level: bool = True) -> StorageTopology:
+    """Figure 7(c): pooled hybrid buffers behind per-server switches.
+
+    Args:
+        rack_level: Rack-level deployment (Figure 8c) delivers DC directly
+            and avoids the inverter; cluster-level (Figure 8b) pays one
+            DC/AC stage plus the server PSU.
+    """
+    if rack_level:
+        discharge = IDEAL_CONVERTER
+    else:
+        discharge = DC_AC_INVERTER.chain(SERVER_PSU)
+    return StorageTopology(
+        kind=TopologyKind.HEB,
+        name="HEB hybrid pool (Figure 7c, "
+             + ("rack-level)" if rack_level else "cluster-level)"),
+        discharge_path=discharge,
+        charge_path=IDEAL_CONVERTER,
+        shares_energy=True,
+        per_server_control=True,
+        always_online=False,
+        supports_heterogeneous=True,
+    )

@@ -1,0 +1,12 @@
+"""Server and cluster load substrate.
+
+Models the six dual-corded low-power nodes of the prototype (Section 6):
+per-server power states, the off/on restart penalty, least-recently-used
+shutdown selection, and downtime accounting (the paper's primary
+performance metric, Section 7.2).
+"""
+
+from .server import Server, ServerState, PowerSource
+from .cluster import ServerCluster
+
+__all__ = ["Server", "ServerState", "PowerSource", "ServerCluster"]

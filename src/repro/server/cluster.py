@@ -1,0 +1,157 @@
+"""The server cluster: assignment, LRU shutdown, downtime accounting."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..config import ClusterConfig
+from ..errors import SimulationError
+from .server import PowerSource, Server, ServerState
+
+
+class ServerCluster:
+    """Six (by default) dual-corded servers behind an IPDU.
+
+    The cluster exposes exactly the operations the hControl performs on the
+    prototype: read per-server demands, switch relays (assign sources),
+    shut down least-recently-used servers when the buffers cannot shave a
+    peak (Section 7.2), and restart them once power allows.
+    """
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.servers: List[Server] = [
+            Server(config.server, server_id=i)
+            for i in range(config.num_servers)]
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.servers)
+
+    def available_servers(self) -> List[Server]:
+        """Servers currently serving load."""
+        return [s for s in self.servers if s.is_available]
+
+    def offline_servers(self) -> List[Server]:
+        """Servers currently off (candidates for restart)."""
+        return [s for s in self.servers if s.state is ServerState.OFF]
+
+    def total_downtime_s(self) -> float:
+        """Aggregate downtime across all servers — the paper's SD metric."""
+        return sum(s.downtime_s for s in self.servers)
+
+    def total_restart_energy_j(self) -> float:
+        """Energy wasted on off/on cycles so far."""
+        return sum(s.restart_energy_used_j for s in self.servers)
+
+    def total_restarts(self) -> int:
+        return sum(s.restart_count for s in self.servers)
+
+    def draws_w(self, demands_w: Sequence[float]) -> np.ndarray:
+        """Actual per-server draws given workload demands."""
+        if len(demands_w) != self.num_servers:
+            raise SimulationError(
+                f"expected {self.num_servers} demands, got {len(demands_w)}")
+        return np.array([server.draw_w(demand)
+                         for server, demand in zip(self.servers, demands_w)])
+
+    def draws_by_source(self, demands_w: Sequence[float]
+                        ) -> Dict[PowerSource, float]:
+        """Aggregate actual draw grouped by the selected feed."""
+        draws = self.draws_w(demands_w)
+        totals: Dict[PowerSource, float] = {
+            source: 0.0 for source in PowerSource}
+        for server, draw in zip(self.servers, draws):
+            totals[server.source] += float(draw)
+        return totals
+
+    # ------------------------------------------------------------------
+    # Relay control
+    # ------------------------------------------------------------------
+
+    def assign_sources(self, sources: Sequence[PowerSource]) -> None:
+        """Switch every available server's relay in one operation."""
+        if len(sources) != self.num_servers:
+            raise SimulationError(
+                f"expected {self.num_servers} sources, got {len(sources)}")
+        for server, source in zip(self.servers, sources):
+            if server.state is not ServerState.OFF:
+                server.source = source
+
+    def assign_all(self, source: PowerSource) -> None:
+        """Switch every available server to one feed."""
+        for server in self.servers:
+            if server.is_available:
+                server.source = source
+
+    # ------------------------------------------------------------------
+    # Shutdown / restart
+    # ------------------------------------------------------------------
+
+    def shed_lru(self, power_needed_w: float,
+                 demands_w: Sequence[float],
+                 from_sources: Sequence[PowerSource] | None = None,
+                 ) -> List[Server]:
+        """Shut down least-recently-used servers to free ``power_needed_w``.
+
+        Mirrors Section 7.2: "We chose the least recently used servers to
+        shut down when we have to."  Only servers currently drawing from
+        ``from_sources`` (default: any) are candidates; candidates are
+        shed in ascending ``last_active_s`` order until the freed power
+        covers the shortfall.
+
+        Returns:
+            The servers that were shut down.
+        """
+        if power_needed_w <= 0:
+            return []
+        candidates = [
+            s for s in self.available_servers()
+            if from_sources is None or s.source in from_sources]
+        candidates.sort(key=lambda s: (s.last_active_s, s.server_id))
+        shed: List[Server] = []
+        freed = 0.0
+        for server in candidates:
+            if freed >= power_needed_w - 1e-9:
+                break
+            freed += float(demands_w[server.server_id])
+            server.shut_down()
+            shed.append(server)
+        return shed
+
+    def restart_offline(self, available_power_w: float) -> List[Server]:
+        """Begin restarting OFF servers that fit in the power headroom.
+
+        Servers restart in server-id order; each consumes its restart power
+        for the restart duration before serving load again.
+        """
+        restarted: List[Server] = []
+        budget = available_power_w
+        for server in self.offline_servers():
+            restart_power = server.draw_w(0.0)
+            if server.config.restart_duration_s > 0:
+                restart_power = (server.config.restart_energy_j
+                                 / server.config.restart_duration_s)
+            needed = max(restart_power, server.config.idle_power_w)
+            if needed <= budget:
+                server.begin_restart()
+                budget -= needed
+                restarted.append(server)
+        return restarted
+
+    def tick(self, dt: float, now_s: float,
+             demands_w: Sequence[float]) -> None:
+        """Advance every server's bookkeeping by one step."""
+        for server, demand in zip(self.servers, demands_w):
+            server.tick(dt, now_s, float(demand))
+
+    def reset(self) -> None:
+        """Fresh servers (all ON, on utility, zero counters)."""
+        self.servers = [Server(self.config.server, server_id=i)
+                        for i in range(self.config.num_servers)]

@@ -1,0 +1,114 @@
+"""A single dual-corded server: power states and downtime accounting."""
+
+from __future__ import annotations
+
+import enum
+
+from ..config import ServerConfig
+from ..errors import SimulationError
+
+
+class ServerState(enum.Enum):
+    """Operational state of a server."""
+
+    ON = "on"
+    OFF = "off"
+    RESTARTING = "restarting"
+
+
+class PowerSource(enum.Enum):
+    """Which feed a server's relay currently selects (Figure 8a)."""
+
+    UTILITY = "utility"
+    SUPERCAP = "supercap"
+    BATTERY = "battery"
+    NONE = "none"
+
+
+class Server:
+    """One prototype node with dual-corded supply and restart cost.
+
+    The paper's servers are dual-corded: "one is from the energy storage
+    source and one is from the utility power via IPDU".  The relay fabric
+    switches each server between feeds; switching is assumed lossless and
+    instantaneous (two-way relays), but *turning a server off is not free*:
+    rebooting wastes :attr:`ServerConfig.restart_energy_j` and keeps the
+    node unavailable for :attr:`ServerConfig.restart_duration_s`.
+    """
+
+    def __init__(self, config: ServerConfig, server_id: int) -> None:
+        self.config = config
+        self.server_id = server_id
+        self.state = ServerState.ON
+        self.source = PowerSource.UTILITY
+        self.downtime_s = 0.0
+        self.restart_count = 0
+        self.restart_energy_used_j = 0.0
+        self.last_active_s = 0.0
+        self._restart_remaining_s = 0.0
+
+    @property
+    def is_available(self) -> bool:
+        """True when the server is serving load (not off or rebooting)."""
+        return self.state is ServerState.ON
+
+    def draw_w(self, demand_w: float) -> float:
+        """Actual power drawn given the workload's demand.
+
+        An OFF server draws nothing.  A RESTARTING server draws its restart
+        power (restart energy spread over the restart duration) but serves
+        no load.
+        """
+        if demand_w < 0:
+            raise SimulationError(
+                f"server {self.server_id}: negative demand {demand_w!r}")
+        if self.state is ServerState.OFF:
+            return 0.0
+        if self.state is ServerState.RESTARTING:
+            if self.config.restart_duration_s <= 0:
+                return 0.0
+            return self.config.restart_energy_j / self.config.restart_duration_s
+        return demand_w
+
+    def shut_down(self) -> None:
+        """Power the server off (a downtime event begins)."""
+        self.state = ServerState.OFF
+        self.source = PowerSource.NONE
+
+    def begin_restart(self) -> None:
+        """Start rebooting an OFF server."""
+        if self.state is not ServerState.OFF:
+            raise SimulationError(
+                f"server {self.server_id}: restart requested in state "
+                f"{self.state}")
+        self.state = ServerState.RESTARTING
+        self.source = PowerSource.UTILITY
+        self.restart_count += 1
+        self._restart_remaining_s = self.config.restart_duration_s
+
+    def tick(self, dt: float, now_s: float, demand_w: float) -> None:
+        """Advance bookkeeping by one simulation step.
+
+        Accumulates downtime while unavailable, advances restart progress,
+        and refreshes the LRU timestamp while the server is doing real work
+        (demand above idle; an idle server is the natural LRU victim).
+        """
+        if dt <= 0:
+            raise SimulationError("dt must be positive")
+        if self.state is ServerState.OFF:
+            self.downtime_s += dt
+            return
+        if self.state is ServerState.RESTARTING:
+            self.downtime_s += dt
+            self.restart_energy_used_j += self.draw_w(0.0) * dt
+            self._restart_remaining_s -= dt
+            if self._restart_remaining_s <= 0:
+                self.state = ServerState.ON
+                self._restart_remaining_s = 0.0
+            return
+        if demand_w > self.config.idle_power_w * 1.05:
+            self.last_active_s = now_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Server {self.server_id} {self.state.value} "
+                f"src={self.source.value} down={self.downtime_s:.0f}s>")

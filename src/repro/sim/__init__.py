@@ -1,0 +1,29 @@
+"""Discrete-time simulation engine.
+
+Replaces the prototype's physical feedback loop: per-second IPDU metering,
+relay actuation, buffer charge/discharge, LRU shedding, and the 10-minute
+hControl planning cadence (Sections 5-6).
+"""
+
+from .buffers import HybridBuffers
+from .engine import Simulation
+from .metrics import RunMetrics
+from .results import RunResult, SlotRecord, average_metric, compare_schemes
+from .report import (
+    comparison_to_markdown,
+    results_to_csv,
+    results_to_markdown,
+)
+
+__all__ = [
+    "HybridBuffers",
+    "Simulation",
+    "RunMetrics",
+    "RunResult",
+    "SlotRecord",
+    "average_metric",
+    "compare_schemes",
+    "comparison_to_markdown",
+    "results_to_csv",
+    "results_to_markdown",
+]

@@ -1,0 +1,152 @@
+"""Run metrics: the four headline measurements of Figure 12.
+
+* **Energy efficiency (EE)** — terminal energy the buffers delivered to
+  load divided by the energy it cost to (re)fill them: charge energy plus
+  any net drawdown of the initial store.  Computed "based on detailed
+  charging/discharging logs" exactly as Section 3.1 describes.
+* **Server downtime (SD)** — aggregate seconds of unavailability across
+  servers (Section 7.2).
+* **Battery lifetime** — Ah-throughput model estimate (Section 7.3).
+* **Renewable energy utilization (REU)** — (energy stored into buffers +
+  renewable energy consumed directly by load) / total generation
+  (Section 2.2), defined only for renewable-supplied runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class MetricsAccumulator:
+    """Per-tick counters folded into final :class:`RunMetrics`."""
+
+    served_energy_j: float = 0.0
+    unserved_energy_j: float = 0.0
+    utility_energy_j: float = 0.0
+    charge_energy_j: float = 0.0
+    generation_energy_j: float = 0.0
+    conversion_loss_j: float = 0.0
+    deficit_ticks: int = 0
+    total_ticks: int = 0
+    shed_events: int = 0
+
+    def record_tick(self, dt: float, served_w: float, unserved_w: float,
+                    utility_w: float, charge_w: float,
+                    generation_w: float, conversion_loss_w: float,
+                    deficit: bool) -> None:
+        """Fold one simulation tick into the counters."""
+        self.served_energy_j += served_w * dt
+        self.unserved_energy_j += unserved_w * dt
+        self.utility_energy_j += utility_w * dt
+        self.charge_energy_j += charge_w * dt
+        self.generation_energy_j += generation_w * dt
+        self.conversion_loss_j += conversion_loss_w * dt
+        self.total_ticks += 1
+        if deficit:
+            self.deficit_ticks += 1
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Final metrics of one simulation run.
+
+    Attributes:
+        energy_efficiency: Buffer energy-out over energy-cost (see module
+            docstring); 1.0 when the buffers were never used.
+        server_downtime_s: Aggregate downtime across servers.
+        downtime_fraction: Downtime normalized by servers x wall time.
+        battery_lifetime_years: Ah-throughput lifetime estimate.
+        battery_equivalent_cycles: Effective full cycles consumed.
+        reu: Renewable energy utilization, or None for utility-fed runs.
+        renewable_capture: Fraction of the renewable *surplus* (generation
+            beyond direct load consumption) absorbed into the buffers.
+            This isolates the charging-rate dynamics Section 2.2 is about:
+            the battery's charge-current ceiling wastes deep valleys that
+            SCs absorb whole.  None for utility-fed runs.
+        buffer_energy_in_j / buffer_energy_out_j: Terminal buffer flows.
+        served_energy_j / unserved_energy_j: Load-side accounting.
+        utility_energy_j: Energy drawn from the source by servers.
+        generation_energy_j: Total source energy offered (renewable runs).
+        deficit_time_fraction: Fraction of ticks with demand over budget.
+        total_restarts: Server off/on cycles.
+        restart_energy_j: Energy wasted by those cycles.
+        relay_switches: Relay actuations over the run.
+        duration_s: Simulated wall time.
+    """
+
+    energy_efficiency: float
+    server_downtime_s: float
+    downtime_fraction: float
+    battery_lifetime_years: float
+    battery_equivalent_cycles: float
+    reu: Optional[float]
+    renewable_capture: Optional[float]
+    buffer_energy_in_j: float
+    buffer_energy_out_j: float
+    served_energy_j: float
+    unserved_energy_j: float
+    utility_energy_j: float
+    generation_energy_j: float
+    deficit_time_fraction: float
+    total_restarts: int
+    restart_energy_j: float
+    relay_switches: int
+    duration_s: float
+
+
+def finalize_metrics(accumulator: MetricsAccumulator,
+                     buffer_in_j: float,
+                     buffer_out_j: float,
+                     initial_stored_j: float,
+                     final_stored_j: float,
+                     downtime_s: float,
+                     num_servers: int,
+                     duration_s: float,
+                     lifetime_years: float,
+                     equivalent_cycles: float,
+                     total_restarts: int,
+                     restart_energy_j: float,
+                     relay_switches: int,
+                     renewable: bool) -> RunMetrics:
+    """Combine tick counters and device telemetry into final metrics."""
+    drawdown = max(0.0, initial_stored_j - final_stored_j)
+    energy_cost = buffer_in_j + drawdown
+    if energy_cost > 1e-9:
+        efficiency = min(1.0, buffer_out_j / energy_cost)
+    else:
+        efficiency = 1.0
+
+    reu: Optional[float] = None
+    capture: Optional[float] = None
+    if renewable and accumulator.generation_energy_j > 1e-9:
+        used = accumulator.utility_energy_j + accumulator.charge_energy_j
+        reu = min(1.0, used / accumulator.generation_energy_j)
+        surplus = (accumulator.generation_energy_j
+                   - accumulator.utility_energy_j)
+        if surplus > 1e-9:
+            capture = min(1.0, accumulator.charge_energy_j / surplus)
+
+    wall = max(duration_s, 1e-9)
+    return RunMetrics(
+        energy_efficiency=efficiency,
+        server_downtime_s=downtime_s,
+        downtime_fraction=downtime_s / (num_servers * wall),
+        battery_lifetime_years=lifetime_years,
+        battery_equivalent_cycles=equivalent_cycles,
+        reu=reu,
+        renewable_capture=capture,
+        buffer_energy_in_j=buffer_in_j,
+        buffer_energy_out_j=buffer_out_j,
+        served_energy_j=accumulator.served_energy_j,
+        unserved_energy_j=accumulator.unserved_energy_j,
+        utility_energy_j=accumulator.utility_energy_j,
+        generation_energy_j=accumulator.generation_energy_j,
+        deficit_time_fraction=(accumulator.deficit_ticks
+                               / max(1, accumulator.total_ticks)),
+        total_restarts=total_restarts,
+        restart_energy_j=restart_energy_j,
+        relay_switches=relay_switches,
+        duration_s=duration_s,
+    )

@@ -1,0 +1,104 @@
+"""Result export: CSV and Markdown reports from simulation runs.
+
+The benchmark harness prints paper-style tables; these helpers produce
+machine-readable artifacts for downstream analysis pipelines.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence, Union
+
+from ..errors import SimulationError
+from .results import RunResult
+
+PathLike = Union[str, Path]
+
+_COLUMNS = (
+    "scheme", "workload", "duration_s", "energy_efficiency",
+    "server_downtime_s", "battery_lifetime_years",
+    "battery_equivalent_cycles", "reu", "renewable_capture",
+    "buffer_energy_in_j", "buffer_energy_out_j", "served_energy_j",
+    "unserved_energy_j", "utility_energy_j", "total_restarts",
+    "relay_switches",
+)
+
+
+def _row(result: RunResult) -> dict:
+    metrics = result.metrics
+    return {
+        "scheme": result.scheme,
+        "workload": result.workload,
+        "duration_s": metrics.duration_s,
+        "energy_efficiency": metrics.energy_efficiency,
+        "server_downtime_s": metrics.server_downtime_s,
+        "battery_lifetime_years": metrics.battery_lifetime_years,
+        "battery_equivalent_cycles": metrics.battery_equivalent_cycles,
+        "reu": metrics.reu if metrics.reu is not None else "",
+        "renewable_capture": (metrics.renewable_capture
+                              if metrics.renewable_capture is not None
+                              else ""),
+        "buffer_energy_in_j": metrics.buffer_energy_in_j,
+        "buffer_energy_out_j": metrics.buffer_energy_out_j,
+        "served_energy_j": metrics.served_energy_j,
+        "unserved_energy_j": metrics.unserved_energy_j,
+        "utility_energy_j": metrics.utility_energy_j,
+        "total_restarts": metrics.total_restarts,
+        "relay_switches": metrics.relay_switches,
+    }
+
+
+def results_to_csv(results: Sequence[RunResult], path: PathLike) -> None:
+    """Write one CSV row per run."""
+    if not results:
+        raise SimulationError("no results to export")
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_COLUMNS)
+        writer.writeheader()
+        for result in results:
+            writer.writerow(_row(result))
+
+
+def results_to_markdown(results: Sequence[RunResult],
+                        title: str = "Simulation results") -> str:
+    """Render runs as a GitHub-flavoured Markdown table."""
+    if not results:
+        raise SimulationError("no results to render")
+    headers = ("scheme", "workload", "EE", "downtime (s)", "lifetime (y)",
+               "REU")
+    lines = [f"### {title}", "",
+             "| " + " | ".join(headers) + " |",
+             "|" + "---|" * len(headers)]
+    for result in results:
+        metrics = result.metrics
+        reu = f"{metrics.reu:.3f}" if metrics.reu is not None else "—"
+        lines.append(
+            f"| {result.scheme} | {result.workload} "
+            f"| {metrics.energy_efficiency:.3f} "
+            f"| {metrics.server_downtime_s:.0f} "
+            f"| {metrics.battery_lifetime_years:.2f} "
+            f"| {reu} |")
+    return "\n".join(lines)
+
+
+def comparison_to_markdown(table: Mapping[str, Mapping[str, float]],
+                           baseline: str = "BaOnly",
+                           title: str = "Scheme comparison") -> str:
+    """Render a :func:`repro.sim.compare_schemes` table as Markdown."""
+    if not table:
+        raise SimulationError("empty comparison table")
+    headers = ("scheme", "EE", "EE vs base", "downtime vs base",
+               "lifetime vs base")
+    lines = [f"### {title} (baseline: {baseline})", "",
+             "| " + " | ".join(headers) + " |",
+             "|" + "---|" * len(headers)]
+    for scheme, row in table.items():
+        lines.append(
+            f"| {scheme} "
+            f"| {row.get('energy_efficiency', float('nan')):.3f} "
+            f"| {row.get('energy_efficiency_vs_baseline', 1.0):.3f} "
+            f"| {row.get('server_downtime_vs_baseline', 1.0):.3f} "
+            f"| {row.get('battery_lifetime_vs_baseline', 1.0):.3f} |")
+    return "\n".join(lines)

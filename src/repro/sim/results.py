@@ -1,0 +1,119 @@
+"""Run results and cross-scheme comparison helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..storage.lifetime import LifetimeReport
+from .metrics import RunMetrics
+
+
+@dataclass(frozen=True)
+class SlotRecord:
+    """One control slot's planning and outcome (for analysis/debugging)."""
+
+    index: int
+    note: str
+    r_lambda: float
+    peak_w: float
+    valley_w: float
+    peak_duration_s: float
+    sc_usable_end_j: float
+    battery_usable_end_j: float
+    downtime_in_slot_s: float
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything one simulation run produced."""
+
+    scheme: str
+    workload: str
+    metrics: RunMetrics
+    lifetime: LifetimeReport
+    slots: Tuple[SlotRecord, ...]
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of the headline numbers (for tabular reports)."""
+        m = self.metrics
+        row = {
+            "energy_efficiency": m.energy_efficiency,
+            "server_downtime_s": m.server_downtime_s,
+            "battery_lifetime_years": m.battery_lifetime_years,
+            "unserved_energy_j": m.unserved_energy_j,
+        }
+        if m.reu is not None:
+            row["reu"] = m.reu
+        return row
+
+
+def average_metric(results: Sequence[RunResult],
+                   getter: Callable[[RunMetrics], Optional[float]]) -> float:
+    """Mean of one metric across runs (ignores None values)."""
+    values = [getter(r.metrics) for r in results]
+    values = [v for v in values if v is not None]
+    if not values:
+        raise ValueError("no values to average")
+    return sum(values) / len(values)
+
+
+def compare_schemes(results: Sequence[RunResult],
+                    baseline: str = "BaOnly"
+                    ) -> Dict[str, Dict[str, float]]:
+    """Per-scheme means of the Figure 12 metrics, normalized to a baseline.
+
+    Returns a mapping ``scheme -> row`` where each row carries the raw
+    means plus ``*_vs_baseline`` ratios.  Downtime ratios below 1.0 mean
+    *less* downtime than the baseline; lifetime ratios above 1.0 mean a
+    longer-lived battery — matching how the paper phrases its headline
+    numbers ("reduce system downtime by 41%", "extend UPS lifetime 4.7X").
+    """
+    by_scheme: Dict[str, List[RunResult]] = {}
+    for result in results:
+        by_scheme.setdefault(result.scheme, []).append(result)
+    if baseline not in by_scheme:
+        raise ValueError(f"baseline scheme {baseline!r} missing from results")
+
+    def mean(scheme: str, getter) -> Optional[float]:
+        values = [getter(r.metrics) for r in by_scheme[scheme]]
+        values = [v for v in values if v is not None]
+        return sum(values) / len(values) if values else None
+
+    table: Dict[str, Dict[str, float]] = {}
+    base_ee = mean(baseline, lambda m: m.energy_efficiency)
+    base_down = mean(baseline, lambda m: m.server_downtime_s)
+    base_life = mean(baseline, lambda m: m.battery_lifetime_years)
+    base_reu = mean(baseline, lambda m: m.reu)
+    base_capture = mean(baseline, lambda m: m.renewable_capture)
+
+    for scheme, runs in by_scheme.items():
+        row: Dict[str, float] = {
+            "energy_efficiency": mean(scheme, lambda m: m.energy_efficiency),
+            "server_downtime_s": mean(scheme, lambda m: m.server_downtime_s),
+            "battery_lifetime_years": mean(
+                scheme, lambda m: m.battery_lifetime_years),
+            "runs": float(len(runs)),
+        }
+        reu = mean(scheme, lambda m: m.reu)
+        if reu is not None:
+            row["reu"] = reu
+        capture = mean(scheme, lambda m: m.renewable_capture)
+        if capture is not None:
+            row["renewable_capture"] = capture
+            if base_capture:
+                row["renewable_capture_vs_baseline"] = (
+                    capture / base_capture)
+        if base_ee:
+            row["energy_efficiency_vs_baseline"] = (
+                row["energy_efficiency"] / base_ee)
+        if base_down and base_down > 0:
+            row["server_downtime_vs_baseline"] = (
+                row["server_downtime_s"] / base_down)
+        if base_life and base_life > 0:
+            row["battery_lifetime_vs_baseline"] = (
+                row["battery_lifetime_years"] / base_life)
+        if reu is not None and base_reu:
+            row["reu_vs_baseline"] = reu / base_reu
+        table[scheme] = row
+    return table

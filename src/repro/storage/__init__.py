@@ -1,0 +1,44 @@
+"""Energy-storage substrate: batteries, supercapacitors, banks, lifetime.
+
+This package implements the physical layer the paper's prototype provides
+in hardware (Figure 11): lead-acid battery strings, supercapacitor modules,
+their charge/discharge physics, and the Ah-throughput lifetime model used
+for the Figure 12(c) battery-lifetime results.
+"""
+
+from .device import EnergyStorageDevice, FlowResult, DeviceTelemetry
+from .kibam import KiBaMState, kibam_step, kibam_max_discharge_current
+from .battery import LeadAcidBattery
+from .supercap import Supercapacitor
+from .lifetime import AhThroughputLifetimeModel, LifetimeReport
+from .bank import DeviceBank
+from .characterization import (
+    CharacterizationResult,
+    RecoveryResult,
+    constant_power_charge,
+    constant_power_discharge,
+    round_trip_efficiency,
+    recovery_experiment,
+    discharge_voltage_curve,
+)
+
+__all__ = [
+    "EnergyStorageDevice",
+    "FlowResult",
+    "DeviceTelemetry",
+    "KiBaMState",
+    "kibam_step",
+    "kibam_max_discharge_current",
+    "LeadAcidBattery",
+    "Supercapacitor",
+    "AhThroughputLifetimeModel",
+    "LifetimeReport",
+    "DeviceBank",
+    "CharacterizationResult",
+    "RecoveryResult",
+    "constant_power_charge",
+    "constant_power_discharge",
+    "round_trip_efficiency",
+    "recovery_experiment",
+    "discharge_voltage_curve",
+]

@@ -1,0 +1,151 @@
+"""Pools of storage devices behaving as one logical device.
+
+The HEB architecture pools "several small and large batteries/SCs connected
+by relays" (Figure 11).  :class:`DeviceBank` aggregates member devices into
+one logical :class:`EnergyStorageDevice`: power requests are split across
+members in proportion to what each can deliver or absorb, which is how a
+relay fabric sharing a common bus behaves to first order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ConfigurationError
+from .device import DeviceTelemetry, EnergyStorageDevice, FlowResult
+
+_EPSILON = 1e-12
+
+
+class DeviceBank(EnergyStorageDevice):
+    """A parallel pool of storage devices presented as a single device."""
+
+    def __init__(self, devices: Sequence[EnergyStorageDevice],
+                 name: str = "bank") -> None:
+        if not devices:
+            raise ConfigurationError("a bank needs at least one device")
+        super().__init__(name)
+        self.devices: List[EnergyStorageDevice] = list(devices)
+
+    # ------------------------------------------------------------------
+    # Aggregated state
+    # ------------------------------------------------------------------
+
+    @property
+    def nominal_energy_j(self) -> float:
+        return sum(d.nominal_energy_j for d in self.devices)
+
+    @property
+    def stored_energy_j(self) -> float:
+        return sum(d.stored_energy_j for d in self.devices)
+
+    @property
+    def usable_energy_j(self) -> float:
+        # Member devices enforce their own floors; the bank's usable energy
+        # is the sum of member usable energies, not a recomputation from an
+        # aggregate SoC (members may sit at different states of charge).
+        return sum(d.usable_energy_j for d in self.devices)
+
+    @property
+    def headroom_j(self) -> float:
+        return sum(d.headroom_j for d in self.devices)
+
+    def open_circuit_voltage(self) -> float:
+        """Energy-weighted mean of member voltages (telemetry only)."""
+        total = self.nominal_energy_j
+        return sum(d.open_circuit_voltage() * d.nominal_energy_j
+                   for d in self.devices) / total
+
+    def set_depth_of_discharge(self, dod: float) -> None:
+        super().set_depth_of_discharge(dod)
+        for device in self.devices:
+            device.set_depth_of_discharge(dod)
+
+    # ------------------------------------------------------------------
+    # Limits
+    # ------------------------------------------------------------------
+
+    def max_discharge_power(self, dt: float) -> float:
+        return sum(d.max_discharge_power(dt) for d in self.devices)
+
+    def max_charge_power(self, dt: float) -> float:
+        return sum(d.max_charge_power(dt) for d in self.devices)
+
+    # ------------------------------------------------------------------
+    # Flows
+    # ------------------------------------------------------------------
+
+    def _split(self, power_w: float, capacities: Sequence[float]) -> List[float]:
+        """Split a request across members in proportion to capability."""
+        total = sum(capacities)
+        if total <= _EPSILON:
+            return [0.0] * len(capacities)
+        request = min(power_w, total)
+        return [request * cap / total for cap in capacities]
+
+    def discharge(self, power_w: float, dt: float) -> FlowResult:
+        self._validate_flow_args(power_w, dt)
+        capacities = [d.max_discharge_power(dt) for d in self.devices]
+        shares = self._split(power_w, capacities)
+        achieved = energy = loss = 0.0
+        current = 0.0
+        any_flow = False
+        for device, share in zip(self.devices, shares):
+            if share <= _EPSILON:
+                device.rest(dt)
+                continue
+            result = device.discharge(share, dt)
+            achieved += result.achieved_w
+            energy += result.energy_j
+            loss += result.loss_j
+            current += result.current_a
+            any_flow = any_flow or result.achieved_w > 0.0
+        result = FlowResult(
+            requested_w=power_w,
+            achieved_w=achieved,
+            energy_j=energy,
+            loss_j=loss,
+            terminal_voltage_v=self.open_circuit_voltage(),
+            limited=achieved < power_w - 1e-6,
+            current_a=current,
+        )
+        self.telemetry.record_discharge(result, current, dt)
+        return result
+
+    def charge(self, power_w: float, dt: float) -> FlowResult:
+        self._validate_flow_args(power_w, dt)
+        capacities = [d.max_charge_power(dt) for d in self.devices]
+        shares = self._split(power_w, capacities)
+        achieved = energy = loss = 0.0
+        current = 0.0
+        for device, share in zip(self.devices, shares):
+            if share <= _EPSILON:
+                device.rest(dt)
+                continue
+            result = device.charge(share, dt)
+            achieved += result.achieved_w
+            energy += result.energy_j
+            loss += result.loss_j
+            current += result.current_a
+        result = FlowResult(
+            requested_w=power_w,
+            achieved_w=achieved,
+            energy_j=energy,
+            loss_j=loss,
+            terminal_voltage_v=self.open_circuit_voltage(),
+            limited=achieved < power_w - 1e-6,
+            current_a=current,
+        )
+        self.telemetry.record_charge(result, current, dt)
+        return result
+
+    def rest(self, dt: float) -> None:
+        self._validate_flow_args(0.0, dt)
+        for device in self.devices:
+            device.rest(dt)
+        self.telemetry.record_rest(dt)
+
+    def reset(self, soc: float = 1.0) -> None:
+        for device in self.devices:
+            device.reset(soc)
+        self.telemetry = DeviceTelemetry()

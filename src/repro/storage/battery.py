@@ -1,0 +1,346 @@
+"""Lead-acid battery model: KiBaM wells + Peukert drain + voltage physics.
+
+The model reproduces the four battery weaknesses the paper's Section 1 and
+3.1 enumerate, each traceable to a specific mechanism here:
+
+1. *Limited cycle life* — telemetry feeds the Ah-throughput lifetime model
+   (:mod:`repro.storage.lifetime`).
+2. *Peukert's-law capacity loss at high current* — the well drain is scaled
+   by ``(I / I_ref)^(pk - 1)`` on top of KiBaM's own rate-capacity effect.
+3. *Charge-current ceiling* — ``max_charge_current_a`` plus the available
+   well's saturation limit how fast valleys can be absorbed.
+4. *Poor round-trip efficiency (~80%)* — coulombic losses on both legs plus
+   real IR heating at the terminals.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..config import BatteryConfig
+from ..errors import ConfigurationError
+from ..units import clamp
+from .device import EnergyStorageDevice, FlowResult
+from .kibam import (
+    KiBaMState,
+    kibam_max_charge_current,
+    kibam_max_discharge_current,
+    kibam_step,
+)
+
+_EPSILON = 1e-12
+
+
+class LeadAcidBattery(EnergyStorageDevice):
+    """A lead-acid battery string exposing the common device protocol."""
+
+    def __init__(self, config: BatteryConfig, name: str = "battery",
+                 soc: float = 1.0) -> None:
+        super().__init__(name)
+        self.config = config
+        self._age_fraction = 0.0
+        self._capacity_c = config.capacity_ah * 3600.0
+        self._state = KiBaMState.at_soc(
+            capacity_c=self._capacity_c,
+            c=config.kibam_c,
+            k=config.kibam_k_per_s,
+            soc=soc,
+        )
+        self.set_depth_of_discharge(config.rated_dod)
+
+    # ------------------------------------------------------------------
+    # Aging
+    # ------------------------------------------------------------------
+
+    @property
+    def age_fraction(self) -> float:
+        """Capacity fade applied so far (0 = fresh, 0.2 = 20% faded)."""
+        return self._age_fraction
+
+    def apply_aging(self, fade_fraction: float,
+                    resistance_growth: float = 1.0) -> None:
+        """Age the battery: shrink capacity and raise internal resistance.
+
+        Section 5.3's motivation for online PAT optimization: "with the
+        battery and SC aging, their ability of handling power mismatching
+        will decline", so a table profiled on fresh hardware drifts out of
+        date.  Lead-acid aging manifests as capacity fade (sulfation eats
+        active material) plus rising internal resistance; by convention a
+        battery is "dead" at ~20% fade.
+
+        Args:
+            fade_fraction: Total capacity fraction lost relative to the
+                *fresh* battery (monotone; calling with a smaller value
+                than the current age is rejected).
+            resistance_growth: Multiplier on internal resistance per unit
+                of fade (applied proportionally).
+        """
+        if not 0.0 <= fade_fraction < 1.0:
+            raise ConfigurationError(
+                f"fade fraction must lie in [0, 1), got {fade_fraction!r}")
+        if fade_fraction < self._age_fraction:
+            raise ConfigurationError("aging cannot be reversed")
+        if resistance_growth < 1.0:
+            raise ConfigurationError("resistance can only grow with age")
+        soc = self._state.soc
+        self._age_fraction = fade_fraction
+        fresh_capacity_c = self.config.capacity_ah * 3600.0
+        self._capacity_c = fresh_capacity_c * (1.0 - fade_fraction)
+        self._aged_resistance = (self.config.internal_resistance_ohm
+                                 * (1.0 + (resistance_growth - 1.0)
+                                    * fade_fraction))
+        self._state = KiBaMState.at_soc(
+            capacity_c=self._capacity_c,
+            c=self.config.kibam_c,
+            k=self.config.kibam_k_per_s,
+            soc=min(soc, 1.0),
+        )
+
+    @property
+    def internal_resistance_ohm(self) -> float:
+        """Present internal resistance (grows with age)."""
+        return getattr(self, "_aged_resistance",
+                       self.config.internal_resistance_ohm)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> KiBaMState:
+        """The underlying two-well charge distribution (read-only view)."""
+        return self._state
+
+    @property
+    def nominal_energy_j(self) -> float:
+        return self.config.nominal_energy_j * (1.0 - self._age_fraction)
+
+    @property
+    def stored_energy_j(self) -> float:
+        """Stored energy estimated from total charge at the mean voltage."""
+        mean_voltage = 0.5 * (self.config.nominal_voltage_v
+                              + self.config.empty_voltage_v)
+        return self._state.total_c * mean_voltage
+
+    def open_circuit_voltage(self) -> float:
+        """OCV tracks the *available* well, giving transient sag and
+        post-rest recovery bounce (Figure 5 behaviour)."""
+        cfg = self.config
+        span = cfg.nominal_voltage_v - cfg.empty_voltage_v
+        return cfg.empty_voltage_v + span * self._state.available_fraction
+
+    # ------------------------------------------------------------------
+    # Peukert helpers
+    # ------------------------------------------------------------------
+
+    def _peukert_multiplier(self, current_a: float) -> float:
+        """Extra drain factor at currents above the rating current."""
+        cfg = self.config
+        if current_a <= cfg.reference_current_a or cfg.peukert_exponent == 1.0:
+            return 1.0
+        ratio = current_a / cfg.reference_current_a
+        return ratio ** (cfg.peukert_exponent - 1.0)
+
+    def _invert_peukert(self, effective_current_a: float) -> float:
+        """Terminal current whose Peukert-scaled drain equals the argument."""
+        cfg = self.config
+        if (effective_current_a <= cfg.reference_current_a
+                or cfg.peukert_exponent == 1.0):
+            return effective_current_a
+        # effective = I^pk / I_ref^(pk-1)  =>  I = (effective * I_ref^(pk-1))^(1/pk)
+        pk = cfg.peukert_exponent
+        return (effective_current_a
+                * cfg.reference_current_a ** (pk - 1.0)) ** (1.0 / pk)
+
+    # ------------------------------------------------------------------
+    # Electrical limits
+    # ------------------------------------------------------------------
+
+    def _discharge_current_limit(self, dt: float) -> float:
+        """Terminal-current ceiling from all discharge constraints."""
+        cfg = self.config
+        v_oc = self.open_circuit_voltage()
+
+        # (1) Terminal voltage must stay above the brown-out floor.
+        resistance = self.internal_resistance_ohm
+        if resistance > _EPSILON:
+            i_voltage = max(
+                0.0,
+                (v_oc - cfg.min_terminal_voltage_v)
+                / resistance)
+        else:
+            i_voltage = math.inf
+
+        # (2) The available well must not empty within the step
+        #     (Peukert-scaled drain).
+        i_kibam_effective = kibam_max_discharge_current(self._state, dt)
+        i_kibam_effective *= self.config.discharge_efficiency
+        i_kibam = self._invert_peukert(i_kibam_effective)
+
+        # (3) Total charge must not sink below the DoD floor.
+        floor_c = self._soc_floor * self._capacity_c
+        budget_c = max(0.0, self._state.total_c - floor_c)
+        i_floor_effective = budget_c / dt * self.config.discharge_efficiency
+        i_floor = self._invert_peukert(i_floor_effective)
+
+        return max(0.0, min(i_voltage, i_kibam, i_floor))
+
+    def max_discharge_power(self, dt: float) -> float:
+        self._validate_flow_args(0.0, dt)
+        i_limit = self._discharge_current_limit(dt)
+        v_oc = self.open_circuit_voltage()
+        r = self.internal_resistance_ohm
+        # P(I) = I (V_oc - I R) is concave; cap at the max-power current.
+        if r > _EPSILON:
+            i_limit = min(i_limit, v_oc / (2.0 * r))
+        return max(0.0, i_limit * (v_oc - i_limit * r))
+
+    def max_charge_power(self, dt: float) -> float:
+        self._validate_flow_args(0.0, dt)
+        i_limit = self._charge_current_limit(dt)
+        v_oc = self.open_circuit_voltage()
+        r = self.internal_resistance_ohm
+        return max(0.0, i_limit * (v_oc + i_limit * r))
+
+    def _charge_efficiency_now(self) -> float:
+        """Charge efficiency degraded by top-of-charge gassing.
+
+        Above ``gassing_soc_threshold`` a growing share of the charging
+        current electrolyses water instead of converting active material —
+        the physical reason shallow near-full cycling (the small-peak
+        BaOnly pattern) wastes energy.
+        """
+        cfg = self.config
+        soc = self.soc
+        if soc <= cfg.gassing_soc_threshold:
+            return cfg.charge_efficiency
+        span = 1.0 - cfg.gassing_soc_threshold
+        fraction = min(1.0, (soc - cfg.gassing_soc_threshold) / span)
+        return cfg.charge_efficiency * (1.0 - cfg.gassing_penalty * fraction)
+
+    def _charge_current_limit(self, dt: float) -> float:
+        cfg = self.config
+        efficiency = self._charge_efficiency_now()
+        # Wells gain I * efficiency; constraints are on the well side.
+        i_kibam = kibam_max_charge_current(self._state, dt) / efficiency
+        headroom_c = max(0.0, self._capacity_c - self._state.total_c)
+        i_headroom = headroom_c / dt / efficiency
+        return max(0.0, min(cfg.max_charge_current_a, i_kibam, i_headroom))
+
+    # ------------------------------------------------------------------
+    # Flows
+    # ------------------------------------------------------------------
+
+    def _discharge_current_for_power(self, power_w: float) -> float:
+        """Solve I (V_oc - I R) = P for the smaller root."""
+        v_oc = self.open_circuit_voltage()
+        r = self.internal_resistance_ohm
+        if r <= _EPSILON:
+            return power_w / v_oc
+        discriminant = v_oc * v_oc - 4.0 * r * power_w
+        if discriminant < 0.0:
+            return v_oc / (2.0 * r)  # max-power point; request unmeetable
+        return (v_oc - math.sqrt(discriminant)) / (2.0 * r)
+
+    def _charge_current_for_power(self, power_w: float) -> float:
+        """Solve I (V_oc + I R) = P for the positive root."""
+        v_oc = self.open_circuit_voltage()
+        r = self.internal_resistance_ohm
+        if r <= _EPSILON:
+            return power_w / v_oc
+        discriminant = v_oc * v_oc + 4.0 * r * power_w
+        return (-v_oc + math.sqrt(discriminant)) / (2.0 * r)
+
+    def discharge(self, power_w: float, dt: float) -> FlowResult:
+        self._validate_flow_args(power_w, dt)
+        v_oc = self.open_circuit_voltage()
+        if power_w <= 0.0 or self.is_depleted:
+            result = self._noflow(power_w, v_oc)
+            self.telemetry.record_discharge(result, 0.0, dt)
+            self._state = kibam_step(self._state, 0.0, dt)
+            return result
+
+        r = self.internal_resistance_ohm
+        i_request = self._discharge_current_for_power(power_w)
+        i_limit = self._discharge_current_limit(dt)
+        current = min(i_request, i_limit)
+        if current <= _EPSILON:
+            result = self._noflow(power_w, v_oc)
+            self.telemetry.record_discharge(result, 0.0, dt)
+            self._state = kibam_step(self._state, 0.0, dt)
+            return result
+
+        terminal_voltage = v_oc - current * r
+        achieved_w = current * terminal_voltage
+        limited = achieved_w < power_w - 1e-6
+
+        drain_current = (current * self._peukert_multiplier(current)
+                         / self.config.discharge_efficiency)
+        ir_loss_j = current * current * r * dt
+        internal_loss_j = (drain_current - current) * terminal_voltage * dt
+        result = FlowResult(
+            requested_w=power_w,
+            achieved_w=achieved_w,
+            energy_j=achieved_w * dt,
+            loss_j=ir_loss_j + max(0.0, internal_loss_j),
+            terminal_voltage_v=terminal_voltage,
+            limited=limited,
+            current_a=current,
+        )
+        self._state = kibam_step(self._state, drain_current, dt)
+        self.telemetry.record_discharge(result, current, dt)
+        return result
+
+    def charge(self, power_w: float, dt: float) -> FlowResult:
+        self._validate_flow_args(power_w, dt)
+        v_oc = self.open_circuit_voltage()
+        if power_w <= 0.0 or self.is_full:
+            result = self._noflow(power_w, v_oc)
+            self.telemetry.record_charge(result, 0.0, dt)
+            self._state = kibam_step(self._state, 0.0, dt)
+            return result
+
+        r = self.internal_resistance_ohm
+        i_request = self._charge_current_for_power(power_w)
+        i_limit = self._charge_current_limit(dt)
+        current = min(i_request, i_limit)
+        if current <= _EPSILON:
+            result = self._noflow(power_w, v_oc)
+            self.telemetry.record_charge(result, 0.0, dt)
+            self._state = kibam_step(self._state, 0.0, dt)
+            return result
+
+        terminal_voltage = v_oc + current * r
+        achieved_w = current * terminal_voltage
+        limited = achieved_w < power_w - 1e-6
+
+        stored_current = current * self._charge_efficiency_now()
+        ir_loss_j = current * current * r * dt
+        coulombic_loss_j = (current - stored_current) * v_oc * dt
+        result = FlowResult(
+            requested_w=power_w,
+            achieved_w=achieved_w,
+            energy_j=achieved_w * dt,
+            loss_j=ir_loss_j + coulombic_loss_j,
+            terminal_voltage_v=terminal_voltage,
+            limited=limited,
+            current_a=current,
+        )
+        self._state = kibam_step(self._state, -stored_current, dt)
+        self.telemetry.record_charge(result, current, dt)
+        return result
+
+    def rest(self, dt: float) -> None:
+        self._validate_flow_args(0.0, dt)
+        self._state = kibam_step(self._state, 0.0, dt)
+        self.telemetry.record_rest(dt)
+
+    def reset(self, soc: float = 1.0) -> None:
+        """Restore state of charge and clear telemetry (aging persists)."""
+        self._state = KiBaMState.at_soc(
+            capacity_c=self._capacity_c,
+            c=self.config.kibam_c,
+            k=self.config.kibam_k_per_s,
+            soc=clamp(soc, 0.0, 1.0),
+        )
+        self.telemetry = type(self.telemetry)()

@@ -1,0 +1,189 @@
+"""Test-bed style characterization experiments (paper Section 3.1).
+
+The paper's Figure 2 test-bed charges and discharges SCs and batteries in
+isolation to measure round-trip efficiency (Figure 3) and discharge voltage
+behaviour (Figure 5).  These functions run the same experiments against the
+device models so the benchmark harness can regenerate those figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..errors import ConfigurationError
+from .device import EnergyStorageDevice
+
+
+@dataclass
+class CharacterizationResult:
+    """Time series and aggregates from one characterization run.
+
+    Attributes:
+        times_s: Sample timestamps.
+        voltages_v: Terminal voltage at each sample.
+        powers_w: Power actually delivered/absorbed at each sample.
+        energy_delivered_j: Total terminal energy out (discharge runs).
+        energy_absorbed_j: Total terminal energy in (charge runs).
+        runtime_s: Time until the device could no longer meet the request.
+    """
+
+    times_s: List[float] = field(default_factory=list)
+    voltages_v: List[float] = field(default_factory=list)
+    powers_w: List[float] = field(default_factory=list)
+    energy_delivered_j: float = 0.0
+    energy_absorbed_j: float = 0.0
+    runtime_s: float = 0.0
+
+
+def constant_power_discharge(device: EnergyStorageDevice, power_w: float,
+                             dt: float = 1.0,
+                             max_time_s: float = 24 * 3600.0,
+                             ) -> CharacterizationResult:
+    """Discharge at constant power until the device can no longer keep up.
+
+    Runtime ends at the first step where the achieved power falls below the
+    request (voltage collapse or depletion) — matching how the prototype's
+    "maximum server runtime" experiments of Figure 6 terminate.
+    """
+    if power_w <= 0.0:
+        raise ConfigurationError("discharge power must be positive")
+    result = CharacterizationResult()
+    elapsed = 0.0
+    while elapsed < max_time_s:
+        step = device.discharge(power_w, dt)
+        result.times_s.append(elapsed)
+        result.voltages_v.append(step.terminal_voltage_v)
+        result.powers_w.append(step.achieved_w)
+        result.energy_delivered_j += step.energy_j
+        if step.limited:
+            break
+        elapsed += dt
+    result.runtime_s = elapsed
+    return result
+
+
+def constant_power_charge(device: EnergyStorageDevice, power_w: float,
+                          dt: float = 1.0,
+                          max_time_s: float = 24 * 3600.0,
+                          ) -> CharacterizationResult:
+    """Charge at constant offered power until the device is full."""
+    if power_w <= 0.0:
+        raise ConfigurationError("charge power must be positive")
+    result = CharacterizationResult()
+    elapsed = 0.0
+    while elapsed < max_time_s and not device.is_full:
+        step = device.charge(power_w, dt)
+        result.times_s.append(elapsed)
+        result.voltages_v.append(step.terminal_voltage_v)
+        result.powers_w.append(step.achieved_w)
+        result.energy_absorbed_j += step.energy_j
+        if step.achieved_w <= 0.0:
+            break
+        elapsed += dt
+    result.runtime_s = elapsed
+    return result
+
+
+def round_trip_efficiency(device: EnergyStorageDevice,
+                          discharge_power_w: float,
+                          charge_power_w: float,
+                          dt: float = 1.0) -> float:
+    """Measure energy-out / energy-in over one full cycle.
+
+    Protocol (mirrors the paper's "detailed charging/discharging logs"):
+    start full, discharge at ``discharge_power_w`` until the device limits,
+    then recharge at ``charge_power_w`` back to full, and compare terminal
+    energies.  Because the cycle starts and ends at the same state of
+    charge, the ratio is a true round-trip efficiency.
+    """
+    device.reset(soc=1.0)
+    discharged = constant_power_discharge(device, discharge_power_w, dt=dt)
+    recharged = constant_power_charge(device, charge_power_w, dt=dt)
+    if recharged.energy_absorbed_j <= 0.0:
+        raise ConfigurationError(
+            "device absorbed no energy; cannot compute efficiency")
+    return discharged.energy_delivered_j / recharged.energy_absorbed_j
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """Outcome of the battery recovery experiment (Figure 3's second part).
+
+    Attributes:
+        one_shot_energy_j: Energy from a single continuous discharge.
+        rested_energy_j: Total energy when the same discharge is split into
+            bursts with rest periods (recovery lets bound charge return).
+        recovered_energy_j: The difference (>= 0 in a healthy model).
+        recovery_gain: Fractional gain from resting (paper reports 6-24%).
+        onoff_overhead_j: Energy a server fleet would waste on off/on cycles
+            while waiting out the rests (paper: ~half the recovered energy).
+    """
+
+    one_shot_energy_j: float
+    rested_energy_j: float
+    recovered_energy_j: float
+    recovery_gain: float
+    onoff_overhead_j: float
+
+
+def recovery_experiment(make_device, power_w: float,
+                        burst_s: float = 300.0,
+                        rest_s: float = 600.0,
+                        cycles: int = 8,
+                        restart_energy_j: float = 0.0,
+                        dt: float = 1.0) -> RecoveryResult:
+    """Compare one-shot versus rest-interleaved discharging.
+
+    Args:
+        make_device: Zero-argument factory returning a fresh, full device
+            (two independent instances are needed for a fair comparison).
+        power_w: Discharge power of each burst.
+        burst_s: Burst duration.
+        rest_s: Rest duration between bursts.
+        cycles: Number of burst/rest pairs in the rested run.
+        restart_energy_j: Per-rest energy charged against server off/on
+            cycling, reported as ``onoff_overhead_j``.
+        dt: Simulation step.
+    """
+    one_shot_device = make_device()
+    one_shot = constant_power_discharge(one_shot_device, power_w, dt=dt)
+
+    rested_device = make_device()
+    rested_energy = 0.0
+    rests_taken = 0
+    for _ in range(cycles):
+        burst = constant_power_discharge(rested_device, power_w, dt=dt,
+                                         max_time_s=burst_s)
+        rested_energy += burst.energy_delivered_j
+        if burst.runtime_s < burst_s:
+            # Even a rested battery eventually empties for real.
+            if burst.energy_delivered_j <= 0.0:
+                break
+        rested_device.rest(rest_s)
+        rests_taken += 1
+
+    recovered = max(0.0, rested_energy - one_shot.energy_delivered_j)
+    gain = (recovered / one_shot.energy_delivered_j
+            if one_shot.energy_delivered_j > 0.0 else 0.0)
+    return RecoveryResult(
+        one_shot_energy_j=one_shot.energy_delivered_j,
+        rested_energy_j=rested_energy,
+        recovered_energy_j=recovered,
+        recovery_gain=gain,
+        onoff_overhead_j=rests_taken * restart_energy_j,
+    )
+
+
+def discharge_voltage_curve(device: EnergyStorageDevice, power_w: float,
+                            dt: float = 1.0,
+                            max_time_s: float = 4 * 3600.0,
+                            ) -> CharacterizationResult:
+    """Record the terminal-voltage trajectory under constant power.
+
+    Used by the Figure 5 benchmark: batteries show a sharp initial drop that
+    deepens with load, SCs decline linearly regardless of load.
+    """
+    device.reset(soc=1.0)
+    return constant_power_discharge(device, power_w, dt=dt,
+                                    max_time_s=max_time_s)

@@ -1,0 +1,235 @@
+"""Supercapacitor model: ideal capacitor + equivalent series resistance.
+
+The model reproduces the SC properties Section 3.1 measures:
+
+* **linear discharge voltage** irrespective of power demand (V = q / C);
+* **90-95% round-trip efficiency** — the only loss channel is ESR heating,
+  small at prototype currents;
+* **fast charging without an upper-bound current** — the acceptance limit
+  is the (generous) converter ceiling, not chemistry;
+* **enormous cycle life** — telemetry feeds a lifetime model that will
+  simply never be the bottleneck ("battery lifetime is the bottleneck of
+  heterogeneous energy system lifespan", Section 7.3).
+
+Usable energy is the window between ``min_voltage_v`` (the downstream
+converter's cut-off) and ``max_voltage_v``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..config import SupercapConfig
+from ..units import clamp
+from .device import EnergyStorageDevice, FlowResult
+
+_EPSILON = 1e-12
+
+
+class Supercapacitor(EnergyStorageDevice):
+    """A supercapacitor bank exposing the common device protocol."""
+
+    def __init__(self, config: SupercapConfig, name: str = "supercap",
+                 soc: float = 1.0) -> None:
+        super().__init__(name)
+        self.config = config
+        self._charge_c = 0.0
+        self.reset(soc)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def voltage(self) -> float:
+        """Cell voltage from stored charge (V = q / C)."""
+        return self._charge_c / self.config.capacitance_f
+
+    @property
+    def nominal_energy_j(self) -> float:
+        return self.config.nominal_energy_j
+
+    @property
+    def stored_energy_j(self) -> float:
+        """Usable energy above the converter cut-off voltage."""
+        cfg = self.config
+        v = self.voltage
+        if v <= cfg.min_voltage_v:
+            return 0.0
+        return 0.5 * cfg.capacitance_f * (v * v - cfg.min_voltage_v ** 2)
+
+    def open_circuit_voltage(self) -> float:
+        return self.voltage
+
+    # ------------------------------------------------------------------
+    # Electrical limits
+    # ------------------------------------------------------------------
+
+    def _discharge_current_limit(self, dt: float) -> float:
+        """Current that would take the cell exactly to the usable floor."""
+        cfg = self.config
+        floor_voltage = self._floor_voltage()
+        floor_charge = floor_voltage * cfg.capacitance_f
+        budget_c = max(0.0, self._charge_c - floor_charge)
+        return budget_c / dt
+
+    def _floor_voltage(self) -> float:
+        """Converter cut-off raised by any controller DoD restriction."""
+        cfg = self.config
+        usable_floor_j = self._soc_floor * self.nominal_energy_j
+        # stored(v) = 0.5 C (v^2 - vmin^2)  =>  v = sqrt(2 floor/C + vmin^2)
+        return math.sqrt(2.0 * usable_floor_j / cfg.capacitance_f
+                         + cfg.min_voltage_v ** 2)
+
+    def max_discharge_power(self, dt: float) -> float:
+        self._validate_flow_args(0.0, dt)
+        v = self.voltage
+        esr = self.config.esr_ohm
+        i_limit = self._discharge_current_limit(dt)
+        if esr > _EPSILON:
+            i_limit = min(i_limit, v / (2.0 * esr))
+        return max(0.0, i_limit * (v - i_limit * esr))
+
+    def max_charge_power(self, dt: float) -> float:
+        self._validate_flow_args(0.0, dt)
+        cfg = self.config
+        headroom_c = max(
+            0.0, cfg.max_voltage_v * cfg.capacitance_f - self._charge_c)
+        i_limit = min(cfg.max_charge_current_a, headroom_c / dt)
+        v = self.voltage
+        return max(0.0, i_limit * (v + i_limit * cfg.esr_ohm))
+
+    # ------------------------------------------------------------------
+    # Flows
+    # ------------------------------------------------------------------
+
+    def _discharge_current_for_power(self, power_w: float) -> float:
+        v = self.voltage
+        esr = self.config.esr_ohm
+        if esr <= _EPSILON:
+            return power_w / v if v > _EPSILON else 0.0
+        discriminant = v * v - 4.0 * esr * power_w
+        if discriminant < 0.0:
+            return v / (2.0 * esr)
+        return (v - math.sqrt(discriminant)) / (2.0 * esr)
+
+    def _charge_current_for_power(self, power_w: float) -> float:
+        v = self.voltage
+        esr = self.config.esr_ohm
+        if esr <= _EPSILON:
+            return power_w / max(v, self.config.min_voltage_v, _EPSILON)
+        discriminant = v * v + 4.0 * esr * power_w
+        return (-v + math.sqrt(discriminant)) / (2.0 * esr)
+
+    def discharge(self, power_w: float, dt: float) -> FlowResult:
+        self._validate_flow_args(power_w, dt)
+        v = self.voltage
+        if power_w <= 0.0 or self.is_depleted:
+            result = self._noflow(power_w, v)
+            self.telemetry.record_discharge(result, 0.0, dt)
+            return result
+
+        esr = self.config.esr_ohm
+        cap = self.config.capacitance_f
+        # Solve against the mid-step voltage (one fixed-point refinement)
+        # so an unclamped request actually delivers the requested power
+        # instead of undershooting by the within-step droop.
+        i_request = self._discharge_current_for_power(power_w)
+        for _ in range(3):
+            v_mid = v - 0.5 * i_request * dt / cap
+            if v_mid <= _EPSILON:
+                break
+            discriminant = v_mid * v_mid - 4.0 * esr * power_w
+            if discriminant < 0.0:
+                i_request = v_mid / (2.0 * esr) if esr > _EPSILON else i_request
+                break
+            if esr > _EPSILON:
+                i_request = (v_mid - math.sqrt(discriminant)) / (2.0 * esr)
+            else:
+                i_request = power_w / v_mid
+        i_limit = self._discharge_current_limit(dt)
+        current = min(i_request, i_limit)
+        if current <= _EPSILON:
+            result = self._noflow(power_w, v)
+            self.telemetry.record_discharge(result, 0.0, dt)
+            return result
+
+        v_end = (self._charge_c - current * dt) / cap
+        v_mid = 0.5 * (v + v_end)
+        terminal_voltage = v_mid - current * esr
+        achieved_w = current * terminal_voltage
+        limited = achieved_w < power_w * (1.0 - 1e-6) - 1e-9
+
+        result = FlowResult(
+            requested_w=power_w,
+            achieved_w=achieved_w,
+            energy_j=achieved_w * dt,
+            loss_j=current * current * esr * dt,
+            terminal_voltage_v=terminal_voltage,
+            limited=limited,
+            current_a=current,
+        )
+        self._charge_c = max(0.0, self._charge_c - current * dt)
+        self.telemetry.record_discharge(result, current, dt)
+        return result
+
+    def charge(self, power_w: float, dt: float) -> FlowResult:
+        self._validate_flow_args(power_w, dt)
+        v = self.voltage
+        if power_w <= 0.0 or self.is_full:
+            result = self._noflow(power_w, v)
+            self.telemetry.record_charge(result, 0.0, dt)
+            return result
+
+        cfg = self.config
+        # Refine against the mid-step voltage so the accepted power does
+        # not overshoot the offer as the cell voltage rises within a step.
+        i_request = self._charge_current_for_power(power_w)
+        for _ in range(3):
+            v_mid = v + 0.5 * i_request * dt / cfg.capacitance_f
+            discriminant = v_mid * v_mid + 4.0 * cfg.esr_ohm * power_w
+            if cfg.esr_ohm > _EPSILON:
+                i_request = (-v_mid + math.sqrt(discriminant)) / (
+                    2.0 * cfg.esr_ohm)
+            else:
+                i_request = power_w / max(v_mid, _EPSILON)
+        headroom_c = max(
+            0.0, cfg.max_voltage_v * cfg.capacitance_f - self._charge_c)
+        current = min(i_request, cfg.max_charge_current_a, headroom_c / dt)
+        if current <= _EPSILON:
+            result = self._noflow(power_w, v)
+            self.telemetry.record_charge(result, 0.0, dt)
+            return result
+
+        v_end = (self._charge_c + current * dt) / cfg.capacitance_f
+        v_mid = 0.5 * (v + v_end)
+        terminal_voltage = v_mid + current * cfg.esr_ohm
+        achieved_w = current * terminal_voltage
+        limited = achieved_w < power_w - 1e-6
+
+        result = FlowResult(
+            requested_w=power_w,
+            achieved_w=achieved_w,
+            energy_j=achieved_w * dt,
+            loss_j=current * current * cfg.esr_ohm * dt,
+            terminal_voltage_v=terminal_voltage,
+            limited=limited,
+            current_a=current,
+        )
+        self._charge_c += current * dt
+        self.telemetry.record_charge(result, current, dt)
+        return result
+
+    def rest(self, dt: float) -> None:
+        self._validate_flow_args(0.0, dt)
+        self.telemetry.record_rest(dt)
+
+    def reset(self, soc: float = 1.0) -> None:
+        cfg = self.config
+        soc = clamp(soc, 0.0, 1.0)
+        # Invert stored(v) = soc * nominal over the usable window.
+        target_j = soc * self.nominal_energy_j
+        voltage = math.sqrt(2.0 * target_j / cfg.capacitance_f
+                            + cfg.min_voltage_v ** 2)
+        self._charge_c = voltage * cfg.capacitance_f
+        self.telemetry = type(self.telemetry)()

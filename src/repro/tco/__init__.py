@@ -1,0 +1,33 @@
+"""Economics of hybrid energy buffers (Section 7.6, Figure 15)."""
+
+from .costs import (
+    StorageTechnology,
+    STORAGE_TECHNOLOGIES,
+    amortized_cost_per_kwh_cycle,
+    CostBreakdown,
+    prototype_cost_breakdown,
+)
+from .roi import roi, roi_sweep, ROIPoint
+from .peak_shaving import (
+    PeakShavingScenario,
+    RevenueSeries,
+    peak_shaving_revenue,
+    break_even_year,
+    compare_peak_shaving,
+)
+
+__all__ = [
+    "StorageTechnology",
+    "STORAGE_TECHNOLOGIES",
+    "amortized_cost_per_kwh_cycle",
+    "CostBreakdown",
+    "prototype_cost_breakdown",
+    "roi",
+    "roi_sweep",
+    "ROIPoint",
+    "PeakShavingScenario",
+    "RevenueSeries",
+    "peak_shaving_revenue",
+    "break_even_year",
+    "compare_peak_shaving",
+]

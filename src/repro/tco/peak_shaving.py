@@ -1,0 +1,221 @@
+"""Eight-year peak-shaving revenue comparison (Figure 15c).
+
+The scenario: a 100 kW datacenter with a 20 kWh buffer shaves demand-charge
+peaks (tariff 12 $/kW-month).  The paper states the harvested benefit is
+"proportional to" a scheme's energy efficiency and availability gains, and
+that batteries must be replaced at end of life — which is exactly why
+BaFirst, despite hybrid hardware, nets *less* than BaOnly ("if not
+appropriately managed, leveraging hybrid energy buffer may be less
+profitable").
+
+Model (per scheme):
+
+* gross annual revenue = shavable_kw x tariff x 12 x utilization
+  x ee_gain x availability_gain, where shavable_kw = battery+SC energy /
+  peak window;
+* costs = battery capex (replaced every ``battery_life_years``) + SC
+  capex once (SC cycle life outlasts the horizon);
+* cumulative net(t) = revenue·t − costs incurred by t; the break-even is
+  the first crossing.
+
+SC sizing note: the deployed SC is a *power* device — 30% of the shaving
+power for minutes — so its energy share (default 1.35 kWh at the paper's
+10 k$/kWh) is far below 30% of 20 kWh.  Buying 6 kWh of SC at 10 k$/kWh
+could never break even in 3.7 years, so the paper's stated break-evens
+pin down this sizing (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import TCOError
+
+
+@dataclass(frozen=True)
+class SchemeEconomics:
+    """Per-scheme economics inputs.
+
+    ``ee_gain`` and ``availability_gain`` are the measured Figure 12
+    improvements over BaOnly; the product scales the shaving revenue
+    ("proportional to the harvested peak shaving benefit", Section 7.6).
+    """
+
+    name: str
+    ee_gain: float
+    availability_gain: float
+    battery_kwh: float
+    sc_kwh: float
+    battery_life_years: float
+
+    @property
+    def effectiveness(self) -> float:
+        return self.ee_gain * self.availability_gain
+
+
+@dataclass(frozen=True)
+class PeakShavingScenario:
+    """The Figure 15(c) scenario constants."""
+
+    datacenter_kw: float = 100.0
+    buffer_kwh: float = 20.0
+    peak_tariff_per_kw_month: float = 12.0
+    peak_window_h: float = 1.0
+    base_utilization: float = 0.99
+    battery_cost_per_kwh: float = 300.0
+    supercap_cost_per_kwh: float = 10_000.0
+    horizon_years: float = 8.0
+
+    def __post_init__(self) -> None:
+        for name in ("datacenter_kw", "buffer_kwh",
+                     "peak_tariff_per_kw_month", "peak_window_h",
+                     "battery_cost_per_kwh", "supercap_cost_per_kwh",
+                     "horizon_years"):
+            if getattr(self, name) <= 0:
+                raise TCOError(f"{name} must be positive")
+        if not 0 < self.base_utilization <= 1:
+            raise TCOError("base_utilization must lie in (0, 1]")
+
+
+#: Default per-scheme economics, with gains taken from the Figure 12
+#: headline results (EE +39.7%, downtime −41% for HEB-D) and battery
+#: lifetimes consistent with Figure 12(c)'s ordering.
+DEFAULT_SCHEMES: Dict[str, SchemeEconomics] = {
+    "BaOnly": SchemeEconomics(
+        name="BaOnly", ee_gain=1.00, availability_gain=1.00,
+        battery_kwh=20.0, sc_kwh=0.0, battery_life_years=4.0),
+    "BaFirst": SchemeEconomics(
+        name="BaFirst", ee_gain=1.02, availability_gain=1.10,
+        battery_kwh=14.0, sc_kwh=1.35, battery_life_years=4.8),
+    "SCFirst": SchemeEconomics(
+        name="SCFirst", ee_gain=1.25, availability_gain=1.02,
+        battery_kwh=14.0, sc_kwh=1.35, battery_life_years=12.0),
+    "HEB": SchemeEconomics(
+        name="HEB", ee_gain=1.397, availability_gain=1.21,
+        battery_kwh=14.0, sc_kwh=1.35, battery_life_years=12.0),
+}
+
+
+@dataclass(frozen=True)
+class RevenueSeries:
+    """Year-by-year cumulative economics for one scheme."""
+
+    scheme: str
+    years: tuple
+    cumulative_revenue: tuple
+    cumulative_cost: tuple
+
+    @property
+    def cumulative_net(self) -> tuple:
+        return tuple(r - c for r, c in
+                     zip(self.cumulative_revenue, self.cumulative_cost))
+
+    @property
+    def final_net(self) -> float:
+        return self.cumulative_net[-1]
+
+    @property
+    def average_annual_net(self) -> float:
+        return self.final_net / self.years[-1]
+
+
+def annual_revenue(scheme: SchemeEconomics,
+                   scenario: PeakShavingScenario) -> float:
+    """Gross shaving revenue per year for one scheme."""
+    shavable_kw = scenario.buffer_kwh / scenario.peak_window_h
+    per_kw_year = scenario.peak_tariff_per_kw_month * 12.0
+    return (shavable_kw * per_kw_year * scenario.base_utilization
+            * scheme.effectiveness)
+
+
+def capex(scheme: SchemeEconomics, scenario: PeakShavingScenario) -> float:
+    """Upfront buffer cost for one scheme."""
+    return (scheme.battery_kwh * scenario.battery_cost_per_kwh
+            + scheme.sc_kwh * scenario.supercap_cost_per_kwh)
+
+
+def peak_shaving_revenue(scheme: SchemeEconomics,
+                         scenario: Optional[PeakShavingScenario] = None,
+                         samples_per_year: int = 12) -> RevenueSeries:
+    """Cumulative revenue/cost series over the scenario horizon.
+
+    Battery replacements land at integer multiples of the battery life
+    strictly inside the horizon; the SC purchase is once (its cycle life
+    exceeds the horizon for every scheme).
+    """
+    scenario = scenario or PeakShavingScenario()
+    if samples_per_year <= 0:
+        raise TCOError("samples_per_year must be positive")
+    revenue_rate = annual_revenue(scheme, scenario)
+    battery_capex = scheme.battery_kwh * scenario.battery_cost_per_kwh
+    initial = capex(scheme, scenario)
+
+    num_samples = int(round(scenario.horizon_years * samples_per_year)) + 1
+    years: List[float] = []
+    cum_revenue: List[float] = []
+    cum_cost: List[float] = []
+    for i in range(num_samples):
+        t = i / samples_per_year
+        replacements = int(t / scheme.battery_life_years)
+        # A replacement exactly at the horizon is never bought.
+        if replacements and t >= scenario.horizon_years:
+            replacements = int((t - 1e-9) / scheme.battery_life_years)
+        years.append(t)
+        cum_revenue.append(revenue_rate * t)
+        cum_cost.append(initial + replacements * battery_capex)
+    return RevenueSeries(scheme=scheme.name, years=tuple(years),
+                         cumulative_revenue=tuple(cum_revenue),
+                         cumulative_cost=tuple(cum_cost))
+
+
+def break_even_year(series: RevenueSeries) -> Optional[float]:
+    """Year after which the cumulative net stays non-negative forever.
+
+    A battery replacement can push an already-profitable deployment back
+    underwater (BaOnly dips negative again at its year-4 replacement), so
+    the meaningful break-even is the *final* crossing, which is the one
+    Figure 15(c) reports.
+    """
+    last_negative = None
+    for year, net in zip(series.years, series.cumulative_net):
+        if net < 0:
+            last_negative = year
+    if last_negative is None:
+        return series.years[1] if len(series.years) > 1 else None
+    if last_negative >= series.years[-1]:
+        return None
+    for year, net in zip(series.years, series.cumulative_net):
+        if year > last_negative and net >= 0:
+            return year
+    return None
+
+
+def compare_peak_shaving(scenario: Optional[PeakShavingScenario] = None,
+                         schemes: Optional[Sequence[SchemeEconomics]] = None,
+                         ) -> Dict[str, Dict[str, float]]:
+    """The Figure 15(c) comparison table.
+
+    Returns per-scheme break-even year, 8-year net, average annual net,
+    and the net ratio versus BaOnly (the paper's ">1.9X revenue" number).
+    """
+    scenario = scenario or PeakShavingScenario()
+    schemes = list(schemes) if schemes else list(DEFAULT_SCHEMES.values())
+    table: Dict[str, Dict[str, float]] = {}
+    baseline_net = None
+    for scheme in schemes:
+        series = peak_shaving_revenue(scheme, scenario)
+        breakeven = break_even_year(series)
+        row = {
+            "break_even_year": breakeven if breakeven is not None
+            else float("inf"),
+            "final_net": series.final_net,
+            "average_annual_net": series.average_annual_net,
+        }
+        table[scheme.name] = row
+        if scheme.name == "BaOnly":
+            baseline_net = series.final_net
+    if baseline_net and baseline_net > 0:
+        for row in table.values():
+            row["net_vs_baonly"] = row["final_net"] / baseline_net
+    return table

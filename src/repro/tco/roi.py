@@ -1,0 +1,88 @@
+"""Return-on-investment of hybrid buffers vs CAP-EX (Figure 15b).
+
+Section 7.6: the cost of procuring hybrid buffers to sustain ``e`` hours
+of peaks is ``e * C_HEB`` ($/W) against an avoided infrastructure CAP-EX
+of ``C_cap`` ($/W)::
+
+    ROI = (C_cap - e * C_HEB) / (e * C_HEB)
+
+with each cost amortized over its lifetime (battery 4 years, SC 12 years,
+infrastructure 12 years).  We follow the prototype's capacity split —
+batteries 70%, SCs 30% (see DESIGN.md on the paper's x/y naming
+inconsistency in this section).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..config import TCOConfig
+from ..errors import TCOError
+
+
+@dataclass(frozen=True)
+class ROIPoint:
+    """One cell of the Figure 15(b) sweep."""
+
+    capex_per_watt: float
+    peak_duration_h: float
+    roi: float
+
+    @property
+    def worthwhile(self) -> bool:
+        """Positive ROI: the buffer beats building out infrastructure."""
+        return self.roi > 0.0
+
+
+def hybrid_cost_per_watt_hour(config: TCOConfig,
+                              amortized: bool = True) -> float:
+    """C_HEB: $ per watt of load sustained for one hour.
+
+    One watt for one hour needs 1 Wh = 1/1000 kWh of storage.  With
+    ``amortized=True`` each technology's purchase cost is divided by its
+    lifetime relative to the infrastructure lifetime, matching the paper's
+    like-for-like amortization.
+    """
+    battery_fraction = 1.0 - config.sc_fraction
+    battery = config.battery_cost_per_kwh * battery_fraction
+    supercap = config.supercap_cost_per_kwh * config.sc_fraction
+    if amortized:
+        horizon = config.infrastructure_lifetime_years
+        battery *= horizon / config.battery_lifetime_years
+        supercap *= horizon / config.supercap_lifetime_years
+    return (battery + supercap) / 1000.0
+
+
+def roi(capex_per_watt: float, peak_duration_h: float,
+        config: TCOConfig | None = None,
+        amortized: bool = True) -> float:
+    """ROI of provisioning a hybrid buffer instead of ``capex_per_watt``
+    of extra power infrastructure, for peaks of ``peak_duration_h``."""
+    if capex_per_watt <= 0:
+        raise TCOError("capex must be positive")
+    if peak_duration_h <= 0:
+        raise TCOError("peak duration must be positive")
+    config = config or TCOConfig()
+    buffer_cost = peak_duration_h * hybrid_cost_per_watt_hour(
+        config, amortized=amortized)
+    return (capex_per_watt - buffer_cost) / buffer_cost
+
+
+def roi_sweep(capex_values: Sequence[float] = tuple(range(2, 21, 2)),
+              peak_durations_h: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+              config: TCOConfig | None = None,
+              amortized: bool = True) -> List[ROIPoint]:
+    """The full Figure 15(b) grid: C_cap in [2, 20] $/W x peak durations."""
+    if not capex_values or not peak_durations_h:
+        raise TCOError("sweep needs at least one capex and one duration")
+    config = config or TCOConfig()
+    points = []
+    for capex in capex_values:
+        for duration in peak_durations_h:
+            points.append(ROIPoint(
+                capex_per_watt=float(capex),
+                peak_duration_h=float(duration),
+                roi=roi(capex, duration, config, amortized=amortized),
+            ))
+    return points

@@ -1,0 +1,81 @@
+"""Unit helpers and conversions used throughout the library.
+
+The library works internally in SI base units:
+
+* power      — watts (W)
+* energy     — joules (J)
+* charge     — coulombs (C)
+* potential  — volts (V)
+* current    — amperes (A)
+* time       — seconds (s)
+
+Datasheet-style quantities (Ah, Wh, kWh) appear only at configuration
+boundaries; these helpers convert them explicitly so no magic constants
+leak into model code.
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_YEAR = 365.0 * SECONDS_PER_DAY
+
+HOURS_PER_YEAR = 8760.0
+
+
+def wh_to_joules(watt_hours: float) -> float:
+    """Convert watt-hours to joules."""
+    return watt_hours * SECONDS_PER_HOUR
+
+
+def kwh_to_joules(kilowatt_hours: float) -> float:
+    """Convert kilowatt-hours to joules."""
+    return kilowatt_hours * 1000.0 * SECONDS_PER_HOUR
+
+
+def joules_to_wh(joules: float) -> float:
+    """Convert joules to watt-hours."""
+    return joules / SECONDS_PER_HOUR
+
+
+def joules_to_kwh(joules: float) -> float:
+    """Convert joules to kilowatt-hours."""
+    return joules / (1000.0 * SECONDS_PER_HOUR)
+
+
+def ah_to_coulombs(amp_hours: float) -> float:
+    """Convert amp-hours to coulombs."""
+    return amp_hours * SECONDS_PER_HOUR
+
+
+def coulombs_to_ah(coulombs: float) -> float:
+    """Convert coulombs to amp-hours."""
+    return coulombs / SECONDS_PER_HOUR
+
+
+def minutes(count: float) -> float:
+    """Return ``count`` minutes expressed in seconds."""
+    return count * SECONDS_PER_MINUTE
+
+
+def hours(count: float) -> float:
+    """Return ``count`` hours expressed in seconds."""
+    return count * SECONDS_PER_HOUR
+
+
+def days(count: float) -> float:
+    """Return ``count`` days expressed in seconds."""
+    return count * SECONDS_PER_DAY
+
+
+def years(count: float) -> float:
+    """Return ``count`` years expressed in seconds."""
+    return count * SECONDS_PER_YEAR
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval [low, high]."""
+    if low > high:
+        raise ValueError(f"clamp bounds inverted: low={low!r} > high={high!r}")
+    return max(low, min(high, value))

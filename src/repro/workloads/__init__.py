@@ -1,0 +1,53 @@
+"""Workload and power-trace substrate.
+
+The paper drives its prototype with eight HiBench/CloudSuite workloads
+(Table 1), a Google cluster trace (Figure 1a), and a rooftop solar feed
+(Section 7.4).  None of those artifacts are distributable, so this package
+generates synthetic traces with the statistics each experiment relies on:
+peak height/duration classes for the 8 workloads, bursty heavy-tailed
+utilization for the cluster trace, and diurnal-plus-cloud-transient output
+for solar.
+"""
+
+from .base import PowerTrace, ClusterTrace, TraceStats
+from .synthetic import (
+    WorkloadSpec,
+    PeakClass,
+    WORKLOADS,
+    SMALL_PEAK_WORKLOADS,
+    LARGE_PEAK_WORKLOADS,
+    generate_workload,
+)
+from .google_like import generate_google_like_trace
+from .solar import SolarConfig, generate_solar_trace
+from .registry import get_workload, workload_names
+from .mixed import mixed_workload, phased_workload
+from .io import (
+    load_trace_csv,
+    load_trace_npz,
+    save_trace_csv,
+    save_trace_npz,
+)
+
+__all__ = [
+    "PowerTrace",
+    "ClusterTrace",
+    "TraceStats",
+    "WorkloadSpec",
+    "PeakClass",
+    "WORKLOADS",
+    "SMALL_PEAK_WORKLOADS",
+    "LARGE_PEAK_WORKLOADS",
+    "generate_workload",
+    "generate_google_like_trace",
+    "SolarConfig",
+    "generate_solar_trace",
+    "get_workload",
+    "workload_names",
+    "mixed_workload",
+    "phased_workload",
+    "load_trace_csv",
+    "load_trace_npz",
+    "save_trace_csv",
+    "save_trace_npz",
+]

@@ -1,0 +1,201 @@
+"""Power-trace containers: validated time series of power demand.
+
+Two granularities appear in the library:
+
+* :class:`PowerTrace` — one power series (a solar feed, an aggregate
+  cluster demand, one server's draw).
+* :class:`ClusterTrace` — a servers x time matrix, needed because the HEB
+  scheduler assigns *individual servers* to buffers (the R_lambda ratio of
+  Section 5.1 is a count of servers, not a power fraction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..errors import TraceError
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of a power trace (used by experiment reports)."""
+
+    mean_w: float
+    peak_w: float
+    valley_w: float
+    std_w: float
+    duration_s: float
+
+
+class PowerTrace:
+    """An immutable, validated power time series with fixed sample spacing."""
+
+    def __init__(self, values_w: np.ndarray, dt_s: float,
+                 name: str = "trace") -> None:
+        values = np.asarray(values_w, dtype=float)
+        if values.ndim != 1:
+            raise TraceError(f"{name}: power trace must be 1-D, "
+                             f"got shape {values.shape}")
+        if values.size == 0:
+            raise TraceError(f"{name}: power trace must be non-empty")
+        if dt_s <= 0:
+            raise TraceError(f"{name}: dt must be positive, got {dt_s!r}")
+        if not np.all(np.isfinite(values)):
+            raise TraceError(f"{name}: power trace contains non-finite values")
+        if np.any(values < 0):
+            raise TraceError(f"{name}: power cannot be negative")
+        values.setflags(write=False)
+        self._values = values
+        self.dt_s = float(dt_s)
+        self.name = name
+
+    @property
+    def values_w(self) -> np.ndarray:
+        """The underlying (read-only) sample array."""
+        return self._values
+
+    def __len__(self) -> int:
+        return self._values.size
+
+    def __getitem__(self, index: int) -> float:
+        return float(self._values[index])
+
+    @property
+    def duration_s(self) -> float:
+        """Total trace duration."""
+        return len(self) * self.dt_s
+
+    def stats(self) -> TraceStats:
+        """Summary statistics of the whole trace."""
+        return TraceStats(
+            mean_w=float(self._values.mean()),
+            peak_w=float(self._values.max()),
+            valley_w=float(self._values.min()),
+            std_w=float(self._values.std()),
+            duration_s=self.duration_s,
+        )
+
+    def energy_j(self) -> float:
+        """Total energy represented by the trace."""
+        return float(self._values.sum()) * self.dt_s
+
+    def slot(self, index: int, slot_seconds: float) -> "PowerTrace":
+        """Extract control-slot ``index`` as a sub-trace."""
+        per_slot = int(round(slot_seconds / self.dt_s))
+        if per_slot <= 0:
+            raise TraceError("slot shorter than one sample")
+        start = index * per_slot
+        stop = min(start + per_slot, len(self))
+        if start >= len(self):
+            raise TraceError(f"slot {index} beyond trace end")
+        return PowerTrace(self._values[start:stop].copy(), self.dt_s,
+                          name=f"{self.name}[slot {index}]")
+
+    def num_slots(self, slot_seconds: float) -> int:
+        """Number of (possibly ragged-final) control slots in the trace."""
+        per_slot = int(round(slot_seconds / self.dt_s))
+        if per_slot <= 0:
+            raise TraceError("slot shorter than one sample")
+        return (len(self) + per_slot - 1) // per_slot
+
+    def iter_slots(self, slot_seconds: float) -> Iterator["PowerTrace"]:
+        """Iterate over control slots in order."""
+        for index in range(self.num_slots(slot_seconds)):
+            yield self.slot(index, slot_seconds)
+
+    def resample(self, dt_s: float) -> "PowerTrace":
+        """Resample to a different spacing by linear interpolation."""
+        if dt_s <= 0:
+            raise TraceError("dt must be positive")
+        old_times = np.arange(len(self)) * self.dt_s
+        new_times = np.arange(0.0, self.duration_s, dt_s)
+        new_values = np.interp(new_times, old_times, self._values)
+        return PowerTrace(new_values, dt_s, name=self.name)
+
+    def scaled(self, factor: float) -> "PowerTrace":
+        """Return a copy with every sample multiplied by ``factor``."""
+        if factor < 0:
+            raise TraceError("scale factor cannot be negative")
+        return PowerTrace(self._values * factor, self.dt_s, name=self.name)
+
+    def clipped(self, max_w: float) -> "PowerTrace":
+        """Return a copy with samples capped at ``max_w``."""
+        return PowerTrace(np.minimum(self._values, max_w), self.dt_s,
+                          name=self.name)
+
+    def __add__(self, other: "PowerTrace") -> "PowerTrace":
+        if not isinstance(other, PowerTrace):
+            return NotImplemented
+        if len(other) != len(self) or other.dt_s != self.dt_s:
+            raise TraceError("can only add traces of equal length and dt")
+        return PowerTrace(self._values + other.values_w, self.dt_s,
+                          name=f"{self.name}+{other.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (f"<PowerTrace {self.name!r} n={len(self)} dt={self.dt_s}s "
+                f"mean={s.mean_w:.1f}W peak={s.peak_w:.1f}W>")
+
+
+class ClusterTrace:
+    """Per-server power demands: a (num_servers x samples) matrix."""
+
+    def __init__(self, values_w: np.ndarray, dt_s: float,
+                 name: str = "cluster") -> None:
+        values = np.asarray(values_w, dtype=float)
+        if values.ndim != 2:
+            raise TraceError(f"{name}: cluster trace must be 2-D, "
+                             f"got shape {values.shape}")
+        if values.size == 0:
+            raise TraceError(f"{name}: cluster trace must be non-empty")
+        if dt_s <= 0:
+            raise TraceError(f"{name}: dt must be positive")
+        if not np.all(np.isfinite(values)):
+            raise TraceError(f"{name}: trace contains non-finite values")
+        if np.any(values < 0):
+            raise TraceError(f"{name}: power cannot be negative")
+        values.setflags(write=False)
+        self._values = values
+        self.dt_s = float(dt_s)
+        self.name = name
+
+    @property
+    def values_w(self) -> np.ndarray:
+        """The (read-only) servers x samples power matrix."""
+        return self._values
+
+    @property
+    def num_servers(self) -> int:
+        return self._values.shape[0]
+
+    @property
+    def num_samples(self) -> int:
+        return self._values.shape[1]
+
+    @property
+    def duration_s(self) -> float:
+        return self.num_samples * self.dt_s
+
+    def server(self, index: int) -> PowerTrace:
+        """One server's demand as a :class:`PowerTrace`."""
+        return PowerTrace(self._values[index].copy(), self.dt_s,
+                          name=f"{self.name}/server{index}")
+
+    def aggregate(self) -> PowerTrace:
+        """Total cluster demand."""
+        return PowerTrace(self._values.sum(axis=0), self.dt_s,
+                          name=f"{self.name}/total")
+
+    def at(self, sample: int) -> np.ndarray:
+        """Per-server demands at one sample (copy)."""
+        return self._values[:, sample].copy()
+
+    def shape(self) -> Tuple[int, int]:
+        return self._values.shape
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ClusterTrace {self.name!r} servers={self.num_servers} "
+                f"samples={self.num_samples} dt={self.dt_s}s>")

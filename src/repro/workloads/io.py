@@ -1,0 +1,98 @@
+"""Trace persistence: save/load power and cluster traces.
+
+Real deployments would feed the controller recorded IPDU traces rather
+than synthetic generators; these helpers round-trip both trace types
+through ``.npz`` (lossless) and ``.csv`` (interchange) files so recorded
+data can be replayed through the simulator.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..errors import TraceError
+from .base import ClusterTrace, PowerTrace
+
+PathLike = Union[str, Path]
+
+
+def save_trace_npz(trace: Union[PowerTrace, ClusterTrace],
+                   path: PathLike) -> None:
+    """Save a trace losslessly to ``.npz``."""
+    path = Path(path)
+    kind = "power" if isinstance(trace, PowerTrace) else "cluster"
+    np.savez(path, values=trace.values_w, dt_s=np.array([trace.dt_s]),
+             kind=np.array([kind]), name=np.array([trace.name]))
+
+
+def load_trace_npz(path: PathLike) -> Union[PowerTrace, ClusterTrace]:
+    """Load a trace saved by :func:`save_trace_npz`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"no such trace file: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            values = data["values"]
+            dt_s = float(data["dt_s"][0])
+            kind = str(data["kind"][0])
+            name = str(data["name"][0])
+        except KeyError as error:
+            raise TraceError(f"{path} is not a trace file: missing {error}")
+    if kind == "power":
+        return PowerTrace(values, dt_s, name=name)
+    if kind == "cluster":
+        return ClusterTrace(values, dt_s, name=name)
+    raise TraceError(f"{path}: unknown trace kind {kind!r}")
+
+
+def save_trace_csv(trace: Union[PowerTrace, ClusterTrace],
+                   path: PathLike) -> None:
+    """Save a trace as CSV: a time column plus one column per series."""
+    path = Path(path)
+    if isinstance(trace, PowerTrace):
+        matrix = trace.values_w.reshape(1, -1)
+        headers = ["time_s", "power_w"]
+    else:
+        matrix = trace.values_w
+        headers = ["time_s"] + [f"server{i}_w"
+                                for i in range(matrix.shape[0])]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["# name", trace.name])
+        writer.writerow(["# dt_s", trace.dt_s])
+        writer.writerow(headers)
+        for column in range(matrix.shape[1]):
+            writer.writerow([column * trace.dt_s]
+                            + [f"{matrix[row, column]:.6f}"
+                               for row in range(matrix.shape[0])])
+
+
+def load_trace_csv(path: PathLike) -> Union[PowerTrace, ClusterTrace]:
+    """Load a trace saved by :func:`save_trace_csv`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"no such trace file: {path}")
+    with path.open() as handle:
+        reader = csv.reader(handle)
+        rows = list(reader)
+    if len(rows) < 4:
+        raise TraceError(f"{path}: too short to be a trace CSV")
+    try:
+        name = rows[0][1]
+        dt_s = float(rows[1][1])
+        headers = rows[2]
+        data_rows = rows[3:]
+        num_series = len(headers) - 1
+        matrix = np.empty((num_series, len(data_rows)))
+        for column, row in enumerate(data_rows):
+            for series in range(num_series):
+                matrix[series, column] = float(row[series + 1])
+    except (IndexError, ValueError) as error:
+        raise TraceError(f"{path}: malformed trace CSV ({error})")
+    if num_series == 1:
+        return PowerTrace(matrix[0], dt_s, name=name)
+    return ClusterTrace(matrix, dt_s, name=name)

@@ -1,0 +1,35 @@
+"""Name-based access to the Table 1 workload generators."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..config import ServerConfig
+from ..errors import ConfigurationError
+from .base import ClusterTrace
+from .synthetic import WORKLOADS, generate_workload
+
+
+def workload_names() -> Tuple[str, ...]:
+    """The eight Table 1 workload abbreviations, in paper order."""
+    return tuple(WORKLOADS.keys())
+
+
+def get_workload(name: str,
+                 duration_s: float,
+                 num_servers: int = 6,
+                 server: ServerConfig | None = None,
+                 dt_s: float = 1.0,
+                 seed: int = 0) -> ClusterTrace:
+    """Generate a named workload's cluster trace.
+
+    Raises:
+        ConfigurationError: If ``name`` is not one of the Table 1 workloads.
+    """
+    spec = WORKLOADS.get(name.upper())
+    if spec is None:
+        known = ", ".join(WORKLOADS)
+        raise ConfigurationError(
+            f"unknown workload {name!r}; known workloads: {known}")
+    return generate_workload(spec, duration_s, num_servers=num_servers,
+                             server=server, dt_s=dt_s, seed=seed)

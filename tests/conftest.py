@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    BatteryConfig,
+    ClusterConfig,
+    ControllerConfig,
+    HybridBufferConfig,
+    ServerConfig,
+    SupercapConfig,
+    prototype_battery,
+    prototype_buffer,
+    prototype_cluster,
+    prototype_supercap,
+)
+from repro.storage import LeadAcidBattery, Supercapacitor
+from repro.units import hours, minutes
+from repro.workloads import get_workload
+
+
+@pytest.fixture
+def battery_config() -> BatteryConfig:
+    return prototype_battery()
+
+
+@pytest.fixture
+def supercap_config() -> SupercapConfig:
+    return prototype_supercap()
+
+
+@pytest.fixture
+def battery(battery_config) -> LeadAcidBattery:
+    return LeadAcidBattery(battery_config)
+
+
+@pytest.fixture
+def supercap(supercap_config) -> Supercapacitor:
+    return Supercapacitor(supercap_config)
+
+
+@pytest.fixture
+def cluster_config() -> ClusterConfig:
+    return prototype_cluster()
+
+
+@pytest.fixture
+def hybrid_config() -> HybridBufferConfig:
+    return prototype_buffer()
+
+
+@pytest.fixture
+def controller_config() -> ControllerConfig:
+    return ControllerConfig()
+
+
+@pytest.fixture
+def server_config() -> ServerConfig:
+    return ServerConfig()
+
+
+@pytest.fixture(scope="session")
+def short_large_trace():
+    """One hour of a large-peak workload (session-cached for speed)."""
+    return get_workload("PR", duration_s=hours(1), seed=11)
+
+
+@pytest.fixture(scope="session")
+def short_small_trace():
+    """One hour of a small-peak workload (session-cached for speed)."""
+    return get_workload("TS", duration_s=hours(1), seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace():
+    """Twenty minutes of workload for fast engine tests."""
+    return get_workload("WS", duration_s=minutes(20), seed=11)

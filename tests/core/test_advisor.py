@@ -1,0 +1,89 @@
+"""Tests for the capacity right-sizing advisor."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import prototype_cluster
+from repro.core import right_size_buffer
+from repro.errors import ConfigurationError
+from repro.workloads import ClusterTrace
+
+
+def stress_trace(per_server_w=60.0, seconds=2400, num_servers=6):
+    """Constant overload: 360 W demand vs the budget set by the caller."""
+    return ClusterTrace(
+        np.full((num_servers, seconds), float(per_server_w)), 1.0,
+        name="stress")
+
+
+@pytest.fixture
+def cluster():
+    return dataclasses.replace(prototype_cluster(), utility_budget_w=260.0)
+
+
+class TestSearch:
+    def test_finds_feasible_capacity(self, cluster):
+        result = right_size_buffer(
+            stress_trace(seconds=1800), cluster,
+            downtime_target_s=0.0, min_wh=20.0, max_wh=400.0,
+            tolerance_wh=40.0)
+        assert result.feasible
+        assert result.downtime_s <= result.downtime_target_s
+        assert 20.0 <= result.total_energy_wh <= 400.0
+
+    def test_harder_target_needs_more_capacity(self, cluster):
+        trace = stress_trace(seconds=2400)
+        strict = right_size_buffer(trace, cluster, downtime_target_s=0.0,
+                                   min_wh=20.0, max_wh=400.0,
+                                   tolerance_wh=20.0)
+        lax = right_size_buffer(trace, cluster,
+                                downtime_target_s=3600.0,
+                                min_wh=20.0, max_wh=400.0,
+                                tolerance_wh=20.0)
+        assert strict.feasible and lax.feasible
+        assert strict.total_energy_wh >= lax.total_energy_wh
+
+    def test_infeasible_when_even_max_fails(self, cluster):
+        # Hours of heavy overload cannot be bridged by 60 Wh.
+        result = right_size_buffer(
+            stress_trace(per_server_w=70.0, seconds=3 * 3600), cluster,
+            downtime_target_s=0.0, min_wh=20.0, max_wh=60.0,
+            tolerance_wh=10.0)
+        assert not result.feasible
+        assert result.capex_dollars is None
+
+    def test_min_suffices_short_circuit(self, cluster):
+        # A trivial demand needs no search at all.
+        calm = stress_trace(per_server_w=30.0, seconds=600)
+        result = right_size_buffer(calm, cluster, downtime_target_s=0.0,
+                                   min_wh=50.0, max_wh=400.0)
+        assert result.feasible
+        assert result.total_energy_wh == 50.0
+        assert result.evaluations == 2  # upper probe + lower probe
+
+    def test_capex_prices_the_blend(self, cluster):
+        result = right_size_buffer(
+            stress_trace(seconds=1200), cluster, downtime_target_s=0.0,
+            min_wh=100.0, max_wh=200.0, tolerance_wh=100.0,
+            sc_fraction=0.3)
+        kwh = result.total_energy_wh / 1000.0
+        expected = kwh * (0.7 * 300.0 + 0.3 * 10_000.0)
+        assert result.capex_dollars == pytest.approx(expected, rel=1e-6)
+
+
+class TestValidation:
+    def test_rejects_bad_bracket(self, cluster):
+        with pytest.raises(ConfigurationError):
+            right_size_buffer(stress_trace(), cluster, min_wh=100.0,
+                              max_wh=50.0)
+
+    def test_rejects_negative_target(self, cluster):
+        with pytest.raises(ConfigurationError):
+            right_size_buffer(stress_trace(), cluster,
+                              downtime_target_s=-1.0)
+
+    def test_rejects_bad_tolerance(self, cluster):
+        with pytest.raises(ConfigurationError):
+            right_size_buffer(stress_trace(), cluster, tolerance_wh=0.0)

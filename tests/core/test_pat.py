@@ -1,0 +1,157 @@
+"""Tests for the Power Allocation Table (Figure 10)."""
+
+import pytest
+
+from repro.config import PATConfig
+from repro.core import PowerAllocationTable
+from repro.errors import ConfigurationError
+from repro.units import wh_to_joules
+
+
+@pytest.fixture
+def pat():
+    return PowerAllocationTable(PATConfig(
+        energy_quantum_j=wh_to_joules(5.0), power_quantum_w=10.0,
+        delta_r=0.01, max_entries=16))
+
+
+WH = wh_to_joules(1.0)
+
+
+class TestQuantization:
+    def test_rounds_to_grid(self, pat):
+        key = pat.quantize(12.4 * WH, 47.6 * WH, 83.0)
+        assert key[0] == pytest.approx(10 * WH)
+        assert key[1] == pytest.approx(50 * WH)
+        assert key[2] == pytest.approx(80.0)
+
+    def test_nearby_states_share_a_key(self, pat):
+        one = pat.quantize(11.0 * WH, 30.0 * WH, 81.0)
+        two = pat.quantize(12.0 * WH, 31.0 * WH, 84.0)
+        assert one == two
+
+
+class TestAddLookup:
+    def test_empty_lookup_returns_none(self, pat):
+        assert pat.lookup(10 * WH, 50 * WH, 100.0) is None
+
+    def test_exact_hit(self, pat):
+        pat.add(10 * WH, 50 * WH, 100.0, 0.4)
+        entry = pat.lookup(10 * WH, 50 * WH, 100.0)
+        assert entry.r_lambda == pytest.approx(0.4)
+        assert pat.exact_hits == 1
+
+    def test_quantized_hit(self, pat):
+        pat.add(10 * WH, 50 * WH, 100.0, 0.4)
+        entry = pat.lookup(11.0 * WH, 51.0 * WH, 103.0)
+        assert entry.r_lambda == pytest.approx(0.4)
+
+    def test_nearest_neighbour_fallback(self, pat):
+        """The paper's Similar() search (Figure 10, line 8)."""
+        pat.add(10 * WH, 50 * WH, 40.0, 0.9)
+        pat.add(10 * WH, 50 * WH, 160.0, 0.3)
+        entry = pat.lookup(10 * WH, 50 * WH, 70.0)
+        assert entry.r_lambda == pytest.approx(0.9)
+        entry = pat.lookup(10 * WH, 50 * WH, 140.0)
+        assert entry.r_lambda == pytest.approx(0.3)
+
+    def test_rejects_bad_ratio(self, pat):
+        with pytest.raises(ConfigurationError):
+            pat.add(WH, WH, 10.0, 1.5)
+
+    def test_add_overwrites_same_key(self, pat):
+        pat.add(10 * WH, 50 * WH, 100.0, 0.4)
+        pat.add(10 * WH, 50 * WH, 100.0, 0.7)
+        assert len(pat) == 1
+        assert pat.lookup(10 * WH, 50 * WH, 100.0).r_lambda == 0.7
+
+    def test_entries_sorted_and_stable(self, pat):
+        pat.add(20 * WH, 50 * WH, 100.0, 0.5)
+        pat.add(10 * WH, 50 * WH, 100.0, 0.4)
+        entries = pat.entries()
+        assert entries[0].sc_energy_j < entries[1].sc_energy_j
+
+
+class TestEviction:
+    def test_bounded_growth(self):
+        pat = PowerAllocationTable(PATConfig(max_entries=4))
+        for i in range(10):
+            pat.add(i * 100 * WH, 0.0, 10.0 * i, 0.5, source="online")
+        assert len(pat) <= 4
+
+    def test_profile_entries_survive_online_eviction(self):
+        pat = PowerAllocationTable(PATConfig(max_entries=3))
+        pat.add(0.0, 0.0, 10.0, 0.5, source="profile")
+        for i in range(1, 6):
+            pat.add(i * 100 * WH, 0.0, 10.0, 0.5, source="online")
+        sources = {entry.source for entry in pat.entries()}
+        assert "profile" in sources
+
+
+class TestOnlineOptimization:
+    def test_new_state_adds_entry(self, pat):
+        entry = pat.record_outcome(
+            sc_start_j=10 * WH, battery_start_j=50 * WH, power_w=100.0,
+            r_lambda_used=0.5, sc_end_j=5 * WH, battery_end_j=40 * WH,
+            matched_entry=None)
+        assert entry.source == "online"
+        assert len(pat) == 1
+
+    def test_battery_declining_faster_raises_r(self, pat):
+        """Figure 10, line 17-18: battery fell faster -> use more SC."""
+        pat.add(10 * WH, 50 * WH, 100.0, 0.5)
+        matched = pat.lookup(10 * WH, 50 * WH, 100.0)
+        updated = pat.record_outcome(
+            10 * WH, 50 * WH, 100.0, 0.5,
+            sc_end_j=9 * WH, battery_end_j=30 * WH,  # ratio rose
+            matched_entry=matched)
+        assert updated.r_lambda == pytest.approx(0.51)
+        assert updated.updates == 1
+
+    def test_sc_declining_faster_lowers_r(self, pat):
+        pat.add(10 * WH, 50 * WH, 100.0, 0.5)
+        matched = pat.lookup(10 * WH, 50 * WH, 100.0)
+        updated = pat.record_outcome(
+            10 * WH, 50 * WH, 100.0, 0.5,
+            sc_end_j=2 * WH, battery_end_j=48 * WH,  # ratio fell
+            matched_entry=matched)
+        assert updated.r_lambda == pytest.approx(0.49)
+
+    def test_balanced_decline_leaves_r(self, pat):
+        pat.add(10 * WH, 50 * WH, 100.0, 0.5)
+        matched = pat.lookup(10 * WH, 50 * WH, 100.0)
+        updated = pat.record_outcome(
+            10 * WH, 50 * WH, 100.0, 0.5,
+            sc_end_j=5 * WH, battery_end_j=25 * WH,  # same ratio
+            matched_entry=matched)
+        assert updated.r_lambda == pytest.approx(0.5)
+
+    def test_r_clamped_to_unit_interval(self, pat):
+        pat.add(10 * WH, 50 * WH, 100.0, 1.0)
+        matched = pat.lookup(10 * WH, 50 * WH, 100.0)
+        updated = pat.record_outcome(
+            10 * WH, 50 * WH, 100.0, 1.0,
+            sc_end_j=9 * WH, battery_end_j=30 * WH,
+            matched_entry=matched)
+        assert updated.r_lambda <= 1.0
+
+    def test_repeated_updates_converge_ratio(self, pat):
+        """Self-optimization: repeated nudges accumulate (Section 5.3)."""
+        pat.add(10 * WH, 50 * WH, 100.0, 0.5)
+        for _ in range(10):
+            matched = pat.lookup(10 * WH, 50 * WH, 100.0)
+            pat.record_outcome(10 * WH, 50 * WH, 100.0, matched.r_lambda,
+                               sc_end_j=9 * WH, battery_end_j=30 * WH,
+                               matched_entry=matched)
+        assert pat.lookup(10 * WH, 50 * WH, 100.0).r_lambda == pytest.approx(
+            0.6)
+
+    def test_empty_battery_end_handled(self, pat):
+        pat.add(10 * WH, 50 * WH, 100.0, 0.5)
+        matched = pat.lookup(10 * WH, 50 * WH, 100.0)
+        updated = pat.record_outcome(
+            10 * WH, 50 * WH, 100.0, 0.5,
+            sc_end_j=5 * WH, battery_end_j=0.0,
+            matched_entry=matched)
+        # Battery hit empty -> ratio "rose" to infinity -> more SC load.
+        assert updated.r_lambda == pytest.approx(0.51)

@@ -1,0 +1,83 @@
+"""Tests for peak detection and classification."""
+
+import numpy as np
+import pytest
+
+from repro.config import ControllerConfig
+from repro.core import analyze_slot, classify_peak
+from repro.core.peaks import expected_peak_duration_s
+from repro.units import minutes
+from repro.workloads import PowerTrace
+from repro.workloads.synthetic import PeakClass
+
+
+def trace_of(values, dt=1.0):
+    return PowerTrace(np.asarray(values, dtype=float), dt)
+
+
+class TestClassification:
+    @pytest.fixture
+    def config(self):
+        return ControllerConfig(small_peak_power_w=60.0,
+                                small_peak_duration_s=minutes(5))
+
+    def test_mild_and_short_is_small(self, config):
+        assert classify_peak(30.0, minutes(2), config) is PeakClass.SMALL
+
+    def test_tall_is_large(self, config):
+        assert classify_peak(150.0, minutes(2), config) is PeakClass.LARGE
+
+    def test_long_is_large(self, config):
+        """Conservative: long even if mild counts as large."""
+        assert classify_peak(30.0, minutes(8), config) is PeakClass.LARGE
+
+    def test_boundary_is_small(self, config):
+        assert classify_peak(60.0, minutes(5), config) is PeakClass.SMALL
+
+
+class TestAnalyzeSlot:
+    def test_no_peaks(self):
+        analysis = analyze_slot(trace_of([100, 120, 110]), 200.0)
+        assert analysis.time_over_budget_s == 0.0
+        assert analysis.excess_energy_j == 0.0
+        assert analysis.events == ()
+
+    def test_basic_stats(self):
+        analysis = analyze_slot(trace_of([100, 300, 150]), 200.0)
+        assert analysis.peak_w == 300.0
+        assert analysis.valley_w == 100.0
+        assert analysis.mismatch_w == 200.0
+
+    def test_excess_energy(self):
+        analysis = analyze_slot(trace_of([250, 250], dt=2.0), 200.0)
+        assert analysis.excess_energy_j == pytest.approx(200.0)
+
+    def test_surplus_energy(self):
+        analysis = analyze_slot(trace_of([150, 150], dt=2.0), 200.0)
+        assert analysis.surplus_energy_j == pytest.approx(200.0)
+
+    def test_counts_events(self):
+        values = [100, 300, 300, 100, 300, 100]
+        analysis = analyze_slot(trace_of(values), 200.0)
+        assert len(analysis.events) == 2
+        assert analysis.time_over_budget_s == 3.0
+
+    def test_event_at_trace_end(self):
+        analysis = analyze_slot(trace_of([100, 300, 300]), 200.0)
+        assert len(analysis.events) == 1
+        assert analysis.events[0].duration_s == 2.0
+
+    def test_event_excess_stats(self):
+        analysis = analyze_slot(trace_of([100, 250, 350, 100]), 200.0)
+        event = analysis.events[0]
+        assert event.max_excess_w == 150.0
+        assert event.mean_excess_w == pytest.approx(100.0)
+
+    def test_mean_event_duration(self):
+        values = [300] * 4 + [100] + [300] * 2 + [100]
+        analysis = analyze_slot(trace_of(values), 200.0)
+        assert expected_peak_duration_s(analysis) == pytest.approx(3.0)
+
+    def test_mean_duration_no_events(self):
+        analysis = analyze_slot(trace_of([10, 20]), 200.0)
+        assert expected_peak_duration_s(analysis) == 0.0

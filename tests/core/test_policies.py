@@ -1,0 +1,189 @@
+"""Tests for the six Table 2 power-management schemes."""
+
+import pytest
+
+from repro.config import ControllerConfig, prototype_buffer
+from repro.core import (
+    POLICY_NAMES,
+    BaFirstPolicy,
+    BaOnlyPolicy,
+    HebDPolicy,
+    HebFPolicy,
+    HebSPolicy,
+    SCFirstPolicy,
+    SlotObservation,
+    SlotResult,
+    make_policy,
+)
+from repro.errors import ConfigurationError
+from repro.units import minutes, wh_to_joules
+
+WH = wh_to_joules(1.0)
+
+
+def obs(sc_wh=45.0, ba_wh=105.0, last_peak=400.0, last_valley=200.0,
+        duration=minutes(8), budget=260.0, index=0):
+    return SlotObservation(
+        index=index, start_s=index * 600.0, budget_w=budget,
+        sc_usable_j=sc_wh * WH, battery_usable_j=ba_wh * WH,
+        sc_nominal_j=45.0 * WH, battery_nominal_j=105.0 * WH,
+        last_peak_w=last_peak, last_valley_w=last_valley,
+        last_peak_duration_s=duration, num_servers=6)
+
+
+def result_for(observation, plan, sc_end_wh=20.0, ba_end_wh=90.0,
+               peak=400.0, valley=200.0, duration=minutes(8)):
+    return SlotResult(
+        observation=observation, plan=plan,
+        sc_usable_end_j=sc_end_wh * WH, battery_usable_end_j=ba_end_wh * WH,
+        actual_peak_w=peak, actual_valley_w=valley,
+        actual_peak_duration_s=duration, downtime_s=0.0)
+
+
+class TestFactory:
+    def test_all_names_construct(self):
+        hybrid = prototype_buffer()
+        for name in POLICY_NAMES:
+            policy = make_policy(name, hybrid=hybrid)
+            assert policy.name == name
+
+    def test_case_insensitive(self):
+        assert make_policy("baonly").name == "BaOnly"
+        assert make_policy("heb_d", hybrid=prototype_buffer()).name == "HEB-D"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("heb-x")
+
+
+class TestBaOnly:
+    def test_never_uses_sc(self):
+        plan = BaOnlyPolicy().begin_slot(obs())
+        assert not plan.use_sc
+        assert plan.r_lambda == 0.0
+        assert not plan.fallback
+
+    def test_charges_battery_only(self):
+        plan = BaOnlyPolicy().begin_slot(obs())
+        assert plan.charge_order == ("battery",)
+
+
+class TestBaFirst:
+    def test_battery_priority_when_charged(self):
+        plan = BaFirstPolicy().begin_slot(obs())
+        assert plan.r_lambda == 0.0
+        assert plan.charge_order[0] == "battery"
+
+    def test_flips_to_sc_when_battery_dry(self):
+        plan = BaFirstPolicy().begin_slot(obs(ba_wh=0.5))
+        assert plan.r_lambda == 1.0
+
+    def test_fallback_enabled(self):
+        assert BaFirstPolicy().begin_slot(obs()).fallback
+
+
+class TestSCFirst:
+    def test_sc_priority_when_charged(self):
+        plan = SCFirstPolicy().begin_slot(obs())
+        assert plan.r_lambda == 1.0
+        assert plan.charge_order[0] == "sc"
+
+    def test_flips_to_battery_when_sc_dry(self):
+        plan = SCFirstPolicy().begin_slot(obs(sc_wh=0.2))
+        assert plan.r_lambda == 0.0
+
+
+class TestHebPlanning:
+    @pytest.fixture
+    def heb_d(self):
+        return make_policy("HEB-D", hybrid=prototype_buffer())
+
+    def test_small_deficit_goes_two_tier(self, heb_d):
+        plan = heb_d.begin_slot(obs(last_peak=290.0, duration=minutes(2)))
+        assert plan.note.startswith("small-peak")
+        assert plan.r_lambda == 1.0
+
+    def test_large_peak_covered_by_sc_when_energy_fits(self, heb_d):
+        # 150 W deficit for ~4 min = 10 Wh << 45 Wh of SC.
+        plan = heb_d.begin_slot(obs(last_peak=410.0, duration=minutes(4)))
+        assert plan.note.startswith("large-peak sc-covered")
+        assert plan.r_lambda == 1.0
+
+    def test_long_large_peak_uses_pat_split(self, heb_d):
+        # 150 W for 30 min = 75 Wh > 45 Wh of SC: must split.
+        plan = heb_d.begin_slot(obs(last_peak=410.0, duration=minutes(30)))
+        assert plan.note.startswith("large-peak (")
+        assert 0.0 <= plan.r_lambda <= 1.0
+
+    def test_depleted_sc_forces_pat_path(self, heb_d):
+        plan = heb_d.begin_slot(obs(sc_wh=2.0, last_peak=410.0,
+                                    duration=minutes(8)))
+        assert plan.note.startswith("large-peak (")
+
+    def test_charges_sc_first(self, heb_d):
+        plan = heb_d.begin_slot(obs())
+        assert plan.charge_order[0] == "sc"
+
+
+class TestHebF:
+    def test_uses_last_slot_peak(self):
+        policy = HebFPolicy()
+        quiet = policy.begin_slot(obs(last_peak=250.0, duration=0.0))
+        assert quiet.note.startswith("small-peak")
+        busy = policy.begin_slot(obs(last_peak=420.0,
+                                     duration=minutes(30), index=1))
+        assert busy.note.startswith("large-peak")
+
+    def test_ratio_is_energy_proportional(self):
+        policy = HebFPolicy()
+        plan = policy.begin_slot(obs(sc_wh=50.0, ba_wh=50.0,
+                                     last_peak=420.0, duration=minutes(30)))
+        assert plan.r_lambda == pytest.approx(0.5)
+
+    def test_handles_empty_buffers(self):
+        policy = HebFPolicy()
+        plan = policy.begin_slot(obs(sc_wh=0.0, ba_wh=0.0,
+                                     last_peak=420.0, duration=minutes(30)))
+        assert plan.r_lambda == pytest.approx(0.5)
+
+
+class TestHebSD:
+    def test_heb_s_predicts_after_observation(self):
+        policy = make_policy("HEB-S", hybrid=prototype_buffer())
+        observation = obs(last_peak=410.0, duration=minutes(30))
+        plan = policy.begin_slot(observation)
+        policy.end_slot(result_for(observation, plan))
+        assert policy.predictor.observations == 1
+
+    def test_heb_d_learns_new_pat_entries(self):
+        policy = make_policy("HEB-D", hybrid=prototype_buffer())
+        before = len(policy.pat)
+        observation = obs(sc_wh=3.0, ba_wh=12.0, last_peak=460.0,
+                          duration=minutes(30))
+        plan = policy.begin_slot(observation)
+        assert plan.note.startswith("large-peak (")
+        policy.end_slot(result_for(observation, plan, sc_end_wh=1.0,
+                                   ba_end_wh=5.0, peak=460.0))
+        assert len(policy.pat) >= before
+
+    def test_heb_d_small_slot_does_not_touch_pat(self):
+        policy = make_policy("HEB-D", hybrid=prototype_buffer())
+        lookups_before = policy.pat.lookups
+        observation = obs(last_peak=280.0, duration=minutes(2))
+        plan = policy.begin_slot(observation)
+        policy.end_slot(result_for(observation, plan, peak=280.0))
+        assert policy.pat.lookups == lookups_before
+
+    def test_reset_clears_predictor(self):
+        policy = make_policy("HEB-D", hybrid=prototype_buffer())
+        observation = obs()
+        plan = policy.begin_slot(observation)
+        policy.end_slot(result_for(observation, plan))
+        policy.reset()
+        assert policy.predictor.observations == 0
+
+    def test_dense_pat_larger_than_coarse(self):
+        hybrid = prototype_buffer()
+        dense = make_policy("HEB-D", hybrid=hybrid)
+        coarse = make_policy("HEB-S", hybrid=hybrid)
+        assert len(dense.pat) > len(coarse.pat)

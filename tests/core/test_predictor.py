@@ -1,0 +1,109 @@
+"""Tests for the Holt-Winters predictor."""
+
+import math
+
+import pytest
+
+from repro.config import PredictorConfig
+from repro.core import HoltWintersPredictor
+from repro.errors import PredictionError
+
+
+@pytest.fixture
+def predictor():
+    return HoltWintersPredictor(PredictorConfig(season_length=4))
+
+
+class TestBasics:
+    def test_predict_before_data_raises(self, predictor):
+        with pytest.raises(PredictionError):
+            predictor.predict()
+
+    def test_last_value_fallback_before_warmup(self, predictor):
+        predictor.observe_slot(100.0, 50.0)
+        prediction = predictor.predict()
+        assert not prediction.warmed_up
+        assert prediction.peak_w == pytest.approx(100.0)
+        assert prediction.valley_w == pytest.approx(50.0)
+
+    def test_warms_up_after_one_season(self, predictor):
+        for _ in range(4):
+            predictor.observe_slot(100.0, 50.0)
+        assert predictor.predict().warmed_up
+
+    def test_rejects_negative_observations(self, predictor):
+        with pytest.raises(PredictionError):
+            predictor.observe_slot(-1.0, 0.0)
+
+    def test_swaps_inverted_peak_valley(self, predictor):
+        predictor.observe_slot(50.0, 100.0)
+        prediction = predictor.predict()
+        assert prediction.peak_w >= prediction.valley_w
+
+    def test_mismatch_is_nonnegative(self, predictor):
+        for peak, valley in ((100, 90), (95, 80), (105, 95), (98, 85)):
+            predictor.observe_slot(peak, valley)
+        assert predictor.predict().mismatch_w >= 0.0
+
+
+class TestAccuracy:
+    def test_constant_series_predicted_exactly(self, predictor):
+        for _ in range(20):
+            predictor.observe_slot(300.0, 200.0)
+        prediction = predictor.predict()
+        assert prediction.peak_w == pytest.approx(300.0, rel=0.01)
+        assert prediction.valley_w == pytest.approx(200.0, rel=0.01)
+
+    def test_learns_seasonal_pattern(self):
+        """A square-wave peak series must be anticipated, which is exactly
+        what separates HEB-D from the last-value HEB-F."""
+        predictor = HoltWintersPredictor(PredictorConfig(season_length=4))
+        pattern = [400.0, 400.0, 250.0, 250.0]
+        for cycle in range(12):
+            for value in pattern:
+                predictor.observe_slot(value, 200.0)
+        # Next observation would be pattern[0] = 400; a last-value
+        # predictor would say 250.
+        prediction = predictor.predict()
+        assert abs(prediction.peak_w - 400.0) < abs(prediction.peak_w - 250.0)
+
+    def test_tracks_linear_trend(self):
+        predictor = HoltWintersPredictor(PredictorConfig(season_length=4))
+        for step in range(40):
+            predictor.observe_slot(100.0 + 5.0 * step, 50.0)
+        prediction = predictor.predict()
+        assert prediction.peak_w > 100.0 + 5.0 * 36
+
+    def test_beats_last_value_on_seasonal_series(self):
+        """In-sample MAE of Holt-Winters < naive persistence error."""
+        config = PredictorConfig(season_length=4)
+        predictor = HoltWintersPredictor(config)
+        pattern = [400.0, 300.0, 250.0, 350.0]
+        series = pattern * 15
+        naive_errors = [abs(series[i] - series[i - 1])
+                        for i in range(1, len(series))]
+        for value in series:
+            predictor.observe_slot(value, 100.0)
+        assert predictor.mean_absolute_error() < (
+            sum(naive_errors) / len(naive_errors))
+
+
+class TestPredictionClamping:
+    def test_never_negative(self):
+        predictor = HoltWintersPredictor(PredictorConfig(season_length=3))
+        for value in (50.0, 5.0, 0.0, 0.0, 0.0, 0.0):
+            predictor.observe_slot(value, 0.0)
+        prediction = predictor.predict()
+        assert prediction.peak_w >= 0.0
+        assert prediction.valley_w >= 0.0
+
+    def test_valley_never_above_peak(self):
+        predictor = HoltWintersPredictor(PredictorConfig(season_length=3))
+        for __ in range(9):
+            predictor.observe_slot(100.0, 99.0)
+        prediction = predictor.predict()
+        assert prediction.valley_w <= prediction.peak_w
+
+    def test_mae_empty_history(self, predictor):
+        assert predictor.mean_absolute_error() == 0.0
+        assert math.isfinite(predictor.mean_absolute_error())

@@ -1,0 +1,81 @@
+"""Tests for pilot-run profiling (the Figure 6 experiment)."""
+
+import pytest
+
+from repro.config import BatteryConfig, SupercapConfig, prototype_buffer
+from repro.core import PowerAllocationTable, profile_optimal_ratio, seed_pat
+from repro.core.profiling import runtime_for_ratio
+from repro.errors import ConfigurationError
+from repro.storage import LeadAcidBattery, Supercapacitor
+
+
+def sc_factory():
+    return Supercapacitor(
+        SupercapConfig().scaled_to_energy(prototype_buffer().sc_energy_j))
+
+
+def battery_factory():
+    return LeadAcidBattery(
+        BatteryConfig().scaled_to_energy(prototype_buffer().battery_energy_j))
+
+
+class TestRuntime:
+    def test_positive_runtime(self):
+        runtime = runtime_for_ratio(sc_factory, battery_factory,
+                                    deficit_w=120.0, r_lambda=0.5, dt=10.0)
+        assert runtime > 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            runtime_for_ratio(sc_factory, battery_factory, 0.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            runtime_for_ratio(sc_factory, battery_factory, 100.0, 1.5)
+
+    def test_failover_extends_runtime(self):
+        """r=1 drains the SC first but the battery takes over, so runtime
+        exceeds the SC-alone duration."""
+        sc_alone_s = prototype_buffer().sc_energy_j / 120.0
+        runtime = runtime_for_ratio(sc_factory, battery_factory,
+                                    deficit_w=120.0, r_lambda=1.0, dt=10.0)
+        assert runtime > sc_alone_s
+
+
+class TestOptimum:
+    def test_interior_optimum_exists(self):
+        """Figure 6: at a high deficit, leaning fully on either device is
+        worse than a split."""
+        best, runtimes = profile_optimal_ratio(
+            sc_factory, battery_factory, deficit_w=160.0,
+            ratios=(0.0, 0.25, 0.5, 0.75, 1.0), dt=10.0)
+        assert runtimes[best] >= runtimes[0.0]
+        assert runtimes[best] >= runtimes[1.0]
+
+    def test_rejects_empty_ratio_grid(self):
+        with pytest.raises(ConfigurationError):
+            profile_optimal_ratio(sc_factory, battery_factory, 100.0,
+                                  ratios=())
+
+
+class TestSeeding:
+    def test_seed_fills_grid(self):
+        pat = PowerAllocationTable()
+        hybrid = prototype_buffer()
+        count = seed_pat(pat, sc_factory, battery_factory,
+                         hybrid.sc_energy_j, hybrid.battery_energy_j,
+                         soc_levels=(0.5, 1.0), power_levels_w=(80.0, 160.0),
+                         ratios=(0.0, 0.5, 1.0), dt=20.0)
+        # soc_levels applies to SC and battery independently: 2*2*2 = 8.
+        assert count == 8
+        assert len(pat) >= 1  # quantization may merge nearby states
+
+    def test_seeded_lookup_usable(self):
+        pat = PowerAllocationTable()
+        hybrid = prototype_buffer()
+        seed_pat(pat, sc_factory, battery_factory,
+                 hybrid.sc_energy_j, hybrid.battery_energy_j,
+                 soc_levels=(1.0,), power_levels_w=(120.0,),
+                 ratios=(0.0, 0.5, 1.0), dt=20.0)
+        entry = pat.lookup(hybrid.sc_energy_j, hybrid.battery_energy_j,
+                           120.0)
+        assert entry is not None
+        assert 0.0 <= entry.r_lambda <= 1.0

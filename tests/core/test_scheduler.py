@@ -1,0 +1,109 @@
+"""Tests for the load scheduler (R_lambda -> relay assignments)."""
+
+import pytest
+
+from repro.core import LoadScheduler
+from repro.errors import SimulationError
+from repro.server import PowerSource
+
+
+@pytest.fixture
+def scheduler():
+    return LoadScheduler()
+
+
+DEMANDS = [40.0, 50.0, 60.0, 45.0, 55.0, 65.0]  # total 315
+ALL_ON = [True] * 6
+
+
+class TestNoDeficit:
+    def test_everyone_on_utility(self, scheduler):
+        assignment = scheduler.assign(DEMANDS, ALL_ON, 400.0, 0.5)
+        assert all(s is PowerSource.UTILITY for s in assignment.sources)
+        assert assignment.n_buffered == 0
+        assert assignment.utility_draw_w == pytest.approx(315.0)
+
+    def test_unavailable_servers_get_none(self, scheduler):
+        available = [True, False, True, True, True, True]
+        assignment = scheduler.assign(DEMANDS, available, 400.0, 0.5)
+        assert assignment.sources[1] is PowerSource.NONE
+        assert assignment.utility_draw_w == pytest.approx(315.0 - 50.0)
+
+
+class TestDeficit:
+    def test_moves_minimum_servers(self, scheduler):
+        assignment = scheduler.assign(DEMANDS, ALL_ON, 260.0, 1.0)
+        assert assignment.n_buffered == 1
+        assert assignment.utility_draw_w <= 260.0
+
+    def test_moves_hungriest_first(self, scheduler):
+        assignment = scheduler.assign(DEMANDS, ALL_ON, 260.0, 1.0)
+        # Server 5 (65 W) is the hungriest.
+        assert assignment.sources[5] is PowerSource.SUPERCAP
+
+    def test_r_lambda_one_all_to_sc(self, scheduler):
+        assignment = scheduler.assign(DEMANDS, ALL_ON, 100.0, 1.0)
+        assert assignment.battery_draw_w == 0.0
+        assert assignment.sc_draw_w > 0.0
+
+    def test_r_lambda_zero_all_to_battery(self, scheduler):
+        assignment = scheduler.assign(DEMANDS, ALL_ON, 100.0, 0.0)
+        assert assignment.sc_draw_w == 0.0
+        assert assignment.battery_draw_w > 0.0
+
+    def test_r_lambda_splits_count(self, scheduler):
+        assignment = scheduler.assign(DEMANDS, ALL_ON, 50.0, 0.5)
+        n_sc = sum(1 for s in assignment.sources
+                   if s is PowerSource.SUPERCAP)
+        n_battery = sum(1 for s in assignment.sources
+                        if s is PowerSource.BATTERY)
+        assert assignment.n_buffered == n_sc + n_battery
+        assert n_sc == round(0.5 * assignment.n_buffered)
+
+    def test_sc_gets_hungriest_of_buffered(self, scheduler):
+        assignment = scheduler.assign(DEMANDS, ALL_ON, 50.0, 0.5)
+        sc_draws = [DEMANDS[i] for i, s in enumerate(assignment.sources)
+                    if s is PowerSource.SUPERCAP]
+        battery_draws = [DEMANDS[i] for i, s in enumerate(assignment.sources)
+                         if s is PowerSource.BATTERY]
+        assert min(sc_draws) >= max(battery_draws)
+
+    def test_draw_bookkeeping_consistent(self, scheduler):
+        assignment = scheduler.assign(DEMANDS, ALL_ON, 100.0, 0.4)
+        total = (assignment.utility_draw_w + assignment.sc_draw_w
+                 + assignment.battery_draw_w)
+        assert total == pytest.approx(315.0)
+
+
+class TestPoolRestrictions:
+    def test_no_sc_routes_to_battery(self, scheduler):
+        assignment = scheduler.assign(DEMANDS, ALL_ON, 100.0, 1.0,
+                                      use_sc=False)
+        assert assignment.sc_draw_w == 0.0
+        assert assignment.battery_draw_w > 0.0
+
+    def test_no_battery_routes_to_sc(self, scheduler):
+        assignment = scheduler.assign(DEMANDS, ALL_ON, 100.0, 0.0,
+                                      use_battery=False)
+        assert assignment.battery_draw_w == 0.0
+        assert assignment.sc_draw_w > 0.0
+
+    def test_no_pools_leaves_overdraw_on_utility(self, scheduler):
+        assignment = scheduler.assign(DEMANDS, ALL_ON, 100.0, 0.5,
+                                      use_sc=False, use_battery=False)
+        assert assignment.n_buffered == 0
+        assert assignment.utility_draw_w == pytest.approx(315.0)
+
+
+class TestValidation:
+    def test_rejects_negative_budget(self, scheduler):
+        with pytest.raises(SimulationError):
+            scheduler.assign(DEMANDS, ALL_ON, -1.0, 0.5)
+
+    def test_rejects_length_mismatch(self, scheduler):
+        with pytest.raises(SimulationError):
+            scheduler.assign(DEMANDS, [True], 100.0, 0.5)
+
+    def test_r_lambda_clamped(self, scheduler):
+        assignment = scheduler.assign(DEMANDS, ALL_ON, 100.0, 7.5)
+        assert assignment.battery_draw_w == 0.0

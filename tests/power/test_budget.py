@@ -1,0 +1,88 @@
+"""Tests for provisioning analysis (Figure 1a)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power import capped_energy_fraction, mppu, provisioning_analysis
+from repro.power.budget import count_mismatch_events
+from repro.workloads import PowerTrace
+
+
+def trace_of(values, dt=1.0):
+    return PowerTrace(np.asarray(values, dtype=float), dt)
+
+
+class TestMPPU:
+    def test_never_reached(self):
+        assert mppu(trace_of([10, 20, 30]), 100.0) == 0.0
+
+    def test_always_reached(self):
+        assert mppu(trace_of([100, 100]), 100.0) == 1.0
+
+    def test_fractional(self):
+        assert mppu(trace_of([10, 100, 100, 10]), 100.0) == 0.5
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ConfigurationError):
+            mppu(trace_of([1.0]), 0.0)
+
+
+class TestCappedEnergy:
+    def test_no_capping(self):
+        assert capped_energy_fraction(trace_of([10, 20]), 100.0) == 0.0
+
+    def test_half_capped(self):
+        assert capped_energy_fraction(
+            trace_of([200.0]), 100.0) == pytest.approx(0.5)
+
+
+class TestMismatchEvents:
+    def test_counts_contiguous_runs(self):
+        trace = trace_of([10, 100, 100, 10, 100, 10])
+        assert count_mismatch_events(trace, 100.0) == 2
+
+    def test_event_at_start(self):
+        assert count_mismatch_events(trace_of([100, 10]), 100.0) == 1
+
+    def test_no_events(self):
+        assert count_mismatch_events(trace_of([1, 2]), 100.0) == 0
+
+
+class TestProvisioningAnalysis:
+    @pytest.fixture
+    def bursty(self):
+        rng = np.random.default_rng(0)
+        base = 400.0 + 100.0 * rng.standard_normal(5000).cumsum() * 0.01
+        spikes = np.zeros(5000)
+        spikes[rng.integers(0, 5000, 40)] = rng.exponential(300.0, 40)
+        return trace_of(np.clip(base + spikes, 50.0, 1000.0), dt=60.0)
+
+    def test_four_levels(self, bursty):
+        levels = provisioning_analysis(bursty)
+        assert [level.name for level in levels] == ["P1", "P2", "P3", "P4"]
+
+    def test_mppu_monotone_in_underprovisioning(self, bursty):
+        """The Figure 1(a) trend: lower budget => higher MPPU."""
+        levels = provisioning_analysis(bursty)
+        mppus = [level.mppu for level in levels]
+        assert mppus == sorted(mppus)
+
+    def test_full_provisioning_never_caps(self, bursty):
+        level = provisioning_analysis(bursty)[0]
+        assert level.capped_energy_fraction == pytest.approx(0.0, abs=1e-12)
+
+    def test_capital_cost_tracks_budget(self, bursty):
+        levels = provisioning_analysis(bursty)
+        assert levels[0].capital_cost_low > levels[-1].capital_cost_low
+        for level in levels:
+            assert level.capital_cost_high == pytest.approx(
+                2.0 * level.capital_cost_low)
+
+    def test_rejects_bad_fraction(self, bursty):
+        with pytest.raises(ConfigurationError):
+            provisioning_analysis(bursty, fractions=(1.5,))
+
+    def test_rejects_empty_fractions(self, bursty):
+        with pytest.raises(ConfigurationError):
+            provisioning_analysis(bursty, fractions=())

@@ -1,0 +1,150 @@
+"""Tests for relays, switch fabric, IPDU, ATS and PDU models."""
+
+import pytest
+
+from repro.errors import SwitchError, TopologyError
+from repro.power import (
+    AutomaticTransferSwitch,
+    IPDU,
+    PowerDistributionUnit,
+    Relay,
+    RelayPosition,
+    SwitchFabric,
+)
+
+
+class TestRelay:
+    def test_defaults_to_utility(self):
+        assert Relay(0).position is RelayPosition.UTILITY
+
+    def test_switch_changes_position(self):
+        relay = Relay(0)
+        assert relay.switch_to(RelayPosition.STORAGE)
+        assert relay.position is RelayPosition.STORAGE
+
+    def test_noop_switch_not_counted(self):
+        relay = Relay(0)
+        assert not relay.switch_to(RelayPosition.UTILITY)
+        assert relay.switch_count == 0
+
+    def test_switch_count_accumulates(self):
+        relay = Relay(0)
+        relay.switch_to(RelayPosition.STORAGE)
+        relay.switch_to(RelayPosition.UTILITY)
+        assert relay.switch_count == 2
+
+    def test_rejects_garbage_position(self):
+        with pytest.raises(SwitchError):
+            Relay(0).switch_to("storage")
+
+
+class TestSwitchFabric:
+    def test_prototype_has_six_relays(self):
+        fabric = SwitchFabric(6)
+        assert len(fabric.relays) == 6
+
+    def test_rejects_empty(self):
+        with pytest.raises(TopologyError):
+            SwitchFabric(0)
+
+    def test_apply_counts_movements(self):
+        fabric = SwitchFabric(3)
+        moved = fabric.apply([RelayPosition.STORAGE,
+                              RelayPosition.UTILITY,
+                              RelayPosition.STORAGE])
+        assert moved == 2
+        assert fabric.total_switches() == 2
+
+    def test_apply_wrong_length(self):
+        with pytest.raises(SwitchError):
+            SwitchFabric(2).apply([RelayPosition.UTILITY])
+
+    def test_positions_roundtrip(self):
+        fabric = SwitchFabric(2)
+        positions = [RelayPosition.STORAGE, RelayPosition.OPEN]
+        fabric.apply(positions)
+        assert fabric.positions() == positions
+
+
+class TestIPDU:
+    def test_meters_per_outlet(self):
+        ipdu = IPDU(3)
+        reading = ipdu.record(0.0, {0: 30.0, 1: 40.0, 2: 50.0})
+        assert reading.total_w == 120.0
+
+    def test_off_outlet_reads_zero(self):
+        ipdu = IPDU(2)
+        ipdu.set_outlet(1, False)
+        reading = ipdu.record(0.0, {0: 30.0, 1: 40.0})
+        assert reading.total_w == 30.0
+
+    def test_unknown_outlets_ignored(self):
+        ipdu = IPDU(1)
+        reading = ipdu.record(0.0, {0: 30.0, 7: 99.0})
+        assert reading.total_w == 30.0
+
+    def test_energy_accumulates(self):
+        ipdu = IPDU(1)
+        ipdu.record(0.0, {0: 100.0}, dt=2.0)
+        ipdu.record(2.0, {0: 100.0}, dt=2.0)
+        assert ipdu.energy_metered_j == pytest.approx(400.0)
+
+    def test_history_bounded(self):
+        ipdu = IPDU(1, history_limit=5)
+        for second in range(20):
+            ipdu.record(float(second), {0: 10.0})
+        assert len(ipdu.history()) == 5
+        assert ipdu.latest().timestamp_s == 19.0
+
+    def test_set_outlet_validates_index(self):
+        with pytest.raises(SwitchError):
+            IPDU(2).set_outlet(5, False)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(TopologyError):
+            IPDU(0)
+        with pytest.raises(TopologyError):
+            IPDU(1, history_limit=0)
+
+
+class TestATS:
+    def test_defaults_to_first_feed(self):
+        ats = AutomaticTransferSwitch(["utility", "generator"])
+        assert ats.active == "utility"
+
+    def test_transfer(self):
+        ats = AutomaticTransferSwitch(["utility", "generator"])
+        ats.transfer("generator")
+        assert ats.active == "generator"
+        assert ats.transfer_count == 1
+
+    def test_noop_transfer_not_counted(self):
+        ats = AutomaticTransferSwitch(["utility", "generator"])
+        ats.transfer("utility")
+        assert ats.transfer_count == 0
+
+    def test_unknown_feed_rejected(self):
+        ats = AutomaticTransferSwitch(["utility"])
+        with pytest.raises(SwitchError):
+            ats.transfer("diesel")
+
+    def test_rejects_empty_feeds(self):
+        with pytest.raises(TopologyError):
+            AutomaticTransferSwitch([])
+
+
+class TestPDU:
+    def test_within_rating(self):
+        pdu = PowerDistributionUnit(1000.0, 4)
+        assert pdu.check_load([200.0, 300.0])
+        assert pdu.overload_events == 0
+
+    def test_overload_counted(self):
+        pdu = PowerDistributionUnit(100.0, 2)
+        assert not pdu.check_load([80.0, 80.0])
+        assert pdu.overload_events == 1
+
+    def test_too_many_branches(self):
+        pdu = PowerDistributionUnit(100.0, 1)
+        with pytest.raises(TopologyError):
+            pdu.check_load([10.0, 10.0])

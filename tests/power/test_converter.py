@@ -1,0 +1,54 @@
+"""Tests for conversion-stage models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power import Converter, DOUBLE_CONVERSION_UPS, IDEAL_CONVERTER
+from repro.power.converter import DC_AC_INVERTER, SERVER_PSU
+
+
+class TestConverter:
+    def test_deliver(self):
+        converter = Converter("test", 0.9)
+        assert converter.deliver(100.0) == pytest.approx(90.0)
+
+    def test_required_input(self):
+        converter = Converter("test", 0.8)
+        assert converter.required_input(80.0) == pytest.approx(100.0)
+
+    def test_deliver_and_required_are_inverses(self):
+        converter = Converter("test", 0.87)
+        assert converter.deliver(
+            converter.required_input(55.0)) == pytest.approx(55.0)
+
+    def test_loss(self):
+        converter = Converter("test", 0.9)
+        assert converter.loss(100.0) == pytest.approx(10.0)
+
+    def test_chain_multiplies(self):
+        chained = Converter("a", 0.9).chain(Converter("b", 0.8))
+        assert chained.efficiency == pytest.approx(0.72)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            Converter("bad", 0.0)
+        with pytest.raises(ConfigurationError):
+            Converter("bad", 1.1)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ConfigurationError):
+            Converter("test", 0.9).deliver(-1.0)
+
+
+class TestStandardStages:
+    def test_ideal_is_lossless(self):
+        assert IDEAL_CONVERTER.deliver(100.0) == 100.0
+
+    def test_double_conversion_in_paper_band(self):
+        """Section 4.1: double conversion loses 4-10%."""
+        loss_fraction = 1.0 - DOUBLE_CONVERSION_UPS.efficiency
+        assert 0.04 <= loss_fraction <= 0.10
+
+    def test_inverter_and_psu_lossy(self):
+        assert DC_AC_INVERTER.efficiency < 1.0
+        assert SERVER_PSU.efficiency < 1.0

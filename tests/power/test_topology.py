@@ -1,0 +1,63 @@
+"""Tests for the Figure 7 topology comparison."""
+
+import pytest
+
+from repro.power import (
+    TopologyKind,
+    centralized_topology,
+    distributed_topology,
+    heb_topology,
+)
+
+
+class TestCentralized:
+    def test_kind(self):
+        assert centralized_topology().kind is TopologyKind.CENTRALIZED
+
+    def test_always_online_overhead(self):
+        """Section 4.1: the online UPS double-converts the whole load."""
+        topology = centralized_topology()
+        assert topology.always_online
+        assert topology.steady_state_overhead(1000.0) > 0.0
+
+    def test_no_per_server_control(self):
+        assert not centralized_topology().per_server_control
+
+    def test_homogeneous_only(self):
+        assert not centralized_topology().supports_heterogeneous
+
+
+class TestDistributed:
+    def test_no_steady_state_overhead(self):
+        assert distributed_topology().steady_state_overhead(1000.0) == 0.0
+
+    def test_no_energy_sharing(self):
+        """Google per-server batteries cannot assist each other."""
+        assert not distributed_topology().shares_energy
+
+    def test_efficient_discharge(self):
+        assert distributed_topology().delivery_efficiency == pytest.approx(1.0)
+
+
+class TestHEB:
+    def test_rack_level_avoids_inverter(self):
+        rack = heb_topology(rack_level=True)
+        cluster = heb_topology(rack_level=False)
+        assert rack.delivery_efficiency > cluster.delivery_efficiency
+
+    def test_shares_energy_with_per_server_control(self):
+        topology = heb_topology()
+        assert topology.shares_energy
+        assert topology.per_server_control
+
+    def test_supports_heterogeneous(self):
+        assert heb_topology().supports_heterogeneous
+
+    def test_no_always_online_loss(self):
+        assert heb_topology().steady_state_overhead(500.0) == 0.0
+
+    def test_heb_beats_centralized_on_delivery(self):
+        """The architecture argument of Section 4: HEB delivers buffered
+        energy more efficiently than a double-converting central UPS."""
+        assert (heb_topology().delivery_efficiency
+                > centralized_topology().delivery_efficiency)

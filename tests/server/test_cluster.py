@@ -1,0 +1,119 @@
+"""Tests for the server cluster."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.errors import SimulationError
+from repro.server import PowerSource, ServerCluster, ServerState
+
+
+@pytest.fixture
+def cluster(cluster_config):
+    return ServerCluster(cluster_config)
+
+
+DEMANDS = [40.0, 50.0, 60.0, 45.0, 55.0, 65.0]
+
+
+class TestBasics:
+    def test_size(self, cluster):
+        assert cluster.num_servers == 6
+        assert len(cluster.available_servers()) == 6
+
+    def test_draws_match_demands_when_all_on(self, cluster):
+        draws = cluster.draws_w(DEMANDS)
+        assert list(draws) == DEMANDS
+
+    def test_draws_validate_length(self, cluster):
+        with pytest.raises(SimulationError):
+            cluster.draws_w([1.0])
+
+    def test_draws_by_source(self, cluster):
+        cluster.assign_sources([PowerSource.UTILITY] * 3
+                               + [PowerSource.SUPERCAP] * 2
+                               + [PowerSource.BATTERY])
+        totals = cluster.draws_by_source(DEMANDS)
+        assert totals[PowerSource.UTILITY] == pytest.approx(150.0)
+        assert totals[PowerSource.SUPERCAP] == pytest.approx(100.0)
+        assert totals[PowerSource.BATTERY] == pytest.approx(65.0)
+
+
+class TestAssignment:
+    def test_assign_sources(self, cluster):
+        sources = [PowerSource.SUPERCAP] * 6
+        cluster.assign_sources(sources)
+        assert all(s.source is PowerSource.SUPERCAP
+                   for s in cluster.servers)
+
+    def test_assign_skips_off_servers(self, cluster):
+        cluster.servers[0].shut_down()
+        cluster.assign_sources([PowerSource.BATTERY] * 6)
+        assert cluster.servers[0].source is PowerSource.NONE
+
+    def test_assign_all(self, cluster):
+        cluster.assign_all(PowerSource.BATTERY)
+        assert all(s.source is PowerSource.BATTERY
+                   for s in cluster.available_servers())
+
+    def test_assign_validates_length(self, cluster):
+        with pytest.raises(SimulationError):
+            cluster.assign_sources([PowerSource.UTILITY])
+
+
+class TestShedding:
+    def test_sheds_nothing_for_zero_need(self, cluster):
+        assert cluster.shed_lru(0.0, DEMANDS) == []
+
+    def test_sheds_enough_power(self, cluster):
+        shed = cluster.shed_lru(80.0, DEMANDS)
+        freed = sum(DEMANDS[s.server_id] for s in shed)
+        assert freed >= 80.0
+        for server in shed:
+            assert server.state is ServerState.OFF
+
+    def test_sheds_least_recently_used_first(self, cluster):
+        # Server 3 was busy recently; it must survive a small shed.
+        for server in cluster.servers:
+            server.last_active_s = 0.0
+        cluster.servers[3].last_active_s = 1000.0
+        shed = cluster.shed_lru(40.0, DEMANDS)
+        assert cluster.servers[3] not in shed
+
+    def test_shed_respects_source_filter(self, cluster):
+        cluster.assign_sources([PowerSource.SUPERCAP] * 3
+                               + [PowerSource.BATTERY] * 3)
+        shed = cluster.shed_lru(1000.0, DEMANDS,
+                                from_sources=(PowerSource.BATTERY,))
+        assert all(s.server_id >= 3 for s in shed)
+
+    def test_downtime_metric_accumulates(self, cluster):
+        cluster.shed_lru(1000.0, DEMANDS)
+        cluster.tick(60.0, 0.0, DEMANDS)
+        assert cluster.total_downtime_s() == pytest.approx(6 * 60.0)
+
+
+class TestRestart:
+    def test_restarts_within_budget(self, cluster, cluster_config):
+        for server in cluster.servers[:3]:
+            server.shut_down()
+        restart_power = (cluster_config.server.restart_energy_j
+                         / cluster_config.server.restart_duration_s)
+        restarted = cluster.restart_offline(restart_power + 1.0)
+        assert len(restarted) == 1
+        assert restarted[0].state is ServerState.RESTARTING
+
+    def test_no_budget_no_restart(self, cluster):
+        cluster.servers[0].shut_down()
+        assert cluster.restart_offline(1.0) == []
+
+    def test_restart_counts(self, cluster, cluster_config):
+        cluster.servers[0].shut_down()
+        cluster.restart_offline(1e9)
+        assert cluster.total_restarts() == 1
+
+    def test_reset(self, cluster):
+        cluster.servers[0].shut_down()
+        cluster.tick(10.0, 0.0, DEMANDS)
+        cluster.reset()
+        assert cluster.total_downtime_s() == 0.0
+        assert len(cluster.available_servers()) == 6

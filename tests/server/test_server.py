@@ -1,0 +1,92 @@
+"""Tests for the single-server power model."""
+
+import pytest
+
+from repro.config import ServerConfig
+from repro.errors import SimulationError
+from repro.server import PowerSource, Server, ServerState
+
+
+@pytest.fixture
+def server(server_config):
+    return Server(server_config, server_id=0)
+
+
+class TestStates:
+    def test_starts_on_utility(self, server):
+        assert server.state is ServerState.ON
+        assert server.source is PowerSource.UTILITY
+        assert server.is_available
+
+    def test_shutdown(self, server):
+        server.shut_down()
+        assert server.state is ServerState.OFF
+        assert server.source is PowerSource.NONE
+        assert not server.is_available
+
+    def test_restart_only_from_off(self, server):
+        with pytest.raises(SimulationError):
+            server.begin_restart()
+
+    def test_restart_cycle(self, server, server_config):
+        server.shut_down()
+        server.begin_restart()
+        assert server.state is ServerState.RESTARTING
+        assert server.restart_count == 1
+        remaining = server_config.restart_duration_s
+        while remaining > 0:
+            server.tick(10.0, 0.0, 0.0)
+            remaining -= 10.0
+        assert server.state is ServerState.ON
+
+
+class TestDraw:
+    def test_on_server_draws_demand(self, server):
+        assert server.draw_w(55.0) == 55.0
+
+    def test_off_server_draws_nothing(self, server):
+        server.shut_down()
+        assert server.draw_w(55.0) == 0.0
+
+    def test_restarting_draws_restart_power(self, server, server_config):
+        server.shut_down()
+        server.begin_restart()
+        expected = (server_config.restart_energy_j
+                    / server_config.restart_duration_s)
+        assert server.draw_w(55.0) == pytest.approx(expected)
+
+    def test_rejects_negative_demand(self, server):
+        with pytest.raises(SimulationError):
+            server.draw_w(-1.0)
+
+
+class TestAccounting:
+    def test_downtime_accrues_while_off(self, server):
+        server.shut_down()
+        server.tick(30.0, 0.0, 0.0)
+        server.tick(30.0, 30.0, 0.0)
+        assert server.downtime_s == 60.0
+
+    def test_downtime_accrues_while_restarting(self, server):
+        server.shut_down()
+        server.begin_restart()
+        server.tick(10.0, 0.0, 0.0)
+        assert server.downtime_s == 10.0
+
+    def test_restart_energy_tracked(self, server, server_config):
+        server.shut_down()
+        server.begin_restart()
+        server.tick(server_config.restart_duration_s, 0.0, 0.0)
+        assert server.restart_energy_used_j == pytest.approx(
+            server_config.restart_energy_j, rel=0.01)
+
+    def test_lru_timestamp_updates_only_when_busy(self, server,
+                                                  server_config):
+        server.tick(1.0, 100.0, server_config.idle_power_w)
+        assert server.last_active_s == 0.0
+        server.tick(1.0, 200.0, server_config.peak_power_w)
+        assert server.last_active_s == 200.0
+
+    def test_tick_rejects_bad_dt(self, server):
+        with pytest.raises(SimulationError):
+            server.tick(0.0, 0.0, 0.0)

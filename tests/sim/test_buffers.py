@@ -1,0 +1,91 @@
+"""Tests for the HybridBuffers bundle."""
+
+import pytest
+
+from repro.config import prototype_buffer
+from repro.errors import SimulationError
+from repro.sim import HybridBuffers
+
+
+@pytest.fixture
+def buffers(hybrid_config):
+    return HybridBuffers(hybrid_config)
+
+
+class TestConstruction:
+    def test_pools_sized_by_ratio(self, buffers, hybrid_config):
+        assert buffers.sc_nominal_j == pytest.approx(
+            hybrid_config.sc_energy_j)
+        assert buffers.battery_nominal_j == pytest.approx(
+            hybrid_config.battery_energy_j)
+
+    def test_battery_only_gets_full_capacity(self, hybrid_config):
+        """Equal-capacity comparison: BaOnly's battery holds everything."""
+        buffers = HybridBuffers(hybrid_config, include_sc=False)
+        assert buffers.sc is None
+        assert buffers.battery_nominal_j == pytest.approx(
+            hybrid_config.total_energy_j)
+
+    def test_zero_sc_fraction_drops_pool(self):
+        buffers = HybridBuffers(prototype_buffer(sc_fraction=0.0))
+        assert buffers.sc is None
+
+    def test_dod_overrides(self, hybrid_config):
+        buffers = HybridBuffers(hybrid_config, battery_dod=0.5, sc_dod=0.6)
+        assert buffers.battery.soc_floor == pytest.approx(0.5)
+        assert buffers.sc.soc_floor == pytest.approx(0.4)
+
+    def test_unknown_pool_rejected(self, buffers):
+        with pytest.raises(SimulationError):
+            buffers.pool("flywheel")
+
+
+class TestTickProtocol:
+    def test_discharge_feeds_lifetime_model(self, buffers):
+        buffers.begin_tick()
+        buffers.discharge("battery", 50.0, 1.0)
+        assert buffers.lifetime.report().raw_throughput_ah > 0.0
+
+    def test_sc_discharge_does_not_wear_battery(self, buffers):
+        buffers.begin_tick()
+        buffers.discharge("sc", 50.0, 1.0)
+        assert buffers.lifetime.report().raw_throughput_ah == 0.0
+
+    def test_settle_rests_untouched_battery(self, buffers):
+        buffers.begin_tick()
+        buffers.settle(1.0)
+        assert buffers.battery.telemetry.rest_time_s == pytest.approx(1.0)
+
+    def test_settle_skips_touched_pool(self, buffers):
+        buffers.begin_tick()
+        buffers.discharge("battery", 50.0, 1.0)
+        buffers.settle(1.0)
+        assert buffers.battery.telemetry.rest_time_s == 0.0
+
+    def test_missing_pool_discharge_rejected(self, hybrid_config):
+        buffers = HybridBuffers(hybrid_config, include_sc=False)
+        with pytest.raises(SimulationError):
+            buffers.discharge("sc", 10.0, 1.0)
+
+
+class TestEnergyAccounting:
+    def test_energy_out_tracks_both_pools(self, buffers):
+        buffers.begin_tick()
+        buffers.discharge("sc", 50.0, 1.0)
+        buffers.discharge("battery", 50.0, 1.0)
+        assert buffers.energy_out_j() == pytest.approx(100.0, rel=1e-6)
+
+    def test_energy_in_tracks_charges(self, buffers):
+        buffers.battery.reset(0.5)
+        buffers.begin_tick()
+        result = buffers.charge("battery", 25.0, 1.0)
+        assert buffers.energy_in_j() == pytest.approx(result.energy_j)
+
+    def test_reset_restores_initial_state(self, buffers):
+        buffers.begin_tick()
+        buffers.discharge("sc", 100.0, 10.0)
+        buffers.reset()
+        assert buffers.total_stored_j == pytest.approx(
+            buffers.initial_stored_j)
+        assert buffers.energy_out_j() == 0.0
+        assert buffers.lifetime.report().raw_throughput_ah == 0.0

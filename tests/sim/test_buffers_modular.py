@@ -1,0 +1,65 @@
+"""Tests for modular (bank-backed) hybrid buffer pools."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import HybridBuffers
+from repro.storage import DeviceBank
+
+
+class TestModularPools:
+    def test_single_module_is_plain_device(self, hybrid_config):
+        buffers = HybridBuffers(hybrid_config)
+        assert not isinstance(buffers.battery, DeviceBank)
+        assert not isinstance(buffers.sc, DeviceBank)
+
+    def test_multi_module_builds_banks(self, hybrid_config):
+        buffers = HybridBuffers(hybrid_config, battery_modules=3,
+                                sc_modules=2)
+        assert isinstance(buffers.battery, DeviceBank)
+        assert isinstance(buffers.sc, DeviceBank)
+        assert len(buffers.battery.devices) == 3
+        assert len(buffers.sc.devices) == 2
+
+    def test_total_capacity_preserved(self, hybrid_config):
+        single = HybridBuffers(hybrid_config)
+        modular = HybridBuffers(hybrid_config, battery_modules=4,
+                                sc_modules=3)
+        assert modular.battery_nominal_j == pytest.approx(
+            single.battery_nominal_j, rel=1e-9)
+        assert modular.sc_nominal_j == pytest.approx(
+            single.sc_nominal_j, rel=1e-9)
+
+    def test_rejects_zero_modules(self, hybrid_config):
+        with pytest.raises(ConfigurationError):
+            HybridBuffers(hybrid_config, battery_modules=0)
+
+    def test_discharge_spreads_across_modules(self, hybrid_config):
+        buffers = HybridBuffers(hybrid_config, battery_modules=2)
+        buffers.begin_tick()
+        buffers.discharge("battery", 60.0, 1.0)
+        for device in buffers.battery.devices:
+            assert device.telemetry.energy_out_j > 0.0
+
+    def test_lifetime_model_still_observes(self, hybrid_config):
+        buffers = HybridBuffers(hybrid_config, battery_modules=2)
+        buffers.begin_tick()
+        buffers.discharge("battery", 60.0, 1.0)
+        assert buffers.lifetime.report().raw_throughput_ah > 0.0
+
+    def test_dod_reaches_members(self, hybrid_config):
+        buffers = HybridBuffers(hybrid_config, battery_modules=2,
+                                battery_dod=0.5)
+        for device in buffers.battery.devices:
+            assert device.soc_floor == pytest.approx(0.5)
+
+    def test_modular_equivalent_performance(self, hybrid_config):
+        """A 2-module pool behaves like the monolithic pool to first
+        order (same total energy, same aggregate power capability)."""
+        single = HybridBuffers(hybrid_config)
+        modular = HybridBuffers(hybrid_config, battery_modules=2,
+                                sc_modules=2)
+        assert modular.battery.max_discharge_power(1.0) == pytest.approx(
+            single.battery.max_discharge_power(1.0), rel=0.05)
+        assert modular.sc.max_discharge_power(1.0) == pytest.approx(
+            single.sc.max_discharge_power(1.0), rel=0.05)

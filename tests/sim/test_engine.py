@@ -1,0 +1,194 @@
+"""Integration tests for the simulation engine."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    ClusterConfig,
+    ControllerConfig,
+    prototype_buffer,
+    prototype_cluster,
+)
+from repro.core import make_policy
+from repro.errors import SimulationError
+from repro.sim import HybridBuffers, Simulation
+from repro.units import minutes
+from repro.workloads import ClusterTrace, PowerTrace
+
+
+def constant_trace(per_server_w, num_servers=6, seconds=1200):
+    values = np.full((num_servers, seconds), float(per_server_w))
+    return ClusterTrace(values, 1.0, name="constant")
+
+
+def run_sim(trace, scheme="HEB-D", budget=260.0, supply=None,
+            renewable=False, include_sc=None, controller=None):
+    hybrid = prototype_buffer()
+    cluster = dataclasses.replace(prototype_cluster(),
+                                  utility_budget_w=budget)
+    policy = make_policy(scheme, hybrid=hybrid)
+    if include_sc is None:
+        include_sc = scheme != "BaOnly"
+    buffers = HybridBuffers(hybrid, include_sc=include_sc)
+    sim = Simulation(trace, policy, buffers, cluster_config=cluster,
+                     controller_config=controller, supply=supply,
+                     renewable=renewable)
+    return sim.run()
+
+
+class TestValidation:
+    def test_server_count_mismatch(self, tiny_trace):
+        cluster = ClusterConfig(num_servers=4)
+        hybrid = prototype_buffer()
+        with pytest.raises(SimulationError):
+            Simulation(tiny_trace, make_policy("BaOnly"),
+                       HybridBuffers(hybrid, include_sc=False),
+                       cluster_config=cluster)
+
+    def test_supply_dt_mismatch(self, tiny_trace):
+        supply = PowerTrace(np.full(10000, 260.0), 2.0)
+        with pytest.raises(SimulationError):
+            run_sim(tiny_trace, supply=supply)
+
+    def test_supply_too_short(self, tiny_trace):
+        supply = PowerTrace(np.full(10, 260.0), 1.0)
+        with pytest.raises(SimulationError):
+            run_sim(tiny_trace, supply=supply)
+
+
+class TestSteadyState:
+    def test_no_deficit_no_buffer_discharge(self):
+        """Demand below budget: servers run on utility, buffers idle/full."""
+        result = run_sim(constant_trace(30.0), scheme="HEB-D")
+        assert result.metrics.buffer_energy_out_j == pytest.approx(0.0)
+        assert result.metrics.server_downtime_s == 0.0
+        assert result.metrics.deficit_time_fraction == 0.0
+
+    def test_utility_energy_matches_demand(self):
+        result = run_sim(constant_trace(30.0))
+        expected = 6 * 30.0 * 1200
+        assert result.metrics.utility_energy_j == pytest.approx(
+            expected, rel=0.01)
+
+    def test_depleted_buffers_recharge_in_valley(self):
+        hybrid = prototype_buffer()
+        cluster = prototype_cluster()
+        policy = make_policy("HEB-D", hybrid=hybrid)
+        buffers = HybridBuffers(hybrid)
+        buffers.sc.reset(0.2)
+        trace = constant_trace(30.0, seconds=1800)
+        sim = Simulation(trace, policy, buffers, cluster_config=cluster)
+        sim.run()
+        assert buffers.sc.soc > 0.5
+
+
+class TestDeficitHandling:
+    def test_buffers_cover_peak(self):
+        """Demand over budget must be served from storage, not shed."""
+        result = run_sim(constant_trace(60.0, seconds=600))  # 360 W vs 260 W
+        assert result.metrics.buffer_energy_out_j > 0.0
+        assert result.metrics.server_downtime_s == 0.0
+
+    def test_sustained_overload_eventually_sheds(self):
+        result = run_sim(constant_trace(65.0, seconds=3 * 3600))
+        assert result.metrics.server_downtime_s > 0.0
+        assert result.metrics.unserved_energy_j > 0.0
+
+    def test_baonly_cannot_serve_without_battery_energy(self):
+        hybrid = prototype_buffer()
+        policy = make_policy("BaOnly")
+        buffers = HybridBuffers(hybrid, include_sc=False)
+        buffers.battery.reset(0.21)  # just above the DoD floor
+        trace = constant_trace(60.0, seconds=900)
+        sim = Simulation(trace, policy, buffers,
+                         cluster_config=prototype_cluster())
+        result = sim.run()
+        assert result.metrics.server_downtime_s > 0.0
+
+    def test_served_energy_conservation(self):
+        """Served + unserved approximately equals offered demand."""
+        result = run_sim(constant_trace(55.0, seconds=1200))
+        total_demand = 6 * 55.0 * 1200
+        accounted = (result.metrics.served_energy_j
+                     + result.metrics.unserved_energy_j)
+        assert accounted == pytest.approx(total_demand, rel=0.05)
+
+
+class TestSlotMachinery:
+    def test_slot_records_cover_run(self, tiny_trace):
+        controller = ControllerConfig(slot_seconds=minutes(5))
+        result = run_sim(tiny_trace, controller=controller)
+        assert len(result.slots) == 4  # 20 min / 5 min
+
+    def test_slot_records_carry_plan_notes(self, tiny_trace):
+        result = run_sim(tiny_trace)
+        assert all(record.note for record in result.slots)
+
+    def test_policy_sees_observations(self, tiny_trace):
+        hybrid = prototype_buffer()
+        policy = make_policy("HEB-D", hybrid=hybrid)
+        controller = ControllerConfig(slot_seconds=minutes(5))
+        buffers = HybridBuffers(hybrid)
+        sim = Simulation(tiny_trace, policy, buffers,
+                         cluster_config=prototype_cluster(),
+                         controller_config=controller)
+        sim.run()
+        assert policy.predictor.observations == 4
+
+
+class TestRenewable:
+    def test_reu_defined_for_renewable_runs(self, tiny_trace):
+        supply = PowerTrace(
+            np.full(tiny_trace.num_samples, 300.0), 1.0)
+        result = run_sim(tiny_trace, supply=supply, renewable=True)
+        assert result.metrics.reu is not None
+        assert 0.0 < result.metrics.reu <= 1.0
+
+    def test_supply_trace_is_the_budget(self):
+        """With a 150 W supply and ~180 W idle demand, buffers must serve
+        load or servers go down."""
+        trace = constant_trace(35.0, seconds=1200)
+        supply = PowerTrace(np.full(1200, 150.0), 1.0)
+        result = run_sim(trace, supply=supply, renewable=True)
+        assert (result.metrics.buffer_energy_out_j > 0.0
+                or result.metrics.server_downtime_s > 0.0)
+
+    def test_surplus_charges_buffers(self):
+        trace = constant_trace(30.0, seconds=1200)
+        supply = PowerTrace(np.full(1200, 400.0), 1.0)
+        hybrid = prototype_buffer()
+        policy = make_policy("HEB-D", hybrid=hybrid)
+        buffers = HybridBuffers(hybrid)
+        buffers.sc.reset(0.1)
+        buffers.battery.reset(0.5)
+        sim = Simulation(trace, policy, buffers,
+                         cluster_config=prototype_cluster(), supply=supply,
+                         renewable=True)
+        result = sim.run()
+        assert result.metrics.buffer_energy_in_j > 0.0
+        assert buffers.sc.soc > 0.9
+
+
+class TestRelays:
+    def test_relays_actuated_on_peaks(self):
+        result = run_sim(constant_trace(60.0, seconds=600))
+        assert result.metrics.relay_switches > 0
+
+    def test_no_switching_without_peaks(self):
+        result = run_sim(constant_trace(30.0, seconds=600))
+        assert result.metrics.relay_switches == 0
+
+
+class TestRestarts:
+    def test_shed_servers_restart_when_power_allows(self):
+        """A long overload sheds; the following valley restarts."""
+        demand = np.concatenate([
+            np.full((6, 5400), 65.0),  # heavy 1.5 h drains everything
+            np.full((6, 1800), 30.0),  # then calm
+        ], axis=1)
+        trace = ClusterTrace(demand, 1.0, name="step")
+        result = run_sim(trace)
+        assert result.metrics.total_restarts > 0
+        assert result.metrics.restart_energy_j > 0.0

@@ -1,0 +1,152 @@
+"""Additional engine tests: metering, failure injection, edge cases."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    ControllerConfig,
+    prototype_buffer,
+    prototype_cluster,
+)
+from repro.core import make_policy
+from repro.core.policies.base import Policy, SlotPlan
+from repro.sim import HybridBuffers, Simulation
+from repro.units import minutes
+from repro.workloads import ClusterTrace, PowerTrace
+
+
+def constant_trace(per_server_w, num_servers=6, seconds=1200):
+    values = np.full((num_servers, seconds), float(per_server_w))
+    return ClusterTrace(values, 1.0, name="constant")
+
+
+def make_sim(trace, scheme="HEB-D", budget=260.0, buffers=None,
+             policy=None, supply=None, renewable=False):
+    hybrid = prototype_buffer()
+    cluster = dataclasses.replace(prototype_cluster(),
+                                  utility_budget_w=budget)
+    policy = policy or make_policy(scheme, hybrid=hybrid)
+    if buffers is None:
+        buffers = HybridBuffers(hybrid, include_sc=scheme != "BaOnly")
+    return Simulation(trace, policy, buffers, cluster_config=cluster,
+                      supply=supply, renewable=renewable)
+
+
+class TestIPDUMetering:
+    def test_ipdu_meters_served_energy(self):
+        sim = make_sim(constant_trace(30.0, seconds=600))
+        sim.run()
+        # All six servers at 30 W for 600 s.
+        assert sim.ipdu.energy_metered_j == pytest.approx(
+            6 * 30.0 * 600, rel=0.01)
+
+    def test_ipdu_history_bounded_to_slot(self):
+        sim = make_sim(constant_trace(30.0, seconds=1500))
+        sim.run()
+        assert len(sim.ipdu.history()) <= 600  # one 10-min slot
+
+    def test_latest_reading_reflects_final_tick(self):
+        sim = make_sim(constant_trace(40.0, seconds=300))
+        sim.run()
+        assert sim.ipdu.latest().total_w == pytest.approx(240.0)
+
+
+class TestFailureInjection:
+    def test_dead_battery_hybrid_survives_on_sc(self):
+        """A completely failed battery: SC alone keeps small peaks up."""
+        hybrid = prototype_buffer()
+        buffers = HybridBuffers(hybrid)
+        buffers.battery.reset(0.2)  # at the DoD floor: unusable
+        sim = make_sim(constant_trace(48.0, seconds=900),
+                       buffers=buffers)  # 288 W vs 260 W
+        result = sim.run()
+        assert result.metrics.server_downtime_s == 0.0
+        assert buffers.sc.telemetry.energy_out_j > 0.0
+
+    def test_both_pools_dead_sheds_immediately(self):
+        hybrid = prototype_buffer()
+        buffers = HybridBuffers(hybrid)
+        buffers.battery.reset(0.2)
+        buffers.sc.reset(0.0)
+        sim = make_sim(constant_trace(60.0, seconds=600), buffers=buffers)
+        result = sim.run()
+        assert result.metrics.server_downtime_s > 0.0
+
+    def test_aged_battery_degrades_but_runs(self):
+        hybrid = prototype_buffer()
+        fresh_buffers = HybridBuffers(hybrid)
+        aged_buffers = HybridBuffers(hybrid)
+        aged_buffers.battery.apply_aging(0.3, resistance_growth=2.0)
+        trace = constant_trace(60.0, seconds=3600)
+        fresh = make_sim(trace, buffers=fresh_buffers).run()
+        aged = make_sim(trace, buffers=aged_buffers).run()
+        assert (aged.metrics.unserved_energy_j
+                >= fresh.metrics.unserved_energy_j)
+
+    def test_misbehaving_policy_r_out_of_range_is_clamped(self):
+        class WildPolicy(Policy):
+            name = "Wild"
+
+            def begin_slot(self, observation):
+                return SlotPlan(r_lambda=7.3, charge_order=("sc",),
+                                note="wild")
+
+        sim = make_sim(constant_trace(60.0, seconds=600),
+                       policy=WildPolicy())
+        result = sim.run()  # must not crash
+        assert result.scheme == "Wild"
+
+    def test_zero_supply_trace_downs_everything(self):
+        # Long enough that both pools (150 Wh) drain at the 180 W load.
+        trace = constant_trace(30.0, seconds=5400)
+        supply = PowerTrace(np.full(5400, 1e-6), 1.0)
+        result = make_sim(trace, supply=supply, renewable=True).run()
+        # Buffers carry the load briefly, then the cluster goes dark.
+        assert result.metrics.server_downtime_s > 0.0
+
+
+class TestEdgeCases:
+    def test_single_tick_trace(self):
+        trace = constant_trace(30.0, seconds=1)
+        result = make_sim(trace).run()
+        assert result.metrics.duration_s == 1.0
+        assert len(result.slots) == 1
+
+    def test_slot_longer_than_trace(self):
+        trace = constant_trace(30.0, seconds=120)
+        controller = ControllerConfig(slot_seconds=minutes(30))
+        hybrid = prototype_buffer()
+        sim = Simulation(trace, make_policy("HEB-D", hybrid=hybrid),
+                         HybridBuffers(hybrid),
+                         cluster_config=prototype_cluster(),
+                         controller_config=controller)
+        result = sim.run()
+        assert len(result.slots) == 1
+
+    def test_single_server_cluster(self):
+        cluster = dataclasses.replace(
+            prototype_cluster(), num_servers=1, utility_budget_w=40.0)
+        trace = constant_trace(60.0, num_servers=1, seconds=600)
+        hybrid = prototype_buffer()
+        sim = Simulation(trace, make_policy("SCFirst", hybrid=hybrid),
+                         HybridBuffers(hybrid), cluster_config=cluster)
+        result = sim.run()
+        assert result.metrics.buffer_energy_out_j > 0.0
+
+    def test_zero_budget_everything_from_buffers(self):
+        trace = constant_trace(30.0, seconds=300)
+        result = make_sim(trace, budget=0.0).run()
+        assert result.metrics.utility_energy_j == 0.0
+        assert (result.metrics.buffer_energy_out_j > 0.0
+                or result.metrics.server_downtime_s > 0.0)
+
+    def test_rerun_same_sim_object_is_consistent(self):
+        """Running a Simulation twice reuses mutated cluster/buffers;
+        users should build a new Simulation per run — but a second run
+        must still produce a valid result object."""
+        sim = make_sim(constant_trace(30.0, seconds=300))
+        first = sim.run()
+        second = sim.run()
+        assert second.metrics.duration_s == first.metrics.duration_s

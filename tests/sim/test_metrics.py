@@ -1,0 +1,85 @@
+"""Tests for metric accumulation and finalization."""
+
+import pytest
+
+from repro.sim.metrics import MetricsAccumulator, finalize_metrics
+
+
+def finalize(accumulator=None, **overrides):
+    defaults = dict(
+        buffer_in_j=1000.0, buffer_out_j=800.0,
+        initial_stored_j=5000.0, final_stored_j=5000.0,
+        downtime_s=0.0, num_servers=6, duration_s=3600.0,
+        lifetime_years=5.0, equivalent_cycles=2.0,
+        total_restarts=0, restart_energy_j=0.0, relay_switches=0,
+        renewable=False)
+    defaults.update(overrides)
+    return finalize_metrics(accumulator or MetricsAccumulator(), **defaults)
+
+
+class TestAccumulator:
+    def test_record_tick_sums(self):
+        acc = MetricsAccumulator()
+        acc.record_tick(dt=2.0, served_w=100.0, unserved_w=10.0,
+                        utility_w=90.0, charge_w=5.0, generation_w=200.0,
+                        conversion_loss_w=1.0, deficit=True)
+        assert acc.served_energy_j == 200.0
+        assert acc.unserved_energy_j == 20.0
+        assert acc.deficit_ticks == 1
+        assert acc.total_ticks == 1
+
+
+class TestEfficiency:
+    def test_ee_from_in_plus_drawdown(self):
+        metrics = finalize(buffer_in_j=1000.0, buffer_out_j=900.0,
+                           initial_stored_j=5000.0, final_stored_j=4800.0)
+        assert metrics.energy_efficiency == pytest.approx(900.0 / 1200.0)
+
+    def test_unused_buffers_are_perfectly_efficient(self):
+        metrics = finalize(buffer_in_j=0.0, buffer_out_j=0.0)
+        assert metrics.energy_efficiency == 1.0
+
+    def test_ee_capped_at_one(self):
+        metrics = finalize(buffer_in_j=100.0, buffer_out_j=200.0,
+                           initial_stored_j=100.0, final_stored_j=100.0)
+        assert metrics.energy_efficiency == 1.0
+
+    def test_net_charge_does_not_inflate_ee(self):
+        """A run that ends with fuller buffers must not divide by the
+        gross charge only."""
+        metrics = finalize(buffer_in_j=1000.0, buffer_out_j=100.0,
+                           initial_stored_j=1000.0, final_stored_j=1800.0)
+        assert metrics.energy_efficiency == pytest.approx(0.1)
+
+
+class TestREU:
+    def test_none_for_utility_runs(self):
+        metrics = finalize(renewable=False)
+        assert metrics.reu is None
+
+    def test_reu_ratio(self):
+        acc = MetricsAccumulator()
+        acc.record_tick(dt=1.0, served_w=0.0, unserved_w=0.0,
+                        utility_w=300.0, charge_w=100.0,
+                        generation_w=800.0, conversion_loss_w=0.0,
+                        deficit=False)
+        metrics = finalize(acc, renewable=True)
+        assert metrics.reu == pytest.approx(400.0 / 800.0)
+
+    def test_reu_none_without_generation(self):
+        metrics = finalize(renewable=True)
+        assert metrics.reu is None
+
+
+class TestDowntime:
+    def test_downtime_fraction(self):
+        metrics = finalize(downtime_s=3600.0, num_servers=6,
+                           duration_s=3600.0)
+        assert metrics.downtime_fraction == pytest.approx(1.0 / 6.0)
+
+    def test_deficit_fraction(self):
+        acc = MetricsAccumulator()
+        for deficit in (True, False, False, False):
+            acc.record_tick(1.0, 0, 0, 0, 0, 0, 0, deficit)
+        metrics = finalize(acc)
+        assert metrics.deficit_time_fraction == pytest.approx(0.25)

@@ -1,0 +1,65 @@
+"""Tests for result export helpers."""
+
+import csv
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    compare_schemes,
+    comparison_to_markdown,
+    results_to_csv,
+    results_to_markdown,
+)
+from tests.sim.test_results import result_of
+
+
+@pytest.fixture
+def results():
+    return [result_of("BaOnly", ee=0.7, downtime=500.0, lifetime=1.0),
+            result_of("HEB-D", ee=0.95, downtime=200.0, lifetime=5.0,
+                      reu=0.8)]
+
+
+class TestCSVExport:
+    def test_writes_one_row_per_run(self, tmp_path, results):
+        path = tmp_path / "runs.csv"
+        results_to_csv(results, path)
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["scheme"] == "BaOnly"
+        assert float(rows[1]["energy_efficiency"]) == pytest.approx(0.95)
+
+    def test_missing_reu_is_blank(self, tmp_path, results):
+        path = tmp_path / "runs.csv"
+        results_to_csv(results, path)
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["reu"] == ""
+        assert rows[1]["reu"] != ""
+
+    def test_rejects_empty(self, tmp_path):
+        with pytest.raises(SimulationError):
+            results_to_csv([], tmp_path / "empty.csv")
+
+
+class TestMarkdownExport:
+    def test_renders_table(self, results):
+        text = results_to_markdown(results, title="T")
+        assert "### T" in text
+        assert "| BaOnly |" in text
+        assert "| HEB-D |" in text
+        assert "—" in text  # missing REU
+
+    def test_comparison_table(self, results):
+        table = compare_schemes(results)
+        text = comparison_to_markdown(table)
+        assert "baseline: BaOnly" in text
+        assert "HEB-D" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            results_to_markdown([])
+        with pytest.raises(SimulationError):
+            comparison_to_markdown({})

@@ -1,0 +1,86 @@
+"""Tests for result containers and scheme comparison."""
+
+import pytest
+
+from repro.sim.metrics import RunMetrics
+from repro.sim.results import RunResult, average_metric, compare_schemes
+from repro.storage.lifetime import LifetimeReport
+
+
+def metrics_of(ee=0.8, downtime=100.0, lifetime=2.0, reu=None):
+    return RunMetrics(
+        energy_efficiency=ee, server_downtime_s=downtime,
+        downtime_fraction=downtime / 3600.0,
+        battery_lifetime_years=lifetime, battery_equivalent_cycles=1.0,
+        reu=reu, renewable_capture=reu,
+        buffer_energy_in_j=0.0, buffer_energy_out_j=0.0,
+        served_energy_j=0.0, unserved_energy_j=0.0, utility_energy_j=0.0,
+        generation_energy_j=0.0, deficit_time_fraction=0.0,
+        total_restarts=0, restart_energy_j=0.0, relay_switches=0,
+        duration_s=3600.0)
+
+
+def result_of(scheme, workload="PR", **kwargs):
+    report = LifetimeReport(
+        effective_throughput_ah=1.0, raw_throughput_ah=1.0,
+        life_consumed_fraction=0.01, equivalent_full_cycles=1.0,
+        estimated_lifetime_years=kwargs.get("lifetime", 2.0),
+        observation_seconds=3600.0)
+    return RunResult(scheme=scheme, workload=workload,
+                     metrics=metrics_of(**kwargs), lifetime=report,
+                     slots=())
+
+
+class TestSummary:
+    def test_summary_keys(self):
+        summary = result_of("HEB-D").summary()
+        assert "energy_efficiency" in summary
+        assert "reu" not in summary
+
+    def test_summary_includes_reu_when_present(self):
+        summary = result_of("HEB-D", reu=0.8).summary()
+        assert summary["reu"] == 0.8
+
+
+class TestAverageMetric:
+    def test_mean(self):
+        results = [result_of("A", ee=0.6), result_of("A", ee=0.8)]
+        assert average_metric(
+            results, lambda m: m.energy_efficiency) == pytest.approx(0.7)
+
+    def test_ignores_none(self):
+        results = [result_of("A", reu=0.5), result_of("A", reu=None)]
+        assert average_metric(results, lambda m: m.reu) == pytest.approx(0.5)
+
+    def test_raises_when_empty(self):
+        with pytest.raises(ValueError):
+            average_metric([result_of("A")], lambda m: m.reu)
+
+
+class TestCompareSchemes:
+    @pytest.fixture
+    def results(self):
+        return [
+            result_of("BaOnly", ee=0.70, downtime=1000.0, lifetime=1.0),
+            result_of("BaOnly", workload="WC", ee=0.74,
+                      downtime=800.0, lifetime=1.2),
+            result_of("HEB-D", ee=0.95, downtime=500.0, lifetime=5.0),
+            result_of("HEB-D", workload="WC", ee=0.93,
+                      downtime=580.0, lifetime=4.8),
+        ]
+
+    def test_per_scheme_means(self, results):
+        table = compare_schemes(results)
+        assert table["BaOnly"]["energy_efficiency"] == pytest.approx(0.72)
+        assert table["HEB-D"]["runs"] == 2.0
+
+    def test_normalized_ratios(self, results):
+        table = compare_schemes(results)
+        assert table["HEB-D"]["energy_efficiency_vs_baseline"] == (
+            pytest.approx(0.94 / 0.72))
+        assert table["HEB-D"]["server_downtime_vs_baseline"] < 1.0
+        assert table["HEB-D"]["battery_lifetime_vs_baseline"] > 1.0
+
+    def test_missing_baseline_raises(self, results):
+        with pytest.raises(ValueError):
+            compare_schemes(results[2:], baseline="BaOnly")

@@ -1,0 +1,103 @@
+"""Tests for DeviceBank pooling."""
+
+import pytest
+
+from repro.config import BatteryConfig, SupercapConfig
+from repro.errors import ConfigurationError
+from repro.storage import DeviceBank, LeadAcidBattery, Supercapacitor
+
+
+def make_bank(n=2, soc=1.0):
+    return DeviceBank([Supercapacitor(SupercapConfig(), name=f"sc{i}",
+                                      soc=soc) for i in range(n)])
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            DeviceBank([])
+
+    def test_nominal_energy_sums(self):
+        bank = make_bank(3)
+        assert bank.nominal_energy_j == pytest.approx(
+            3 * SupercapConfig().nominal_energy_j)
+
+    def test_mixed_bank_allowed(self):
+        bank = DeviceBank([Supercapacitor(SupercapConfig()),
+                           LeadAcidBattery(BatteryConfig())])
+        assert bank.stored_energy_j > 0
+
+
+class TestFlows:
+    def test_discharge_splits_across_members(self):
+        bank = make_bank(2)
+        result = bank.discharge(200.0, 1.0)
+        assert result.achieved_w == pytest.approx(200.0, rel=1e-3)
+        for device in bank.devices:
+            assert device.telemetry.energy_out_j > 0
+
+    def test_pool_outlasts_single_device(self):
+        single = Supercapacitor(SupercapConfig())
+        bank = make_bank(2)
+        single_time = bank_time = 0
+        while not single.discharge(150.0, 5.0).limited:
+            single_time += 5
+            if single_time > 40000:
+                break
+        while not bank.discharge(150.0, 5.0).limited:
+            bank_time += 5
+            if bank_time > 40000:
+                break
+        assert bank_time > single_time * 1.5
+
+    def test_unbalanced_members_share_by_capability(self):
+        strong = Supercapacitor(SupercapConfig(), name="strong", soc=1.0)
+        weak = Supercapacitor(SupercapConfig(), name="weak", soc=0.05)
+        bank = DeviceBank([strong, weak])
+        bank.discharge(100.0, 1.0)
+        assert (strong.telemetry.energy_out_j
+                > weak.telemetry.energy_out_j)
+
+    def test_charge_splits(self):
+        bank = make_bank(2, soc=0.2)
+        result = bank.charge(200.0, 1.0)
+        assert result.achieved_w > 0
+        for device in bank.devices:
+            assert device.telemetry.energy_in_j > 0
+
+    def test_depleted_bank_is_limited(self):
+        bank = make_bank(2, soc=0.0)
+        result = bank.discharge(100.0, 1.0)
+        assert result.limited
+        assert result.achieved_w == 0.0
+
+    def test_rest_propagates(self):
+        bank = DeviceBank([LeadAcidBattery(BatteryConfig())])
+        bank.rest(100.0)
+        assert bank.devices[0].telemetry.rest_time_s == pytest.approx(100.0)
+
+
+class TestAggregation:
+    def test_usable_energy_sums_members(self):
+        bank = make_bank(2, soc=0.5)
+        assert bank.usable_energy_j == pytest.approx(
+            sum(d.usable_energy_j for d in bank.devices))
+
+    def test_dod_propagates(self):
+        bank = make_bank(2)
+        bank.set_depth_of_discharge(0.5)
+        for device in bank.devices:
+            assert device.soc_floor == pytest.approx(0.5)
+
+    def test_reset_refills_everyone(self):
+        bank = make_bank(2, soc=0.3)
+        bank.discharge(100.0, 10.0)
+        bank.reset(1.0)
+        assert bank.soc == pytest.approx(1.0)
+        assert bank.telemetry.energy_out_j == 0.0
+
+    def test_max_powers_sum(self):
+        single_power = Supercapacitor(SupercapConfig()).max_discharge_power(1.0)
+        bank = make_bank(2)
+        assert bank.max_discharge_power(1.0) == pytest.approx(
+            2 * single_power, rel=1e-6)

@@ -1,0 +1,233 @@
+"""Tests for the lead-acid battery model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import BatteryConfig
+from repro.errors import ConfigurationError
+from repro.storage import LeadAcidBattery
+
+
+@pytest.fixture
+def fresh(battery_config):
+    return LeadAcidBattery(battery_config)
+
+
+class TestState:
+    def test_starts_full(self, fresh):
+        assert fresh.soc == pytest.approx(1.0)
+        assert not fresh.is_depleted
+
+    def test_nominal_energy_matches_config(self, fresh, battery_config):
+        assert fresh.nominal_energy_j == battery_config.nominal_energy_j
+
+    def test_dod_floor_from_config(self, fresh, battery_config):
+        assert fresh.soc_floor == pytest.approx(1.0 - battery_config.rated_dod)
+
+    def test_usable_excludes_floor(self, fresh):
+        expected = fresh.stored_energy_j - fresh.soc_floor * fresh.nominal_energy_j
+        assert fresh.usable_energy_j == pytest.approx(expected)
+
+    def test_reset_to_partial_soc(self, fresh):
+        fresh.reset(0.5)
+        assert fresh.soc == pytest.approx(0.5)
+
+    def test_set_dod_rejects_out_of_range(self, fresh):
+        with pytest.raises(ConfigurationError):
+            fresh.set_depth_of_discharge(0.0)
+        with pytest.raises(ConfigurationError):
+            fresh.set_depth_of_discharge(1.1)
+
+
+class TestVoltage:
+    def test_full_battery_at_nominal_voltage(self, fresh, battery_config):
+        assert fresh.open_circuit_voltage() == pytest.approx(
+            battery_config.nominal_voltage_v)
+
+    def test_voltage_sags_under_sustained_load(self, fresh):
+        v_before = fresh.open_circuit_voltage()
+        for _ in range(600):
+            fresh.discharge(140.0, 1.0)
+        assert fresh.open_circuit_voltage() < v_before
+
+    def test_voltage_recovers_after_rest(self, fresh):
+        for _ in range(600):
+            fresh.discharge(140.0, 1.0)
+        v_loaded = fresh.open_circuit_voltage()
+        fresh.rest(1800.0)
+        assert fresh.open_circuit_voltage() > v_loaded
+
+    def test_heavier_load_sags_faster(self, battery_config):
+        """Figure 5: batteries show sharper drops at larger demands."""
+        light = LeadAcidBattery(battery_config)
+        heavy = LeadAcidBattery(battery_config)
+        for _ in range(300):
+            light.discharge(70.0, 1.0)
+            heavy.discharge(280.0, 1.0)
+        assert (heavy.open_circuit_voltage()
+                < light.open_circuit_voltage())
+
+
+class TestDischarge:
+    def test_meets_modest_request(self, fresh):
+        result = fresh.discharge(70.0, 1.0)
+        assert result.achieved_w == pytest.approx(70.0, rel=1e-6)
+        assert not result.limited
+
+    def test_energy_equals_power_times_dt(self, fresh):
+        result = fresh.discharge(100.0, 5.0)
+        assert result.energy_j == pytest.approx(result.achieved_w * 5.0)
+
+    def test_reduces_stored_energy(self, fresh):
+        before = fresh.stored_energy_j
+        fresh.discharge(100.0, 10.0)
+        assert fresh.stored_energy_j < before
+
+    def test_zero_power_is_noop_flow(self, fresh):
+        result = fresh.discharge(0.0, 1.0)
+        assert result.achieved_w == 0.0
+        assert not result.limited
+
+    def test_rejects_negative_power(self, fresh):
+        with pytest.raises(ConfigurationError):
+            fresh.discharge(-1.0, 1.0)
+
+    def test_rejects_nonpositive_dt(self, fresh):
+        with pytest.raises(ConfigurationError):
+            fresh.discharge(10.0, 0.0)
+
+    def test_absurd_request_is_limited(self, fresh):
+        result = fresh.discharge(100_000.0, 1.0)
+        assert result.limited
+        assert result.achieved_w < 100_000.0
+
+    def test_depleted_battery_delivers_nothing(self, fresh):
+        fresh.reset(0.0)
+        result = fresh.discharge(50.0, 1.0)
+        assert result.achieved_w == 0.0
+        assert result.limited
+
+    def test_respects_dod_floor(self, fresh):
+        fresh.set_depth_of_discharge(0.3)
+        for _ in range(3000):
+            fresh.discharge(100.0, 10.0)
+        assert fresh.soc >= 0.7 - 0.02
+
+    def test_terminal_voltage_below_ocv(self, fresh):
+        result = fresh.discharge(140.0, 1.0)
+        assert result.terminal_voltage_v < fresh.config.nominal_voltage_v
+
+    def test_peukert_less_usable_energy_at_high_current(self, battery_config):
+        """Peukert's law: large discharge current -> less usable capacity."""
+        slow = LeadAcidBattery(battery_config)
+        fast = LeadAcidBattery(battery_config)
+        slow_energy = 0.0
+        fast_energy = 0.0
+        for _ in range(40000):
+            result = slow.discharge(50.0, 1.0)
+            slow_energy += result.energy_j
+            if result.limited:
+                break
+        for _ in range(40000):
+            result = fast.discharge(250.0, 1.0)
+            fast_energy += result.energy_j
+            if result.limited:
+                break
+        assert fast_energy < slow_energy
+
+
+class TestCharge:
+    def test_accepts_power_when_empty(self, fresh):
+        fresh.reset(0.3)
+        result = fresh.charge(20.0, 1.0)
+        assert result.achieved_w > 0.0
+
+    def test_respects_charge_current_limit(self, fresh, battery_config):
+        fresh.reset(0.2)
+        result = fresh.charge(10_000.0, 1.0)
+        max_power = battery_config.max_charge_current_a * (
+            result.terminal_voltage_v)
+        assert result.achieved_w <= max_power * 1.01
+
+    def test_full_battery_accepts_nothing(self, fresh):
+        result = fresh.charge(50.0, 1.0)
+        assert result.achieved_w == 0.0
+
+    def test_increases_stored_energy(self, fresh):
+        fresh.reset(0.4)
+        before = fresh.stored_energy_j
+        for _ in range(60):
+            fresh.charge(25.0, 10.0)
+        assert fresh.stored_energy_j > before
+
+    def test_charge_has_losses(self, fresh):
+        fresh.reset(0.4)
+        result = fresh.charge(25.0, 10.0)
+        assert result.loss_j > 0.0
+
+    def test_rejects_negative_power(self, fresh):
+        with pytest.raises(ConfigurationError):
+            fresh.charge(-5.0, 1.0)
+
+
+class TestTelemetry:
+    def test_counts_discharge_energy(self, fresh):
+        fresh.discharge(100.0, 10.0)
+        assert fresh.telemetry.energy_out_j == pytest.approx(1000.0, rel=1e-6)
+
+    def test_counts_throughput(self, fresh):
+        result = fresh.discharge(100.0, 10.0)
+        assert fresh.telemetry.discharge_throughput_c == pytest.approx(
+            result.current_a * 10.0)
+
+    def test_tracks_peak_current(self, fresh):
+        fresh.discharge(70.0, 1.0)
+        fresh.discharge(200.0, 1.0)
+        small = fresh.telemetry.peak_discharge_current_a
+        fresh.discharge(70.0, 1.0)
+        assert fresh.telemetry.peak_discharge_current_a == small
+
+    def test_reset_clears_telemetry(self, fresh):
+        fresh.discharge(100.0, 10.0)
+        fresh.reset()
+        assert fresh.telemetry.energy_out_j == 0.0
+
+
+class TestRoundTrip:
+    def test_round_trip_efficiency_below_085(self, battery_config):
+        """The paper: lead-acid is below 80% 'even in the best case'.
+        We allow a small margin above to avoid over-fitting."""
+        from repro.storage import round_trip_efficiency
+        battery = LeadAcidBattery(battery_config)
+        efficiency = round_trip_efficiency(battery, 70.0, 25.0)
+        assert efficiency < 0.85
+
+    def test_efficiency_decreases_with_load(self, battery_config):
+        """Figure 3: one-time discharge efficiency drops with more servers."""
+        from repro.storage import round_trip_efficiency
+        efficiencies = []
+        for power in (70.0, 140.0, 280.0):
+            battery = LeadAcidBattery(battery_config)
+            efficiencies.append(round_trip_efficiency(battery, power, 25.0))
+        assert efficiencies[0] > efficiencies[1] > efficiencies[2]
+
+
+class TestProperties:
+    @given(st.floats(min_value=1.0, max_value=400.0),
+           st.floats(min_value=0.1, max_value=60.0))
+    @settings(max_examples=50, deadline=None)
+    def test_discharge_energy_never_exceeds_request(self, power, dt):
+        battery = LeadAcidBattery(BatteryConfig())
+        result = battery.discharge(power, dt)
+        assert result.achieved_w <= power * (1.0 + 1e-9)
+        assert result.energy_j <= power * dt * (1.0 + 1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=1.0, max_value=300.0))
+    @settings(max_examples=50, deadline=None)
+    def test_soc_stays_in_unit_interval(self, soc, power):
+        battery = LeadAcidBattery(BatteryConfig())
+        battery.reset(soc)
+        battery.discharge(power, 30.0)
+        battery.charge(power, 30.0)
+        assert 0.0 <= battery.soc <= 1.0 + 1e-9

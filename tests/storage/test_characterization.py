@@ -1,0 +1,107 @@
+"""Tests for the characterization (test-bed) experiments of Section 3.1."""
+
+import pytest
+
+from repro.config import BatteryConfig, SupercapConfig
+from repro.errors import ConfigurationError
+from repro.storage import (
+    LeadAcidBattery,
+    Supercapacitor,
+    constant_power_charge,
+    constant_power_discharge,
+    discharge_voltage_curve,
+    recovery_experiment,
+    round_trip_efficiency,
+)
+
+
+class TestConstantPowerDischarge:
+    def test_runs_until_limited(self, supercap_config):
+        sc = Supercapacitor(supercap_config)
+        result = constant_power_discharge(sc, 140.0, dt=1.0)
+        assert result.runtime_s > 0
+        assert result.energy_delivered_j > 0
+
+    def test_higher_power_shorter_runtime(self, supercap_config):
+        fast = constant_power_discharge(
+            Supercapacitor(supercap_config), 280.0)
+        slow = constant_power_discharge(
+            Supercapacitor(supercap_config), 70.0)
+        assert fast.runtime_s < slow.runtime_s
+
+    def test_rejects_nonpositive_power(self, supercap_config):
+        with pytest.raises(ConfigurationError):
+            constant_power_discharge(Supercapacitor(supercap_config), 0.0)
+
+    def test_respects_max_time(self, battery_config):
+        battery = LeadAcidBattery(battery_config)
+        result = constant_power_discharge(battery, 10.0, dt=1.0,
+                                          max_time_s=30.0)
+        assert result.runtime_s <= 30.0
+
+
+class TestConstantPowerCharge:
+    def test_fills_device(self, supercap_config):
+        sc = Supercapacitor(supercap_config, soc=0.2)
+        constant_power_charge(sc, 200.0, dt=1.0)
+        assert sc.soc > 0.99
+
+    def test_battery_charge_limited_by_current_ceiling(self, battery_config):
+        battery = LeadAcidBattery(battery_config)
+        battery.reset(0.2)
+        result = constant_power_charge(battery, 500.0, dt=1.0,
+                                       max_time_s=60.0)
+        # At ~26 V and 1.1 A the battery can accept only ~30 W.
+        assert max(result.powers_w) < 60.0
+
+
+class TestRoundTrip:
+    def test_sc_in_paper_band_for_pooled_module(self):
+        """The prototype SC pool (scaled) lands in the 90-95% band."""
+        config = SupercapConfig().scaled_to_energy(
+            2.5 * SupercapConfig().nominal_energy_j)
+        efficiency = round_trip_efficiency(
+            Supercapacitor(config), 280.0, 300.0)
+        assert 0.90 <= efficiency <= 0.97
+
+    def test_battery_below_sc(self, battery_config, supercap_config):
+        battery_eff = round_trip_efficiency(
+            LeadAcidBattery(battery_config), 140.0, 25.0)
+        sc_eff = round_trip_efficiency(
+            Supercapacitor(supercap_config), 140.0, 200.0)
+        assert battery_eff < sc_eff
+
+
+class TestRecovery:
+    def test_recovery_gain_in_paper_band(self, battery_config):
+        """Section 3.1: rest-interleaved discharge recovers 6-24%."""
+        result = recovery_experiment(
+            lambda: LeadAcidBattery(battery_config),
+            power_w=140.0, burst_s=300.0, rest_s=900.0, cycles=10)
+        assert 0.03 <= result.recovery_gain <= 0.40
+        assert result.rested_energy_j >= result.one_shot_energy_j
+
+    def test_onoff_overhead_accounted(self, battery_config):
+        result = recovery_experiment(
+            lambda: LeadAcidBattery(battery_config),
+            power_w=140.0, burst_s=300.0, rest_s=600.0, cycles=4,
+            restart_energy_j=3000.0)
+        assert result.onoff_overhead_j > 0
+
+
+class TestVoltageCurves:
+    def test_battery_sharper_drop_at_higher_power(self, battery_config):
+        """Figure 5's battery panel."""
+        drops = []
+        for power in (70.0, 280.0):
+            curve = discharge_voltage_curve(
+                LeadAcidBattery(battery_config), power, max_time_s=120.0)
+            drops.append(curve.voltages_v[0] - curve.voltages_v[-1])
+        assert drops[1] > drops[0]
+
+    def test_sc_curve_independent_shape(self, supercap_config):
+        """Figure 5's SC panel: decline is linear at any power."""
+        curve = discharge_voltage_curve(
+            Supercapacitor(supercap_config), 140.0)
+        assert curve.voltages_v[0] > curve.voltages_v[-1]
+        assert len(curve.voltages_v) > 10

@@ -1,0 +1,171 @@
+"""Tests for the KiBaM two-well core."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.storage.kibam import (
+    KiBaMState,
+    kibam_max_charge_current,
+    kibam_max_discharge_current,
+    kibam_step,
+)
+
+CAPACITY = 4.4 * 3600.0  # coulombs
+C_FRACTION = 0.62
+K_RATE = 4.5e-4
+
+
+def full_state(soc: float = 1.0) -> KiBaMState:
+    return KiBaMState.at_soc(CAPACITY, C_FRACTION, K_RATE, soc)
+
+
+class TestState:
+    def test_at_soc_splits_by_c(self):
+        state = full_state(1.0)
+        assert state.available_c == pytest.approx(CAPACITY * C_FRACTION)
+        assert state.bound_c == pytest.approx(CAPACITY * (1 - C_FRACTION))
+
+    def test_soc_of_full_state(self):
+        assert full_state(1.0).soc == pytest.approx(1.0)
+
+    def test_soc_of_half_state(self):
+        assert full_state(0.5).soc == pytest.approx(0.5)
+
+    def test_available_fraction_full(self):
+        assert full_state(1.0).available_fraction == pytest.approx(1.0)
+
+    def test_rejects_bad_c(self):
+        with pytest.raises(ConfigurationError):
+            KiBaMState(1.0, 1.0, 2.0, c=0.0, k=K_RATE)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            KiBaMState(1.0, 1.0, 2.0, c=0.5, k=0.0)
+
+    def test_rejects_bad_soc(self):
+        with pytest.raises(ConfigurationError):
+            KiBaMState.at_soc(CAPACITY, C_FRACTION, K_RATE, 1.5)
+
+
+class TestStep:
+    def test_zero_current_conserves_charge(self):
+        state = full_state(0.7)
+        after = kibam_step(state, 0.0, 600.0)
+        assert after.total_c == pytest.approx(state.total_c, rel=1e-9)
+
+    def test_discharge_removes_charge(self):
+        state = full_state(1.0)
+        after = kibam_step(state, 2.0, 60.0)
+        assert after.total_c == pytest.approx(state.total_c - 2.0 * 60.0,
+                                              rel=1e-6)
+
+    def test_charge_adds_charge(self):
+        state = full_state(0.5)
+        after = kibam_step(state, -1.0, 60.0)
+        assert after.total_c == pytest.approx(state.total_c + 60.0, rel=1e-6)
+
+    def test_rest_recovers_available_well(self):
+        """The recovery effect: bound charge migrates back during rest."""
+        state = full_state(1.0)
+        drained = kibam_step(state, 10.0, 600.0)
+        rested = kibam_step(drained, 0.0, 1800.0)
+        assert rested.available_c > drained.available_c
+        assert rested.total_c == pytest.approx(drained.total_c, rel=1e-9)
+
+    def test_high_current_depletes_available_faster_than_total(self):
+        """Rate-capacity effect: available empties while bound remains."""
+        state = full_state(1.0)
+        after = kibam_step(state, 12.0, 600.0)
+        assert after.available_fraction < after.soc
+
+    def test_wells_never_negative(self):
+        state = full_state(0.05)
+        after = kibam_step(state, 100.0, 3600.0)
+        assert after.available_c >= 0.0
+        assert after.bound_c >= 0.0
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ConfigurationError):
+            kibam_step(full_state(), 1.0, 0.0)
+
+    def test_two_short_steps_equal_one_long_step(self):
+        """The closed form must compose across step boundaries."""
+        state = full_state(0.9)
+        one = kibam_step(state, 3.0, 120.0)
+        two = kibam_step(kibam_step(state, 3.0, 60.0), 3.0, 60.0)
+        assert two.available_c == pytest.approx(one.available_c, rel=1e-9)
+        assert two.bound_c == pytest.approx(one.bound_c, rel=1e-9)
+
+
+class TestMaxCurrents:
+    def test_max_discharge_empties_available_exactly(self):
+        state = full_state(1.0)
+        dt = 300.0
+        i_max = kibam_max_discharge_current(state, dt)
+        after = kibam_step(state, i_max, dt)
+        assert after.available_c == pytest.approx(0.0, abs=1e-6 * CAPACITY)
+
+    def test_max_discharge_is_zero_when_empty(self):
+        assert kibam_max_discharge_current(full_state(0.0), 60.0) == 0.0
+
+    def test_max_charge_fills_available_exactly(self):
+        state = full_state(0.2)
+        dt = 300.0
+        i_max = kibam_max_charge_current(state, dt)
+        after = kibam_step(state, -i_max, dt)
+        assert after.available_c == pytest.approx(
+            CAPACITY * C_FRACTION, rel=1e-6)
+
+    def test_max_charge_is_zero_when_full(self):
+        assert kibam_max_charge_current(full_state(1.0), 60.0) == pytest.approx(
+            0.0, abs=1e-9)
+
+    def test_longer_window_allows_more_total_charge_but_less_current(self):
+        state = full_state(1.0)
+        short = kibam_max_discharge_current(state, 10.0)
+        long = kibam_max_discharge_current(state, 600.0)
+        assert long < short  # sustained current is lower
+        assert long * 600.0 > short * 10.0  # but total charge is higher
+
+
+@st.composite
+def states(draw):
+    soc = draw(st.floats(min_value=0.0, max_value=1.0))
+    return full_state(soc)
+
+
+class TestProperties:
+    @given(states(), st.floats(min_value=0.0, max_value=20.0),
+           st.floats(min_value=1.0, max_value=1800.0))
+    @settings(max_examples=80, deadline=None)
+    def test_discharge_never_creates_charge(self, state, current, dt):
+        after = kibam_step(state, current, dt)
+        assert after.total_c <= state.total_c + 1e-6
+
+    @given(states(), st.floats(min_value=1.0, max_value=1800.0))
+    @settings(max_examples=80, deadline=None)
+    def test_max_discharge_current_is_feasible(self, state, dt):
+        i_max = kibam_max_discharge_current(state, dt)
+        after = kibam_step(state, i_max, dt)
+        assert after.available_c >= -1e-6
+
+    @given(states(), st.floats(min_value=1.0, max_value=1800.0))
+    @settings(max_examples=80, deadline=None)
+    def test_rest_moves_towards_equilibrium(self, state, dt):
+        after = kibam_step(state, 0.0, dt)
+        # Equilibrium has available/bound = c/(1-c); resting must not
+        # increase the imbalance.
+        target = state.total_c * C_FRACTION
+        assert (abs(after.available_c - target)
+                <= abs(state.available_c - target) + 1e-6)
+
+    @given(states(), st.floats(min_value=0.1, max_value=20.0),
+           st.floats(min_value=1.0, max_value=600.0))
+    @settings(max_examples=80, deadline=None)
+    def test_wells_stay_in_bounds(self, state, current, dt):
+        after = kibam_step(state, current, dt)
+        assert -1e-9 <= after.available_c <= CAPACITY * C_FRACTION + 1e-6
+        assert -1e-9 <= after.bound_c <= CAPACITY * (1 - C_FRACTION) + 1e-6

@@ -1,0 +1,115 @@
+"""Tests for the Ah-throughput lifetime model."""
+
+import pytest
+
+from repro.config import BatteryConfig
+from repro.errors import ConfigurationError
+from repro.storage import AhThroughputLifetimeModel
+from repro.units import SECONDS_PER_YEAR
+
+
+@pytest.fixture
+def model(battery_config):
+    return AhThroughputLifetimeModel(battery_config)
+
+
+class TestTotals:
+    def test_total_life_throughput(self, model, battery_config):
+        expected = (battery_config.rated_cycles * battery_config.rated_dod
+                    * battery_config.capacity_ah)
+        assert model.total_life_throughput_ah == pytest.approx(expected)
+
+    def test_fresh_model_has_no_wear(self, model):
+        assert model.life_consumed_fraction == 0.0
+        assert model.report().estimated_lifetime_years == float("inf")
+
+
+class TestWeights:
+    def test_gentle_discharge_weight_is_soc_only(self, model,
+                                                 battery_config):
+        weight = model.weight(battery_config.reference_current_a, 1.0)
+        assert weight == pytest.approx(1.0)
+
+    def test_high_current_raises_weight(self, model, battery_config):
+        low = model.weight(battery_config.reference_current_a, 1.0)
+        high = model.weight(5.0 * battery_config.reference_current_a, 1.0)
+        assert high > low
+
+    def test_low_soc_raises_weight(self, model):
+        assert model.weight(1.0, 0.2) > model.weight(1.0, 0.9)
+
+    def test_zero_stress_exponent_ignores_current(self, battery_config):
+        model = AhThroughputLifetimeModel(battery_config,
+                                          current_stress_exponent=0.0)
+        assert model.weight(100.0, 1.0) == pytest.approx(1.0)
+
+    def test_rejects_negative_stress(self, battery_config):
+        with pytest.raises(ConfigurationError):
+            AhThroughputLifetimeModel(battery_config,
+                                      current_stress_exponent=-1.0)
+        with pytest.raises(ConfigurationError):
+            AhThroughputLifetimeModel(battery_config, low_soc_stress=-0.5)
+
+
+class TestObservation:
+    def test_observe_accumulates_raw_throughput(self, model):
+        model.observe_discharge(3.6, 1000.0, soc=1.0)
+        assert model.report().raw_throughput_ah == pytest.approx(1.0)
+
+    def test_effective_at_least_raw(self, model):
+        model.observe_discharge(10.0, 600.0, soc=0.5)
+        report = model.report()
+        assert report.effective_throughput_ah >= report.raw_throughput_ah
+
+    def test_rejects_bad_args(self, model):
+        with pytest.raises(ConfigurationError):
+            model.observe_discharge(-1.0, 10.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            model.observe_discharge(1.0, 0.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            model.observe_idle(0.0)
+
+    def test_idle_extends_window_without_wear(self, model):
+        model.observe_discharge(1.0, 600.0, 1.0)
+        wear_before = model.life_consumed_fraction
+        lifetime_before = model.report().estimated_lifetime_years
+        model.observe_idle(6000.0)
+        assert model.life_consumed_fraction == wear_before
+        assert model.report().estimated_lifetime_years > lifetime_before
+
+
+class TestLifetimeEstimate:
+    def test_lifetime_scales_inversely_with_usage(self, battery_config):
+        light = AhThroughputLifetimeModel(battery_config)
+        heavy = AhThroughputLifetimeModel(battery_config)
+        window = 3600.0
+        light.observe_discharge(1.0, window, 1.0)
+        heavy.observe_discharge(4.0, window, 1.0)
+        assert (light.report().estimated_lifetime_years
+                > heavy.report().estimated_lifetime_years)
+
+    def test_continuous_rated_usage_lifetime(self, battery_config):
+        """Discharging the full life throughput in one year -> one year."""
+        model = AhThroughputLifetimeModel(battery_config,
+                                          current_stress_exponent=0.0,
+                                          low_soc_stress=0.0)
+        total_ah = model.total_life_throughput_ah
+        current = total_ah * 3600.0 / SECONDS_PER_YEAR  # amps for 1 year
+        model.observe_discharge(current, SECONDS_PER_YEAR, soc=1.0)
+        assert model.report().estimated_lifetime_years == pytest.approx(
+            1.0, rel=0.01)
+
+    def test_equivalent_full_cycles(self, battery_config):
+        model = AhThroughputLifetimeModel(battery_config,
+                                          current_stress_exponent=0.0,
+                                          low_soc_stress=0.0)
+        cycle_ah = battery_config.rated_dod * battery_config.capacity_ah
+        model.observe_discharge(1.0, cycle_ah * 3600.0, soc=1.0)
+        assert model.report().equivalent_full_cycles == pytest.approx(
+            1.0, rel=1e-6)
+
+    def test_reset_clears_state(self, model):
+        model.observe_discharge(2.0, 600.0, 0.8)
+        model.reset()
+        assert model.life_consumed_fraction == 0.0
+        assert model.report().observation_seconds == 0.0

@@ -1,0 +1,88 @@
+"""Tests for the cost database and breakdown (Figures 4 and 15a)."""
+
+import pytest
+
+from repro.errors import TCOError
+from repro.tco import (
+    STORAGE_TECHNOLOGIES,
+    CostBreakdown,
+    amortized_cost_per_kwh_cycle,
+    prototype_cost_breakdown,
+)
+from repro.tco.costs import StorageTechnology
+
+
+class TestDatabase:
+    def test_contains_figure4_technologies(self):
+        assert {"lead-acid", "nicd", "li-ion", "supercapacitor"} <= set(
+            STORAGE_TECHNOLOGIES)
+
+    def test_lead_acid_cost_band(self):
+        """Paper: UPS batteries 100-300 $/kWh."""
+        tech = STORAGE_TECHNOLOGIES["lead-acid"]
+        assert tech.initial_cost_low == 100.0
+        assert tech.initial_cost_high == 300.0
+
+    def test_sc_cost_band(self):
+        """Paper: SCs 10k-30k $/kWh."""
+        tech = STORAGE_TECHNOLOGIES["supercapacitor"]
+        assert tech.initial_cost_low == 10_000.0
+        assert tech.initial_cost_high == 30_000.0
+
+    def test_sc_cycle_life_orders_beyond_battery(self):
+        """Two to three orders of magnitude more cycles (Section 1)."""
+        sc = STORAGE_TECHNOLOGIES["supercapacitor"].cycle_life
+        lead = STORAGE_TECHNOLOGIES["lead-acid"].cycle_life
+        assert 100 <= sc / lead <= 1000
+
+    def test_validation(self):
+        with pytest.raises(TCOError):
+            StorageTechnology("bad", 10.0, 5.0, 100.0, 0.9)
+        with pytest.raises(TCOError):
+            StorageTechnology("bad", 10.0, 20.0, 0.0, 0.9)
+
+
+class TestAmortized:
+    def test_sc_amortized_near_nicd_liion(self):
+        """Figure 4's punchline: SC amortized cost is competitive."""
+        sc = amortized_cost_per_kwh_cycle(
+            STORAGE_TECHNOLOGIES["supercapacitor"])
+        nicd = amortized_cost_per_kwh_cycle(STORAGE_TECHNOLOGIES["nicd"])
+        li = amortized_cost_per_kwh_cycle(STORAGE_TECHNOLOGIES["li-ion"])
+        assert 0.2 * min(nicd, li) <= sc <= 5.0 * max(nicd, li)
+
+    def test_lead_acid_cheapest_amortized(self):
+        """... and still higher than lead-acid."""
+        sc = amortized_cost_per_kwh_cycle(
+            STORAGE_TECHNOLOGIES["supercapacitor"])
+        lead = amortized_cost_per_kwh_cycle(
+            STORAGE_TECHNOLOGIES["lead-acid"])
+        assert lead < sc
+
+    def test_high_band(self):
+        tech = STORAGE_TECHNOLOGIES["lead-acid"]
+        assert (amortized_cost_per_kwh_cycle(tech, use_high=True)
+                > amortized_cost_per_kwh_cycle(tech))
+
+
+class TestBreakdown:
+    def test_esd_dominates(self):
+        """Figure 15(a): storage devices are ~55% of the node cost."""
+        breakdown, __ = prototype_cost_breakdown()
+        fractions = breakdown.fractions()
+        assert fractions["esd"] == pytest.approx(0.55, abs=0.03)
+        assert fractions["esd"] == max(fractions.values())
+
+    def test_fractions_sum_to_one(self):
+        breakdown, __ = prototype_cost_breakdown()
+        assert sum(breakdown.fractions().values()) == pytest.approx(1.0)
+
+    def test_node_under_16_percent_of_server_cost(self):
+        """Paper: total node cost < 16% of the $4,850 server cost."""
+        breakdown, server_cost = prototype_cost_breakdown()
+        assert breakdown.total < 0.16 * server_cost
+
+    def test_zero_total_rejected(self):
+        breakdown = CostBreakdown(0, 0, 0, 0, 0, 0)
+        with pytest.raises(TCOError):
+            breakdown.fractions()

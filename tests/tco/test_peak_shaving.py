@@ -1,0 +1,94 @@
+"""Tests for the 8-year peak-shaving revenue model (Figure 15c)."""
+
+import pytest
+
+from repro.errors import TCOError
+from repro.tco import (
+    PeakShavingScenario,
+    break_even_year,
+    compare_peak_shaving,
+    peak_shaving_revenue,
+)
+from repro.tco.peak_shaving import DEFAULT_SCHEMES, SchemeEconomics, capex
+
+
+class TestScenario:
+    def test_paper_defaults(self):
+        scenario = PeakShavingScenario()
+        assert scenario.datacenter_kw == 100.0
+        assert scenario.buffer_kwh == 20.0
+        assert scenario.peak_tariff_per_kw_month == 12.0
+
+    def test_validation(self):
+        with pytest.raises(TCOError):
+            PeakShavingScenario(buffer_kwh=0.0)
+        with pytest.raises(TCOError):
+            PeakShavingScenario(base_utilization=1.5)
+
+
+class TestSeries:
+    def test_monotone_cumulative_revenue(self):
+        series = peak_shaving_revenue(DEFAULT_SCHEMES["BaOnly"])
+        revenue = series.cumulative_revenue
+        assert all(b >= a for a, b in zip(revenue, revenue[1:]))
+
+    def test_costs_step_at_replacement(self):
+        series = peak_shaving_revenue(DEFAULT_SCHEMES["BaOnly"])
+        costs = set(series.cumulative_cost)
+        # Initial purchase plus exactly one replacement within 8 years.
+        assert len(costs) == 2
+
+    def test_no_replacement_for_long_lived_battery(self):
+        series = peak_shaving_revenue(DEFAULT_SCHEMES["HEB"])
+        assert len(set(series.cumulative_cost)) == 1
+
+    def test_rejects_bad_sampling(self):
+        with pytest.raises(TCOError):
+            peak_shaving_revenue(DEFAULT_SCHEMES["HEB"], samples_per_year=0)
+
+
+class TestBreakEven:
+    def test_paper_break_even_ordering(self):
+        """Figure 15(c): HEB (3.7) < BaOnly (4.2) < SCFirst (4.9) <
+        BaFirst (6.3)."""
+        years = {name: break_even_year(peak_shaving_revenue(scheme))
+                 for name, scheme in DEFAULT_SCHEMES.items()}
+        assert years["HEB"] < years["BaOnly"]
+        assert years["BaOnly"] < years["SCFirst"]
+        assert years["SCFirst"] < years["BaFirst"]
+
+    def test_break_even_values_near_paper(self):
+        targets = {"BaOnly": 4.2, "BaFirst": 6.3, "SCFirst": 4.9,
+                   "HEB": 3.7}
+        for name, target in targets.items():
+            series = peak_shaving_revenue(DEFAULT_SCHEMES[name])
+            assert break_even_year(series) == pytest.approx(target, abs=0.7)
+
+    def test_never_breaking_even(self):
+        hopeless = SchemeEconomics(
+            name="X", ee_gain=0.01, availability_gain=1.0,
+            battery_kwh=20.0, sc_kwh=0.0, battery_life_years=4.0)
+        assert break_even_year(peak_shaving_revenue(hopeless)) is None
+
+
+class TestComparison:
+    def test_heb_nets_1_9x_baonly(self):
+        """The headline: >1.9X peak-shaving revenue over 8 years."""
+        table = compare_peak_shaving()
+        assert table["HEB"]["net_vs_baonly"] >= 1.9
+
+    def test_bafirst_below_baonly(self):
+        """'the net profit of BaFirst is less than that of BaOnly'."""
+        table = compare_peak_shaving()
+        assert table["BaFirst"]["final_net"] < table["BaOnly"]["final_net"]
+
+    def test_capex_hybrid_above_battery_only(self):
+        scenario = PeakShavingScenario()
+        assert (capex(DEFAULT_SCHEMES["HEB"], scenario)
+                > capex(DEFAULT_SCHEMES["BaOnly"], scenario))
+
+    def test_average_annual_net_consistent(self):
+        table = compare_peak_shaving()
+        for row in table.values():
+            assert row["average_annual_net"] == pytest.approx(
+                row["final_net"] / 8.0)

@@ -1,0 +1,64 @@
+"""Tests for the ROI analysis (Figure 15b)."""
+
+import pytest
+
+from repro.config import TCOConfig
+from repro.errors import TCOError
+from repro.tco import roi, roi_sweep
+from repro.tco.roi import hybrid_cost_per_watt_hour
+
+
+class TestCostPerWattHour:
+    def test_unamortized_blend(self):
+        config = TCOConfig()
+        expected = (0.7 * 300.0 + 0.3 * 10_000.0) / 1000.0
+        assert hybrid_cost_per_watt_hour(
+            config, amortized=False) == pytest.approx(expected)
+
+    def test_amortization_penalizes_short_lived_battery(self):
+        config = TCOConfig()
+        amortized = hybrid_cost_per_watt_hour(config, amortized=True)
+        flat = hybrid_cost_per_watt_hour(config, amortized=False)
+        # Battery must be bought 3x over the 12-year horizon.
+        assert amortized > flat
+
+
+class TestROI:
+    def test_positive_for_expensive_infrastructure(self):
+        """Section 7.6: 'a positive ROI across most of the operating
+        regions'."""
+        assert roi(20.0, 0.5) > 0.0
+
+    def test_negative_for_cheap_infrastructure_long_peaks(self):
+        assert roi(2.0, 4.0) < 0.0
+
+    def test_monotone_in_capex(self):
+        values = [roi(capex, 1.0) for capex in (2.0, 10.0, 20.0)]
+        assert values == sorted(values)
+
+    def test_monotone_decreasing_in_duration(self):
+        values = [roi(10.0, hours) for hours in (0.25, 1.0, 4.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(TCOError):
+            roi(0.0, 1.0)
+        with pytest.raises(TCOError):
+            roi(10.0, 0.0)
+
+
+class TestSweep:
+    def test_grid_size(self):
+        points = roi_sweep(capex_values=(2.0, 10.0, 20.0),
+                           peak_durations_h=(0.5, 1.0))
+        assert len(points) == 6
+
+    def test_majority_positive_default_grid(self):
+        """The paper's conclusion: worthwhile across most of the region."""
+        points = roi_sweep()
+        positive = sum(1 for p in points if p.worthwhile)
+        assert positive > len(points) / 2
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(TCOError):
+            roi_sweep(capex_values=())

@@ -1,0 +1,48 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.__main__ import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out
+        assert "HEB-D" in out
+
+    def test_every_figure_has_a_subcommand(self):
+        parser = build_parser()
+        for name in FIGURES:
+            args = parser.parse_args([name])
+            assert args.command == name
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_run_requires_valid_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "NOPE", "PR"])
+
+
+class TestExecution:
+    def test_fig04_runs(self, capsys):
+        assert main(["fig04"]) == 0
+        assert "lead-acid" in capsys.readouterr().out
+
+    def test_fig15_runs(self, capsys):
+        assert main(["fig15"]) == 0
+        out = capsys.readouterr().out
+        assert "break-even" in out
+
+    def test_single_run(self, capsys):
+        assert main(["run", "SCFirst", "TS", "--hours", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "energy efficiency" in out
+
+    def test_single_run_with_budget(self, capsys):
+        assert main(["run", "BaOnly", "TS", "--hours", "0.5",
+                     "--budget", "240"]) == 0
+        assert "SCFirst" not in capsys.readouterr().out

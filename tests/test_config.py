@@ -1,0 +1,256 @@
+"""Tests for configuration dataclasses and presets."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    BatteryConfig,
+    ClusterConfig,
+    ControllerConfig,
+    HybridBufferConfig,
+    PATConfig,
+    PredictorConfig,
+    ServerConfig,
+    SimulationConfig,
+    SupercapConfig,
+    TCOConfig,
+    paper_tco,
+    prototype_battery,
+    prototype_buffer,
+    prototype_cluster,
+    prototype_supercap,
+)
+from repro.errors import ConfigurationError
+from repro.units import wh_to_joules
+
+
+class TestBatteryConfig:
+    def test_defaults_valid(self):
+        config = BatteryConfig()
+        assert config.nominal_voltage_v > config.empty_voltage_v
+
+    def test_nominal_energy_uses_mean_voltage(self):
+        config = BatteryConfig()
+        mean_v = 0.5 * (config.nominal_voltage_v + config.empty_voltage_v)
+        assert config.nominal_energy_j == pytest.approx(
+            wh_to_joules(config.capacity_ah * mean_v))
+
+    def test_rejects_inverted_voltages(self):
+        with pytest.raises(ConfigurationError):
+            BatteryConfig(nominal_voltage_v=20.0, empty_voltage_v=25.0)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            BatteryConfig(capacity_ah=0.0)
+
+    def test_rejects_bad_kibam_c(self):
+        with pytest.raises(ConfigurationError):
+            BatteryConfig(kibam_c=1.5)
+
+    def test_rejects_peukert_below_one(self):
+        with pytest.raises(ConfigurationError):
+            BatteryConfig(peukert_exponent=0.9)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            BatteryConfig(charge_efficiency=1.5)
+        with pytest.raises(ConfigurationError):
+            BatteryConfig(discharge_efficiency=0.0)
+
+    def test_scaled_to_energy_hits_target(self):
+        config = BatteryConfig()
+        target = 2.0 * config.nominal_energy_j
+        scaled = config.scaled_to_energy(target)
+        assert scaled.nominal_energy_j == pytest.approx(target)
+
+    def test_scaling_preserves_c_rate(self):
+        config = BatteryConfig()
+        scaled = config.scaled_to_energy(2.0 * config.nominal_energy_j)
+        # Charging C-rate (A per Ah) must be preserved.
+        assert (scaled.max_charge_current_a / scaled.capacity_ah
+                == pytest.approx(
+                    config.max_charge_current_a / config.capacity_ah))
+
+    def test_scaling_reduces_resistance(self):
+        config = BatteryConfig()
+        scaled = config.scaled_to_energy(2.0 * config.nominal_energy_j)
+        assert scaled.internal_resistance_ohm == pytest.approx(
+            config.internal_resistance_ohm / 2.0)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            BatteryConfig().scaled_to_energy(0.0)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            BatteryConfig().capacity_ah = 10.0
+
+
+class TestSupercapConfig:
+    def test_nominal_energy_is_usable_window(self):
+        config = SupercapConfig(capacitance_f=100.0, max_voltage_v=10.0,
+                                min_voltage_v=5.0)
+        assert config.nominal_energy_j == pytest.approx(
+            0.5 * 100.0 * (100.0 - 25.0))
+
+    def test_rejects_inverted_voltages(self):
+        with pytest.raises(ConfigurationError):
+            SupercapConfig(max_voltage_v=5.0, min_voltage_v=10.0)
+
+    def test_rejects_negative_esr(self):
+        with pytest.raises(ConfigurationError):
+            SupercapConfig(esr_ohm=-0.01)
+
+    def test_scaled_to_energy(self):
+        config = SupercapConfig()
+        scaled = config.scaled_to_energy(3.0 * config.nominal_energy_j)
+        assert scaled.nominal_energy_j == pytest.approx(
+            3.0 * config.nominal_energy_j)
+        assert scaled.esr_ohm == pytest.approx(config.esr_ohm / 3.0)
+
+
+class TestServerConfig:
+    def test_defaults_match_prototype(self):
+        config = ServerConfig()
+        assert config.idle_power_w == 30.0
+        assert config.peak_power_w == 70.0
+        assert config.low_frequency_ghz == 1.3
+        assert config.high_frequency_ghz == 1.8
+
+    def test_rejects_idle_above_peak(self):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(idle_power_w=80.0, peak_power_w=70.0)
+
+    def test_rejects_inverted_frequencies(self):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(low_frequency_ghz=2.0, high_frequency_ghz=1.3)
+
+
+class TestPredictorConfig:
+    def test_defaults_valid(self):
+        PredictorConfig()
+
+    @pytest.mark.parametrize("field", ["alpha", "beta", "gamma"])
+    def test_rejects_out_of_range_smoothing(self, field):
+        with pytest.raises(ConfigurationError):
+            PredictorConfig(**{field: 1.0})
+        with pytest.raises(ConfigurationError):
+            PredictorConfig(**{field: 0.0})
+
+    def test_rejects_short_season(self):
+        with pytest.raises(ConfigurationError):
+            PredictorConfig(season_length=1)
+
+
+class TestPATConfig:
+    def test_defaults_valid(self):
+        config = PATConfig()
+        assert config.delta_r == 0.01
+
+    def test_rejects_bad_delta_r(self):
+        with pytest.raises(ConfigurationError):
+            PATConfig(delta_r=0.0)
+        with pytest.raises(ConfigurationError):
+            PATConfig(delta_r=1.0)
+
+    def test_rejects_zero_quanta(self):
+        with pytest.raises(ConfigurationError):
+            PATConfig(energy_quantum_j=0.0)
+        with pytest.raises(ConfigurationError):
+            PATConfig(power_quantum_w=0.0)
+
+
+class TestControllerConfig:
+    def test_default_slot_is_ten_minutes(self):
+        assert ControllerConfig().slot_seconds == 600.0
+
+    def test_rejects_bad_dod(self):
+        with pytest.raises(ConfigurationError):
+            ControllerConfig(dod_battery=0.0)
+        with pytest.raises(ConfigurationError):
+            ControllerConfig(dod_supercap=1.5)
+
+
+class TestClusterConfig:
+    def test_prototype_budget(self):
+        config = prototype_cluster()
+        assert config.utility_budget_w == 260.0
+        assert config.num_servers == 6
+
+    def test_peak_demand(self):
+        config = ClusterConfig()
+        assert config.peak_demand_w == 6 * 70.0
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(num_servers=0)
+
+
+class TestHybridBufferConfig:
+    def test_default_ratio_is_three_to_seven(self):
+        config = HybridBufferConfig()
+        assert config.sc_fraction == pytest.approx(0.3)
+        assert config.sc_energy_j == pytest.approx(
+            0.3 * config.total_energy_j)
+        assert config.battery_energy_j == pytest.approx(
+            0.7 * config.total_energy_j)
+
+    def test_with_ratio_keeps_total(self):
+        config = HybridBufferConfig()
+        other = config.with_ratio(0.5)
+        assert other.total_energy_j == config.total_energy_j
+        assert other.sc_fraction == 0.5
+
+    def test_with_total_energy_keeps_ratio(self):
+        config = HybridBufferConfig()
+        other = config.with_total_energy(2 * config.total_energy_j)
+        assert other.sc_fraction == config.sc_fraction
+        assert other.total_energy_j == 2 * config.total_energy_j
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            HybridBufferConfig(sc_fraction=1.5)
+
+    def test_prototype_buffer_factory(self):
+        config = prototype_buffer(sc_fraction=0.4, total_energy_wh=200.0)
+        assert config.sc_fraction == 0.4
+        assert config.total_energy_j == pytest.approx(wh_to_joules(200.0))
+
+
+class TestTCOConfig:
+    def test_paper_scenario(self):
+        config = paper_tco()
+        assert config.datacenter_power_kw == 100.0
+        assert config.buffer_energy_kwh == 20.0
+        assert config.peak_tariff_per_kw == 12.0
+
+    def test_hybrid_cost_blend(self):
+        config = TCOConfig(battery_cost_per_kwh=300.0,
+                           supercap_cost_per_kwh=10_000.0, sc_fraction=0.3)
+        assert config.hybrid_cost_per_kwh == pytest.approx(
+            0.7 * 300.0 + 0.3 * 10_000.0)
+
+    def test_rejects_nonpositive_costs(self):
+        with pytest.raises(ConfigurationError):
+            TCOConfig(battery_cost_per_kwh=0.0)
+
+
+class TestSimulationConfig:
+    def test_default_tick(self):
+        assert SimulationConfig().tick_seconds == 1.0
+
+    def test_rejects_zero_tick(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(tick_seconds=0.0)
+
+
+class TestPresets:
+    def test_prototype_battery_is_24v_string(self):
+        config = prototype_battery()
+        assert 21.0 <= config.empty_voltage_v < config.nominal_voltage_v
+
+    def test_prototype_supercap_is_maxwell_class(self):
+        config = prototype_supercap()
+        assert config.capacitance_f == 600.0
+        assert config.max_voltage_v == 16.0

@@ -1,0 +1,104 @@
+"""Tests for the experiment-runner scaffolding (fast configurations)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSetup,
+    format_fig01,
+    format_fig04,
+    format_fig06,
+    format_fig07,
+    format_fig15,
+    format_table,
+    run_fig01,
+    run_fig04,
+    run_fig06,
+    run_fig07,
+    run_fig15,
+    run_renewable,
+    run_scheme,
+    run_all_schemes,
+)
+from repro.experiments.fig06_assignment import optimal_assignment
+
+
+class TestSetup:
+    def test_defaults(self):
+        setup = ExperimentSetup()
+        assert setup.cluster().utility_budget_w == 260.0
+        assert setup.hybrid().sc_fraction == 0.3
+
+    def test_budget_override(self):
+        setup = ExperimentSetup(budget_w=240.0)
+        assert setup.cluster().utility_budget_w == 240.0
+
+    def test_dod_passthrough(self):
+        setup = ExperimentSetup(battery_dod=0.5, sc_dod=0.6)
+        assert setup.battery_dod == 0.5
+        assert setup.sc_dod == 0.6
+
+
+class TestRunners:
+    def test_run_scheme_returns_result(self):
+        result = run_scheme("SCFirst", "TS",
+                            ExperimentSetup(duration_h=0.5))
+        assert result.scheme == "SCFirst"
+        assert result.workload == "TS"
+        assert 0.0 < result.metrics.energy_efficiency <= 1.0
+
+    def test_run_all_schemes_grid(self):
+        results = run_all_schemes(
+            workloads=["TS"], schemes=["BaOnly", "SCFirst"],
+            setup=ExperimentSetup(duration_h=0.5))
+        assert len(results) == 2
+        assert {r.scheme for r in results} == {"BaOnly", "SCFirst"}
+
+    def test_run_renewable_sets_reu(self):
+        result = run_renewable("SCFirst", "TS",
+                               ExperimentSetup(duration_h=0.5))
+        assert result.metrics.reu is not None
+        assert result.metrics.renewable_capture is not None
+
+    def test_baonly_gets_no_sc_pool(self):
+        result = run_scheme("BaOnly", "TS",
+                            ExperimentSetup(duration_h=0.5))
+        # BaOnly's lifetime reflects the full-capacity battery; the run
+        # must work with no SC pool present.
+        assert result.metrics.battery_lifetime_years > 0
+
+
+class TestFormatters:
+    def test_format_table_renders_rows(self):
+        text = format_table({"A": {"x": 1.0}, "B": {"x": 2.0, "y": None}},
+                            columns=["x", "y"], title="T")
+        assert "T" in text
+        assert "A" in text and "B" in text
+        assert "-" in text  # the None cell
+
+    def test_fig01_format(self):
+        text = format_fig01(run_fig01(duration_days=1.0))
+        assert "P1" in text and "P4" in text
+
+    def test_fig04_format(self):
+        text = format_fig04(run_fig04())
+        assert "supercapacitor" in text
+
+    def test_fig06_format_marks_optimum(self):
+        points = run_fig06(dt=20.0)
+        text = format_fig06(points)
+        assert "<- optimum" in text
+        assert optimal_assignment(points).runtime_s > 0
+
+    def test_fig07_format(self):
+        architectures = run_fig07()
+        # Use a fast fig08 substitute: format accepts any mapping of rows.
+        from repro.experiments.fig07_architecture import run_fig08
+        deployments = run_fig08(duration_h=0.5)
+        text = format_fig07(architectures, deployments)
+        assert "centralized" in text
+        assert "rack-level" in text
+
+    def test_fig15_format(self):
+        text = format_fig15(run_fig15())
+        assert "break-even" in text
+        assert "esd" in text

@@ -1,0 +1,208 @@
+"""End-to-end tests asserting the paper's qualitative results.
+
+These are the acceptance tests of the reproduction: for every figure we
+assert the *shape* of the paper's claim — who wins, in which direction,
+and roughly by how much — not the absolute numbers (our substrate is a
+simulator, not the authors' testbed).  Measured values are recorded in
+EXPERIMENTS.md by the benchmark harness.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_fig01,
+    run_fig03,
+    run_fig04,
+    run_fig05,
+    run_fig06,
+    run_fig12,
+    run_fig15,
+)
+from repro.experiments.fig06_assignment import optimal_assignment
+from repro.sim import compare_schemes
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    """A reduced Figure 12 grid (2 workloads x 6 schemes, 3 h runs)."""
+    return run_fig12(duration_h=3.0, seed=1, workloads=["DA", "TS"],
+                     renewable_workloads=["WS"])
+
+
+class TestFig01Shape:
+    def test_underprovisioning_raises_mppu_and_mismatches(self):
+        levels = run_fig01(duration_days=3)
+        mppus = [level.mppu for level in levels]
+        assert mppus == sorted(mppus)
+        assert levels[-1].mppu > 0.2  # P4 is heavily utilized
+        assert levels[0].mppu < 0.05  # P1 almost never
+        events = [level.mismatch_events for level in levels]
+        assert events[-1] > events[0]
+
+
+class TestFig03Shape:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_fig03()
+
+    def test_sc_in_90s_battery_below_80(self, rows):
+        for row in rows.values():
+            assert row.sc_efficiency >= 0.88
+            assert row.battery_efficiency < 0.80
+
+    def test_battery_efficiency_decreases_with_servers(self, rows):
+        assert (rows[1].battery_efficiency > rows[2].battery_efficiency
+                > rows[4].battery_efficiency)
+
+    def test_recovery_gain_when_battery_saturates(self, rows):
+        """At 2 and 4 servers the battery depletes and recovery pays."""
+        assert rows[4].battery_recovery_gain > 0.05
+
+    def test_onoff_waste_is_substantial(self, rows):
+        """Section 3.1: the waste eats a large share of the recovery."""
+        assert rows[4].onoff_waste_fraction > 0.3
+
+
+class TestFig04Shape:
+    def test_sc_amortized_competitive(self):
+        rows = run_fig04()
+        sc_mid = 0.5 * (rows["supercapacitor"].amortized_low
+                        + rows["supercapacitor"].amortized_high)
+        assert 0.2 <= sc_mid <= 0.7  # paper: ~0.4 $/kWh/cycle
+        assert rows["lead-acid"].amortized_high < sc_mid
+        assert rows["supercapacitor"].initial_low >= 30 * (
+            rows["lead-acid"].initial_high)
+
+
+class TestFig05Shape:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        return run_fig05()
+
+    def test_battery_sag_grows_with_demand(self, curves):
+        assert (curves["battery/4"].initial_drop_v
+                > curves["battery/2"].initial_drop_v
+                > curves["battery/1"].initial_drop_v)
+
+    def test_battery_sags_more_than_sc(self, curves):
+        for servers in (1, 2, 4):
+            battery_rel = (curves[f"battery/{servers}"].initial_drop_v
+                           / 25.6)
+            sc_rel = curves[f"sc/{servers}"].initial_drop_v / 16.0
+            assert battery_rel > sc_rel
+
+    def test_sc_decline_is_linear(self, curves):
+        for servers in (1, 2, 4):
+            assert curves[f"sc/{servers}"].linearity_r2 > 0.95
+
+    def test_battery_runtime_collapses_superlinearly(self, curves):
+        """Peukert: 4x the power costs the battery >4x the runtime,
+        while the SC scales nearly proportionally."""
+        battery_ratio = (curves["battery/1"].runtime_s
+                         / curves["battery/4"].runtime_s)
+        sc_ratio = curves["sc/1"].runtime_s / curves["sc/4"].runtime_s
+        assert battery_ratio > 4.5
+        assert sc_ratio < battery_ratio
+
+
+class TestFig06Shape:
+    def test_interior_optimum(self):
+        points = run_fig06()
+        best = optimal_assignment(points)
+        assert 0 < best.servers_on_sc < 6
+
+    def test_heavy_sc_assignment_costs_runtime(self):
+        """Paper: heavy load on SCs cuts uptime by ~25% on average."""
+        points = run_fig06()
+        best = optimal_assignment(points)
+        heavy = points[5]
+        assert heavy.runtime_s < 0.85 * best.runtime_s
+
+
+class TestFig12Shape:
+    def test_ee_ordering(self, fig12):
+        """Figure 12(a): BaOnly ~ BaFirst < SCFirst <= HEB family,
+        HEB-D on top."""
+        rows = fig12.scheme_rows()
+        assert rows["BaOnly"]["energy_efficiency"] < rows["SCFirst"][
+            "energy_efficiency"]
+        assert rows["BaFirst"]["energy_efficiency"] < rows["HEB-D"][
+            "energy_efficiency"]
+        assert rows["HEB-D"]["energy_efficiency"] >= rows["SCFirst"][
+            "energy_efficiency"] - 0.01
+        assert rows["HEB-D"]["ee_vs_baonly"] > 1.10
+
+    def test_bafirst_close_to_baonly(self, fig12):
+        """'BaFirst is very close to a battery only design'."""
+        rows = fig12.scheme_rows()
+        assert rows["BaFirst"]["ee_vs_baonly"] == pytest.approx(1.0,
+                                                                abs=0.08)
+
+    def test_downtime_ordering(self, fig12):
+        """Figure 12(b): hybrids cut downtime; HEB-D cuts it the most."""
+        rows = fig12.scheme_rows()
+        assert rows["HEB-D"]["downtime_vs_baonly"] < 0.9
+        assert (rows["HEB-D"]["downtime_s"]
+                <= rows["BaFirst"]["downtime_s"])
+
+    def test_lifetime_ordering(self, fig12):
+        """Figure 12(c): SC-preferential schemes spare the battery."""
+        rows = fig12.scheme_rows()
+        assert rows["HEB-D"]["lifetime_vs_baonly"] > 1.5
+        assert (rows["SCFirst"]["lifetime_years"]
+                > rows["BaFirst"]["lifetime_years"])
+
+    def test_reu_hybrids_beat_battery_only(self, fig12):
+        """Figure 12(d): hybrids absorb renewable energy BaOnly cannot.
+
+        Total REU improves, and the *surplus capture* gap — the quantity
+        the battery's charge-current ceiling actually throttles — is
+        large (the paper's +81.2% headline; see EXPERIMENTS.md on the
+        accounting difference)."""
+        rows = fig12.scheme_rows()
+        assert rows["HEB-D"]["reu_vs_baonly"] > 1.08
+        assert rows["SCFirst"]["reu_vs_baonly"] > 1.08
+        assert rows["HEB-D"]["capture_vs_baonly"] > 1.5
+
+    def test_scfirst_and_heb_similar_reu(self, fig12):
+        """'SCFirst and HEB ... have very similar REU'."""
+        rows = fig12.scheme_rows()
+        assert rows["HEB-D"]["reu"] == pytest.approx(rows["SCFirst"]["reu"],
+                                                     rel=0.1)
+
+    def test_small_peaks_gain_more_than_large(self, fig12):
+        """Paper: +52.5% on small peaks vs +27.1% on large peaks."""
+        split = fig12.small_large_split()
+        assert (split["small_peaks"]["heb_d_ee_gain"]
+                > split["large_peaks"]["heb_d_ee_gain"] * 0.99)
+
+
+class TestFig15Shape:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_fig15()
+
+    def test_esd_dominates_cost(self, results):
+        assert results.breakdown.fractions()["esd"] == pytest.approx(
+            0.55, abs=0.05)
+
+    def test_node_cheap_relative_to_servers(self, results):
+        assert results.breakdown.total < 0.16 * results.server_cost
+
+    def test_roi_positive_across_most_regions(self, results):
+        positive = sum(1 for p in results.roi_points if p.worthwhile)
+        assert positive / len(results.roi_points) > 0.5
+
+    def test_break_even_ordering(self, results):
+        table = results.peak_shaving
+        assert (table["HEB"]["break_even_year"]
+                < table["BaOnly"]["break_even_year"]
+                < table["SCFirst"]["break_even_year"]
+                < table["BaFirst"]["break_even_year"])
+
+    def test_heb_revenue_1_9x(self, results):
+        assert results.peak_shaving["HEB"]["net_vs_baonly"] >= 1.9
+
+    def test_mismanaged_hybrid_loses_to_battery(self, results):
+        table = results.peak_shaving
+        assert table["BaFirst"]["final_net"] < table["BaOnly"]["final_net"]

@@ -1,0 +1,185 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.config import (
+    BatteryConfig,
+    ControllerConfig,
+    PATConfig,
+    PredictorConfig,
+    SupercapConfig,
+)
+from repro.core import (
+    HoltWintersPredictor,
+    LoadScheduler,
+    PowerAllocationTable,
+    analyze_slot,
+    classify_peak,
+)
+from repro.server import PowerSource
+from repro.storage import LeadAcidBattery, Supercapacitor
+from repro.units import wh_to_joules
+from repro.workloads import PowerTrace
+
+
+demands_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=12)
+
+
+class TestSchedulerProperties:
+    @given(demands_strategy,
+           st.floats(min_value=0.0, max_value=600.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=120, deadline=None)
+    def test_accounting_always_balances(self, demands, budget, r_lambda):
+        """utility + sc + battery always equals total active demand."""
+        scheduler = LoadScheduler()
+        available = [True] * len(demands)
+        assignment = scheduler.assign(demands, available, budget, r_lambda)
+        total = sum(demands)
+        accounted = (assignment.utility_draw_w + assignment.sc_draw_w
+                     + assignment.battery_draw_w)
+        assert abs(accounted - total) < 1e-6
+
+    @given(demands_strategy,
+           st.floats(min_value=0.0, max_value=600.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=120, deadline=None)
+    def test_utility_within_budget_when_pools_exist(self, demands, budget,
+                                                    r_lambda):
+        scheduler = LoadScheduler()
+        available = [True] * len(demands)
+        assignment = scheduler.assign(demands, available, budget, r_lambda)
+        # Either we fit the budget, or every server is buffered already.
+        active = sum(1 for d in demands)
+        assert (assignment.utility_draw_w <= budget + 1e-9
+                or assignment.n_buffered == active)
+
+    @given(demands_strategy, st.floats(min_value=0.0, max_value=600.0))
+    @settings(max_examples=80, deadline=None)
+    def test_sources_match_draw_totals(self, demands, budget):
+        scheduler = LoadScheduler()
+        available = [True] * len(demands)
+        assignment = scheduler.assign(demands, available, budget, 0.5)
+        sc_total = sum(d for d, s in zip(demands, assignment.sources)
+                       if s is PowerSource.SUPERCAP)
+        assert abs(sc_total - assignment.sc_draw_w) < 1e-6
+
+
+class TestPATProperties:
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0, max_value=200),    # sc Wh
+        st.floats(min_value=0, max_value=400),    # battery Wh
+        st.floats(min_value=0, max_value=300),    # power W
+        st.floats(min_value=0, max_value=1)),     # ratio
+        min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_lookup_never_fails_on_populated_table(self, entries):
+        pat = PowerAllocationTable(PATConfig(max_entries=64))
+        for sc_wh, ba_wh, power, ratio in entries:
+            pat.add(wh_to_joules(sc_wh), wh_to_joules(ba_wh), power, ratio)
+        entry = pat.lookup(wh_to_joules(37.0), wh_to_joules(91.0), 143.0)
+        assert entry is not None
+        assert 0.0 <= entry.r_lambda <= 1.0
+
+    @given(st.floats(min_value=0, max_value=1),
+           st.integers(min_value=1, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_repeated_nudges_stay_in_unit_interval(self, start_ratio,
+                                                   nudges):
+        pat = PowerAllocationTable()
+        pat.add(wh_to_joules(40), wh_to_joules(100), 100.0, start_ratio)
+        for _ in range(nudges):
+            matched = pat.lookup(wh_to_joules(40), wh_to_joules(100), 100.0)
+            pat.record_outcome(wh_to_joules(40), wh_to_joules(100), 100.0,
+                               matched.r_lambda,
+                               sc_end_j=wh_to_joules(39),
+                               battery_end_j=wh_to_joules(50),
+                               matched_entry=matched)
+        final = pat.lookup(wh_to_joules(40), wh_to_joules(100), 100.0)
+        assert 0.0 <= final.r_lambda <= 1.0
+
+
+class TestPredictorProperties:
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0, max_value=500),
+        st.floats(min_value=0, max_value=500)), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_predictions_always_sane(self, observations):
+        predictor = HoltWintersPredictor(PredictorConfig(season_length=4))
+        for peak, valley in observations:
+            predictor.observe_slot(peak, valley)
+        prediction = predictor.predict()
+        assert prediction.peak_w >= 0.0
+        assert 0.0 <= prediction.valley_w <= prediction.peak_w
+        assert prediction.mismatch_w >= 0.0
+
+
+class TestPeakProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=600),
+                    min_size=2, max_size=400),
+           st.floats(min_value=1, max_value=500))
+    @settings(max_examples=80, deadline=None)
+    def test_slot_analysis_invariants(self, values, budget):
+        trace = PowerTrace(np.asarray(values), 1.0)
+        analysis = analyze_slot(trace, budget)
+        assert analysis.peak_w >= analysis.valley_w
+        assert analysis.mismatch_w >= 0.0
+        assert 0.0 <= analysis.time_over_budget_s <= trace.duration_s
+        assert analysis.excess_energy_j >= 0.0
+        # Event durations sum to the over-budget time (> vs >= boundary
+        # means the equality is within one sample).
+        event_time = sum(e.duration_s for e in analysis.events)
+        assert abs(event_time - analysis.time_over_budget_s) <= len(values)
+
+    @given(st.floats(min_value=0, max_value=1000),
+           st.floats(min_value=0, max_value=7200))
+    @settings(max_examples=80, deadline=None)
+    def test_classification_total(self, mismatch, duration):
+        """Every (mismatch, duration) pair classifies to exactly one
+        class, monotone in both arguments."""
+        config = ControllerConfig()
+        result = classify_peak(mismatch, duration, config)
+        bigger = classify_peak(mismatch + 100.0, duration, config)
+        from repro.workloads.synthetic import PeakClass
+        assert result in (PeakClass.SMALL, PeakClass.LARGE)
+        if result is PeakClass.LARGE:
+            assert bigger is PeakClass.LARGE
+
+
+class TestDeviceCrossProperties:
+    @given(st.floats(min_value=0.05, max_value=1.0),
+           st.lists(st.floats(min_value=1.0, max_value=300.0),
+                    min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_battery_energy_conservation_sequence(self, soc, powers):
+        """Over any operation sequence, delivered energy never exceeds
+        what was stored plus what was charged."""
+        battery = LeadAcidBattery(BatteryConfig())
+        battery.reset(soc)
+        initial = battery.stored_energy_j
+        for index, power in enumerate(powers):
+            if index % 3 == 2:
+                battery.charge(power, 10.0)
+            else:
+                battery.discharge(power, 10.0)
+        out = battery.telemetry.energy_out_j
+        in_ = battery.telemetry.energy_in_j
+        assert out <= initial + in_ + 1e-6
+
+    @given(st.floats(min_value=0.05, max_value=1.0),
+           st.lists(st.floats(min_value=1.0, max_value=400.0),
+                    min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_supercap_energy_conservation_sequence(self, soc, powers):
+        sc = Supercapacitor(SupercapConfig())
+        sc.reset(soc)
+        initial = sc.stored_energy_j
+        for index, power in enumerate(powers):
+            if index % 3 == 2:
+                sc.charge(power, 5.0)
+            else:
+                sc.discharge(power, 5.0)
+        assert sc.telemetry.energy_out_j <= (
+            initial + sc.telemetry.energy_in_j + 1e-6)

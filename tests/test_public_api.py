@@ -1,0 +1,64 @@
+"""Tests for the top-level public API (repro.__init__)."""
+
+import pytest
+
+import repro
+from repro import POLICY_NAMES, quick_run, workload_names
+from repro.errors import ConfigurationError
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_policy_names_match_table2(self):
+        assert POLICY_NAMES == ("BaOnly", "BaFirst", "SCFirst",
+                                "HEB-F", "HEB-S", "HEB-D")
+
+    def test_workload_names_match_table1(self):
+        assert len(workload_names()) == 8
+
+
+class TestQuickRun:
+    def test_returns_run_result(self):
+        result = quick_run("SCFirst", "TS", hours=0.5, seed=3)
+        assert result.scheme == "SCFirst"
+        assert result.workload == "TS"
+        assert result.metrics.duration_s == pytest.approx(1800.0)
+
+    def test_budget_override(self):
+        stressed = quick_run("BaOnly", "DA", hours=1.0, seed=3,
+                             budget_w=230.0)
+        relaxed = quick_run("BaOnly", "DA", hours=1.0, seed=3,
+                            budget_w=420.0)
+        assert (stressed.metrics.buffer_energy_out_j
+                > relaxed.metrics.buffer_energy_out_j)
+
+    def test_sc_fraction_changes_pools(self):
+        result = quick_run("SCFirst", "TS", hours=0.5, sc_fraction=0.5)
+        assert result.metrics.energy_efficiency > 0.0
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(ConfigurationError):
+            quick_run("NOPE", "TS", hours=0.5)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ConfigurationError):
+            quick_run("BaOnly", "NOPE", hours=0.5)
+
+    def test_deterministic_per_seed(self):
+        one = quick_run("SCFirst", "TS", hours=0.5, seed=3)
+        two = quick_run("SCFirst", "TS", hours=0.5, seed=3)
+        assert (one.metrics.energy_efficiency
+                == two.metrics.energy_efficiency)
+        assert one.metrics.server_downtime_s == two.metrics.server_downtime_s
+
+    def test_summary_shape(self):
+        result = quick_run("HEB-S", "HB", hours=0.5)
+        summary = result.summary()
+        assert set(summary) >= {"energy_efficiency", "server_downtime_s",
+                                "battery_lifetime_years"}

@@ -1,0 +1,90 @@
+"""Tests for unit conversions."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestEnergyConversions:
+    def test_wh_to_joules(self):
+        assert units.wh_to_joules(1.0) == 3600.0
+
+    def test_kwh_to_joules(self):
+        assert units.kwh_to_joules(1.0) == 3_600_000.0
+
+    def test_joules_to_wh(self):
+        assert units.joules_to_wh(3600.0) == 1.0
+
+    def test_joules_to_kwh(self):
+        assert units.joules_to_kwh(3_600_000.0) == 1.0
+
+    @given(st.floats(min_value=0.0, max_value=1e9))
+    def test_wh_roundtrip(self, value):
+        assert math.isclose(units.joules_to_wh(units.wh_to_joules(value)),
+                            value, rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(st.floats(min_value=0.0, max_value=1e9))
+    def test_kwh_roundtrip(self, value):
+        assert math.isclose(units.joules_to_kwh(units.kwh_to_joules(value)),
+                            value, rel_tol=1e-12, abs_tol=1e-12)
+
+
+class TestChargeConversions:
+    def test_ah_to_coulombs(self):
+        assert units.ah_to_coulombs(1.0) == 3600.0
+
+    def test_coulombs_to_ah(self):
+        assert units.coulombs_to_ah(7200.0) == 2.0
+
+    @given(st.floats(min_value=0.0, max_value=1e6))
+    def test_roundtrip(self, value):
+        assert math.isclose(
+            units.coulombs_to_ah(units.ah_to_coulombs(value)), value,
+            rel_tol=1e-12, abs_tol=1e-12)
+
+
+class TestTimeHelpers:
+    def test_minutes(self):
+        assert units.minutes(10) == 600.0
+
+    def test_hours(self):
+        assert units.hours(2) == 7200.0
+
+    def test_days(self):
+        assert units.days(1) == 86400.0
+
+    def test_years(self):
+        assert units.years(1) == 365.0 * 86400.0
+
+    def test_hours_per_year_consistent(self):
+        assert units.HOURS_PER_YEAR == 8760.0
+        assert units.years(1) / units.hours(1) == pytest.approx(8760.0)
+
+
+class TestClamp:
+    def test_inside(self):
+        assert units.clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_below(self):
+        assert units.clamp(-1.0, 0.0, 1.0) == 0.0
+
+    def test_above(self):
+        assert units.clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_at_bounds(self):
+        assert units.clamp(0.0, 0.0, 1.0) == 0.0
+        assert units.clamp(1.0, 0.0, 1.0) == 1.0
+
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(ValueError):
+            units.clamp(0.5, 1.0, 0.0)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False),
+           st.floats(min_value=-100, max_value=0),
+           st.floats(min_value=0, max_value=100))
+    def test_result_always_in_bounds(self, value, low, high):
+        result = units.clamp(value, low, high)
+        assert low <= result <= high

@@ -1,0 +1,157 @@
+"""Tests for PowerTrace / ClusterTrace containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceError
+from repro.workloads import ClusterTrace, PowerTrace
+
+
+def make_trace(values, dt=1.0):
+    return PowerTrace(np.asarray(values, dtype=float), dt)
+
+
+class TestPowerTraceValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(TraceError):
+            make_trace([])
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(TraceError):
+            make_trace([1.0, -2.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(TraceError):
+            make_trace([1.0, float("nan")])
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(TraceError):
+            make_trace([1.0], dt=0.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(TraceError):
+            PowerTrace(np.ones((2, 2)), 1.0)
+
+    def test_values_are_read_only(self):
+        trace = make_trace([1.0, 2.0])
+        with pytest.raises(ValueError):
+            trace.values_w[0] = 5.0
+
+
+class TestPowerTraceAccess:
+    def test_len_and_duration(self):
+        trace = make_trace([1, 2, 3], dt=2.0)
+        assert len(trace) == 3
+        assert trace.duration_s == 6.0
+
+    def test_getitem(self):
+        trace = make_trace([1, 2, 3])
+        assert trace[1] == 2.0
+
+    def test_stats(self):
+        trace = make_trace([10, 30, 20])
+        stats = trace.stats()
+        assert stats.peak_w == 30
+        assert stats.valley_w == 10
+        assert stats.mean_w == pytest.approx(20)
+
+    def test_energy(self):
+        trace = make_trace([100, 100], dt=3.0)
+        assert trace.energy_j() == pytest.approx(600.0)
+
+
+class TestSlots:
+    def test_num_slots_rounds_up(self):
+        trace = make_trace(list(range(25)), dt=1.0)
+        assert trace.num_slots(10.0) == 3
+
+    def test_slot_extraction(self):
+        trace = make_trace(list(range(25)), dt=1.0)
+        slot = trace.slot(1, 10.0)
+        assert len(slot) == 10
+        assert slot[0] == 10.0
+
+    def test_final_ragged_slot(self):
+        trace = make_trace(list(range(25)), dt=1.0)
+        slot = trace.slot(2, 10.0)
+        assert len(slot) == 5
+
+    def test_slot_out_of_range(self):
+        trace = make_trace([1, 2, 3])
+        with pytest.raises(TraceError):
+            trace.slot(5, 2.0)
+
+    def test_iter_slots_covers_everything(self):
+        trace = make_trace(list(range(25)), dt=1.0)
+        total = sum(len(s) for s in trace.iter_slots(10.0))
+        assert total == 25
+
+
+class TestTransforms:
+    def test_resample_preserves_duration(self):
+        trace = make_trace(list(range(100)), dt=1.0)
+        coarse = trace.resample(5.0)
+        assert coarse.duration_s == pytest.approx(trace.duration_s, abs=5.0)
+
+    def test_scaled(self):
+        trace = make_trace([1, 2]).scaled(3.0)
+        assert trace[1] == 6.0
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(TraceError):
+            make_trace([1]).scaled(-1.0)
+
+    def test_clipped(self):
+        trace = make_trace([10, 200]).clipped(50.0)
+        assert trace[1] == 50.0
+
+    def test_add(self):
+        combined = make_trace([1, 2]) + make_trace([3, 4])
+        assert combined[0] == 4.0
+
+    def test_add_length_mismatch(self):
+        with pytest.raises(TraceError):
+            make_trace([1, 2]) + make_trace([1])
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e5),
+                    min_size=1, max_size=200),
+           st.floats(min_value=0.1, max_value=60.0))
+    @settings(max_examples=50, deadline=None)
+    def test_energy_consistent_with_stats(self, values, dt):
+        trace = make_trace(values, dt=dt)
+        stats = trace.stats()
+        assert trace.energy_j() == pytest.approx(
+            stats.mean_w * stats.duration_s, rel=1e-9, abs=1e-6)
+
+
+class TestClusterTrace:
+    def test_shape_accessors(self):
+        trace = ClusterTrace(np.ones((3, 10)), 1.0)
+        assert trace.num_servers == 3
+        assert trace.num_samples == 10
+        assert trace.shape() == (3, 10)
+
+    def test_rejects_1d(self):
+        with pytest.raises(TraceError):
+            ClusterTrace(np.ones(5), 1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(TraceError):
+            ClusterTrace(-np.ones((2, 2)), 1.0)
+
+    def test_server_extraction(self):
+        values = np.array([[1.0, 2.0], [3.0, 4.0]])
+        trace = ClusterTrace(values, 1.0)
+        assert list(trace.server(1).values_w) == [3.0, 4.0]
+
+    def test_aggregate_sums_servers(self):
+        values = np.array([[1.0, 2.0], [3.0, 4.0]])
+        trace = ClusterTrace(values, 1.0)
+        assert list(trace.aggregate().values_w) == [4.0, 6.0]
+
+    def test_at_returns_copy(self):
+        trace = ClusterTrace(np.ones((2, 3)), 1.0)
+        sample = trace.at(0)
+        sample[0] = 99.0
+        assert trace.values_w[0, 0] == 1.0

@@ -1,0 +1,57 @@
+"""Tests for the Google-cluster-style trace generator (Figure 1a)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import days, hours
+from repro.workloads import generate_google_like_trace
+
+
+class TestGeneration:
+    def test_bounded_by_nameplate(self):
+        trace = generate_google_like_trace(days(2), nameplate_w=1000.0)
+        assert np.all(trace.values_w <= 1000.0)
+        assert np.all(trace.values_w >= 0.0)
+
+    def test_deterministic(self):
+        one = generate_google_like_trace(hours(12), seed=7)
+        two = generate_google_like_trace(hours(12), seed=7)
+        assert np.array_equal(one.values_w, two.values_w)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            generate_google_like_trace(0.0)
+        with pytest.raises(ConfigurationError):
+            generate_google_like_trace(100.0, nameplate_w=0.0)
+        with pytest.raises(ConfigurationError):
+            generate_google_like_trace(100.0, ar_coefficient=1.0)
+
+    def test_peaks_are_rare(self):
+        """Figure 1(a)'s premise: demand rarely reaches the nameplate, so
+        full provisioning has near-zero MPPU."""
+        trace = generate_google_like_trace(days(3), seed=1)
+        frac_at_peak = float((trace.values_w >= 0.95 * 1000.0).mean())
+        assert frac_at_peak < 0.05
+
+    def test_under_provisioning_raises_mppu(self):
+        """Lower budgets are reached a monotonically larger share of time."""
+        trace = generate_google_like_trace(days(3), seed=1)
+        fractions = [float((trace.values_w >= budget).mean())
+                     for budget in (1000.0, 800.0, 600.0, 400.0)]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] > 10 * max(fractions[0], 1e-6)
+
+    def test_diurnal_pattern_present(self):
+        """Day/night means must differ measurably."""
+        trace = generate_google_like_trace(
+            days(4), seed=2, diurnal_amplitude=0.2, spike_rate_per_day=0.0,
+            ar_sigma=1e-6)
+        samples_per_day = int(days(1) / trace.dt_s)
+        one_day = trace.values_w[:samples_per_day]
+        # The sine is symmetric around noon/midnight, so compare the night
+        # quarter (00-06h) against the midday window (09-15h).
+        quarter = samples_per_day // 4
+        night = one_day[:quarter].mean()
+        midday = one_day[int(1.5 * quarter):int(2.5 * quarter)].mean()
+        assert midday - night > 100.0

@@ -1,0 +1,88 @@
+"""Tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads import (
+    ClusterTrace,
+    PowerTrace,
+    load_trace_csv,
+    load_trace_npz,
+    save_trace_csv,
+    save_trace_npz,
+)
+
+
+@pytest.fixture
+def power_trace():
+    return PowerTrace(np.array([10.0, 20.5, 30.25]), 2.0, name="pt")
+
+
+@pytest.fixture
+def cluster_trace():
+    return ClusterTrace(np.array([[1.0, 2.0], [3.0, 4.0]]), 1.0, name="ct")
+
+
+class TestNPZ:
+    def test_power_roundtrip(self, tmp_path, power_trace):
+        path = tmp_path / "trace.npz"
+        save_trace_npz(power_trace, path)
+        loaded = load_trace_npz(path)
+        assert isinstance(loaded, PowerTrace)
+        assert loaded.name == "pt"
+        assert loaded.dt_s == 2.0
+        assert np.array_equal(loaded.values_w, power_trace.values_w)
+
+    def test_cluster_roundtrip(self, tmp_path, cluster_trace):
+        path = tmp_path / "trace.npz"
+        save_trace_npz(cluster_trace, path)
+        loaded = load_trace_npz(path)
+        assert isinstance(loaded, ClusterTrace)
+        assert np.array_equal(loaded.values_w, cluster_trace.values_w)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace_npz(tmp_path / "nope.npz")
+
+    def test_wrong_content(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, something=np.ones(3))
+        with pytest.raises(TraceError):
+            load_trace_npz(path)
+
+
+class TestCSV:
+    def test_power_roundtrip(self, tmp_path, power_trace):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(power_trace, path)
+        loaded = load_trace_csv(path)
+        assert isinstance(loaded, PowerTrace)
+        assert loaded.dt_s == 2.0
+        assert np.allclose(loaded.values_w, power_trace.values_w)
+
+    def test_cluster_roundtrip(self, tmp_path, cluster_trace):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(cluster_trace, path)
+        loaded = load_trace_csv(path)
+        assert isinstance(loaded, ClusterTrace)
+        assert np.allclose(loaded.values_w, cluster_trace.values_w)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace_csv(tmp_path / "nope.csv")
+
+    def test_malformed_csv(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("not,a\ntrace,file\n")
+        with pytest.raises(TraceError):
+            load_trace_csv(path)
+
+    def test_generated_workload_roundtrip(self, tmp_path):
+        from repro.workloads import get_workload
+        trace = get_workload("TS", duration_s=120, seed=4)
+        path = tmp_path / "ts.csv"
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path)
+        assert loaded.num_servers == trace.num_servers
+        assert np.allclose(loaded.values_w, trace.values_w, atol=1e-5)

@@ -1,0 +1,71 @@
+"""Tests for mixed and phased workload composition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import minutes
+from repro.workloads import mixed_workload, phased_workload
+
+
+class TestMixed:
+    def test_one_row_per_assignment(self):
+        trace = mixed_workload(["TS", "MS", "PR"], duration_s=600)
+        assert trace.num_servers == 3
+        assert trace.num_samples == 600
+
+    def test_rows_follow_their_workload_class(self):
+        """A large-peak server must run hotter than a small-peak one."""
+        trace = mixed_workload(["DA", "TS"], duration_s=3600, seed=2)
+        da_mean = trace.server(0).stats().mean_w
+        ts_mean = trace.server(1).stats().mean_w
+        # DA runs at the high frequency with tall bursts.
+        assert trace.server(0).stats().peak_w > trace.server(1).stats().peak_w
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            mixed_workload([], duration_s=60)
+
+    def test_unknown_name_propagates(self):
+        with pytest.raises(ConfigurationError):
+            mixed_workload(["NOPE"], duration_s=60)
+
+    def test_name_encodes_mix(self):
+        trace = mixed_workload(["TS", "MS"], duration_s=60)
+        assert trace.name == "mixed:TS+MS"
+
+
+class TestPhased:
+    def test_total_duration(self):
+        trace = phased_workload(["TS", "DA"], phase_duration_s=minutes(5))
+        assert trace.num_samples == 2 * int(minutes(5))
+
+    def test_phases_have_distinct_statistics(self):
+        trace = phased_workload(["TS", "DA"],
+                                phase_duration_s=minutes(30), seed=3)
+        half = trace.num_samples // 2
+        first = trace.aggregate().values_w[:half]
+        second = trace.aggregate().values_w[half:]
+        assert second.max() > first.max()  # DA peaks above TS
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            phased_workload([], phase_duration_s=60)
+        with pytest.raises(ConfigurationError):
+            phased_workload(["TS"], phase_duration_s=0)
+
+    def test_runs_through_engine(self):
+        """A phased trace exercises the controller's re-classification."""
+        from repro.config import prototype_buffer, prototype_cluster
+        from repro.core import make_policy
+        from repro.sim import HybridBuffers, Simulation
+
+        trace = phased_workload(["TS", "DA"],
+                                phase_duration_s=minutes(20), seed=3)
+        hybrid = prototype_buffer()
+        result = Simulation(trace, make_policy("HEB-D", hybrid=hybrid),
+                            HybridBuffers(hybrid),
+                            cluster_config=prototype_cluster()).run()
+        notes = {record.note.split(" ")[0] for record in result.slots}
+        assert len(result.slots) == 4
+        assert result.metrics.energy_efficiency > 0.5

@@ -1,0 +1,64 @@
+"""Property-based tests on workload generation invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ServerConfig
+from repro.units import minutes
+from repro.workloads import generate_workload
+from repro.workloads.synthetic import PeakClass, WorkloadSpec
+
+
+@st.composite
+def specs(draw):
+    base = draw(st.floats(min_value=0.0, max_value=0.5))
+    burst = draw(st.floats(min_value=base + 0.05, max_value=1.0))
+    duration = draw(st.floats(min_value=30.0, max_value=minutes(10)))
+    period = draw(st.floats(min_value=duration + 1.0,
+                            max_value=minutes(40)))
+    peak_class = draw(st.sampled_from(list(PeakClass)))
+    return WorkloadSpec(
+        name="HYP", full_name="hypothesis", category="generated",
+        peak_class=peak_class, base_util=base, burst_util=burst,
+        burst_period_s=period, burst_duration_s=duration,
+        noise_sigma=draw(st.floats(min_value=0.0, max_value=0.1)))
+
+
+class TestGenerationProperties:
+    @given(specs(), st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=50))
+    @settings(max_examples=60, deadline=None)
+    def test_power_within_server_envelope(self, spec, servers, seed):
+        server = ServerConfig()
+        trace = generate_workload(spec, duration_s=600.0,
+                                  num_servers=servers, seed=seed)
+        assert trace.num_servers == servers
+        assert np.all(trace.values_w >= server.idle_power_w - 1e-9)
+        assert np.all(trace.values_w <= server.peak_power_w + 1e-9)
+
+    @given(specs(), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_per_seed(self, spec, seed):
+        one = generate_workload(spec, duration_s=300.0, seed=seed)
+        two = generate_workload(spec, duration_s=300.0, seed=seed)
+        assert np.array_equal(one.values_w, two.values_w)
+
+    @given(specs())
+    @settings(max_examples=30, deadline=None)
+    def test_low_frequency_class_never_hotter(self, spec):
+        """For identical spec parameters, the small-peak (low frequency)
+        variant draws no more power than the large-peak variant."""
+        import dataclasses
+
+        small = dataclasses.replace(spec, peak_class=PeakClass.SMALL)
+        large = dataclasses.replace(spec, peak_class=PeakClass.LARGE)
+        small_trace = generate_workload(small, duration_s=1200.0, seed=1)
+        large_trace = generate_workload(large, duration_s=1200.0, seed=1)
+        assert (small_trace.aggregate().stats().mean_w
+                <= large_trace.aggregate().stats().mean_w + 1e-6)
+
+    @given(specs(), st.floats(min_value=60.0, max_value=1800.0))
+    @settings(max_examples=30, deadline=None)
+    def test_duration_respected(self, spec, duration):
+        trace = generate_workload(spec, duration_s=duration, seed=0)
+        assert trace.num_samples == max(1, int(round(duration)))

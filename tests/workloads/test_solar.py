@@ -1,0 +1,64 @@
+"""Tests for the solar generation model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import hours
+from repro.workloads import SolarConfig, generate_solar_trace
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        SolarConfig()
+
+    def test_rejects_inverted_daylight(self):
+        with pytest.raises(ConfigurationError):
+            SolarConfig(sunrise_s=hours(20), sunset_s=hours(6))
+
+    def test_rejects_bad_attenuation(self):
+        with pytest.raises(ConfigurationError):
+            SolarConfig(cloud_attenuation=1.5)
+
+
+class TestGeneration:
+    def test_nonnegative_and_bounded(self):
+        config = SolarConfig(rated_power_w=400.0, noise_sigma=0.0)
+        trace = generate_solar_trace(hours(10), config=config, seed=1)
+        assert np.all(trace.values_w >= 0.0)
+        assert np.all(trace.values_w <= 400.0 * 1.05)
+
+    def test_zero_at_night(self):
+        config = SolarConfig()
+        trace = generate_solar_trace(hours(4), config=config, seed=1,
+                                     start_time_s=hours(23))
+        assert trace.stats().peak_w == pytest.approx(0.0, abs=1e-9)
+
+    def test_daylight_generates(self):
+        trace = generate_solar_trace(hours(4), seed=1,
+                                     start_time_s=hours(10))
+        assert trace.stats().mean_w > 50.0
+
+    def test_deterministic(self):
+        one = generate_solar_trace(hours(6), seed=9)
+        two = generate_solar_trace(hours(6), seed=9)
+        assert np.array_equal(one.values_w, two.values_w)
+
+    def test_clouds_create_deep_valleys(self):
+        """The REU experiments need fast, deep dips (Section 2.2)."""
+        config = SolarConfig(cloud_attenuation=0.2, noise_sigma=0.0)
+        trace = generate_solar_trace(hours(6), config=config, seed=3,
+                                     start_time_s=hours(9))
+        stats = trace.stats()
+        assert stats.valley_w < 0.5 * stats.peak_w
+
+    def test_no_clouds_smooth_envelope(self):
+        config = SolarConfig(cloud_attenuation=1.0, noise_sigma=0.0)
+        trace = generate_solar_trace(hours(6), config=config, seed=3,
+                                     start_time_s=hours(9))
+        diffs = np.abs(np.diff(trace.values_w))
+        assert diffs.max() < 1.0  # watts per second
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ConfigurationError):
+            generate_solar_trace(0.0)

@@ -1,0 +1,128 @@
+"""Tests for the eight Table 1 workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.config import ServerConfig
+from repro.errors import ConfigurationError
+from repro.units import hours
+from repro.workloads import (
+    LARGE_PEAK_WORKLOADS,
+    SMALL_PEAK_WORKLOADS,
+    WORKLOADS,
+    PeakClass,
+    generate_workload,
+    get_workload,
+    workload_names,
+)
+from repro.workloads.synthetic import WorkloadSpec, frequency_power_scale
+
+
+class TestCatalog:
+    def test_eight_workloads(self):
+        assert len(WORKLOADS) == 8
+        assert set(workload_names()) == set(WORKLOADS)
+
+    def test_paper_order(self):
+        assert workload_names() == ("PR", "WC", "DA", "WS", "MS",
+                                    "DFS", "HB", "TS")
+
+    def test_group_split_is_five_three(self):
+        assert len(LARGE_PEAK_WORKLOADS) == 5
+        assert len(SMALL_PEAK_WORKLOADS) == 3
+
+    def test_groups_partition_catalog(self):
+        assert (set(LARGE_PEAK_WORKLOADS) | set(SMALL_PEAK_WORKLOADS)
+                == set(WORKLOADS))
+        assert not set(LARGE_PEAK_WORKLOADS) & set(SMALL_PEAK_WORKLOADS)
+
+
+class TestSpecValidation:
+    def test_rejects_base_above_burst(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="X", full_name="x", category="c",
+                         peak_class=PeakClass.SMALL, base_util=0.9,
+                         burst_util=0.5, burst_period_s=600,
+                         burst_duration_s=100)
+
+    def test_rejects_duration_above_period(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="X", full_name="x", category="c",
+                         peak_class=PeakClass.SMALL, base_util=0.1,
+                         burst_util=0.9, burst_period_s=100,
+                         burst_duration_s=200)
+
+
+class TestGeneration:
+    def test_shape(self):
+        trace = get_workload("PR", duration_s=600, num_servers=6)
+        assert trace.num_servers == 6
+        assert trace.num_samples == 600
+
+    def test_deterministic_per_seed(self):
+        one = get_workload("WC", duration_s=600, seed=3)
+        two = get_workload("WC", duration_s=600, seed=3)
+        assert np.array_equal(one.values_w, two.values_w)
+
+    def test_different_seeds_differ(self):
+        one = get_workload("WC", duration_s=3600, seed=3)
+        two = get_workload("WC", duration_s=3600, seed=4)
+        assert not np.array_equal(one.values_w, two.values_w)
+
+    def test_power_within_server_envelope(self):
+        server = ServerConfig()
+        trace = get_workload("DA", duration_s=hours(1))
+        assert np.all(trace.values_w >= server.idle_power_w - 1e-9)
+        assert np.all(trace.values_w <= server.peak_power_w + 1e-9)
+
+    def test_large_peaks_exceed_budget(self):
+        """Large-peak aggregate demand must breach the 260 W budget."""
+        trace = get_workload("DA", duration_s=hours(2), seed=1)
+        assert trace.aggregate().stats().peak_w > 260.0
+
+    def test_small_peaks_are_smaller(self):
+        small = get_workload("TS", duration_s=hours(2), seed=1)
+        large = get_workload("DA", duration_s=hours(2), seed=1)
+        small_excess = small.aggregate().stats().peak_w - 260.0
+        large_excess = large.aggregate().stats().peak_w - 260.0
+        assert large_excess > small_excess
+
+    def test_valleys_leave_charging_headroom(self):
+        for name in workload_names():
+            trace = get_workload(name, duration_s=hours(2), seed=1)
+            assert trace.aggregate().stats().valley_w < 260.0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_workload("NOPE", duration_s=60)
+
+    def test_case_insensitive_lookup(self):
+        trace = get_workload("pr", duration_s=60)
+        assert trace.name == "PR"
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ConfigurationError):
+            generate_workload(WORKLOADS["PR"], duration_s=0)
+
+
+class TestFrequencyScaling:
+    def test_high_frequency_scale_is_one(self):
+        server = ServerConfig()
+        assert frequency_power_scale(
+            server.high_frequency_ghz, server) == pytest.approx(1.0)
+
+    def test_low_frequency_scales_down(self):
+        server = ServerConfig()
+        assert frequency_power_scale(
+            server.low_frequency_ghz, server) < 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            frequency_power_scale(0.0, ServerConfig())
+
+    def test_small_group_runs_cooler(self):
+        """The low-frequency group's dynamic power is visibly smaller."""
+        small = get_workload("TS", duration_s=hours(1), seed=2)
+        large = get_workload("DA", duration_s=hours(1), seed=2)
+        assert (small.aggregate().stats().peak_w
+                < large.aggregate().stats().peak_w)
