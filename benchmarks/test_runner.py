@@ -1,0 +1,46 @@
+"""Benchmark: the parallel, cache-aware experiment runner itself.
+
+Not a paper figure — this guards the two performance claims the runner
+makes: (a) a warm cache answers a full scheme x workload grid in well
+under five seconds, and (b) cached results are bit-for-bit the results
+the simulation produced.
+"""
+
+import time
+
+from repro.runner import (
+    ExperimentRunner,
+    ExperimentSetup,
+    ResultCache,
+    RunRequest,
+)
+
+SETUP = ExperimentSetup(duration_h=0.5)
+GRID = [RunRequest(scheme, workload, setup=SETUP)
+        for scheme in ("BaOnly", "BaFirst", "SCFirst", "HEB-F")
+        for workload in ("TS", "PR", "WS")]
+
+
+def test_warm_cache_grid(once, tmp_path):
+    cold_runner = ExperimentRunner(jobs=1, cache=ResultCache(tmp_path))
+    cold = cold_runner.map(GRID)
+    assert cold_runner.misses == len(GRID)
+
+    warm_runner = ExperimentRunner(jobs=1, cache=ResultCache(tmp_path))
+    start = time.perf_counter()
+    warm = once(warm_runner.map, GRID)
+    elapsed = time.perf_counter() - start
+
+    print()
+    print(f"warm-cache grid of {len(GRID)} runs: {elapsed * 1000:.1f} ms")
+    assert warm_runner.hits == len(GRID)
+    assert elapsed < 5.0
+    for cold_result, warm_result in zip(cold, warm):
+        assert warm_result.to_dict() == cold_result.to_dict()
+
+
+def test_parallel_map_matches_serial(once):
+    serial = ExperimentRunner(jobs=1).map(GRID)
+    parallel = once(ExperimentRunner(jobs=2).map, GRID)
+    for serial_result, parallel_result in zip(serial, parallel):
+        assert parallel_result.to_dict() == serial_result.to_dict()

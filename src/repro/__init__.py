@@ -19,7 +19,7 @@ per-figure reproduction harness.
 
 from __future__ import annotations
 
-from . import config, core, power, server, sim, storage, tco, workloads
+from . import config, core, power, runner, server, sim, storage, tco, workloads
 from .config import (
     BatteryConfig,
     ClusterConfig,
@@ -40,15 +40,23 @@ from .config import (
 )
 from .core import make_policy, POLICY_NAMES
 from .errors import ReproError
+from .runner import (
+    ExperimentRunner,
+    ExperimentSetup,
+    ResultCache,
+    RunRequest,
+    using_runner,
+)
 from .sim import HybridBuffers, RunResult, Simulation, compare_schemes
-from .units import hours as _hours
 from .workloads import get_workload, workload_names
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "config", "core", "power", "server", "sim", "storage", "tco",
+    "config", "core", "power", "runner", "server", "sim", "storage", "tco",
     "workloads",
+    "ExperimentRunner", "ExperimentSetup", "ResultCache", "RunRequest",
+    "using_runner",
     "BatteryConfig", "ClusterConfig", "ControllerConfig",
     "HybridBufferConfig", "PATConfig", "PredictorConfig", "ServerConfig",
     "SimulationConfig", "SupercapConfig", "TCOConfig",
@@ -78,19 +86,8 @@ def quick_run(scheme: str, workload: str, hours: float = 2.0,
     Returns:
         The :class:`repro.sim.RunResult` of the run.
     """
-    import dataclasses
+    from .runner import get_runner
 
-    cluster_config = prototype_cluster()
-    if budget_w is not None:
-        cluster_config = dataclasses.replace(
-            cluster_config, utility_budget_w=budget_w)
-    hybrid = prototype_buffer(sc_fraction=sc_fraction)
-    trace = get_workload(workload, duration_s=_hours(hours),
-                         num_servers=cluster_config.num_servers,
-                         server=cluster_config.server, seed=seed)
-    policy = make_policy(scheme, hybrid=hybrid)
-    buffers = HybridBuffers(hybrid,
-                            include_sc=scheme.lower() != "baonly")
-    simulation = Simulation(trace, policy, buffers,
-                            cluster_config=cluster_config)
-    return simulation.run()
+    setup = ExperimentSetup(duration_h=hours, budget_w=budget_w,
+                            seed=seed, sc_fraction=sc_fraction)
+    return get_runner().run(RunRequest(scheme, workload, setup=setup))

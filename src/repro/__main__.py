@@ -3,9 +3,17 @@
 Usage::
 
     python -m repro list
-    python -m repro fig12 --hours 2 --seed 3
+    python -m repro fig12 --hours 2 --seed 3 --jobs 8
     python -m repro fig15
     python -m repro run HEB-D PR --hours 2
+    python -m repro cache stats
+    python -m repro cache clear
+
+Figure and ``run`` commands fan independent simulations out over worker
+processes (``--jobs``, default: all cores) and reuse previous results
+from a content-addressed on-disk cache (``--cache DIR`` to relocate it,
+``--no-cache`` to disable).  Cached or parallel, the output is
+bit-for-bit identical to a serial run.
 """
 
 from __future__ import annotations
@@ -16,6 +24,13 @@ from typing import Callable, Dict, List, Optional
 
 from . import experiments, quick_run
 from .core import POLICY_NAMES
+from .errors import ConfigurationError
+from .runner import (
+    ExperimentRunner,
+    ResultCache,
+    default_cache_dir,
+    using_runner,
+)
 from .workloads import workload_names
 
 
@@ -79,6 +94,17 @@ FIGURES: Dict[str, Callable] = {
 }
 
 
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for independent runs "
+                             "(default: all cores)")
+    parser.add_argument("--cache", type=str, default=None, metavar="DIR",
+                        help="result cache directory "
+                             f"(default: {default_cache_dir()})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -94,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--days", type=float, default=7.0,
                          help="trace days (fig01 only)")
         sub.add_argument("--seed", type=int, default=1)
+        _add_runner_arguments(sub)
 
     run = subparsers.add_parser(
         "run", help="run one (scheme, workload) simulation")
@@ -103,7 +130,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--budget", type=float, default=None,
                      help="utility budget in watts (default 260)")
+    _add_runner_arguments(run)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clear the on-disk result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    for verb, help_text in (("stats", "show entry count and size"),
+                            ("clear", "delete every cached result")):
+        verb_parser = cache_sub.add_parser(verb, help=help_text)
+        verb_parser.add_argument("--cache", type=str, default=None,
+                                 metavar="DIR",
+                                 help="cache directory (default: "
+                                      f"{default_cache_dir()})")
     return parser
+
+
+def _build_runner(args) -> ExperimentRunner:
+    cache = None if args.no_cache else ResultCache(args.cache)
+    return ExperimentRunner(jobs=args.jobs, cache=cache)
 
 
 def _run_single(args) -> str:
@@ -122,6 +166,19 @@ def _run_single(args) -> str:
     return "\n".join(lines)
 
 
+def _cache_command(args) -> int:
+    cache = ResultCache(args.cache)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.directory}")
+        return 0
+    stats = cache.stats()
+    print(f"cache directory : {stats.directory}")
+    print(f"entries         : {stats.entries}")
+    print(f"total size      : {stats.total_bytes / 1024:.1f} KiB")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -130,10 +187,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("schemes:", ", ".join(POLICY_NAMES))
         print("workloads:", ", ".join(workload_names()))
         return 0
-    if args.command == "run":
-        print(_run_single(args))
-        return 0
-    print(FIGURES[args.command](args))
+    try:
+        if args.command == "cache":
+            return _cache_command(args)
+        runner = _build_runner(args)
+    except (ConfigurationError, OSError) as exc:
+        parser.error(str(exc))
+    with using_runner(runner):
+        if args.command == "run":
+            print(_run_single(args))
+            return 0
+        print(FIGURES[args.command](args))
     return 0
 
 

@@ -1,92 +1,55 @@
-"""Shared experiment scaffolding: standard setups and table formatting."""
+"""Shared experiment scaffolding: standard setups and table formatting.
+
+Every run routes through the active :mod:`repro.runner` runner, so a
+caller (or the CLI) that installs a parallel, cache-backed runner via
+``using_runner`` speeds up every figure below without any signature
+changes here.  The default runner is serial and cacheless — identical
+behavior to calling the simulator directly.
+"""
 
 from __future__ import annotations
 
-import dataclasses
-from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from ..config import (
-    ClusterConfig,
-    ControllerConfig,
-    HybridBufferConfig,
-    prototype_buffer,
-    prototype_cluster,
-)
-from ..core import make_policy
-from ..sim import HybridBuffers, RunResult, Simulation
-from ..units import hours
-from ..workloads import generate_solar_trace, get_workload, workload_names
+from ..config import ControllerConfig
+from ..runner import ExperimentSetup, RunRequest, get_runner
+from ..sim import RunResult
+from ..workloads import workload_names
 from ..workloads.solar import SolarConfig
 
-
-@dataclass(frozen=True)
-class ExperimentSetup:
-    """A standard prototype-style experiment configuration.
-
-    Attributes:
-        duration_h: Simulated hours per (scheme, workload) run.
-        budget_w: Utility budget; None keeps the prototype's 260 W.
-        seed: Workload RNG seed.
-        sc_fraction: SC share of installed buffer capacity.
-        total_energy_wh: Installed buffer capacity.
-        battery_dod / sc_dod: Optional depth-of-discharge overrides
-            (the Section 7.5 capacity knob).
-    """
-
-    duration_h: float = 4.0
-    budget_w: Optional[float] = None
-    seed: int = 1
-    sc_fraction: float = 0.3
-    total_energy_wh: float = 150.0
-    battery_dod: Optional[float] = None
-    sc_dod: Optional[float] = None
-
-    def cluster(self) -> ClusterConfig:
-        config = prototype_cluster()
-        if self.budget_w is not None:
-            config = dataclasses.replace(config,
-                                         utility_budget_w=self.budget_w)
-        return config
-
-    def hybrid(self) -> HybridBufferConfig:
-        return prototype_buffer(sc_fraction=self.sc_fraction,
-                                total_energy_wh=self.total_energy_wh)
+__all__ = [
+    "ExperimentSetup",
+    "run_scheme",
+    "run_all_schemes",
+    "run_renewable",
+    "format_table",
+]
 
 
 def run_scheme(scheme: str, workload: str,
                setup: ExperimentSetup = ExperimentSetup(),
                controller: Optional[ControllerConfig] = None) -> RunResult:
     """One (scheme, workload) run under a utility budget."""
-    cluster = setup.cluster()
-    hybrid = setup.hybrid()
-    trace = get_workload(workload, duration_s=hours(setup.duration_h),
-                         num_servers=cluster.num_servers,
-                         server=cluster.server, seed=setup.seed)
-    policy = make_policy(scheme, hybrid=hybrid, controller=controller)
-    buffers = HybridBuffers(hybrid,
-                            include_sc=scheme.lower() != "baonly",
-                            battery_dod=setup.battery_dod,
-                            sc_dod=setup.sc_dod)
-    simulation = Simulation(trace, policy, buffers, cluster_config=cluster,
-                            controller_config=controller)
-    return simulation.run()
+    return get_runner().run(RunRequest(scheme, workload, setup=setup,
+                                       controller=controller))
 
 
 def run_all_schemes(workloads: Optional[Sequence[str]] = None,
                     schemes: Optional[Sequence[str]] = None,
                     setup: ExperimentSetup = ExperimentSetup(),
                     ) -> List[RunResult]:
-    """The Figure 12 grid: every scheme against every workload."""
+    """The Figure 12 grid: every scheme against every workload.
+
+    The whole grid is submitted as one batch, so the active runner can
+    execute it with full parallelism.
+    """
     from ..core import POLICY_NAMES
 
     workloads = list(workloads) if workloads else list(workload_names())
     schemes = list(schemes) if schemes else list(POLICY_NAMES)
-    results = []
-    for scheme in schemes:
-        for workload in workloads:
-            results.append(run_scheme(scheme, workload, setup))
-    return results
+    requests = [RunRequest(scheme, workload, setup=setup)
+                for scheme in schemes for workload in workloads]
+    return get_runner().map(requests)
 
 
 def run_renewable(scheme: str, workload: str,
@@ -99,24 +62,9 @@ def run_renewable(scheme: str, workload: str,
     cluster's demand so deep valleys (big surpluses) occur, which is the
     regime where battery charge-current limits throttle REU (Section 2.2).
     """
-    cluster = setup.cluster()
-    hybrid = setup.hybrid()
-    duration_s = hours(setup.duration_h)
-    trace = get_workload(workload, duration_s=duration_s,
-                         num_servers=cluster.num_servers,
-                         server=cluster.server, seed=setup.seed)
-    solar = solar or SolarConfig(rated_power_w=520.0,
-                                 cloud_attenuation=0.15,
-                                 mean_cloud_s=700.0, mean_clear_s=900.0)
-    supply = generate_solar_trace(duration_s, config=solar,
-                                  seed=setup.seed,
-                                  start_time_s=hours(start_hour))
-    policy = make_policy(scheme, hybrid=hybrid)
-    buffers = HybridBuffers(hybrid,
-                            include_sc=scheme.lower() != "baonly")
-    simulation = Simulation(trace, policy, buffers, cluster_config=cluster,
-                            supply=supply, renewable=True)
-    return simulation.run()
+    return get_runner().run(RunRequest(scheme, workload, setup=setup,
+                                       renewable=True, solar=solar,
+                                       start_hour=start_hour))
 
 
 def format_table(rows: Mapping[str, Mapping[str, float]],

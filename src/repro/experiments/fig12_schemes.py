@@ -18,13 +18,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..core import POLICY_NAMES
+from ..runner import RunRequest, get_runner
 from ..sim import RunResult, compare_schemes
 from ..workloads import (
     LARGE_PEAK_WORKLOADS,
     SMALL_PEAK_WORKLOADS,
     workload_names,
 )
-from .common import ExperimentSetup, run_all_schemes, run_renewable
+from .common import ExperimentSetup
 
 
 @dataclass
@@ -108,22 +109,29 @@ def run_fig12(duration_h: float = 4.0,
     """
     workloads = list(workloads) if workloads else list(workload_names())
     schemes = list(schemes) if schemes else list(POLICY_NAMES)
-
-    efficiency_runs = run_all_schemes(
-        workloads, schemes, ExperimentSetup(duration_h=duration_h,
-                                            seed=seed))
-    downtime_runs = run_all_schemes(
-        workloads, schemes, ExperimentSetup(duration_h=duration_h,
-                                            seed=seed,
-                                            budget_w=downtime_budget_w))
     renewable_workloads = (list(renewable_workloads)
                            if renewable_workloads else ["WS", "TS"])
-    renewable_runs = []
-    for scheme in schemes:
-        for workload in renewable_workloads:
-            renewable_runs.append(run_renewable(
-                scheme, workload,
-                ExperimentSetup(duration_h=duration_h, seed=seed)))
+
+    # All four panels' runs are independent — submit them as a single
+    # batch so the active runner parallelizes across panels, not just
+    # within one.
+    base = ExperimentSetup(duration_h=duration_h, seed=seed)
+    stressed = ExperimentSetup(duration_h=duration_h, seed=seed,
+                               budget_w=downtime_budget_w)
+    requests = (
+        [RunRequest(scheme, workload, setup=base)
+         for scheme in schemes for workload in workloads]
+        + [RunRequest(scheme, workload, setup=stressed)
+           for scheme in schemes for workload in workloads]
+        + [RunRequest(scheme, workload, setup=base, renewable=True)
+           for scheme in schemes for workload in renewable_workloads]
+    )
+    results = get_runner().map(requests)
+
+    grid = len(schemes) * len(workloads)
+    efficiency_runs = results[:grid]
+    downtime_runs = results[grid:2 * grid]
+    renewable_runs = results[2 * grid:]
     return Fig12Results(efficiency_runs=efficiency_runs,
                         downtime_runs=downtime_runs,
                         renewable_runs=renewable_runs)

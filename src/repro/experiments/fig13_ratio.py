@@ -14,16 +14,10 @@ All four metrics are normalized to the default 3:7 point, using HEB-D.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..config import prototype_buffer, prototype_cluster
-from ..core import make_policy
-from ..sim import HybridBuffers, Simulation
-from ..units import hours, wh_to_joules
-from ..workloads import generate_solar_trace, get_workload
-from ..workloads.solar import SolarConfig
+from ..runner import ExperimentSetup, RunRequest, get_runner
 
 RATIOS: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5)
 
@@ -49,22 +43,36 @@ def _mean(values):
     return sum(values) / len(values) if values else 0.0
 
 
-def _build(ratio: float, scheme: str = "HEB-D"):
-    """Policy + physically-fixed buffers exposing an m:n usable split."""
-    hardware = prototype_buffer(sc_fraction=_HARDWARE_SC_FRACTION,
-                                total_energy_wh=_HARDWARE_TOTAL_WH)
+def _ratio_requests(ratio: float, workload: str, duration_h: float,
+                    seed: int, downtime_budget_w: float,
+                    scheme: str = "HEB-D") -> List[RunRequest]:
+    """The three runs (EE/lifetime, downtime, REU) at one sweep point.
+
+    The physical hardware is identical at every ratio; per-pool DoD caps
+    carve the usable m:n split out of it, while the policy's pilot
+    profile sees only the *usable* capacities (the ``policy_*`` view).
+    """
     sc_usable_wh = ratio * _USABLE_TOTAL_WH
     battery_usable_wh = (1.0 - ratio) * _USABLE_TOTAL_WH
     sc_dod = sc_usable_wh / (_HARDWARE_TOTAL_WH * _HARDWARE_SC_FRACTION)
     battery_dod = battery_usable_wh / (
         _HARDWARE_TOTAL_WH * (1.0 - _HARDWARE_SC_FRACTION))
-    buffers = HybridBuffers(hardware, battery_dod=battery_dod,
-                            sc_dod=sc_dod)
-    # The policy's pilot profile sees the *usable* capacities.
-    policy_view = prototype_buffer(sc_fraction=ratio,
-                                   total_energy_wh=_USABLE_TOTAL_WH)
-    policy = make_policy(scheme, hybrid=policy_view)
-    return policy, buffers
+    base = ExperimentSetup(duration_h=duration_h, seed=seed,
+                           sc_fraction=_HARDWARE_SC_FRACTION,
+                           total_energy_wh=_HARDWARE_TOTAL_WH,
+                           battery_dod=battery_dod, sc_dod=sc_dod)
+    stressed = ExperimentSetup(duration_h=duration_h, seed=seed,
+                               sc_fraction=_HARDWARE_SC_FRACTION,
+                               total_energy_wh=_HARDWARE_TOTAL_WH,
+                               battery_dod=battery_dod, sc_dod=sc_dod,
+                               budget_w=downtime_budget_w)
+    view = {"policy_sc_fraction": ratio,
+            "policy_total_wh": _USABLE_TOTAL_WH}
+    return [
+        RunRequest(scheme, workload, setup=base, **view),
+        RunRequest(scheme, workload, setup=stressed, **view),
+        RunRequest(scheme, workload, setup=base, renewable=True, **view),
+    ]
 
 
 def run_fig13(duration_h: float = 3.0, seed: int = 1,
@@ -74,38 +82,25 @@ def run_fig13(duration_h: float = 3.0, seed: int = 1,
               ) -> Dict[float, RatioPoint]:
     """Sweep the usable SC share with HEB-D on fixed hardware."""
     workloads = list(workloads) if workloads else ["DA", "TS"]
-    duration_s = hours(duration_h)
-    base_cluster = prototype_cluster()
-    stressed_cluster = dataclasses.replace(
-        base_cluster, utility_budget_w=downtime_budget_w)
-    solar_config = SolarConfig(rated_power_w=520.0, cloud_attenuation=0.15,
-                               mean_cloud_s=700.0, mean_clear_s=900.0)
+
+    requests: List[RunRequest] = []
+    for ratio in ratios:
+        for workload in workloads:
+            requests.extend(_ratio_requests(
+                ratio, workload, duration_h, seed, downtime_budget_w))
+    results = get_runner().map(requests)
 
     points: Dict[float, RatioPoint] = {}
+    cursor = 0
     for ratio in ratios:
         ee_values, down_values, life_values, reu_values = [], [], [], []
-        for workload in workloads:
-            trace = get_workload(workload, duration_s=duration_s, seed=seed)
-
-            policy, buffers = _build(ratio)
-            result = Simulation(trace, policy, buffers,
-                                cluster_config=base_cluster).run()
-            ee_values.append(result.metrics.energy_efficiency)
-            life_values.append(result.metrics.battery_lifetime_years)
-
-            policy, buffers = _build(ratio)
-            result = Simulation(trace, policy, buffers,
-                                cluster_config=stressed_cluster).run()
-            down_values.append(result.metrics.server_downtime_s)
-
-            policy, buffers = _build(ratio)
-            supply = generate_solar_trace(duration_s, config=solar_config,
-                                          seed=seed,
-                                          start_time_s=hours(8.0))
-            result = Simulation(trace, policy, buffers,
-                                cluster_config=base_cluster, supply=supply,
-                                renewable=True).run()
-            reu_values.append(result.metrics.reu)
+        for _ in workloads:
+            ee_run, down_run, reu_run = results[cursor:cursor + 3]
+            cursor += 3
+            ee_values.append(ee_run.metrics.energy_efficiency)
+            life_values.append(ee_run.metrics.battery_lifetime_years)
+            down_values.append(down_run.metrics.server_downtime_s)
+            reu_values.append(reu_run.metrics.reu)
         points[ratio] = RatioPoint(
             sc_fraction=ratio,
             energy_efficiency=_mean(ee_values),

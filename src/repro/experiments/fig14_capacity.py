@@ -11,9 +11,10 @@ energy on both pools, under HEB-D.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from .common import ExperimentSetup, run_renewable, run_scheme
+from ..runner import RunRequest, get_runner
+from .common import ExperimentSetup
 
 DOD_LEVELS: Tuple[float, ...] = (0.4, 0.5, 0.6, 0.7, 0.8)
 
@@ -41,16 +42,28 @@ def run_fig14(duration_h: float = 3.0, seed: int = 1,
               ) -> Dict[float, CapacityPoint]:
     """Sweep usable capacity (DoD on both pools) with HEB-D."""
     workloads = list(workloads) if workloads else ["DA", "TS"]
-    points: Dict[float, CapacityPoint] = {}
+
+    requests: List[RunRequest] = []
     for dod in dod_levels:
         setup = ExperimentSetup(duration_h=duration_h, seed=seed,
                                 battery_dod=dod, sc_dod=dod)
         stressed = ExperimentSetup(duration_h=duration_h, seed=seed,
                                    battery_dod=dod, sc_dod=dod,
                                    budget_w=downtime_budget_w)
-        ee_runs = [run_scheme("HEB-D", w, setup) for w in workloads]
-        down_runs = [run_scheme("HEB-D", w, stressed) for w in workloads]
-        reu_runs = [run_renewable("HEB-D", w, setup) for w in workloads]
+        requests += [RunRequest("HEB-D", w, setup=setup) for w in workloads]
+        requests += [RunRequest("HEB-D", w, setup=stressed)
+                     for w in workloads]
+        requests += [RunRequest("HEB-D", w, setup=setup, renewable=True)
+                     for w in workloads]
+    results = get_runner().map(requests)
+
+    points: Dict[float, CapacityPoint] = {}
+    per_level = 3 * len(workloads)
+    for position, dod in enumerate(dod_levels):
+        chunk = results[position * per_level:(position + 1) * per_level]
+        ee_runs = chunk[:len(workloads)]
+        down_runs = chunk[len(workloads):2 * len(workloads)]
+        reu_runs = chunk[2 * len(workloads):]
         points[dod] = CapacityPoint(
             dod=dod,
             energy_efficiency=_mean(

@@ -1,0 +1,77 @@
+"""Content-addressed cache keys for experiment runs.
+
+A key is the SHA-256 of the canonical JSON of two things:
+
+* the frozen :class:`~repro.runner.request.RunRequest` — every dataclass
+  (setup, controller, solar config) flattened to tagged dicts with
+  sorted keys, so field order and nesting cannot perturb the digest; and
+* a *code fingerprint* — a digest over every ``repro`` source file, so
+  any change to the simulator invalidates all previous results.
+
+Keys are therefore stable across processes, machines, and Python
+versions (floats serialize via their shortest round-trip repr), and two
+requests collide only if they describe the same computation run by the
+same code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+
+def freeze(value: Any) -> Any:
+    """Convert a request (or any nested dataclass) to canonical data.
+
+    Dataclasses become dicts tagged with their class name, tuples become
+    lists, and dict keys are stringified; everything else must already be
+    JSON-compatible.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        frozen: Any = {
+            field.name: freeze(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        frozen["__dataclass__"] = type(value).__name__
+        return frozen
+    if isinstance(value, dict):
+        return {str(key): freeze(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [freeze(item) for item in value]
+    return value
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace."""
+    return json.dumps(freeze(value), sort_keys=True,
+                      separators=(",", ":"))
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over every .py file of the installed ``repro`` package.
+
+    Computed once per process; editing any source file changes the
+    fingerprint and thereby invalidates every cached result.
+    """
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def cache_key(request: Any) -> str:
+    """The content address of one request's result (hex SHA-256)."""
+    payload = canonical_json({
+        "code": code_fingerprint(),
+        "request": request,
+    })
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

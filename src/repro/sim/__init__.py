@@ -8,7 +8,19 @@ hControl planning cadence (Sections 5-6).
 from .buffers import HybridBuffers
 from .engine import Simulation
 from .metrics import RunMetrics
-from .results import RunResult, SlotRecord, average_metric, compare_schemes
+from .results import (
+    RESULT_FORMAT_VERSION,
+    RunResult,
+    SlotRecord,
+    average_metric,
+    compare_schemes,
+    dump_results,
+    from_json_line,
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    to_json_line,
+)
 from .report import (
     comparison_to_markdown,
     results_to_csv,
@@ -21,8 +33,15 @@ __all__ = [
     "RunMetrics",
     "RunResult",
     "SlotRecord",
+    "RESULT_FORMAT_VERSION",
     "average_metric",
     "compare_schemes",
+    "dump_results",
+    "from_json_line",
+    "load_results",
+    "result_from_dict",
+    "result_to_dict",
+    "to_json_line",
     "comparison_to_markdown",
     "results_to_csv",
     "results_to_markdown",

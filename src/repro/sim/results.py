@@ -1,12 +1,36 @@
-"""Run results and cross-scheme comparison helpers."""
+"""Run results, serialization, and cross-scheme comparison helpers.
+
+Results are portable: :func:`result_to_dict` / :func:`result_from_dict`
+round-trip every field exactly (floats survive via JSON's shortest-repr
+encoding), and :func:`dump_results` / :func:`load_results` store whole
+result sets as JSON lines — the format the runner's on-disk cache and
+any cross-machine result exchange use.
+"""
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..storage.lifetime import LifetimeReport
 from .metrics import RunMetrics
+
+#: Bumped whenever the serialized layout changes incompatibly; stored in
+#: every JSON line so stale cache entries are rejected, not misparsed.
+RESULT_FORMAT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -46,6 +70,89 @@ class RunResult:
         if m.reu is not None:
             row["reu"] = m.reu
         return row
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to plain JSON-compatible types (see module docs)."""
+        return result_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunResult":
+        """Inverse of :meth:`to_dict`."""
+        return result_from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+def result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """Serialize one :class:`RunResult` to JSON-compatible types."""
+    return {
+        "format": RESULT_FORMAT_VERSION,
+        "scheme": result.scheme,
+        "workload": result.workload,
+        "metrics": dataclasses.asdict(result.metrics),
+        "lifetime": dataclasses.asdict(result.lifetime),
+        "slots": [dataclasses.asdict(slot) for slot in result.slots],
+    }
+
+
+def result_from_dict(payload: Dict[str, Any]) -> RunResult:
+    """Rebuild a :class:`RunResult` serialized by :func:`result_to_dict`.
+
+    Raises:
+        ValueError: On a missing/unknown format tag or malformed payload.
+    """
+    version = payload.get("format")
+    if version != RESULT_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format {version!r} "
+            f"(expected {RESULT_FORMAT_VERSION})")
+    try:
+        return RunResult(
+            scheme=payload["scheme"],
+            workload=payload["workload"],
+            metrics=RunMetrics(**payload["metrics"]),
+            lifetime=LifetimeReport(**payload["lifetime"]),
+            slots=tuple(SlotRecord(**slot) for slot in payload["slots"]),
+        )
+    except (KeyError, TypeError) as error:
+        raise ValueError(f"malformed RunResult payload: {error}") from error
+
+
+def to_json_line(result: RunResult) -> str:
+    """One compact JSON line for a result (JSONL record)."""
+    return json.dumps(result_to_dict(result), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def from_json_line(line: str) -> RunResult:
+    """Parse one JSONL record back into a :class:`RunResult`."""
+    return result_from_dict(json.loads(line))
+
+
+def dump_results(results: Iterable[RunResult],
+                 path: Union[str, Path]) -> int:
+    """Write results as JSON lines; returns the number written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as stream:
+        for result in results:
+            stream.write(to_json_line(result))
+            stream.write("\n")
+            count += 1
+    return count
+
+
+def load_results(path: Union[str, Path]) -> List[RunResult]:
+    """Read a JSONL file written by :func:`dump_results`."""
+    results: List[RunResult] = []
+    with Path(path).open("r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                results.append(from_json_line(line))
+    return results
 
 
 def average_metric(results: Sequence[RunResult],

@@ -21,6 +21,13 @@ from repro.units import hours, minutes
 from repro.workloads import get_workload
 
 
+@pytest.fixture(autouse=True)
+def isolated_result_cache(tmp_path, monkeypatch):
+    """Point the runner's default cache at a per-test directory so no
+    test (CLI tests included) ever writes to the user's real cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def battery_config() -> BatteryConfig:
     return prototype_battery()

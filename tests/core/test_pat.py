@@ -155,3 +155,77 @@ class TestOnlineOptimization:
             matched_entry=matched)
         # Battery hit empty -> ratio "rose" to infinity -> more SC load.
         assert updated.r_lambda == pytest.approx(0.51)
+
+
+class TestLookupEdgeCases:
+    def test_empty_table_counts_lookup_without_hit(self, pat):
+        assert pat.lookup(0.0, 0.0, 0.0) is None
+        assert pat.lookups == 1
+        assert pat.exact_hits == 0
+
+    def test_exact_match_preferred_over_similar(self, pat):
+        """A quantized exact hit never falls through to Similar()."""
+        pat.add(10 * WH, 50 * WH, 100.0, 0.2)
+        pat.add(10 * WH, 50 * WH, 110.0, 0.8)
+        entry = pat.lookup(10 * WH, 50 * WH, 98.0)  # quantizes to 100
+        assert entry.r_lambda == pytest.approx(0.2)
+        assert pat.exact_hits == 1
+
+    def test_tie_distance_resolves_to_lowest_key(self, pat):
+        """Equidistant neighbours must break ties deterministically
+        (lowest sorted key wins), or runs stop being reproducible."""
+        pat.add(10 * WH, 50 * WH, 40.0, 0.9)
+        pat.add(10 * WH, 50 * WH, 80.0, 0.3)
+        entry = pat.lookup(10 * WH, 50 * WH, 60.0)  # 2 quanta from both
+        assert entry.power_w == pytest.approx(40.0)
+        # And stably so across repeated lookups.
+        again = pat.lookup(10 * WH, 50 * WH, 60.0)
+        assert again is entry
+
+    def test_tie_in_energy_dimension(self, pat):
+        pat.add(0.0, 50 * WH, 100.0, 0.1)
+        pat.add(10 * WH, 50 * WH, 100.0, 0.7)
+        entry = pat.lookup(5 * WH, 50 * WH, 100.0)  # 1 quantum from both
+        assert entry.sc_energy_j == pytest.approx(0.0)
+
+
+class TestDeltaRClamping:
+    def test_increment_clamped_at_one(self, pat):
+        pat.add(10 * WH, 50 * WH, 100.0, 1.0)
+        matched = pat.lookup(10 * WH, 50 * WH, 100.0)
+        updated = pat.record_outcome(
+            10 * WH, 50 * WH, 100.0, 1.0,
+            sc_end_j=9 * WH, battery_end_j=30 * WH,  # push up
+            matched_entry=matched)
+        assert updated.r_lambda == pytest.approx(1.0)
+        assert updated.updates == 1
+
+    def test_decrement_clamped_at_zero(self, pat):
+        pat.add(10 * WH, 50 * WH, 100.0, 0.0)
+        matched = pat.lookup(10 * WH, 50 * WH, 100.0)
+        updated = pat.record_outcome(
+            10 * WH, 50 * WH, 100.0, 0.0,
+            sc_end_j=2 * WH, battery_end_j=48 * WH,  # push down
+            matched_entry=matched)
+        assert updated.r_lambda == pytest.approx(0.0)
+        assert updated.updates == 1
+
+    def test_partial_step_clamps_not_wraps(self, pat):
+        """A Δr step from within Δr of a bound lands exactly on the
+        bound, never past it."""
+        pat.add(10 * WH, 50 * WH, 100.0, 0.005)  # delta_r is 0.01
+        matched = pat.lookup(10 * WH, 50 * WH, 100.0)
+        updated = pat.record_outcome(
+            10 * WH, 50 * WH, 100.0, 0.005,
+            sc_end_j=2 * WH, battery_end_j=48 * WH,
+            matched_entry=matched)
+        assert updated.r_lambda == pytest.approx(0.0)
+
+    def test_unmatched_outcome_ratio_is_clamped(self, pat):
+        """A brand-new online entry stores the used ratio clamped to
+        [0, 1] rather than rejecting it."""
+        entry = pat.record_outcome(
+            10 * WH, 50 * WH, 100.0, 1.2,
+            sc_end_j=5 * WH, battery_end_j=40 * WH, matched_entry=None)
+        assert entry.r_lambda == pytest.approx(1.0)
+        assert entry.source == "online"

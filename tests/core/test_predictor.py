@@ -107,3 +107,53 @@ class TestPredictionClamping:
     def test_mae_empty_history(self, predictor):
         assert predictor.mean_absolute_error() == 0.0
         assert math.isfinite(predictor.mean_absolute_error())
+
+
+class TestInputShapes:
+    """Degenerate input series: single slot, constants, pure ramps."""
+
+    def test_single_slot_mismatch(self, predictor):
+        predictor.observe_slot(100.0, 50.0)
+        prediction = predictor.predict()
+        assert not prediction.warmed_up
+        assert prediction.mismatch_w == pytest.approx(50.0)
+
+    def test_single_zero_power_slot(self, predictor):
+        predictor.observe_slot(0.0, 0.0)
+        prediction = predictor.predict()
+        assert prediction.peak_w == pytest.approx(0.0)
+        assert prediction.valley_w == pytest.approx(0.0)
+        assert prediction.mismatch_w == pytest.approx(0.0)
+
+    def test_constant_flat_series_has_no_mismatch(self, predictor):
+        """peak == valley forever => the buffers owe nothing."""
+        for _ in range(12):
+            predictor.observe_slot(250.0, 250.0)
+        prediction = predictor.predict()
+        assert prediction.warmed_up
+        assert prediction.mismatch_w == pytest.approx(0.0, abs=1e-6)
+
+    def test_ramp_during_warmup_falls_back_to_last_value(self, predictor):
+        # Fewer than season_length observations: strict persistence.
+        for step in range(3):
+            predictor.observe_slot(100.0 + 10.0 * step, 50.0)
+        prediction = predictor.predict()
+        assert not prediction.warmed_up
+        assert prediction.peak_w == pytest.approx(120.0)
+
+    def test_ramp_after_warmup_extrapolates(self, predictor):
+        """On a pure ramp the trend term must look past the last value."""
+        last = 0.0
+        for step in range(30):
+            last = 100.0 + 10.0 * step
+            predictor.observe_slot(last, 50.0)
+        prediction = predictor.predict()
+        assert prediction.warmed_up
+        assert prediction.peak_w > last
+
+    def test_downward_ramp_never_goes_negative(self, predictor):
+        for step in range(30):
+            predictor.observe_slot(max(0.0, 300.0 - 20.0 * step), 0.0)
+        prediction = predictor.predict()
+        assert prediction.peak_w >= 0.0
+        assert prediction.valley_w >= 0.0

@@ -1,0 +1,98 @@
+"""Regenerate the golden-figure fixtures.
+
+Run from the repository root after an *intentional* change to simulation
+behavior::
+
+    PYTHONPATH=src python tests/experiments/golden/generate.py
+
+The fixtures pin every headline metric of fig12/fig13/fig15 at small,
+fixed-seed configurations; the golden tests fail when any metric drifts
+by more than 1e-9, so unintentional numeric changes to the hot path are
+caught immediately.  Floats are stored at full shortest-repr precision.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments import run_fig12, run_fig13, run_fig15
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+# Small but representative: one small-peak (TS) and one large-peak (PR)
+# workload, half an hour, seed 1.
+FIG12_PARAMS = {
+    "duration_h": 0.5,
+    "seed": 1,
+    "workloads": ["TS", "PR"],
+    "renewable_workloads": ["TS"],
+}
+# DA (data analytics) differentiates the ratio sweep even at 0.5 h:
+# energy efficiency and battery lifetime vary strongly with the SC share.
+FIG13_PARAMS = {
+    "duration_h": 0.5,
+    "seed": 1,
+    "workloads": ["DA"],
+    "ratios": [0.1, 0.3, 0.5],
+}
+
+
+def generate_fig12() -> dict:
+    results = run_fig12(**FIG12_PARAMS)
+    return {
+        "params": FIG12_PARAMS,
+        "rows": results.scheme_rows(),
+        "split": results.small_large_split(),
+    }
+
+
+def generate_fig13() -> dict:
+    points = run_fig13(**FIG13_PARAMS)
+    return {
+        "params": FIG13_PARAMS,
+        "points": {
+            str(ratio): {
+                "energy_efficiency": point.energy_efficiency,
+                "downtime_s": point.downtime_s,
+                "lifetime_years": point.lifetime_years,
+                "reu": point.reu,
+            }
+            for ratio, point in points.items()
+        },
+    }
+
+
+def generate_fig15() -> dict:
+    results = run_fig15()
+    best = max(results.roi_points, key=lambda p: p.roi)
+    worst = min(results.roi_points, key=lambda p: p.roi)
+    return {
+        "breakdown": {
+            "fractions": results.breakdown.fractions(),
+            "total": results.breakdown.total,
+            "server_cost": results.server_cost,
+        },
+        "roi": {
+            "points": len(results.roi_points),
+            "positive": sum(1 for p in results.roi_points if p.worthwhile),
+            "best": best.roi,
+            "worst": worst.roi,
+        },
+        "peak_shaving": results.peak_shaving,
+    }
+
+
+def main() -> None:
+    for name, generator in (("fig12", generate_fig12),
+                            ("fig13", generate_fig13),
+                            ("fig15", generate_fig15)):
+        path = GOLDEN_DIR / f"{name}.json"
+        payload = generator()
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n", encoding="utf-8")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

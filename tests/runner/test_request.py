@@ -1,0 +1,93 @@
+"""Tests for RunRequest and execute_request."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner import (
+    DEFAULT_RENEWABLE_SOLAR,
+    ExperimentSetup,
+    RunRequest,
+    execute_request,
+)
+from repro.workloads.solar import SolarConfig
+
+
+FAST = ExperimentSetup(duration_h=0.2)
+
+
+class TestRunRequest:
+    def test_defaults(self):
+        request = RunRequest("SCFirst", "TS")
+        assert request.setup == ExperimentSetup()
+        assert not request.renewable
+        assert request.solar is None
+
+    def test_renewable_gets_default_solar(self):
+        request = RunRequest("SCFirst", "TS", renewable=True)
+        assert request.solar == DEFAULT_RENEWABLE_SOLAR
+
+    def test_explicit_solar_preserved(self):
+        solar = SolarConfig(rated_power_w=300.0)
+        request = RunRequest("SCFirst", "TS", renewable=True, solar=solar)
+        assert request.solar == solar
+
+    def test_solar_without_renewable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunRequest("SCFirst", "TS", solar=SolarConfig())
+
+    def test_requests_are_picklable(self):
+        request = RunRequest("HEB-D", "PR", setup=FAST, renewable=True)
+        clone = pickle.loads(pickle.dumps(request))
+        assert clone == request
+
+
+class TestExecuteRequest:
+    def test_matches_direct_simulation(self):
+        """execute_request is the same computation as the legacy inline
+        run_scheme path (trace -> policy -> buffers -> Simulation)."""
+        from repro.config import prototype_buffer
+        from repro.core import make_policy
+        from repro.sim import HybridBuffers, Simulation
+        from repro.units import hours
+        from repro.workloads import get_workload
+
+        setup = FAST
+        cluster = setup.cluster()
+        trace = get_workload("TS", duration_s=hours(setup.duration_h),
+                             num_servers=cluster.num_servers,
+                             server=cluster.server, seed=setup.seed)
+        hybrid = prototype_buffer()
+        policy = make_policy("SCFirst", hybrid=hybrid)
+        buffers = HybridBuffers(hybrid)
+        direct = Simulation(trace, policy, buffers,
+                            cluster_config=cluster).run()
+
+        routed = execute_request(RunRequest("SCFirst", "TS", setup=setup))
+        assert routed.to_dict() == direct.to_dict()
+
+    def test_renewable_sets_reu(self):
+        result = execute_request(
+            RunRequest("SCFirst", "TS", setup=FAST, renewable=True))
+        assert result.metrics.reu is not None
+
+    def test_policy_view_changes_behavior(self):
+        """The Figure 13 policy view must actually reach the policy."""
+        setup = ExperimentSetup(duration_h=0.5, total_energy_wh=250.0,
+                                battery_dod=0.5, sc_dod=0.5,
+                                budget_w=200.0)
+        narrow = execute_request(RunRequest(
+            "HEB-D", "DA", setup=setup,
+            policy_sc_fraction=0.1, policy_total_wh=150.0))
+        wide = execute_request(RunRequest(
+            "HEB-D", "DA", setup=setup,
+            policy_sc_fraction=0.5, policy_total_wh=150.0))
+        assert narrow.scheme == wide.scheme == "HEB-D"
+        # Different pilot views must not silently collapse to one run.
+        assert narrow.to_dict() != wide.to_dict()
+
+    def test_determinism(self):
+        first = execute_request(RunRequest("BaFirst", "WS", setup=FAST))
+        second = execute_request(RunRequest("BaFirst", "WS", setup=FAST))
+        assert first.to_dict() == second.to_dict()

@@ -46,3 +46,64 @@ class TestExecution:
         assert main(["run", "BaOnly", "TS", "--hours", "0.5",
                      "--budget", "240"]) == 0
         assert "SCFirst" not in capsys.readouterr().out
+
+
+class TestRunnerFlags:
+    def test_figure_subcommands_accept_runner_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig12", "--jobs", "4",
+                                  "--cache", "/tmp/c", "--no-cache"])
+        assert args.jobs == 4
+        assert args.cache == "/tmp/c"
+        assert args.no_cache
+
+    def test_run_populates_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cli-cache"
+        argv = ["run", "SCFirst", "TS", "--hours", "0.25",
+                "--cache", str(cache_dir)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache", str(cache_dir)]) == 0
+        assert "entries         : 1" in capsys.readouterr().out
+
+    def test_no_cache_leaves_directory_empty(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cli-cache"
+        assert main(["run", "SCFirst", "TS", "--hours", "0.25",
+                     "--cache", str(cache_dir), "--no-cache"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache", str(cache_dir)]) == 0
+        assert "entries         : 0" in capsys.readouterr().out
+
+    def test_warm_rerun_matches_cold_output(self, tmp_path, capsys):
+        argv = ["run", "BaFirst", "PR", "--hours", "0.25",
+                "--cache", str(tmp_path / "c")]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_cache_clear_empties_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cli-cache"
+        assert main(["run", "SCFirst", "TS", "--hours", "0.25",
+                     "--cache", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache", str(cache_dir)]) == 0
+        assert "removed 1 cached result(s)" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache", str(cache_dir)]) == 0
+        assert "entries         : 0" in capsys.readouterr().out
+
+    def test_parallel_figure_run(self, capsys):
+        assert main(["fig12", "--hours", "0.25", "--jobs", "2",
+                     "--no-cache"]) == 0
+        assert "HEB-D" in capsys.readouterr().out
+
+    def test_invalid_jobs_is_a_clean_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "SCFirst", "TS", "--jobs", "0"])
+        assert excinfo.value.code == 2
+        assert "jobs must be >= 1" in capsys.readouterr().err
+
+    def test_uncreatable_cache_dir_is_a_clean_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "SCFirst", "TS", "--cache", "/proc/nope/deeper"])
+        assert excinfo.value.code == 2

@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) for HybridBuffers and the engine.
+
+These complement the unit suites with randomized invariants:
+
+* ``HybridBuffers`` — energy conservation over arbitrary operation
+  sequences, SoC confined to ``[1 - DoD, 1]``, tick-protocol sanity.
+* ``Simulation`` — on random small cluster traces, per-run accounting
+  must balance exactly: served + unserved equals total demand, the
+  buffer contribution equals ``buffer_energy_out * converter_efficiency``,
+  the utility never exceeds its budget, and downtime is never negative.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ClusterConfig, prototype_buffer
+from repro.core import make_policy
+from repro.errors import SimulationError
+from repro.sim import HybridBuffers, Simulation
+from repro.workloads.base import ClusterTrace
+
+import pytest
+
+
+# One buffer operation: (pool, action, power_w).  ``rest`` ticks exercise
+# the settle path (KiBaM recovery happens there).
+operations_strategy = st.lists(
+    st.tuples(st.sampled_from(["sc", "battery"]),
+              st.sampled_from(["charge", "discharge", "rest"]),
+              st.floats(min_value=0.0, max_value=400.0)),
+    min_size=1, max_size=40)
+
+dod_strategy = st.floats(min_value=0.1, max_value=1.0)
+
+
+def apply_operations(buffers, operations, dt=1.0):
+    for pool, action, power in operations:
+        buffers.begin_tick()
+        if action == "charge":
+            buffers.charge(pool, power, dt)
+        elif action == "discharge":
+            buffers.discharge(pool, power, dt)
+        buffers.settle(dt)
+
+
+class TestHybridBufferProperties:
+    @given(operations_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_energy_conservation(self, operations):
+        """Energy out never exceeds initial store plus energy in, and the
+        final store is bounded by the same ledger (losses only shrink it)."""
+        buffers = HybridBuffers(prototype_buffer())
+        initial = buffers.initial_stored_j
+        apply_operations(buffers, operations)
+        energy_in = buffers.energy_in_j()
+        energy_out = buffers.energy_out_j()
+        assert energy_out <= initial + energy_in + 1e-6
+        assert buffers.total_stored_j <= initial + energy_in + 1e-6
+        assert buffers.total_stored_j >= -1e-9
+
+    @given(operations_strategy, dod_strategy, dod_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_soc_stays_within_dod_window(self, operations, battery_dod,
+                                         sc_dod):
+        """SoC never leaves [1 - DoD, 1] regardless of operation order."""
+        buffers = HybridBuffers(prototype_buffer(),
+                                battery_dod=battery_dod, sc_dod=sc_dod)
+        apply_operations(buffers, operations)
+        assert (1.0 - battery_dod) - 1e-9 <= buffers.battery.soc <= 1.0 + 1e-9
+        assert (1.0 - sc_dod) - 1e-9 <= buffers.sc.soc <= 1.0 + 1e-9
+
+    @given(operations_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_lifetime_report_is_sane(self, operations):
+        buffers = HybridBuffers(prototype_buffer())
+        apply_operations(buffers, operations)
+        report = buffers.lifetime_report()
+        assert report.estimated_lifetime_years >= 0.0
+        assert report.equivalent_full_cycles >= 0.0
+
+    @given(operations_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_battery_only_pool_has_no_sc(self, operations):
+        """include_sc=False folds all capacity into the battery pool."""
+        config = prototype_buffer()
+        buffers = HybridBuffers(config, include_sc=False)
+        assert buffers.sc is None
+        assert buffers.battery.nominal_energy_j == pytest.approx(
+            config.total_energy_j)
+        with pytest.raises(SimulationError):
+            buffers.discharge("sc", 10.0, 1.0)
+        battery_only = [("battery", action, power)
+                        for _, action, power in operations]
+        apply_operations(buffers, battery_only)
+        assert buffers.energy_out_j() <= (
+            buffers.initial_stored_j + buffers.energy_in_j() + 1e-6)
+
+
+engine_case_strategy = st.tuples(
+    st.integers(min_value=0, max_value=2**31 - 1),   # trace seed
+    st.integers(min_value=20, max_value=80),          # ticks
+    st.floats(min_value=80.0, max_value=400.0),       # utility budget W
+    st.sampled_from(["SCFirst", "BaFirst", "BaOnly"]))
+
+
+def run_random_simulation(seed, num_ticks, budget_w, scheme):
+    rng = np.random.default_rng(seed)
+    cluster = ClusterConfig(utility_budget_w=budget_w)
+    demands = rng.uniform(0.0, 150.0, size=(cluster.num_servers, num_ticks))
+    trace = ClusterTrace(demands, 1.0)
+    hybrid = prototype_buffer()
+    policy = make_policy(scheme, hybrid=hybrid)
+    buffers = HybridBuffers(hybrid, include_sc=scheme != "BaOnly")
+    result = Simulation(trace, policy, buffers,
+                        cluster_config=cluster).run()
+    return result, float(demands.sum()) * trace.dt_s, cluster
+
+
+class TestEngineTickProperties:
+    @given(engine_case_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_energy_accounting_balances(self, case):
+        """served + unserved == demand; the buffer contribution to served
+        equals the device-side outflow after converter losses."""
+        result, demand_j, cluster = run_random_simulation(*case)
+        metrics = result.metrics
+        total = metrics.served_energy_j + metrics.unserved_energy_j
+        assert total == pytest.approx(demand_j, rel=1e-9, abs=1e-6)
+        buffered = metrics.served_energy_j - metrics.utility_energy_j
+        assert buffered == pytest.approx(
+            metrics.buffer_energy_out_j * cluster.converter_efficiency,
+            rel=1e-9, abs=1e-6)
+
+    @given(engine_case_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_utility_never_exceeds_budget(self, case):
+        result, _, cluster = run_random_simulation(*case)
+        duration = result.metrics.duration_s
+        cap = cluster.utility_budget_w * duration
+        assert result.metrics.utility_energy_j <= cap + 1e-6
+
+    @given(engine_case_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_metric_ranges(self, case):
+        result, _, _ = run_random_simulation(*case)
+        metrics = result.metrics
+        assert metrics.server_downtime_s >= 0.0
+        assert 0.0 <= metrics.downtime_fraction <= 1.0
+        assert 0.0 <= metrics.energy_efficiency <= 1.0 + 1e-9
+        assert metrics.buffer_energy_in_j >= 0.0
+        assert metrics.buffer_energy_out_j >= 0.0
+        assert 0.0 <= metrics.deficit_time_fraction <= 1.0
+        assert metrics.battery_lifetime_years >= 0.0
+
+    @given(engine_case_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_buffer_outflow_bounded_by_store(self, case):
+        """Buffers cannot deliver more than they started with plus what
+        the valleys recharged."""
+        result, _, _ = run_random_simulation(*case)
+        metrics = result.metrics
+        initial = prototype_buffer().total_energy_j
+        assert metrics.buffer_energy_out_j <= (
+            initial + metrics.buffer_energy_in_j + 1e-6)
