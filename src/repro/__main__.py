@@ -8,6 +8,7 @@ Usage::
     python -m repro run HEB-D PR --hours 2
     python -m repro cache stats
     python -m repro cache clear
+    python -m repro lint src --format json
 
 Figure and ``run`` commands fan independent simulations out over worker
 processes (``--jobs``, default: all cores) and reuse previous results
@@ -23,6 +24,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from . import experiments, quick_run
+from .analysis.cli import add_lint_arguments, run_lint
 from .core import POLICY_NAMES
 from .errors import ConfigurationError
 from .runner import (
@@ -31,6 +33,7 @@ from .runner import (
     default_cache_dir,
     using_runner,
 )
+from .units import joules_to_wh
 from .workloads import workload_names
 
 
@@ -132,6 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="utility budget in watts (default 260)")
     _add_runner_arguments(run)
 
+    lint = subparsers.add_parser(
+        "lint", help="static analysis: unit, determinism, and exception "
+                     "invariants (see docs/analysis.md)")
+    add_lint_arguments(lint)
+
     cache = subparsers.add_parser(
         "cache", help="inspect or clear the on-disk result cache")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -160,8 +168,9 @@ def _run_single(args) -> str:
         f"  energy efficiency : {metrics.energy_efficiency:.3f}",
         f"  server downtime   : {metrics.server_downtime_s:.0f} s",
         f"  battery lifetime  : {metrics.battery_lifetime_years:.2f} y",
-        f"  buffer out / in   : {metrics.buffer_energy_out_j / 3600:.1f} / "
-        f"{metrics.buffer_energy_in_j / 3600:.1f} Wh",
+        f"  buffer out / in   : "
+        f"{joules_to_wh(metrics.buffer_energy_out_j):.1f} / "
+        f"{joules_to_wh(metrics.buffer_energy_in_j):.1f} Wh",
     ]
     return "\n".join(lines)
 
@@ -187,6 +196,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("schemes:", ", ".join(POLICY_NAMES))
         print("workloads:", ", ".join(workload_names()))
         return 0
+    if args.command == "lint":
+        return run_lint(args)
     try:
         if args.command == "cache":
             return _cache_command(args)

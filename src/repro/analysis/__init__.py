@@ -1,0 +1,46 @@
+"""Static analysis for the HEB reproduction (``python -m repro lint``).
+
+A small AST-based lint framework plus a rule pack enforcing this
+codebase's three load-bearing conventions:
+
+* **unit discipline** (RPR1xx) — SI units with ``_w``/``_j``/``_c``
+  name suffixes, conversions only through :mod:`repro.units`;
+* **determinism** (RPR2xx) — code feeding the content-addressed result
+  cache must not read clocks, entropy, or unordered containers;
+* **exception hygiene** (RPR3xx) — raises stay inside the
+  :class:`repro.errors.ReproError` contract, no broad ``except``.
+
+Suppress a finding in place with ``# repro: noqa[RPR102]`` (or a bare
+``# repro: noqa`` for every rule on that line).  See ``docs/analysis.md``
+for how to add a rule.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    PARSE_ERROR_RULE_ID,
+    LintReport,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from .findings import Finding
+from .reporter import render_json, render_text
+from .rules import FileContext, Rule, all_rules, register
+from .suppressions import collect_suppressions
+
+__all__ = [
+    "PARSE_ERROR_RULE_ID",
+    "Finding",
+    "FileContext",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "collect_suppressions",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "render_json",
+    "render_text",
+]

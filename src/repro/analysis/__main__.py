@@ -1,0 +1,10 @@
+"""Allow ``python -m repro.analysis`` as a standalone linter."""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

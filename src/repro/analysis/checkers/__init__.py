@@ -1,0 +1,11 @@
+"""Built-in rule pack.
+
+Importing this package registers every built-in rule; the registry in
+:mod:`repro.analysis.rules` triggers that import lazily.
+"""
+
+from __future__ import annotations
+
+from . import determinism, exceptions, units  # noqa: F401
+
+__all__ = ["determinism", "exceptions", "units"]

@@ -1,0 +1,134 @@
+"""Determinism rules (RPR2xx).
+
+The experiment runner caches results under a SHA-256 of (request, code)
+and promises parallel == serial output bit-for-bit.  Both guarantees die
+silently if simulation code consults wall clocks, process entropy, or
+unordered containers.  These rules police every package whose output
+feeds that cache (``sim``, ``core``, ``storage``, ``runner``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..rules import FileContext, Rule, register
+
+#: Call targets (resolved through imports) that read ambient state.
+NONDETERMINISTIC_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "os.urandom",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+})
+
+#: ``numpy.random`` members that are explicitly-seeded constructors and
+#: therefore fine; everything else on the module is legacy global state.
+SAFE_NUMPY_RANDOM = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+})
+
+#: ``random`` members that are deterministic when explicitly seeded.
+SAFE_STDLIB_RANDOM = frozenset({"Random"})
+
+
+@register
+class NondeterministicCallRule(Rule):
+    """No wall clocks, UUIDs, or unseeded global RNGs in cached code.
+
+    ``time.time()``, ``datetime.now()``, ``uuid4()``, ``random.random()``
+    and the legacy ``np.random.*`` globals make a run unrepeatable, which
+    silently corrupts the content-addressed result cache and breaks the
+    parallel==serial guarantee.  Route randomness through an explicitly
+    seeded ``numpy.random.Generator`` (or ``random.Random(seed)``).
+    """
+
+    id = "RPR201"
+    visits = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if not ctx.is_deterministic_scope:
+            return
+        target = ctx.resolve_call(node.func)
+        if target is None:
+            return
+        reason = self._violation(target)
+        if reason:
+            yield ctx.finding(
+                self, node,
+                f"call to {target!r} {reason} inside a deterministic "
+                f"package; results feeding the content-addressed cache "
+                f"must be reproducible")
+
+    @staticmethod
+    def _violation(target: str) -> str:
+        if target in NONDETERMINISTIC_CALLS:
+            return "reads ambient state (clock/entropy)"
+        parts = target.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            if parts[1] not in SAFE_STDLIB_RANDOM:
+                return "uses the unseeded process-global random state"
+        if len(parts) >= 2 and parts[-2] == "random" and (
+                parts[0] in ("numpy", "np")):
+            if parts[-1] not in SAFE_NUMPY_RANDOM:
+                return "uses numpy's legacy global random state"
+        return ""
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register
+class SetIterationRule(Rule):
+    """No iteration over sets in deterministic packages.
+
+    Set iteration order depends on insertion history and hash seeds;
+    feeding it into float accumulation (or any ordered output) makes two
+    identical runs disagree in the last ulp.  Sort first:
+    ``for x in sorted(the_set)``.
+    """
+
+    id = "RPR202"
+    visits = (ast.For, ast.comprehension, ast.Call)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.is_deterministic_scope:
+            return
+        if isinstance(node, ast.For) and _is_set_expression(node.iter):
+            yield ctx.finding(
+                self, node,
+                "iteration over a set has no deterministic order; "
+                "wrap it in sorted(...)")
+        elif isinstance(node, ast.comprehension) and _is_set_expression(
+                node.iter):
+            yield ctx.finding(
+                self, node.iter,
+                "comprehension iterates a set in nondeterministic order; "
+                "wrap it in sorted(...)")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Name) and func.id == "sum"
+                    and node.args and _is_set_expression(node.args[0])):
+                yield ctx.finding(
+                    self, node,
+                    "sum() over a set accumulates floats in "
+                    "nondeterministic order; sum a sorted(...) sequence")

@@ -1,0 +1,126 @@
+"""Exception-hygiene rules (RPR3xx).
+
+Callers are promised a single contract: everything this library raises
+is a :class:`repro.errors.ReproError` subclass (plus ``TypeError`` /
+``ValueError`` at configuration boundaries, and ``NotImplementedError``
+as an abstract-method marker).  These rules keep that contract honest
+and stop broad handlers from eating failures.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator
+
+from ..findings import Finding
+from ..rules import FileContext, Rule, register
+
+#: Builtin exceptions the library may raise directly.
+ALLOWED_BUILTIN_RAISES = frozenset({
+    "TypeError", "ValueError", "NotImplementedError", "KeyError",
+    "StopIteration",
+})
+
+#: Handler types considered "broad": they swallow unrelated failures.
+BROAD_HANDLER_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _repro_error_names() -> FrozenSet[str]:
+    """Every exception class exported by :mod:`repro.errors`."""
+    from ... import errors
+
+    return frozenset(
+        name for name, obj in vars(errors).items()
+        if isinstance(obj, type) and issubclass(obj, errors.ReproError))
+
+
+def _handler_names(handler: ast.ExceptHandler) -> Iterator[str]:
+    node = handler.type
+    elements = node.elts if isinstance(node, ast.Tuple) else [node]
+    for element in elements:
+        if isinstance(element, ast.Name):
+            yield element.id
+        elif isinstance(element, ast.Attribute):
+            yield element.attr
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body re-raises the caught exception."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+@register
+class BroadExceptRule(Rule):
+    """No bare ``except:`` / ``except Exception:`` swallowing.
+
+    A broad handler hides ``DepletedError`` logic bugs and corrupted
+    simulation state alike.  Catch the narrowest :class:`ReproError`
+    subclass that can actually occur; a broad handler is tolerated only
+    when its body re-raises (``raise`` with no argument).
+    """
+
+    id = "RPR301"
+    visits = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.ExceptHandler)
+        if node.type is None:
+            if not _reraises(node):
+                yield ctx.finding(
+                    self, node,
+                    "bare 'except:' swallows every failure including "
+                    "KeyboardInterrupt; catch a specific ReproError "
+                    "subclass")
+            return
+        if _reraises(node):
+            return
+        for name in _handler_names(node):
+            if name in BROAD_HANDLER_NAMES:
+                yield ctx.finding(
+                    self, node,
+                    f"'except {name}:' swallows unrelated failures; "
+                    f"catch the narrowest ReproError subclass instead")
+
+
+@register
+class ForeignRaiseRule(Rule):
+    """Raises must be ReproError subclasses (or sanctioned builtins).
+
+    The library's error contract is the :mod:`repro.errors` hierarchy;
+    raising ``RuntimeError`` or ad-hoc Exception subclasses breaks every
+    caller that relies on ``except ReproError``.  ``TypeError`` /
+    ``ValueError`` / ``KeyError`` stay legal at configuration
+    boundaries, ``NotImplementedError`` as an abstract-method marker.
+    """
+
+    id = "RPR302"
+    visits = (ast.Raise,)
+
+    def __init__(self) -> None:
+        self._allowed = _repro_error_names() | ALLOWED_BUILTIN_RAISES
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Raise)
+        exc = node.exc
+        if exc is None:  # bare re-raise
+            return
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Attribute):
+            name = exc.attr
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        else:
+            return  # dynamic expression; not statically checkable
+        if name in self._allowed:
+            return
+        if name[:1].islower():
+            return  # a variable holding an exception instance
+        yield ctx.finding(
+            self, node,
+            f"raise of {name!r} is outside the library contract; raise a "
+            f"repro.errors.ReproError subclass (or TypeError/ValueError "
+            f"at a config boundary)")

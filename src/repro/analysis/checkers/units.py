@@ -1,0 +1,168 @@
+"""Unit-discipline rules (RPR1xx).
+
+The library computes in SI units and encodes the unit of every quantity
+in its name (``_w`` watts, ``_j`` joules, ``_c`` coulombs, ...; see
+:mod:`repro.units`).  These rules catch the classic energy-accounting
+bugs: adding watts to joules, re-deriving conversion constants outside
+``units.py``, and public signatures that drop the unit from a
+power/energy quantity.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..findings import Finding
+from ..rules import FileContext, Rule, register
+
+#: Suffix -> dimension for names following the ``value_<unit>`` idiom.
+SUFFIX_DIMENSION: Dict[str, str] = {
+    "w": "power", "kw": "power", "mw": "power",
+    "j": "energy", "wh": "energy", "kwh": "energy",
+    "c": "charge", "ah": "charge",
+}
+
+#: Unit suffixes accepted on power/energy names in public signatures.
+ACCEPTED_SUFFIXES = frozenset(SUFFIX_DIMENSION) | frozenset({
+    "a", "v", "s", "h", "y", "years", "ohm", "pct", "frac", "ratio",
+})
+
+#: Name tokens that mark a value as a power/energy quantity.
+QUANTITY_TOKENS = frozenset({"power", "energy"})
+
+#: Second/hour conversion constants that must come from repro.units.
+MAGIC_TIME_CONSTANTS: Dict[float, str] = {
+    3600.0: "units.SECONDS_PER_HOUR (or an hours()/wh_to_joules()-style helper)",
+    86400.0: "units.SECONDS_PER_DAY (or units.days())",
+    8760.0: "units.HOURS_PER_YEAR",
+}
+
+
+def name_dimension(name: str) -> Optional[str]:
+    """Dimension encoded in ``name``'s unit suffix, if any."""
+    token = name.rsplit("_", 1)[-1].lower() if "_" in name else ""
+    return SUFFIX_DIMENSION.get(token)
+
+
+def _operand_name(node: ast.expr) -> Optional[str]:
+    """A name whose suffix can carry a unit: Name, Attribute, or Call."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _operand_name(node.func)
+    return None
+
+
+def _operand_dimension(node: ast.expr) -> Optional[str]:
+    name = _operand_name(node)
+    return name_dimension(name) if name else None
+
+
+@register
+class MixedUnitArithmeticRule(Rule):
+    """Additive arithmetic must not mix power, energy, and charge names.
+
+    ``demand_w + stored_j`` is dimensionally meaningless; a conversion
+    (multiplication by a time step, a units helper) is required first.
+    Only ``+``/``-`` are flagged — products and quotients are how unit
+    conversions are legitimately written.
+    """
+
+    id = "RPR101"
+    visits = (ast.BinOp, ast.AugAssign)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.BinOp):
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                return
+            pairs: Tuple[Tuple[ast.expr, ast.expr], ...] = (
+                (node.left, node.right),)
+        else:
+            assert isinstance(node, ast.AugAssign)
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                return
+            pairs = ((node.target, node.value),)
+        for left, right in pairs:
+            left_dim = _operand_dimension(left)
+            right_dim = _operand_dimension(right)
+            if left_dim and right_dim and left_dim != right_dim:
+                yield ctx.finding(
+                    self, node,
+                    f"additive arithmetic mixes {left_dim} "
+                    f"({_operand_name(left)!r}) with {right_dim} "
+                    f"({_operand_name(right)!r}); convert explicitly via "
+                    f"repro.units first")
+
+
+@register
+class MagicTimeConstantRule(Rule):
+    """Time-conversion constants belong in ``repro.units``, nowhere else.
+
+    A literal ``3600``, ``86400``, or ``8760`` outside ``units.py`` is a
+    re-derived conversion factor; use the named constant or helper so the
+    unit discipline stays auditable in one module.
+    """
+
+    id = "RPR102"
+    visits = (ast.Constant,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Constant)
+        if ctx.is_units_module:
+            return
+        value = node.value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return
+        replacement = MAGIC_TIME_CONSTANTS.get(float(value))
+        if replacement is not None:
+            yield ctx.finding(
+                self, node,
+                f"magic time constant {value!r}; use {replacement}")
+
+
+def _is_float_annotation(annotation: Optional[ast.expr]) -> bool:
+    return isinstance(annotation, ast.Name) and annotation.id == "float"
+
+
+@register
+class UnsuffixedQuantityRule(Rule):
+    """Public power/energy signatures must carry a unit suffix.
+
+    A public parameter named ``power`` or ``peak_energy`` (and a public
+    function named ``...power``/``...energy`` returning a bare float)
+    leaves the unit to the caller's imagination; name it ``power_w``,
+    ``peak_energy_j``, ... so call sites read dimensionally.
+    """
+
+    id = "RPR103"
+    visits = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if node.name.startswith("_"):
+            return
+        args = node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if arg.arg in ("self", "cls"):
+                continue
+            if self._is_unsuffixed_quantity(arg.arg):
+                yield ctx.finding(
+                    self, arg,
+                    f"parameter {arg.arg!r} of public function "
+                    f"{node.name!r} carries power/energy semantics but no "
+                    f"unit suffix (e.g. {arg.arg}_w / {arg.arg}_j)")
+        if (self._is_unsuffixed_quantity(node.name)
+                and _is_float_annotation(node.returns)):
+            yield ctx.finding(
+                self, node,
+                f"public function {node.name!r} returns a power/energy "
+                f"float without a unit suffix in its name "
+                f"(e.g. {node.name}_w / {node.name}_j)")
+
+    @staticmethod
+    def _is_unsuffixed_quantity(name: str) -> bool:
+        tokens = name.lower().split("_")
+        return tokens[-1] in QUANTITY_TOKENS

@@ -1,0 +1,83 @@
+"""The ``python -m repro lint`` subcommand.
+
+Exit codes follow the usual linter convention:
+
+* 0 — no findings,
+* 1 — findings were reported,
+* 2 — usage error (unknown rule id, missing path, unreadable file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, TextIO
+
+from ..errors import AnalysisError
+from .engine import lint_paths
+from .reporter import render_json, render_text
+from .rules import all_rules
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to an (sub)parser."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--select", action="append", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (repeatable; default: all)")
+    parser.add_argument(
+        "--ignore", action="append", default=None, metavar="RULES",
+        help="comma-separated rule ids to skip (repeatable)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit")
+
+
+def _split_ids(groups: Optional[List[str]]) -> Optional[List[str]]:
+    if groups is None:
+        return None
+    return [part for group in groups for part in group.split(",") if part]
+
+
+def _list_rules(stream: TextIO) -> int:
+    for rule_id, rule_class in all_rules().items():
+        stream.write(f"{rule_id}  {rule_class.summary()}\n")
+    return 0
+
+
+def run_lint(args: argparse.Namespace,
+             stdout: Optional[TextIO] = None,
+             stderr: Optional[TextIO] = None) -> int:
+    """Execute a parsed ``lint`` invocation; returns the exit code."""
+    out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
+    if args.list_rules:
+        return _list_rules(out)
+    try:
+        report = lint_paths(
+            args.paths,
+            select=_split_ids(args.select),
+            ignore=_split_ids(args.ignore),
+        )
+    except AnalysisError as error:
+        err.write(f"lint: error: {error}\n")
+        return 2
+    renderer = render_json if args.format == "json" else render_text
+    out.write(renderer(report))
+    out.write("\n")
+    return 0 if report.clean else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.analysis``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="Static analysis for the HEB reproduction: unit "
+                    "discipline, determinism, exception hygiene.")
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))

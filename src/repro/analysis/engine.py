@@ -1,0 +1,145 @@
+"""The lint engine: file discovery, one-pass AST dispatch, filtering.
+
+:func:`lint_paths` is the library entry point the CLI wraps::
+
+    report = lint_paths(["src"])
+    for finding in report.findings:
+        print(finding.render())
+
+Each module is parsed once; every AST node is dispatched to the rules
+that subscribed to its type.  Findings on lines carrying a matching
+``# repro: noqa[...]`` comment are dropped, and the remainder come back
+sorted by (path, line, column, rule id) so output is deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+from ..errors import AnalysisError
+from .findings import Finding
+from .rules import FileContext, Rule, all_rules, resolve_rule_ids
+from .suppressions import collect_suppressions, is_suppressed
+
+#: Rule id attached to files that fail to parse at all.
+PARSE_ERROR_RULE_ID = "RPR000"
+
+#: Directory names never descended into during discovery.
+SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".hypothesis"})
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: Tuple[Finding, ...]
+    files_scanned: int
+    rule_ids: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` in sorted order.
+
+    Raises:
+        AnalysisError: When a path does not exist.
+    """
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise AnalysisError(f"no such file or directory: {raw}")
+        if path.is_file():
+            yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if SKIPPED_DIRS.intersection(candidate.parts):
+                continue
+            yield candidate
+
+
+def _select_rules(select: Optional[Iterable[str]],
+                  ignore: Optional[Iterable[str]]) -> List[Rule]:
+    registry = all_rules()
+    selected = resolve_rule_ids(select) if select else list(registry)
+    ignored = set(resolve_rule_ids(ignore)) if ignore else set()
+    return [registry[rule_id]()
+            for rule_id in selected if rule_id not in ignored]
+
+
+def _dispatch_table(
+        rules: Sequence[Rule],
+) -> Dict[Type[ast.AST], List[Rule]]:
+    table: Dict[Type[ast.AST], List[Rule]] = {}
+    for rule in rules:
+        for node_type in rule.visits:
+            table.setdefault(node_type, []).append(rule)
+    return table
+
+
+def lint_source(source: str, path: str,
+                rules: Sequence[Rule]) -> List[Finding]:
+    """Lint one in-memory module; returns unsorted, unsuppressed findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Finding(
+            path=path,
+            line=error.lineno or 1,
+            col=(error.offset or 0) + 1,
+            rule_id=PARSE_ERROR_RULE_ID,
+            message=f"file does not parse: {error.msg}",
+        )]
+    ctx = FileContext(path, source, tree)
+    table = _dispatch_table(rules)
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        for rule in table.get(type(node), ()):
+            findings.extend(rule.visit(node, ctx))
+    suppressions = collect_suppressions(source)
+    return [f for f in findings
+            if not is_suppressed(suppressions, f.line, f.rule_id)]
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Iterable[str]] = None,
+               ignore: Optional[Iterable[str]] = None) -> LintReport:
+    """Lint every Python file under ``paths``.
+
+    Args:
+        paths: Files and/or directories to scan.
+        select: Rule ids to run (default: all registered rules).
+        ignore: Rule ids to drop from the selection.
+
+    Raises:
+        AnalysisError: On unknown rule ids or missing paths.
+    """
+    rules = _select_rules(select, ignore)
+    findings: List[Finding] = []
+    files_scanned = 0
+    for path in iter_python_files(paths):
+        files_scanned += 1
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            raise AnalysisError(f"cannot read {path}: {error}") from error
+        findings.extend(lint_source(source, str(path), rules))
+    return LintReport(
+        findings=tuple(sorted(findings)),
+        files_scanned=files_scanned,
+        rule_ids=tuple(sorted(rule.id for rule in rules)),
+    )

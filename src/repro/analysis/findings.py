@@ -1,0 +1,37 @@
+"""Finding objects produced by the static-analysis rules.
+
+A :class:`Finding` pins one rule violation to a file and position.  The
+tuple ordering (path, line, column, rule id) gives reports a stable,
+deterministic order regardless of the order rules ran in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation (used by ``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The conventional one-line ``path:line:col: RULE message`` form."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule_id} {self.message}")

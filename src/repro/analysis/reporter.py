@@ -1,0 +1,35 @@
+"""Human-readable and machine-readable lint reports."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintReport
+
+#: Bumped if the JSON report layout ever changes incompatibly.
+REPORT_FORMAT_VERSION = 1
+
+
+def render_text(report: LintReport) -> str:
+    """Conventional ``path:line:col: RULE message`` lines plus a summary."""
+    lines = [finding.render() for finding in report.findings]
+    noun = "file" if report.files_scanned == 1 else "files"
+    if report.findings:
+        count = len(report.findings)
+        lines.append(
+            f"{count} finding{'s' if count != 1 else ''} "
+            f"in {report.files_scanned} {noun}")
+    else:
+        lines.append(f"clean: {report.files_scanned} {noun} scanned")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Stable JSON document for tooling (sorted keys, 2-space indent)."""
+    payload = {
+        "format": REPORT_FORMAT_VERSION,
+        "files_scanned": report.files_scanned,
+        "rules": list(report.rule_ids),
+        "findings": [finding.to_dict() for finding in report.findings],
+    }
+    return json.dumps(payload, sort_keys=True, indent=2)

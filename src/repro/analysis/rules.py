@@ -1,0 +1,153 @@
+"""Rule base class, per-file context, and the global rule registry.
+
+A rule subclasses :class:`Rule`, declares which AST node types it wants
+via :attr:`Rule.visits`, and yields :class:`Finding` objects from
+:meth:`Rule.visit`.  Decorating the class with :func:`register` adds it
+to the registry the lint engine and CLI enumerate.
+
+The engine walks each module's AST exactly once and dispatches every
+node to the rules that subscribed to its type, so adding rules does not
+add tree traversals.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+from ..errors import AnalysisError
+from .findings import Finding
+
+#: Path components under which simulation results must be bit-for-bit
+#: reproducible (they feed the content-addressed result cache and the
+#: parallel==serial guarantee of the experiment runner).
+DETERMINISTIC_PACKAGES = frozenset({"sim", "core", "storage", "runner"})
+
+
+class FileContext:
+    """Everything the rules may want to know about the file being linted."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        parts = PurePath(path).parts
+        #: True when the file lives in a package whose output feeds the
+        #: deterministic result cache (see DETERMINISTIC_PACKAGES).
+        self.is_deterministic_scope = bool(
+            DETERMINISTIC_PACKAGES.intersection(parts))
+        #: True for the one module allowed to define time-conversion
+        #: constants.
+        self.is_units_module = PurePath(path).name == "units.py"
+        self.imports = _collect_imports(tree)
+
+    def resolve_call(self, node: ast.expr) -> Optional[str]:
+        """Best-effort dotted name of a call target, through imports.
+
+        ``np.random.rand`` resolves to ``numpy.random.rand`` when the
+        module was imported as ``import numpy as np``; unresolvable
+        expressions (lambdas, subscripts, ...) return ``None``.
+        """
+        chain: List[str] = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        chain.append(self.imports.get(node.id, node.id))
+        return ".".join(reversed(chain))
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=rule.id,
+            message=message,
+        )
+
+
+def _collect_imports(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted module/object paths they refer to."""
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}")
+    return imports
+
+
+class Rule:
+    """Base class for one static-analysis rule.
+
+    Attributes:
+        id: Stable identifier (``RPR###``) used in reports and
+            ``# repro: noqa[...]`` suppressions.
+        visits: AST node types this rule wants to see.
+    """
+
+    id: str = ""
+    visits: Tuple[Type[ast.AST], ...] = ()
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one node.  Default: nothing."""
+        return iter(())
+
+    @classmethod
+    def summary(cls) -> str:
+        """First docstring line; shown by ``lint --list-rules``."""
+        doc = (cls.__doc__ or "").strip()
+        return doc.splitlines()[0] if doc else cls.__name__
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_class.id:
+        raise AnalysisError(f"rule {rule_class.__name__} has no id")
+    if rule_class.id in _REGISTRY:
+        raise AnalysisError(f"duplicate rule id {rule_class.id!r}")
+    _REGISTRY[rule_class.id] = rule_class
+    return rule_class
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    """The registry, keyed by rule id (sorted copy)."""
+    _load_builtin_rules()
+    return dict(sorted(_REGISTRY.items()))
+
+
+def resolve_rule_ids(ids: Iterable[str]) -> List[str]:
+    """Validate a user-supplied rule-id list against the registry.
+
+    Raises:
+        AnalysisError: If any id is unknown.
+    """
+    known = all_rules()
+    resolved = []
+    for rule_id in ids:
+        rule_id = rule_id.strip().upper()
+        if not rule_id:
+            continue
+        if rule_id not in known:
+            raise AnalysisError(
+                f"unknown rule id {rule_id!r} "
+                f"(known: {', '.join(known)})")
+        resolved.append(rule_id)
+    return resolved
+
+
+def _load_builtin_rules() -> None:
+    """Import the built-in checker modules (idempotent)."""
+    from . import checkers  # noqa: F401  (import populates the registry)

@@ -1,0 +1,65 @@
+"""``# repro: noqa`` suppression comments.
+
+Two forms, both scoped to the line they appear on:
+
+* ``# repro: noqa`` — suppress every rule on this line;
+* ``# repro: noqa[RPR102]`` / ``# repro: noqa[RPR102, RPR201]`` —
+  suppress only the listed rule ids.
+
+Comments are located with :mod:`tokenize` rather than a substring scan
+so the marker is never matched inside a string literal.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet
+
+#: Sentinel meaning "every rule is suppressed on this line".
+ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?",
+)
+
+
+def collect_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> suppressed rule ids (or :data:`ALL_RULES`).
+
+    Unparseable source (tokenize errors) yields no suppressions; the
+    engine reports the syntax error separately.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if not match:
+                continue
+            rules = match.group("rules")
+            line = token.start[0]
+            if rules is None:
+                suppressions[line] = ALL_RULES
+            else:
+                ids = frozenset(
+                    part.strip().upper()
+                    for part in rules.split(",") if part.strip())
+                if ids:
+                    suppressions[line] = suppressions.get(
+                        line, frozenset()) | ids
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}
+    return suppressions
+
+
+def is_suppressed(suppressions: Dict[int, FrozenSet[str]],
+                  line: int, rule_id: str) -> bool:
+    """True when ``rule_id`` is silenced on ``line``."""
+    rules = suppressions.get(line)
+    if rules is None:
+        return False
+    return rules is ALL_RULES or "*" in rules or rule_id in rules

@@ -16,6 +16,7 @@ from typing import Callable, Dict, Iterable, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..storage.device import EnergyStorageDevice
+from ..units import hours
 from .pat import PowerAllocationTable
 
 DeviceFactory = Callable[[], EnergyStorageDevice]
@@ -30,7 +31,7 @@ def runtime_for_ratio(sc_factory: DeviceFactory,
                       sc_soc: float = 1.0,
                       battery_soc: float = 1.0,
                       dt: float = 5.0,
-                      max_time_s: float = 4 * 3600.0) -> float:
+                      max_time_s: float = hours(4.0)) -> float:
     """Sustained runtime for one (state, mismatch, ratio) combination.
 
     The SC pool serves ``r_lambda * deficit_w`` and the battery pool the

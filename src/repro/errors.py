@@ -59,3 +59,12 @@ class PredictionError(ReproError):
 
 class TCOError(ReproError):
     """An economics computation received inconsistent inputs."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis tooling was invoked incorrectly.
+
+    Raised for unknown rule ids, missing lint paths, and unreadable
+    source files — usage errors, never findings (those are data, not
+    exceptions).
+    """

@@ -28,7 +28,7 @@ from ..power.topology import (
     heb_topology,
 )
 from ..sim import HybridBuffers, Simulation
-from ..units import hours
+from ..units import hours, joules_to_wh
 from ..workloads import get_workload
 
 
@@ -102,7 +102,8 @@ def run_fig08(duration_h: float = 4.0, seed: int = 1,
             delivery_efficiency=topology.delivery_efficiency,
             energy_efficiency=result.metrics.energy_efficiency,
             downtime_s=result.metrics.server_downtime_s,
-            buffer_energy_out_wh=result.metrics.buffer_energy_out_j / 3600.0,
+            buffer_energy_out_wh=joules_to_wh(
+                result.metrics.buffer_energy_out_j),
         )
     return rows
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..errors import SwitchError, TopologyError
+from ..units import SECONDS_PER_HOUR
 
 
 class RelayPosition(enum.Enum):
@@ -97,7 +98,8 @@ class IPDU:
     simulations do not grow without limit.
     """
 
-    def __init__(self, num_outlets: int, history_limit: int = 3600) -> None:
+    def __init__(self, num_outlets: int,
+                 history_limit: int = int(SECONDS_PER_HOUR)) -> None:
         if num_outlets <= 0:
             raise TopologyError("IPDU needs at least one outlet")
         if history_limit <= 0:

@@ -158,8 +158,8 @@ def load_results(path: Union[str, Path]) -> List[RunResult]:
 def average_metric(results: Sequence[RunResult],
                    getter: Callable[[RunMetrics], Optional[float]]) -> float:
     """Mean of one metric across runs (ignores None values)."""
-    values = [getter(r.metrics) for r in results]
-    values = [v for v in values if v is not None]
+    values = [v for v in (getter(r.metrics) for r in results)
+              if v is not None]
     if not values:
         raise ValueError("no values to average")
     return sum(values) / len(values)
@@ -182,17 +182,24 @@ def compare_schemes(results: Sequence[RunResult],
     if baseline not in by_scheme:
         raise ValueError(f"baseline scheme {baseline!r} missing from results")
 
-    def mean(scheme: str, getter) -> Optional[float]:
+    def mean(scheme: str,
+             getter: Callable[[RunMetrics], float]) -> float:
         values = [getter(r.metrics) for r in by_scheme[scheme]]
-        values = [v for v in values if v is not None]
+        return sum(values) / len(values)
+
+    def mean_optional(scheme: str,
+                      getter: Callable[[RunMetrics], Optional[float]],
+                      ) -> Optional[float]:
+        values = [v for v in (getter(r.metrics) for r in by_scheme[scheme])
+                  if v is not None]
         return sum(values) / len(values) if values else None
 
     table: Dict[str, Dict[str, float]] = {}
     base_ee = mean(baseline, lambda m: m.energy_efficiency)
     base_down = mean(baseline, lambda m: m.server_downtime_s)
     base_life = mean(baseline, lambda m: m.battery_lifetime_years)
-    base_reu = mean(baseline, lambda m: m.reu)
-    base_capture = mean(baseline, lambda m: m.renewable_capture)
+    base_reu = mean_optional(baseline, lambda m: m.reu)
+    base_capture = mean_optional(baseline, lambda m: m.renewable_capture)
 
     for scheme, runs in by_scheme.items():
         row: Dict[str, float] = {
@@ -202,10 +209,10 @@ def compare_schemes(results: Sequence[RunResult],
                 scheme, lambda m: m.battery_lifetime_years),
             "runs": float(len(runs)),
         }
-        reu = mean(scheme, lambda m: m.reu)
+        reu = mean_optional(scheme, lambda m: m.reu)
         if reu is not None:
             row["reu"] = reu
-        capture = mean(scheme, lambda m: m.renewable_capture)
+        capture = mean_optional(scheme, lambda m: m.renewable_capture)
         if capture is not None:
             row["renewable_capture"] = capture
             if base_capture:

@@ -65,11 +65,11 @@ class DeviceBank(EnergyStorageDevice):
     # Limits
     # ------------------------------------------------------------------
 
-    def max_discharge_power(self, dt: float) -> float:
-        return sum(d.max_discharge_power(dt) for d in self.devices)
+    def max_discharge_power_w(self, dt: float) -> float:
+        return sum(d.max_discharge_power_w(dt) for d in self.devices)
 
-    def max_charge_power(self, dt: float) -> float:
-        return sum(d.max_charge_power(dt) for d in self.devices)
+    def max_charge_power_w(self, dt: float) -> float:
+        return sum(d.max_charge_power_w(dt) for d in self.devices)
 
     # ------------------------------------------------------------------
     # Flows
@@ -85,7 +85,7 @@ class DeviceBank(EnergyStorageDevice):
 
     def discharge(self, power_w: float, dt: float) -> FlowResult:
         self._validate_flow_args(power_w, dt)
-        capacities = [d.max_discharge_power(dt) for d in self.devices]
+        capacities = [d.max_discharge_power_w(dt) for d in self.devices]
         shares = self._split(power_w, capacities)
         achieved = energy = loss = 0.0
         current = 0.0
@@ -114,7 +114,7 @@ class DeviceBank(EnergyStorageDevice):
 
     def charge(self, power_w: float, dt: float) -> FlowResult:
         self._validate_flow_args(power_w, dt)
-        capacities = [d.max_charge_power(dt) for d in self.devices]
+        capacities = [d.max_charge_power_w(dt) for d in self.devices]
         shares = self._split(power_w, capacities)
         achieved = energy = loss = 0.0
         current = 0.0

@@ -19,7 +19,7 @@ import math
 
 from ..config import BatteryConfig
 from ..errors import ConfigurationError
-from ..units import clamp
+from ..units import ah_to_coulombs, clamp
 from .device import EnergyStorageDevice, FlowResult
 from .kibam import (
     KiBaMState,
@@ -39,7 +39,7 @@ class LeadAcidBattery(EnergyStorageDevice):
         super().__init__(name)
         self.config = config
         self._age_fraction = 0.0
-        self._capacity_c = config.capacity_ah * 3600.0
+        self._capacity_c = ah_to_coulombs(config.capacity_ah)
         self._state = KiBaMState.at_soc(
             capacity_c=self._capacity_c,
             c=config.kibam_c,
@@ -84,7 +84,7 @@ class LeadAcidBattery(EnergyStorageDevice):
             raise ConfigurationError("resistance can only grow with age")
         soc = self._state.soc
         self._age_fraction = fade_fraction
-        fresh_capacity_c = self.config.capacity_ah * 3600.0
+        fresh_capacity_c = ah_to_coulombs(self.config.capacity_ah)
         self._capacity_c = fresh_capacity_c * (1.0 - fade_fraction)
         self._aged_resistance = (self.config.internal_resistance_ohm
                                  * (1.0 + (resistance_growth - 1.0)
@@ -185,7 +185,7 @@ class LeadAcidBattery(EnergyStorageDevice):
 
         return max(0.0, min(i_voltage, i_kibam, i_floor))
 
-    def max_discharge_power(self, dt: float) -> float:
+    def max_discharge_power_w(self, dt: float) -> float:
         self._validate_flow_args(0.0, dt)
         i_limit = self._discharge_current_limit(dt)
         v_oc = self.open_circuit_voltage()
@@ -195,7 +195,7 @@ class LeadAcidBattery(EnergyStorageDevice):
             i_limit = min(i_limit, v_oc / (2.0 * r))
         return max(0.0, i_limit * (v_oc - i_limit * r))
 
-    def max_charge_power(self, dt: float) -> float:
+    def max_charge_power_w(self, dt: float) -> float:
         self._validate_flow_args(0.0, dt)
         i_limit = self._charge_current_limit(dt)
         v_oc = self.open_circuit_voltage()

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import List
 
 from ..errors import ConfigurationError
+from ..units import hours
 from .device import EnergyStorageDevice
 
 
@@ -38,7 +39,7 @@ class CharacterizationResult:
 
 def constant_power_discharge(device: EnergyStorageDevice, power_w: float,
                              dt: float = 1.0,
-                             max_time_s: float = 24 * 3600.0,
+                             max_time_s: float = hours(24.0),
                              ) -> CharacterizationResult:
     """Discharge at constant power until the device can no longer keep up.
 
@@ -65,7 +66,7 @@ def constant_power_discharge(device: EnergyStorageDevice, power_w: float,
 
 def constant_power_charge(device: EnergyStorageDevice, power_w: float,
                           dt: float = 1.0,
-                          max_time_s: float = 24 * 3600.0,
+                          max_time_s: float = hours(24.0),
                           ) -> CharacterizationResult:
     """Charge at constant offered power until the device is full."""
     if power_w <= 0.0:
@@ -177,7 +178,7 @@ def recovery_experiment(make_device, power_w: float,
 
 def discharge_voltage_curve(device: EnergyStorageDevice, power_w: float,
                             dt: float = 1.0,
-                            max_time_s: float = 4 * 3600.0,
+                            max_time_s: float = hours(4.0),
                             ) -> CharacterizationResult:
     """Record the terminal-voltage trajectory under constant power.
 

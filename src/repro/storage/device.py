@@ -190,11 +190,11 @@ class EnergyStorageDevice(ABC):
         """Open-circuit terminal voltage at the current state."""
 
     @abstractmethod
-    def max_discharge_power(self, dt: float) -> float:
+    def max_discharge_power_w(self, dt: float) -> float:
         """Largest terminal power sustainable for the next ``dt`` seconds."""
 
     @abstractmethod
-    def max_charge_power(self, dt: float) -> float:
+    def max_charge_power_w(self, dt: float) -> float:
         """Largest terminal power absorbable for the next ``dt`` seconds."""
 
     @abstractmethod

@@ -81,7 +81,7 @@ class Supercapacitor(EnergyStorageDevice):
         return math.sqrt(2.0 * usable_floor_j / cfg.capacitance_f
                          + cfg.min_voltage_v ** 2)
 
-    def max_discharge_power(self, dt: float) -> float:
+    def max_discharge_power_w(self, dt: float) -> float:
         self._validate_flow_args(0.0, dt)
         v = self.voltage
         esr = self.config.esr_ohm
@@ -90,7 +90,7 @@ class Supercapacitor(EnergyStorageDevice):
             i_limit = min(i_limit, v / (2.0 * esr))
         return max(0.0, i_limit * (v - i_limit * esr))
 
-    def max_charge_power(self, dt: float) -> float:
+    def max_charge_power_w(self, dt: float) -> float:
         self._validate_flow_args(0.0, dt)
         cfg = self.config
         headroom_c = max(

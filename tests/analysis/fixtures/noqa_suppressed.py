@@ -1,0 +1,13 @@
+"""Fixture: every violation here carries a matching noqa suppression."""
+
+
+def day_seconds() -> float:
+    return 24.0 * 3600.0  # repro: noqa[RPR102]
+
+
+def week_seconds() -> float:
+    return 7.0 * 86400.0  # repro: noqa
+
+
+def total_j(power_w: float, energy_j: float) -> float:
+    return power_w + energy_j  # repro: noqa[RPR101, RPR102]

@@ -1,0 +1,5 @@
+"""RPR000 clean fixture: a perfectly ordinary module."""
+
+
+def fine() -> None:
+    return None

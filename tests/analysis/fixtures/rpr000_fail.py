@@ -1,0 +1,5 @@
+"""RPR000 failing fixture: this file does not parse."""
+
+
+def broken(:
+    return None

@@ -1,0 +1,10 @@
+"""RPR101 clean fixture: conversions happen before addition."""
+
+
+def total_j(power_w: float, dt_s: float, energy_j: float) -> float:
+    return power_w * dt_s + energy_j
+
+
+def drain(reserve_j: float, draw_w: float, dt_s: float) -> float:
+    reserve_j -= draw_w * dt_s
+    return reserve_j

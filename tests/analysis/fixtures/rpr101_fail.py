@@ -1,0 +1,10 @@
+"""RPR101 failing fixture: additive arithmetic across unit dimensions."""
+
+
+def total_j(power_w: float, energy_j: float) -> float:
+    return power_w + energy_j
+
+
+def drain(reserve_j: float, draw_w: float) -> float:
+    reserve_j -= draw_w
+    return reserve_j

@@ -1,0 +1,5 @@
+"""RPR102 clean fixture: a module *named* units.py may define these."""
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+HOURS_PER_YEAR = 8760.0

@@ -1,0 +1,11 @@
+"""RPR102 failing fixture: re-derived time-conversion constants."""
+
+HOURS_IN_A_YEAR = 8760
+
+
+def day_seconds() -> float:
+    return 24.0 * 3600.0
+
+
+def week_seconds() -> float:
+    return 7.0 * 86400.0

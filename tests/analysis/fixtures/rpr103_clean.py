@@ -1,0 +1,15 @@
+"""RPR103 clean fixture: quantities carry their unit suffix."""
+
+from typing import Sequence
+
+
+def scale(power_w: float, factor: float) -> float:
+    return power_w * factor
+
+
+def peak_power_w(samples_w: Sequence[float]) -> float:
+    return max(samples_w)
+
+
+def _peak_power(samples_w: Sequence[float]) -> float:
+    return max(samples_w)

@@ -1,0 +1,11 @@
+"""RPR103 failing fixture: public signatures dropping the unit."""
+
+from typing import Sequence
+
+
+def scale(power: float, factor: float) -> float:
+    return power * factor
+
+
+def peak_power(samples_w: Sequence[float]) -> float:
+    return max(samples_w)

@@ -1,0 +1,16 @@
+"""RPR201 clean fixture: explicitly seeded generators are reproducible."""
+
+import random
+
+import numpy as np
+
+
+def noise(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    return float(rng.standard_normal())
+
+
+def shuffle(seed: int, items: list) -> list:
+    rng = random.Random(seed)
+    rng.shuffle(items)
+    return items

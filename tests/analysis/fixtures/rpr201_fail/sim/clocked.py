@@ -1,0 +1,19 @@
+"""RPR201 failing fixture: ambient state inside a deterministic package."""
+
+import random
+import time
+
+import numpy as np
+from time import time as now
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def stamp_imported() -> float:
+    return now()
+
+
+def noise() -> float:
+    return float(np.random.rand()) + random.random()

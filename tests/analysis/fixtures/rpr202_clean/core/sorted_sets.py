@@ -1,0 +1,18 @@
+"""RPR202 clean fixture: sets are sorted before any accumulation."""
+
+from typing import Iterable, Set
+
+
+def accumulate(values_w: Iterable[float]) -> float:
+    total_w = 0.0
+    for value_w in sorted(set(values_w)):
+        total_w += value_w
+    return total_w
+
+
+def fast_total(values_w: Set[float]) -> float:
+    return sum(sorted(values_w))
+
+
+def membership(values_w: Set[float], needle_w: float) -> bool:
+    return needle_w in values_w

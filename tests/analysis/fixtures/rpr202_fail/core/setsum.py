@@ -1,0 +1,14 @@
+"""RPR202 failing fixture: set iteration feeding accumulation."""
+
+from typing import Iterable, Set
+
+
+def accumulate(values_w: Iterable[float]) -> float:
+    total_w = 0.0
+    for value_w in set(values_w):
+        total_w += value_w
+    return total_w
+
+
+def fast_total(values_w: Set[float]) -> float:
+    return sum({round(v, 3) for v in values_w})

@@ -1,0 +1,19 @@
+"""RPR301 clean fixture: narrow handlers, or broad ones that re-raise."""
+
+from typing import Callable, Optional
+
+from repro.errors import TraceError
+
+
+def load(parser: Callable[[], float]) -> Optional[float]:
+    try:
+        return parser()
+    except TraceError:
+        return None
+
+
+def relay(parser: Callable[[], float]) -> float:
+    try:
+        return parser()
+    except Exception:
+        raise

@@ -1,0 +1,17 @@
+"""RPR301 failing fixture: broad handlers swallowing failures."""
+
+from typing import Callable, Optional
+
+
+def load(parser: Callable[[], float]) -> Optional[float]:
+    try:
+        return parser()
+    except Exception:
+        return None
+
+
+def load_quiet(parser: Callable[[], float]) -> Optional[float]:
+    try:
+        return parser()
+    except:  # noqa: E722 (this is the point of the fixture)
+        return None

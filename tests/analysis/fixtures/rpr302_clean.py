@@ -1,0 +1,20 @@
+"""RPR302 clean fixture: ReproError subclasses and sanctioned builtins."""
+
+from repro.errors import ConfigurationError, TraceError
+
+
+def check(flag: bool) -> None:
+    if flag:
+        raise ConfigurationError("bad flag")
+    raise ValueError("bad value")
+
+
+def relay() -> None:
+    try:
+        check(True)
+    except TraceError:
+        raise
+
+
+def forward(error: Exception) -> None:
+    raise error

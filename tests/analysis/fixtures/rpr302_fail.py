@@ -1,0 +1,13 @@
+"""RPR302 failing fixture: raises outside the ReproError contract."""
+
+
+class CustomError(RuntimeError):
+    pass
+
+
+def explode() -> None:
+    raise RuntimeError("boom")
+
+
+def explode_custom() -> None:
+    raise CustomError("still boom")

@@ -1,0 +1,84 @@
+"""CLI tests for ``python -m repro lint`` (in-process)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.__main__ import main as repro_main
+from repro.analysis import all_rules
+from repro.analysis.cli import main as lint_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_lint_src_is_clean():
+    """The acceptance criterion: the repo's own tree passes its linter."""
+    assert lint_main([str(REPO_ROOT / "src")]) == 0
+
+
+def test_failing_fixture_exits_nonzero(capsys):
+    code = repro_main(["lint", str(FIXTURES / "rpr102_fail.py")])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "RPR102" in out
+
+
+def test_clean_fixture_exits_zero(capsys):
+    code = repro_main(["lint", str(FIXTURES / "rpr101_clean.py")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "clean" in out
+
+
+def test_json_report_is_correct(capsys):
+    fixture = FIXTURES / "rpr201_fail" / "sim" / "clocked.py"
+    code = repro_main(["lint", str(fixture), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["format"] == 1
+    assert payload["files_scanned"] == 1
+    rules = {entry["rule"] for entry in payload["findings"]}
+    assert rules == {"RPR201"}
+    assert all(entry["path"] == str(fixture)
+               for entry in payload["findings"])
+
+
+def test_select_and_ignore_flags(capsys):
+    fixture = str(FIXTURES / "rpr102_fail.py")
+    assert repro_main(["lint", fixture, "--select", "RPR103"]) == 0
+    capsys.readouterr()
+    assert repro_main(["lint", fixture, "--ignore", "RPR102"]) == 0
+    capsys.readouterr()
+    assert repro_main(
+        ["lint", fixture, "--select", "RPR102,RPR103"]) == 1
+
+
+def test_unknown_rule_is_usage_error(capsys):
+    code = repro_main(["lint", str(FIXTURES), "--select", "BOGUS"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "BOGUS" in captured.err
+
+
+def test_missing_path_is_usage_error(capsys):
+    code = repro_main(["lint", "no/such/dir"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "no such file" in captured.err
+
+
+def test_list_rules(capsys):
+    assert repro_main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in all_rules():
+        assert rule_id in out
+
+
+def test_syntax_error_fixture_reports_parse_rule(capsys):
+    code = repro_main(
+        ["lint", str(FIXTURES / "rpr000_fail.py"), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert [entry["rule"] for entry in payload["findings"]] == ["RPR000"]

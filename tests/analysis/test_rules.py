@@ -1,0 +1,92 @@
+"""Fixture-driven rule tests: every rule id has a failing + clean fixture."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import PARSE_ERROR_RULE_ID, all_rules, lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule id -> (failing fixture, clean fixture), both relative to FIXTURES.
+RULE_FIXTURES = {
+    "RPR000": ("rpr000_fail.py", "rpr000_clean.py"),
+    "RPR101": ("rpr101_fail.py", "rpr101_clean.py"),
+    "RPR102": ("rpr102_fail.py", "rpr102_clean/units.py"),
+    "RPR103": ("rpr103_fail.py", "rpr103_clean.py"),
+    "RPR201": ("rpr201_fail/sim/clocked.py", "rpr201_clean/sim/seeded.py"),
+    "RPR202": ("rpr202_fail/core/setsum.py",
+               "rpr202_clean/core/sorted_sets.py"),
+    "RPR301": ("rpr301_fail.py", "rpr301_clean.py"),
+    "RPR302": ("rpr302_fail.py", "rpr302_clean.py"),
+}
+
+#: Findings each failing fixture must produce (exact count).
+EXPECTED_FAIL_COUNTS = {
+    "RPR000": 1,
+    "RPR101": 2,   # BinOp add + AugAssign subtract
+    "RPR102": 3,   # 8760, 3600.0, 86400.0
+    "RPR103": 2,   # bare parameter + unsuffixed float-returning function
+    "RPR201": 4,   # time.time, aliased time, np.random.rand, random.random
+    "RPR202": 2,   # for-over-set + sum-over-set-comprehension
+    "RPR301": 2,   # except Exception + bare except
+    "RPR302": 2,   # RuntimeError + custom non-ReproError subclass
+}
+
+
+def test_every_registered_rule_has_fixtures():
+    registered = set(all_rules()) | {PARSE_ERROR_RULE_ID}
+    assert registered == set(RULE_FIXTURES)
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+def test_failing_fixture_flags_exactly_its_rule(rule_id):
+    fail_path = FIXTURES / RULE_FIXTURES[rule_id][0]
+    report = lint_paths([str(fail_path)])
+    assert not report.clean
+    assert {f.rule_id for f in report.findings} == {rule_id}
+    assert len(report.findings) == EXPECTED_FAIL_COUNTS[rule_id]
+    for finding in report.findings:
+        assert finding.path == str(fail_path)
+        assert finding.line >= 1
+        assert finding.col >= 1
+        assert finding.message
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+def test_clean_fixture_produces_no_findings(rule_id):
+    clean_path = FIXTURES / RULE_FIXTURES[rule_id][1]
+    report = lint_paths([str(clean_path)])
+    assert report.clean, [f.render() for f in report.findings]
+    assert report.files_scanned == 1
+
+
+def test_fail_fixtures_are_clean_under_their_noqa():
+    report = lint_paths([str(FIXTURES / "noqa_suppressed.py")])
+    assert report.clean, [f.render() for f in report.findings]
+
+
+def test_select_restricts_to_one_rule():
+    report = lint_paths([str(FIXTURES / "rpr102_fail.py")],
+                        select=["RPR103"])
+    assert report.clean
+    report = lint_paths([str(FIXTURES / "rpr102_fail.py")],
+                        select=["RPR102"])
+    assert {f.rule_id for f in report.findings} == {"RPR102"}
+
+
+def test_ignore_drops_a_rule():
+    report = lint_paths([str(FIXTURES / "rpr102_fail.py")],
+                        ignore=["RPR102"])
+    assert report.clean
+
+
+def test_findings_are_sorted_and_deterministic():
+    paths = [str(FIXTURES / RULE_FIXTURES[r][0])
+             for r in ("RPR102", "RPR101")]
+    first = lint_paths(paths)
+    second = lint_paths(list(reversed(paths)))
+    assert first.findings == second.findings
+    assert list(first.findings) == sorted(first.findings)

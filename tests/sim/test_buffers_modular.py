@@ -59,7 +59,7 @@ class TestModularPools:
         single = HybridBuffers(hybrid_config)
         modular = HybridBuffers(hybrid_config, battery_modules=2,
                                 sc_modules=2)
-        assert modular.battery.max_discharge_power(1.0) == pytest.approx(
-            single.battery.max_discharge_power(1.0), rel=0.05)
-        assert modular.sc.max_discharge_power(1.0) == pytest.approx(
-            single.sc.max_discharge_power(1.0), rel=0.05)
+        assert modular.battery.max_discharge_power_w(1.0) == pytest.approx(
+            single.battery.max_discharge_power_w(1.0), rel=0.05)
+        assert modular.sc.max_discharge_power_w(1.0) == pytest.approx(
+            single.sc.max_discharge_power_w(1.0), rel=0.05)

@@ -97,7 +97,7 @@ class TestAggregation:
         assert bank.telemetry.energy_out_j == 0.0
 
     def test_max_powers_sum(self):
-        single_power = Supercapacitor(SupercapConfig()).max_discharge_power(1.0)
+        single_power = Supercapacitor(SupercapConfig()).max_discharge_power_w(1.0)
         bank = make_bank(2)
-        assert bank.max_discharge_power(1.0) == pytest.approx(
+        assert bank.max_discharge_power_w(1.0) == pytest.approx(
             2 * single_power, rel=1e-6)

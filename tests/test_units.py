@@ -46,6 +46,92 @@ class TestChargeConversions:
             rel_tol=1e-12, abs_tol=1e-12)
 
 
+#: Finite floats spanning the magnitudes the models actually use,
+#: including negative flows (discharge vs charge sign conventions).
+_quantities = st.floats(min_value=-1e12, max_value=1e12,
+                        allow_nan=False, allow_infinity=False)
+
+
+class TestRoundTripProperties:
+    """Exhaustive round trips in *both* directions for every pair."""
+
+    @given(_quantities)
+    def test_wh_joules_wh(self, value):
+        assert math.isclose(units.joules_to_wh(units.wh_to_joules(value)),
+                            value, rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(_quantities)
+    def test_joules_wh_joules(self, value):
+        assert math.isclose(units.wh_to_joules(units.joules_to_wh(value)),
+                            value, rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(_quantities)
+    def test_kwh_joules_kwh(self, value):
+        assert math.isclose(units.joules_to_kwh(units.kwh_to_joules(value)),
+                            value, rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(_quantities)
+    def test_joules_kwh_joules(self, value):
+        assert math.isclose(units.kwh_to_joules(units.joules_to_kwh(value)),
+                            value, rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(_quantities)
+    def test_ah_coulombs_ah(self, value):
+        assert math.isclose(
+            units.coulombs_to_ah(units.ah_to_coulombs(value)), value,
+            rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(_quantities)
+    def test_coulombs_ah_coulombs(self, value):
+        assert math.isclose(
+            units.ah_to_coulombs(units.coulombs_to_ah(value)), value,
+            rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(_quantities)
+    def test_kwh_is_thousand_wh(self, value):
+        assert math.isclose(units.kwh_to_joules(value),
+                            units.wh_to_joules(value * 1000.0),
+                            rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(_quantities)
+    def test_wh_and_ah_share_the_hour(self, value):
+        # 1 Wh at 1 V moves exactly 1 Ah of charge: both scale by 3600 s.
+        assert units.wh_to_joules(value) == units.ah_to_coulombs(value)
+
+    @given(st.floats(min_value=0.0, max_value=1e9))
+    def test_conversions_preserve_sign_and_monotonicity(self, value):
+        assert units.wh_to_joules(value) >= 0.0
+        assert units.wh_to_joules(-value) == -units.wh_to_joules(value)
+        assert units.kwh_to_joules(value + 1.0) > units.kwh_to_joules(value)
+
+
+class TestConversionConstantSanity:
+    """The constants must stay mutually consistent, not just well-known."""
+
+    def test_hour_is_sixty_minutes(self):
+        assert units.SECONDS_PER_HOUR == 60.0 * units.SECONDS_PER_MINUTE
+
+    def test_day_is_twenty_four_hours(self):
+        assert units.SECONDS_PER_DAY == 24.0 * units.SECONDS_PER_HOUR
+
+    def test_year_is_365_days(self):
+        assert units.SECONDS_PER_YEAR == 365.0 * units.SECONDS_PER_DAY
+
+    def test_hours_per_year_matches_seconds_per_year(self):
+        assert (units.HOURS_PER_YEAR * units.SECONDS_PER_HOUR
+                == units.SECONDS_PER_YEAR)
+
+    def test_wh_is_watt_times_hour(self):
+        assert units.wh_to_joules(1.0) == units.SECONDS_PER_HOUR
+        assert units.ah_to_coulombs(1.0) == units.SECONDS_PER_HOUR
+
+    def test_time_helpers_agree_with_constants(self):
+        assert units.minutes(1.0) == units.SECONDS_PER_MINUTE
+        assert units.hours(1.0) == units.SECONDS_PER_HOUR
+        assert units.days(1.0) == units.SECONDS_PER_DAY
+        assert units.years(1.0) == units.SECONDS_PER_YEAR
+
+
 class TestTimeHelpers:
     def test_minutes(self):
         assert units.minutes(10) == 600.0
