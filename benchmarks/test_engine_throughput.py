@@ -1,0 +1,128 @@
+"""Benchmark: engine tick-loop throughput with a regression gate.
+
+Unlike the figure benchmarks (which reproduce paper results), this one
+guards the engine's *speed*: it times the canonical HEB-D x PR run on
+the default six-server prototype configuration, writes the measurement
+to ``benchmarks/BENCH_engine.json``, and fails when throughput regresses
+more than 30% below the recorded baseline in
+``benchmarks/BENCH_baseline.json``.
+
+The baseline is keyed by a commit-agnostic hash of the benchmark
+configuration (workload, scheme, durations, cluster and buffer sizing),
+so editing the benchmark invalidates the baseline loudly instead of
+silently comparing different workloads.  Set ``REPRO_BENCH_SKIP_GATE=1``
+to measure without enforcing (e.g. on a loaded machine).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from time import perf_counter
+
+from repro.core import make_policy
+from repro.runner.request import ExperimentSetup
+from repro.sim import HybridBuffers, Simulation
+from repro.units import hours
+from repro.workloads import get_workload
+
+BENCH_DIR = Path(__file__).resolve().parent
+RESULT_PATH = BENCH_DIR / "BENCH_engine.json"
+BASELINE_PATH = BENCH_DIR / "BENCH_baseline.json"
+
+SCHEME = "HEB-D"
+WORKLOAD = "PR"
+DURATION_H = 2.0
+SEED = 1
+ROUNDS = 5
+#: Fail when ticks/s drops below this fraction of the recorded baseline.
+GATE_FRACTION = 0.7
+
+# The expected simulation outcome for this exact configuration; any
+# optimization that changes the simulated numbers is a bug, not a win.
+EXPECTED_EFFICIENCY = 0.9585311736123626
+
+
+def _config_hash(setup: ExperimentSetup) -> str:
+    """Commit-agnostic fingerprint of everything the measurement depends on."""
+    cluster = setup.cluster()
+    hybrid = setup.hybrid()
+    payload = {
+        "scheme": SCHEME,
+        "workload": WORKLOAD,
+        "duration_h": DURATION_H,
+        "seed": SEED,
+        "num_servers": cluster.num_servers,
+        "utility_budget_w": cluster.utility_budget_w,
+        "server_peak_w": cluster.server.peak_power_w,
+        "server_idle_w": cluster.server.idle_power_w,
+        "total_energy_j": hybrid.total_energy_j,
+        "sc_fraction": hybrid.sc_fraction,
+    }
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def _measure() -> dict:
+    setup = ExperimentSetup(duration_h=DURATION_H, seed=SEED)
+    cluster = setup.cluster()
+    hybrid = setup.hybrid()
+    trace = get_workload(WORKLOAD, duration_s=hours(DURATION_H),
+                         num_servers=cluster.num_servers,
+                         server=cluster.server, seed=SEED)
+    policy = make_policy(SCHEME, hybrid, None)
+
+    def one_run():
+        buffers = HybridBuffers(hybrid, include_sc=True)
+        sim = Simulation(trace, policy, buffers, cluster_config=cluster)
+        start = perf_counter()
+        result = sim.run()
+        return perf_counter() - start, result
+
+    one_run()  # warm-up: imports, numpy caches, branch warm paths
+    best_wall = None
+    result = None
+    for _ in range(ROUNDS):
+        wall, result = one_run()
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+
+    ticks = trace.num_samples
+    return {
+        "scheme": SCHEME,
+        "workload": WORKLOAD,
+        "duration_h": DURATION_H,
+        "seed": SEED,
+        "rounds": ROUNDS,
+        "ticks": ticks,
+        "wall_s": round(best_wall, 6),
+        "ticks_per_s": round(ticks / best_wall, 1),
+        "config_hash": _config_hash(setup),
+        "energy_efficiency": result.metrics.energy_efficiency,
+    }
+
+
+def test_engine_throughput():
+    measurement = _measure()
+    RESULT_PATH.write_text(json.dumps(measurement, indent=2) + "\n")
+    print()
+    print(f"engine throughput: {measurement['ticks_per_s']:,.0f} ticks/s "
+          f"({measurement['ticks']} ticks in {measurement['wall_s']:.3f} s)")
+
+    # Correctness anchor: the timed run must produce the golden numbers.
+    assert measurement["energy_efficiency"] == EXPECTED_EFFICIENCY
+
+    if os.environ.get("REPRO_BENCH_SKIP_GATE"):
+        return
+    if not BASELINE_PATH.exists():
+        return
+    baseline = json.loads(BASELINE_PATH.read_text())
+    assert baseline["config_hash"] == measurement["config_hash"], (
+        "benchmark configuration changed; re-record BENCH_baseline.json")
+    floor = baseline["ticks_per_s"] * GATE_FRACTION
+    assert measurement["ticks_per_s"] >= floor, (
+        f"throughput regression: {measurement['ticks_per_s']:,.0f} ticks/s "
+        f"is below {GATE_FRACTION:.0%} of the recorded baseline "
+        f"{baseline['ticks_per_s']:,.0f} ticks/s")

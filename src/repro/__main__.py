@@ -133,6 +133,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--budget", type=float, default=None,
                      help="utility budget in watts (default 260)")
+    run.add_argument("--profile", action="store_true",
+                     help="time the engine's tick phases and print a "
+                          "per-phase breakdown (runs locally, skips the "
+                          "result cache; simulated numbers are unchanged)")
     _add_runner_arguments(run)
 
     lint = subparsers.add_parser(
@@ -159,8 +163,21 @@ def _build_runner(args) -> ExperimentRunner:
 
 
 def _run_single(args) -> str:
-    result = quick_run(args.scheme, args.workload, hours=args.hours,
-                       seed=args.seed, budget_w=args.budget)
+    if args.profile:
+        # Profiling wants a live, in-process run: bypass the runner and
+        # its cache so the engine actually executes under the timer.
+        from .perf import TickProfiler
+        from .runner.request import ExperimentSetup, RunRequest, \
+            execute_request
+
+        setup = ExperimentSetup(duration_h=args.hours, budget_w=args.budget,
+                                seed=args.seed)
+        result = execute_request(
+            RunRequest(args.scheme, args.workload, setup=setup),
+            profiler=TickProfiler())
+    else:
+        result = quick_run(args.scheme, args.workload, hours=args.hours,
+                           seed=args.seed, budget_w=args.budget)
     metrics = result.metrics
     lines = [
         f"{args.scheme} on {args.workload} "
@@ -172,6 +189,9 @@ def _run_single(args) -> str:
         f"{joules_to_wh(metrics.buffer_energy_out_j):.1f} / "
         f"{joules_to_wh(metrics.buffer_energy_in_j):.1f} Wh",
     ]
+    if result.perf is not None:
+        lines.append("")
+        lines.append(result.perf.format_table())
     return "\n".join(lines)
 
 

@@ -1,0 +1,12 @@
+"""Engine performance instrumentation (profiler + report records).
+
+Split in two so determinism holds: :mod:`repro.perf.stats` is pure data
+(importable anywhere, including the deterministic sim/core/storage
+packages), while :mod:`repro.perf.profiler` owns the wall clock and is
+only ever *injected* into the engine, never imported by it.
+"""
+
+from .profiler import TickProfiler
+from .stats import PerfReport, PhaseStat
+
+__all__ = ["PerfReport", "PhaseStat", "TickProfiler"]

@@ -1,0 +1,74 @@
+"""Wall-clock tick profiler for the simulation engine.
+
+This module is the only place the engine's instrumentation touches a
+clock, and it deliberately lives *outside* the deterministic packages
+(``sim``/``core``/``storage``/``runner``, see RPR201): the engine never
+imports it, it only accepts a profiler instance by injection, so a
+profiled run and an unprofiled run execute identical simulation
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict
+
+from .stats import PerfReport, PhaseStat
+
+
+class TickProfiler:
+    """Accumulates per-phase wall time across the engine's tick loop.
+
+    Usage: pass an instance as ``Simulation(..., profiler=...)``.  The
+    engine calls :meth:`begin_tick` at the top of every tick and
+    :meth:`mark` after each phase; phase cost is the elapsed time since
+    the previous mark.  :meth:`report` freezes everything into a
+    :class:`~repro.perf.stats.PerfReport`.
+    """
+
+    def __init__(self) -> None:
+        self._phase_s: Dict[str, float] = {}
+        self._counters: Dict[str, int] = {}
+        self.ticks = 0
+        # The run clock starts at the first tick, not at construction, so
+        # setup work (trace generation, device builds) is not billed to
+        # the engine.
+        self._run_start: float | None = None
+        self._last = 0.0
+
+    def begin_tick(self) -> None:
+        self.ticks += 1
+        self._last = perf_counter()
+        if self._run_start is None:
+            self._run_start = self._last
+
+    def mark(self, phase: str) -> None:
+        now = perf_counter()
+        self._phase_s[phase] = (
+            self._phase_s.get(phase, 0.0) + (now - self._last))
+        self._last = now
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Add to a named deterministic event counter."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def report(self) -> PerfReport:
+        if self._run_start is None:
+            wall_s = 0.0
+        else:
+            wall_s = perf_counter() - self._run_start
+        profiled_s = sum(self._phase_s.values())
+        denominator = profiled_s if profiled_s > 0 else 1.0
+        phases = tuple(
+            PhaseStat(name=name, total_s=total_s,
+                      share=total_s / denominator)
+            for name, total_s in self._phase_s.items())
+        counters = tuple(sorted(self._counters.items()))
+        ticks_per_s = self.ticks / wall_s if wall_s > 0 else 0.0
+        return PerfReport(
+            wall_s=wall_s,
+            ticks=self.ticks,
+            ticks_per_s=ticks_per_s,
+            phases=phases,
+            counters=counters,
+        )

@@ -1,0 +1,60 @@
+"""Machine-readable engine performance reports.
+
+These dataclasses are the *data* half of the profiler: pure records with
+no clock access, safe to import from the deterministic simulation
+packages (``repro.sim`` attaches one to :class:`~repro.sim.results.RunResult`
+when a run is profiled).  The clock-touching half lives in
+:mod:`repro.perf.profiler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class PhaseStat:
+    """Accumulated wall time for one named phase of the tick loop."""
+
+    name: str
+    total_s: float
+    #: Fraction of the profiled (per-phase) time spent in this phase.
+    share: float
+
+
+@dataclass(frozen=True)
+class PerfReport:
+    """One run's engine performance measurement.
+
+    Attributes:
+        wall_s: Wall-clock duration of the whole ``Simulation.run`` call.
+        ticks: Number of simulated ticks executed.
+        ticks_per_s: Throughput (``ticks / wall_s``).
+        phases: Per-phase wall-time breakdown, in loop order.
+        counters: Deterministic event counters (name, value), sorted by
+            name — relay skips, scheduler fast-path hits, and so on.
+    """
+
+    wall_s: float
+    ticks: int
+    ticks_per_s: float
+    phases: Tuple[PhaseStat, ...]
+    counters: Tuple[Tuple[str, int], ...]
+
+    def format_table(self) -> str:
+        """Human-readable breakdown for ``python -m repro run --profile``."""
+        lines = [
+            f"engine: {self.ticks} ticks in {self.wall_s:.3f} s wall "
+            f"({self.ticks_per_s:,.0f} ticks/s)",
+            f"{'phase':<14} {'time':>10} {'share':>8}",
+        ]
+        for phase in self.phases:
+            lines.append(
+                f"{phase.name:<14} {phase.total_s:>8.4f} s "
+                f"{phase.share:>7.1%}")
+        if self.counters:
+            lines.append("counters:")
+            for name, value in self.counters:
+                lines.append(f"  {name} = {value}")
+        return "\n".join(lines)

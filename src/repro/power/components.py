@@ -12,6 +12,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from ..errors import SwitchError, TopologyError
 from ..units import SECONDS_PER_HOUR
 
@@ -107,7 +109,15 @@ class IPDU:
         self.num_outlets = num_outlets
         self.outlet_on = [True] * num_outlets
         self.history_limit = history_limit
-        self._history: List[MeterReading] = []
+        # Bounded history as a ring of per-sample row arrays.  Appending
+        # a reading stores the row by reference (the engine hands over a
+        # fresh array or immutable view every tick), so per-tick metering
+        # allocates nothing — this is on the engine's per-tick path.
+        self._ring_rows: List[Optional[np.ndarray]] = [None] * history_limit
+        self._ring_t = [0.0] * history_limit
+        self._ring_len = 0
+        self._ring_next = 0
+        self._any_off = False
         self.energy_metered_j = 0.0
 
     def set_outlet(self, outlet: int, on: bool) -> None:
@@ -115,26 +125,66 @@ class IPDU:
         if not 0 <= outlet < self.num_outlets:
             raise SwitchError(f"no such outlet: {outlet}")
         self.outlet_on[outlet] = on
+        self._any_off = not all(self.outlet_on)
+
+    def record_array(self, timestamp_s: float, draws_w: np.ndarray,
+                     dt: float = 1.0) -> None:
+        """Meter one full-width sample (index-aligned with outlets).
+
+        The engine's fast path: ``draws_w`` is captured *by reference*
+        (callers must hand over a fresh array or immutable view each
+        sample and never mutate it afterwards).  Off outlets read zero
+        regardless of demand, exactly as :meth:`record`.
+        """
+        if self._any_off:
+            # Copy before zeroing so the caller's array is untouched.
+            draws_w = np.array(draws_w, dtype=float)
+            for outlet, on in enumerate(self.outlet_on):
+                if not on:
+                    draws_w[outlet] = 0.0
+        slot = self._ring_next
+        self._ring_rows[slot] = draws_w
+        self._ring_t[slot] = timestamp_s
+        slot += 1
+        self._ring_next = slot if slot < self.history_limit else 0
+        if self._ring_len < self.history_limit:
+            self._ring_len += 1
+        # Element-by-element accumulation in outlet order keeps the
+        # metered energy bit-identical to the historical dict path.
+        self.energy_metered_j += sum(draws_w.tolist()) * dt
 
     def record(self, timestamp_s: float,
                per_outlet_w: Dict[int, float], dt: float = 1.0) -> MeterReading:
-        """Meter one sample; off outlets read zero regardless of demand."""
-        metered = {
-            outlet: (power if self.outlet_on[outlet] else 0.0)
-            for outlet, power in per_outlet_w.items()
-            if 0 <= outlet < self.num_outlets}
-        reading = MeterReading(timestamp_s, metered)
-        self.energy_metered_j += reading.total_w * dt
-        self._history.append(reading)
-        if len(self._history) > self.history_limit:
-            self._history = self._history[-self.history_limit:]
+        """Meter one sample from a sparse per-outlet mapping.
+
+        Off outlets read zero regardless of demand; unknown outlets are
+        ignored; unmentioned outlets meter 0 W.
+        """
+        draws = np.zeros(self.num_outlets, dtype=float)
+        for outlet, power in per_outlet_w.items():
+            if 0 <= outlet < self.num_outlets:
+                draws[outlet] = power
+        self.record_array(timestamp_s, draws, dt)
+        reading = self.latest()
+        assert reading is not None
         return reading
 
+    def _reading_at(self, index: int) -> MeterReading:
+        slot = (self._ring_next - self._ring_len + index) % self.history_limit
+        row = self._ring_rows[slot]
+        assert row is not None
+        return MeterReading(
+            float(self._ring_t[slot]),
+            {outlet: float(row[outlet])
+             for outlet in range(self.num_outlets)})
+
     def latest(self) -> Optional[MeterReading]:
-        return self._history[-1] if self._history else None
+        if self._ring_len == 0:
+            return None
+        return self._reading_at(self._ring_len - 1)
 
     def history(self) -> List[MeterReading]:
-        return list(self._history)
+        return [self._reading_at(index) for index in range(self._ring_len)]
 
 
 class AutomaticTransferSwitch:

@@ -115,12 +115,19 @@ class RunRequest:
             object.__setattr__(self, "solar", DEFAULT_RENEWABLE_SOLAR)
 
 
-def execute_request(request: RunRequest) -> RunResult:
+def execute_request(request: RunRequest, profiler=None) -> RunResult:
     """Run one request to completion (pure function of the request).
 
     This is the single execution path behind ``run_scheme``,
     ``run_renewable``, and every figure grid — serial and parallel runs
     share it, so they are bit-for-bit identical.
+
+    Args:
+        request: The run to execute.
+        profiler: Optional ``repro.perf.TickProfiler``; when given, the
+            engine times its tick phases and attaches a
+            :class:`~repro.perf.PerfReport` to ``RunResult.perf``.
+            Profiling never changes the simulated numbers.
     """
     setup = request.setup
     cluster = setup.cluster()
@@ -156,9 +163,11 @@ def execute_request(request: RunRequest) -> RunResult:
         simulation = Simulation(trace, policy, buffers,
                                 cluster_config=cluster,
                                 controller_config=request.controller,
-                                supply=supply, renewable=True)
+                                supply=supply, renewable=True,
+                                profiler=profiler)
     else:
         simulation = Simulation(trace, policy, buffers,
                                 cluster_config=cluster,
-                                controller_config=request.controller)
+                                controller_config=request.controller,
+                                profiler=profiler)
     return simulation.run()

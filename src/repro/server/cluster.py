@@ -1,4 +1,12 @@
-"""The server cluster: assignment, LRU shutdown, downtime accounting."""
+"""The server cluster: assignment, LRU shutdown, downtime accounting.
+
+The cluster is the engine's hottest data structure: every simulated tick
+reads per-server draws and the availability mask.  Both are served from
+cached NumPy state that is invalidated only on actual state transitions
+(shutdown, restart begin/end), so the steady state — every server ON —
+costs a couple of array operations per tick instead of per-server
+Python calls.
+"""
 
 from __future__ import annotations
 
@@ -22,9 +30,86 @@ class ServerCluster:
 
     def __init__(self, config: ClusterConfig) -> None:
         self.config = config
-        self.servers: List[Server] = [
-            Server(config.server, server_id=i)
-            for i in range(config.num_servers)]
+        self.servers: List[Server] = []
+        # A server busier than this refreshes its LRU timestamp.
+        self._busy_threshold_w = config.server.idle_power_w * 1.05
+        if config.server.restart_duration_s > 0:
+            self._restart_draw_w = (config.server.restart_energy_j
+                                    / config.server.restart_duration_s)
+        else:
+            self._restart_draw_w = 0.0
+        self._version = 0
+        self._state_dirty = True
+        self._powered_mask = np.ones(config.num_servers, dtype=bool)
+        self._off_indices = np.empty(0, dtype=np.intp)
+        self._restarting_indices = np.empty(0, dtype=np.intp)
+        self._all_on = True
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Cached vectorized state
+    # ------------------------------------------------------------------
+
+    def _mark_state_dirty(self) -> None:
+        self._state_dirty = True
+        self._version += 1
+
+    def _refresh_state(self) -> None:
+        states = [s.state for s in self.servers]
+        self._off_indices = np.array(
+            [i for i, state in enumerate(states)
+             if state is ServerState.OFF], dtype=np.intp)
+        self._restarting_indices = np.array(
+            [i for i, state in enumerate(states)
+             if state is ServerState.RESTARTING], dtype=np.intp)
+        mask = np.ones(len(states), dtype=bool)
+        mask[self._off_indices] = False
+        mask.setflags(write=False)
+        self._powered_mask = mask
+        self._all_on = (self._off_indices.size == 0
+                        and self._restarting_indices.size == 0)
+        self._state_dirty = False
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every server state transition.
+
+        The engine keys its skip-unchanged-relay-plan fast path on this,
+        so any shutdown/restart forces a re-apply of sources and relays.
+        """
+        if self._state_dirty:
+            self._refresh_state()
+        return self._version
+
+    @property
+    def all_on(self) -> bool:
+        """True when every server is ON (the steady-state fast path)."""
+        if self._state_dirty:
+            self._refresh_state()
+        return self._all_on
+
+    @property
+    def num_off(self) -> int:
+        """How many servers are currently OFF."""
+        if self._state_dirty:
+            self._refresh_state()
+        return int(self._off_indices.size)
+
+    def powered_mask(self) -> np.ndarray:
+        """Read-only boolean mask of servers that are not OFF.
+
+        This is the engine's per-tick availability mask (RESTARTING
+        servers still draw power and are therefore "powered").
+        """
+        if self._state_dirty:
+            self._refresh_state()
+        return self._powered_mask
+
+    def off_indices(self) -> np.ndarray:
+        """Indices of OFF servers (read-only, cached)."""
+        if self._state_dirty:
+            self._refresh_state()
+        return self._off_indices
 
     # ------------------------------------------------------------------
     # Inspection
@@ -53,13 +138,37 @@ class ServerCluster:
     def total_restarts(self) -> int:
         return sum(s.restart_count for s in self.servers)
 
+    def draw_array(self, demands_w: np.ndarray) -> np.ndarray:
+        """Actual per-server draws for a validated demand array.
+
+        The engine's per-tick entry point: with every server ON the
+        demands *are* the draws and the input array is returned as-is
+        (callers treat it as read-only); otherwise OFF servers read zero
+        and RESTARTING servers read their restart power.
+        """
+        if self._state_dirty:
+            self._refresh_state()
+        if self._all_on:
+            return demands_w
+        draws = np.array(demands_w, dtype=float)
+        if self._off_indices.size:
+            draws[self._off_indices] = 0.0
+        if self._restarting_indices.size:
+            draws[self._restarting_indices] = self._restart_draw_w
+        return draws
+
     def draws_w(self, demands_w: Sequence[float]) -> np.ndarray:
         """Actual per-server draws given workload demands."""
         if len(demands_w) != self.num_servers:
             raise SimulationError(
                 f"expected {self.num_servers} demands, got {len(demands_w)}")
-        return np.array([server.draw_w(demand)
-                         for server, demand in zip(self.servers, demands_w)])
+        demands = np.array(demands_w, dtype=float)
+        if np.any(demands < 0):
+            index = int(np.argmax(demands < 0))
+            raise SimulationError(
+                f"server {index}: negative demand {float(demands[index])!r}")
+        draws = self.draw_array(demands)
+        return draws
 
     def draws_by_source(self, demands_w: Sequence[float]
                         ) -> Dict[PowerSource, float]:
@@ -148,6 +257,19 @@ class ServerCluster:
     def tick(self, dt: float, now_s: float,
              demands_w: Sequence[float]) -> None:
         """Advance every server's bookkeeping by one step."""
+        if dt <= 0:
+            raise SimulationError("dt must be positive")
+        if self._state_dirty:
+            self._refresh_state()
+        if self._all_on and isinstance(demands_w, np.ndarray):
+            # Steady state: nobody accumulates downtime or restart
+            # progress; only the LRU timestamps of busy servers move.
+            servers = self.servers
+            threshold = self._busy_threshold_w
+            for index, demand in enumerate(demands_w.tolist()):
+                if demand > threshold:
+                    servers[index].last_active_s = now_s
+            return
         for server, demand in zip(self.servers, demands_w):
             server.tick(dt, now_s, float(demand))
 
@@ -155,3 +277,6 @@ class ServerCluster:
         """Fresh servers (all ON, on utility, zero counters)."""
         self.servers = [Server(self.config.server, server_id=i)
                         for i in range(self.config.num_servers)]
+        for server in self.servers:
+            server.state_listener = self._mark_state_dirty
+        self._mark_state_dirty()

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import enum
+from typing import Callable, Optional
 
 from ..config import ServerConfig
 from ..errors import SimulationError
@@ -46,6 +47,16 @@ class Server:
         self.restart_energy_used_j = 0.0
         self.last_active_s = 0.0
         self._restart_remaining_s = 0.0
+        #: Invoked after every state transition; a cluster installs its
+        #: cache-invalidation hook here so its vectorized views (masks,
+        #: fast-path flags) never go stale, even when tests flip server
+        #: state directly.
+        self.state_listener: Optional[Callable[[], None]] = None
+
+    def _notify_state_change(self) -> None:
+        listener = self.state_listener
+        if listener is not None:
+            listener()
 
     @property
     def is_available(self) -> bool:
@@ -74,6 +85,7 @@ class Server:
         """Power the server off (a downtime event begins)."""
         self.state = ServerState.OFF
         self.source = PowerSource.NONE
+        self._notify_state_change()
 
     def begin_restart(self) -> None:
         """Start rebooting an OFF server."""
@@ -85,6 +97,7 @@ class Server:
         self.source = PowerSource.UTILITY
         self.restart_count += 1
         self._restart_remaining_s = self.config.restart_duration_s
+        self._notify_state_change()
 
     def tick(self, dt: float, now_s: float, demand_w: float) -> None:
         """Advance bookkeeping by one simulation step.
@@ -105,6 +118,7 @@ class Server:
             if self._restart_remaining_s <= 0:
                 self.state = ServerState.ON
                 self._restart_remaining_s = 0.0
+                self._notify_state_change()
             return
         if demand_w > self.config.idle_power_w * 1.05:
             self.last_active_s = now_s

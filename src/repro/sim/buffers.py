@@ -8,7 +8,7 @@ so KiBaM recovery happens whenever the battery is idle.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from ..config import HybridBufferConfig
 from ..errors import ConfigurationError, SimulationError
@@ -17,8 +17,6 @@ from ..storage.battery import LeadAcidBattery
 from ..storage.device import EnergyStorageDevice, FlowResult
 from ..storage.lifetime import AhThroughputLifetimeModel, LifetimeReport
 from ..storage.supercap import Supercapacitor
-
-_POOLS = ("sc", "battery")
 
 
 class HybridBuffers:
@@ -85,7 +83,8 @@ class HybridBuffers:
         # parameterized by the pool-equivalent single string.
         pool_equivalent = config.battery.scaled_to_energy(battery_energy)
         self.lifetime = AhThroughputLifetimeModel(pool_equivalent)
-        self._touched: Dict[str, bool] = {pool: False for pool in _POOLS}
+        self._sc_touched = False
+        self._battery_touched = False
         self.initial_stored_j = self.total_stored_j
 
     # ------------------------------------------------------------------
@@ -129,37 +128,41 @@ class HybridBuffers:
 
     def begin_tick(self) -> None:
         """Mark the start of a tick (clears per-tick operation flags)."""
-        for pool in _POOLS:
-            self._touched[pool] = False
+        self._sc_touched = False
+        self._battery_touched = False
 
     def discharge(self, name: str, power_w: float, dt: float) -> FlowResult:
         """Discharge one pool; battery discharges feed the lifetime model."""
+        if name == "battery":
+            self._battery_touched = True
+            result = self.battery.discharge(power_w, dt)
+            self.lifetime.observe_flow(result, dt, self.battery.soc)
+            return result
         device = self.pool(name)
         if device is None:
             raise SimulationError(f"scheme has no {name!r} pool")
-        self._touched[name] = True
-        result = device.discharge(power_w, dt)
-        if name == "battery":
-            self.lifetime.observe_flow(result, dt, device.soc)
-        return result
+        self._sc_touched = True
+        return device.discharge(power_w, dt)
 
     def charge(self, name: str, power_w: float, dt: float) -> FlowResult:
         """Charge one pool."""
+        if name == "battery":
+            self._battery_touched = True
+            result = self.battery.charge(power_w, dt)
+            self.lifetime.observe_idle(dt)
+            return result
         device = self.pool(name)
         if device is None:
             raise SimulationError(f"scheme has no {name!r} pool")
-        self._touched[name] = True
-        result = device.charge(power_w, dt)
-        if name == "battery":
-            self.lifetime.observe_idle(dt)
-        return result
+        self._sc_touched = True
+        return device.charge(power_w, dt)
 
     def settle(self, dt: float) -> None:
         """Rest every pool not operated this tick (recovery happens here)."""
-        if not self._touched["battery"]:
+        if not self._battery_touched:
             self.battery.rest(dt)
             self.lifetime.observe_idle(dt)
-        if self.sc is not None and not self._touched["sc"]:
+        if self.sc is not None and not self._sc_touched:
             self.sc.rest(dt)
 
     # ------------------------------------------------------------------

@@ -35,11 +35,11 @@ from ..core.scheduler import LoadScheduler
 from ..errors import SimulationError
 from ..power.components import IPDU, RelayPosition, SwitchFabric
 from ..server.cluster import ServerCluster
-from ..server.server import PowerSource, ServerState
+from ..server.server import PowerSource
 from ..workloads.base import ClusterTrace, PowerTrace
 from .buffers import HybridBuffers
 from .metrics import MetricsAccumulator, finalize_metrics
-from .results import RunResult, SlotRecord
+from .results import PerfReport, RunResult, SlotRecord
 
 _EPSILON = 1e-9
 
@@ -59,10 +59,15 @@ class Simulation:
                  controller_config: Optional[ControllerConfig] = None,
                  sim_config: Optional[SimulationConfig] = None,
                  supply: Optional[PowerTrace] = None,
-                 renewable: bool = False) -> None:
+                 renewable: bool = False,
+                 profiler=None) -> None:
         self.trace = trace
         self.policy = policy
         self.buffers = buffers
+        #: Optional tick profiler (``repro.perf.TickProfiler``); injected
+        #: rather than imported so the deterministic sim package never
+        #: touches wall clocks itself.
+        self.profiler = profiler
         self.cluster_config = cluster_config or ClusterConfig()
         self.controller_config = controller_config or ControllerConfig()
         self.sim_config = sim_config or SimulationConfig()
@@ -110,11 +115,43 @@ class Simulation:
         plan: Optional[SlotPlan] = None
         observation: Optional[SlotObservation] = None
 
+        # Loop-invariant lookups, hoisted out of the tick loop.
+        cluster = self.cluster
+        buffers = self.buffers
+        scheduler = self.scheduler
+        ipdu = self.ipdu
+        values = self.trace.values_w
+        supply = self.supply
+        fixed_budget = self.cluster_config.utility_budget_w
+        has_sc = buffers.sc is not None
+        prof = self.profiler
+
+        # Per-tick cluster demand totals, computed in one vectorized pass.
+        # An axis-0 reduce accumulates rows sequentially, which matches
+        # np.sum over a per-tick column exactly for <= 8 servers (numpy's
+        # pairwise summation only reorders beyond 8 terms); wider
+        # clusters keep the historical per-tick reduction.
+        if values.shape[0] <= 8:
+            tick_totals: Optional[List[float]] = (
+                np.add.reduce(values, axis=0).tolist())
+        else:
+            tick_totals = None
+
+        # The relay plan is re-applied only when it (or any server state)
+        # changed since the last apply; SwitchFabric counts transitions,
+        # so re-applying an identical plan is pure overhead.
+        last_sources: Optional[Tuple[PowerSource, ...]] = None
+        last_version = -1
+        relay_applies = 0
+        relay_skips = 0
+
         self.policy.reset()
 
         for tick in range(num_ticks):
             now = tick * dt
-            budget = self._budget_at(tick)
+            budget = supply[tick] if supply is not None else fixed_budget
+            if prof is not None:
+                prof.begin_tick()
 
             # --- slot boundary ------------------------------------------
             if tick % slot_ticks == 0:
@@ -123,44 +160,65 @@ class Simulation:
                         observation, plan, slot_demand, dt,
                         slot_downtime_base, slot_records)
                 slot_demand = []
-                slot_downtime_base = self.cluster.total_downtime_s()
+                slot_downtime_base = cluster.total_downtime_s()
                 observation = self._observe(
                     tick // slot_ticks, now, budget, last_analysis)
                 plan = self.policy.begin_slot(observation)
+                if prof is not None:
+                    prof.mark("slot")
 
             assert plan is not None  # set on the first iteration
 
             # --- demand & assignment --------------------------------------
-            raw = self.trace.at(tick)
-            draws = self.cluster.draws_w(raw)
-            mask = [s.state is not ServerState.OFF for s in self.cluster.servers]
-            assignment = self.scheduler.assign(
-                draws, mask, budget, plan.r_lambda,
-                use_sc=plan.use_sc and self.buffers.sc is not None,
+            # The trace is validated at construction (non-negative, right
+            # shape), so the per-tick view skips draws_w's re-validation.
+            raw = values[:, tick]
+            draws = cluster.draw_array(raw)
+            assignment = scheduler.assign(
+                draws, cluster.powered_mask(), budget, plan.r_lambda,
+                use_sc=plan.use_sc and has_sc,
                 use_battery=plan.use_battery)
-            self.cluster.assign_sources(list(assignment.sources))
-            self._actuate_relays(assignment.sources)
+            if prof is not None:
+                prof.mark("schedule")
+
+            sources = assignment.sources
+            version = cluster.version
+            if sources != last_sources or version != last_version:
+                cluster.assign_sources(sources)
+                self._actuate_relays(sources)
+                last_sources = sources
+                last_version = version
+                relay_applies += 1
+            else:
+                relay_skips += 1
 
             utility_draw = assignment.utility_draw_w
-            unserved_w = float(sum(
-                raw[i] for i, server in enumerate(self.cluster.servers)
-                if server.state is ServerState.OFF))
+            num_off = cluster.num_off
+            if num_off:
+                unserved_w = float(sum(raw[i] for i in cluster.off_indices()))
+            else:
+                unserved_w = 0.0
 
             # Forced capping: no pool could absorb the excess.
             over = utility_draw - budget
             if over > _EPSILON:
-                shed = self.cluster.shed_lru(
+                shed = cluster.shed_lru(
                     over, draws, from_sources=(PowerSource.UTILITY,))
                 freed = sum(float(draws[s.server_id]) for s in shed)
                 utility_draw -= freed
                 unserved_w += freed
                 accumulator.shed_events += len(shed)
+                last_version = -1
+            if prof is not None:
+                prof.mark("actuate")
 
             # --- buffer service -------------------------------------------
-            self.buffers.begin_tick()
+            buffers.begin_tick()
             served_from_buffers, shortfall_unserved, loss_w = (
                 self._serve_buffers(assignment, plan, draws, dt, accumulator))
             unserved_w += shortfall_unserved
+            if prof is not None:
+                prof.mark("buffers")
 
             # --- charging / restarts --------------------------------------
             charge_w = 0.0
@@ -168,36 +226,55 @@ class Simulation:
             if not deficit:
                 headroom = budget - utility_draw
                 if headroom > _EPSILON:
-                    restarted = self.cluster.restart_offline(headroom)
-                    for server in restarted:
-                        headroom -= max(
-                            server.draw_w(0.0),
-                            server.config.idle_power_w)
+                    # Re-read: this tick's shedding may have turned
+                    # servers off after the snapshot above.
+                    if cluster.num_off:
+                        restarted = cluster.restart_offline(headroom)
+                        for server in restarted:
+                            headroom -= max(
+                                server.draw_w(0.0),
+                                server.config.idle_power_w)
                     charge_w = self._charge_pools(
                         plan.charge_order, max(0.0, headroom), dt)
-            self.buffers.settle(dt)
+            buffers.settle(dt)
+            if prof is not None:
+                prof.mark("charge")
 
             # --- bookkeeping ----------------------------------------------
-            self.cluster.tick(dt, now, raw)
-            self.ipdu.record(
-                now, {i: float(draws[i]) for i in range(len(draws))}, dt)
-            slot_demand.append(float(np.sum(raw)))
+            cluster.tick(dt, now, raw)
+            ipdu.record_array(now, draws, dt)
+            if tick_totals is not None:
+                slot_demand.append(tick_totals[tick])
+            else:
+                slot_demand.append(float(np.sum(np.ascontiguousarray(raw))))
             accumulator.record_tick(
                 dt=dt,
                 served_w=utility_draw + served_from_buffers,
                 unserved_w=unserved_w,
                 utility_w=utility_draw,
                 charge_w=charge_w,
-                generation_w=self._generation_at(tick),
+                generation_w=supply[tick] if supply is not None else 0.0,
                 conversion_loss_w=loss_w,
                 deficit=deficit,
             )
+            if prof is not None:
+                prof.mark("bookkeeping")
 
         if plan is not None and observation is not None:
             self._close_slot(observation, plan, slot_demand, dt,
                              slot_downtime_base, slot_records)
 
-        return self._finalize(accumulator, slot_records, num_ticks * dt)
+        perf: Optional[PerfReport] = None
+        if prof is not None:
+            prof.count("relay_applies", relay_applies)
+            prof.count("relay_skips", relay_skips)
+            prof.count("scheduler_calls", scheduler.calls)
+            prof.count("scheduler_within_budget", scheduler.within_budget_hits)
+            prof.count("scheduler_order_reuses", scheduler.order_reuses)
+            perf = prof.report()
+
+        return self._finalize(accumulator, slot_records, num_ticks * dt,
+                              perf)
 
     # ------------------------------------------------------------------
     # Tick helpers
@@ -330,6 +407,7 @@ class Simulation:
                                   name="slot-demand")
         analysis = analyze_slot(demand_trace, observation.budget_w)
         downtime = self.cluster.total_downtime_s() - downtime_base
+        peak_duration_s = expected_peak_duration_s(analysis)
         result = SlotResult(
             observation=observation,
             plan=plan,
@@ -337,7 +415,7 @@ class Simulation:
             battery_usable_end_j=self.buffers.battery_usable_j,
             actual_peak_w=analysis.peak_w,
             actual_valley_w=analysis.valley_w,
-            actual_peak_duration_s=expected_peak_duration_s(analysis),
+            actual_peak_duration_s=peak_duration_s,
             downtime_s=downtime,
         )
         self.policy.end_slot(result)
@@ -347,7 +425,7 @@ class Simulation:
             r_lambda=plan.r_lambda,
             peak_w=analysis.peak_w,
             valley_w=analysis.valley_w,
-            peak_duration_s=expected_peak_duration_s(analysis),
+            peak_duration_s=peak_duration_s,
             sc_usable_end_j=self.buffers.sc_usable_j,
             battery_usable_end_j=self.buffers.battery_usable_j,
             downtime_in_slot_s=downtime,
@@ -358,7 +436,8 @@ class Simulation:
 
     def _finalize(self, accumulator: MetricsAccumulator,
                   slot_records: List[SlotRecord],
-                  duration_s: float) -> RunResult:
+                  duration_s: float,
+                  perf: Optional[PerfReport] = None) -> RunResult:
         report = self.buffers.lifetime_report()
         lifetime_years = min(report.estimated_lifetime_years,
                              _CALENDAR_LIFE_YEARS)
@@ -384,4 +463,5 @@ class Simulation:
             metrics=metrics,
             lifetime=report,
             slots=tuple(slot_records),
+            perf=perf,
         )

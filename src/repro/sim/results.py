@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
     Any,
@@ -25,6 +25,7 @@ from typing import (
     Union,
 )
 
+from ..perf.stats import PerfReport
 from ..storage.lifetime import LifetimeReport
 from .metrics import RunMetrics
 
@@ -57,6 +58,11 @@ class RunResult:
     metrics: RunMetrics
     lifetime: LifetimeReport
     slots: Tuple[SlotRecord, ...]
+    #: Wall-clock measurement of this run, present only when the engine
+    #: was profiled.  Excluded from equality and serialization — two runs
+    #: that differ only in timing are the same result.
+    perf: Optional[PerfReport] = field(default=None, compare=False,
+                                       repr=False)
 
     def summary(self) -> Dict[str, float]:
         """Flat dict of the headline numbers (for tabular reports)."""

@@ -7,7 +7,14 @@ for the Figure 12(c) battery-lifetime results.
 """
 
 from .device import EnergyStorageDevice, FlowResult, DeviceTelemetry
-from .kibam import KiBaMState, kibam_step, kibam_max_discharge_current
+from .kibam import (
+    KiBaMCoefficients,
+    KiBaMState,
+    kibam_coefficients,
+    kibam_step,
+    kibam_max_discharge_current,
+    kibam_max_charge_current,
+)
 from .battery import LeadAcidBattery
 from .supercap import Supercapacitor
 from .lifetime import AhThroughputLifetimeModel, LifetimeReport
@@ -26,9 +33,12 @@ __all__ = [
     "EnergyStorageDevice",
     "FlowResult",
     "DeviceTelemetry",
+    "KiBaMCoefficients",
     "KiBaMState",
+    "kibam_coefficients",
     "kibam_step",
     "kibam_max_discharge_current",
+    "kibam_max_charge_current",
     "LeadAcidBattery",
     "Supercapacitor",
     "AhThroughputLifetimeModel",

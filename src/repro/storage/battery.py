@@ -22,7 +22,9 @@ from ..errors import ConfigurationError
 from ..units import ah_to_coulombs, clamp
 from .device import EnergyStorageDevice, FlowResult
 from .kibam import (
+    KiBaMCoefficients,
     KiBaMState,
+    kibam_coefficients,
     kibam_max_charge_current,
     kibam_max_discharge_current,
     kibam_step,
@@ -39,6 +41,18 @@ class LeadAcidBattery(EnergyStorageDevice):
         super().__init__(name)
         self.config = config
         self._age_fraction = 0.0
+        # Single-slot cache: the engine steps with one fixed dt, so the
+        # KiBaM exponentials are loop invariants (k and c never change,
+        # even under aging — only capacity fades).
+        self._step_coeffs: "KiBaMCoefficients | None" = None
+        # Constants derived from the frozen config, hoisted out of the
+        # per-tick property chains.
+        self._config_nominal_j = config.nominal_energy_j
+        self._mean_voltage = 0.5 * (config.nominal_voltage_v
+                                    + config.empty_voltage_v)
+        self._ocv_empty = config.empty_voltage_v
+        self._ocv_span = config.nominal_voltage_v - config.empty_voltage_v
+        self._aged_resistance = config.internal_resistance_ohm
         self._capacity_c = ah_to_coulombs(config.capacity_ah)
         self._state = KiBaMState.at_soc(
             capacity_c=self._capacity_c,
@@ -99,8 +113,7 @@ class LeadAcidBattery(EnergyStorageDevice):
     @property
     def internal_resistance_ohm(self) -> float:
         """Present internal resistance (grows with age)."""
-        return getattr(self, "_aged_resistance",
-                       self.config.internal_resistance_ohm)
+        return self._aged_resistance
 
     # ------------------------------------------------------------------
     # State
@@ -113,21 +126,32 @@ class LeadAcidBattery(EnergyStorageDevice):
 
     @property
     def nominal_energy_j(self) -> float:
-        return self.config.nominal_energy_j * (1.0 - self._age_fraction)
+        return self._config_nominal_j * (1.0 - self._age_fraction)
 
     @property
     def stored_energy_j(self) -> float:
         """Stored energy estimated from total charge at the mean voltage."""
-        mean_voltage = 0.5 * (self.config.nominal_voltage_v
-                              + self.config.empty_voltage_v)
-        return self._state.total_c * mean_voltage
+        state = self._state
+        return (state.available_c + state.bound_c) * self._mean_voltage
 
     def open_circuit_voltage(self) -> float:
         """OCV tracks the *available* well, giving transient sag and
         post-rest recovery bounce (Figure 5 behaviour)."""
-        cfg = self.config
-        span = cfg.nominal_voltage_v - cfg.empty_voltage_v
-        return cfg.empty_voltage_v + span * self._state.available_fraction
+        state = self._state
+        # Inlined KiBaMState.available_fraction (same arithmetic).
+        available_capacity = state.capacity_c * state.c
+        fraction = min(1.0, max(0.0, state.available_c / available_capacity))
+        return self._ocv_empty + self._ocv_span * fraction
+
+    def _coeffs(self, dt: float) -> KiBaMCoefficients:
+        """Memoized KiBaM step coefficients for this battery at ``dt``."""
+        cached = self._step_coeffs
+        if cached is not None and cached.dt == dt:
+            return cached
+        cached = kibam_coefficients(
+            self.config.kibam_k_per_s, self.config.kibam_c, dt)
+        self._step_coeffs = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Peukert helpers
@@ -173,7 +197,8 @@ class LeadAcidBattery(EnergyStorageDevice):
 
         # (2) The available well must not empty within the step
         #     (Peukert-scaled drain).
-        i_kibam_effective = kibam_max_discharge_current(self._state, dt)
+        i_kibam_effective = kibam_max_discharge_current(
+            self._state, dt, self._coeffs(dt))
         i_kibam_effective *= self.config.discharge_efficiency
         i_kibam = self._invert_peukert(i_kibam_effective)
 
@@ -222,7 +247,8 @@ class LeadAcidBattery(EnergyStorageDevice):
         cfg = self.config
         efficiency = self._charge_efficiency_now()
         # Wells gain I * efficiency; constraints are on the well side.
-        i_kibam = kibam_max_charge_current(self._state, dt) / efficiency
+        i_kibam = (kibam_max_charge_current(self._state, dt, self._coeffs(dt))
+                   / efficiency)
         headroom_c = max(0.0, self._capacity_c - self._state.total_c)
         i_headroom = headroom_c / dt / efficiency
         return max(0.0, min(cfg.max_charge_current_a, i_kibam, i_headroom))
@@ -254,10 +280,15 @@ class LeadAcidBattery(EnergyStorageDevice):
     def discharge(self, power_w: float, dt: float) -> FlowResult:
         self._validate_flow_args(power_w, dt)
         v_oc = self.open_circuit_voltage()
-        if power_w <= 0.0 or self.is_depleted:
+        # Inlined is_depleted: usable = max(0, stored - floor) and
+        # max(0, x) <= 1e-9  <=>  x <= 1e-9.
+        state = self._state
+        stored = (state.available_c + state.bound_c) * self._mean_voltage
+        nominal = self._config_nominal_j * (1.0 - self._age_fraction)
+        if power_w <= 0.0 or stored - self._soc_floor * nominal <= 1e-9:
             result = self._noflow(power_w, v_oc)
             self.telemetry.record_discharge(result, 0.0, dt)
-            self._state = kibam_step(self._state, 0.0, dt)
+            self._state = kibam_step(self._state, 0.0, dt, self._coeffs(dt))
             return result
 
         r = self.internal_resistance_ohm
@@ -267,7 +298,7 @@ class LeadAcidBattery(EnergyStorageDevice):
         if current <= _EPSILON:
             result = self._noflow(power_w, v_oc)
             self.telemetry.record_discharge(result, 0.0, dt)
-            self._state = kibam_step(self._state, 0.0, dt)
+            self._state = kibam_step(self._state, 0.0, dt, self._coeffs(dt))
             return result
 
         terminal_voltage = v_oc - current * r
@@ -287,17 +318,22 @@ class LeadAcidBattery(EnergyStorageDevice):
             limited=limited,
             current_a=current,
         )
-        self._state = kibam_step(self._state, drain_current, dt)
+        self._state = kibam_step(self._state, drain_current, dt,
+                                 self._coeffs(dt))
         self.telemetry.record_discharge(result, current, dt)
         return result
 
     def charge(self, power_w: float, dt: float) -> FlowResult:
         self._validate_flow_args(power_w, dt)
         v_oc = self.open_circuit_voltage()
-        if power_w <= 0.0 or self.is_full:
+        # Inlined is_full (headroom = max(0, nominal - stored) <= 1e-9).
+        state = self._state
+        stored = (state.available_c + state.bound_c) * self._mean_voltage
+        nominal = self._config_nominal_j * (1.0 - self._age_fraction)
+        if power_w <= 0.0 or nominal - stored <= 1e-9:
             result = self._noflow(power_w, v_oc)
             self.telemetry.record_charge(result, 0.0, dt)
-            self._state = kibam_step(self._state, 0.0, dt)
+            self._state = kibam_step(self._state, 0.0, dt, self._coeffs(dt))
             return result
 
         r = self.internal_resistance_ohm
@@ -307,7 +343,7 @@ class LeadAcidBattery(EnergyStorageDevice):
         if current <= _EPSILON:
             result = self._noflow(power_w, v_oc)
             self.telemetry.record_charge(result, 0.0, dt)
-            self._state = kibam_step(self._state, 0.0, dt)
+            self._state = kibam_step(self._state, 0.0, dt, self._coeffs(dt))
             return result
 
         terminal_voltage = v_oc + current * r
@@ -326,13 +362,14 @@ class LeadAcidBattery(EnergyStorageDevice):
             limited=limited,
             current_a=current,
         )
-        self._state = kibam_step(self._state, -stored_current, dt)
+        self._state = kibam_step(self._state, -stored_current, dt,
+                                 self._coeffs(dt))
         self.telemetry.record_charge(result, current, dt)
         return result
 
     def rest(self, dt: float) -> None:
         self._validate_flow_args(0.0, dt)
-        self._state = kibam_step(self._state, 0.0, dt)
+        self._state = kibam_step(self._state, 0.0, dt, self._coeffs(dt))
         self.telemetry.record_rest(dt)
 
     def reset(self, soc: float = 1.0) -> None:

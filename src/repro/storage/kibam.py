@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from ..errors import ConfigurationError
 
@@ -90,7 +91,68 @@ class KiBaMState:
         return min(1.0, max(0.0, self.available_c / available_capacity))
 
 
-def kibam_step(state: KiBaMState, current_a: float, dt: float) -> KiBaMState:
+@dataclass(frozen=True)
+class KiBaMCoefficients:
+    """The step terms that depend only on ``(k, c, dt)``, not on state.
+
+    Every closed-form expression below reuses ``exp(-k dt)`` and two
+    derived terms; with a fixed simulation tick these are loop
+    invariants, so they are computed once per parameter triple and
+    memoized.  Each derived term mirrors the exact arithmetic of the
+    original inline expressions (same operand order), so cached and
+    uncached evaluation are bit-for-bit identical.
+    """
+
+    k: float
+    c: float
+    dt: float
+    ekt: float
+    one_m_ekt: float
+    #: ``k*dt - (1 - exp(-k dt))`` — the ramp term of the closed form.
+    kdt_m_one_m_ekt: float
+    #: ``one_m_ekt + c * kdt_m_one_m_ekt`` — shared max-current denominator.
+    denominator: float
+
+
+_COEFFICIENT_CACHE: Dict[Tuple[float, float, float], KiBaMCoefficients] = {}
+
+
+def kibam_coefficients(k: float, c: float, dt: float) -> KiBaMCoefficients:
+    """Memoized step coefficients for one ``(k, c, dt)`` triple."""
+    key = (k, c, dt)
+    cached = _COEFFICIENT_CACHE.get(key)
+    if cached is None:
+        if dt <= 0.0:
+            raise ConfigurationError(f"dt must be positive, got {dt!r}")
+        ekt = math.exp(-k * dt)
+        one_m_ekt = 1.0 - ekt
+        kdt_m_one_m_ekt = k * dt - one_m_ekt
+        denominator = one_m_ekt + c * (k * dt - one_m_ekt)
+        cached = KiBaMCoefficients(
+            k=k, c=c, dt=dt, ekt=ekt, one_m_ekt=one_m_ekt,
+            kdt_m_one_m_ekt=kdt_m_one_m_ekt, denominator=denominator)
+        _COEFFICIENT_CACHE[key] = cached
+    return cached
+
+
+def _evolved(state: KiBaMState, available_c: float,
+             bound_c: float) -> KiBaMState:
+    """New state with updated wells, skipping re-validation.
+
+    ``__post_init__`` checks parameters that are copied unchanged from an
+    already-validated state, so the analytic step bypasses it.
+    """
+    new = KiBaMState.__new__(KiBaMState)
+    new.available_c = available_c
+    new.bound_c = bound_c
+    new.capacity_c = state.capacity_c
+    new.c = state.c
+    new.k = state.k
+    return new
+
+
+def kibam_step(state: KiBaMState, current_a: float, dt: float,
+               coeffs: Optional[KiBaMCoefficients] = None) -> KiBaMState:
     """Advance the two wells by ``dt`` seconds at constant current.
 
     Args:
@@ -98,56 +160,72 @@ def kibam_step(state: KiBaMState, current_a: float, dt: float) -> KiBaMState:
         current_a: Terminal current; positive discharges, negative charges,
             zero rests (recovery only).
         dt: Step duration in seconds (> 0).
+        coeffs: Optional precomputed :func:`kibam_coefficients` for the
+            state's ``(k, c, dt)``; looked up (memoized) when omitted.
 
     Returns:
         The new state.  Well contents are clamped to [0, well capacity]
         after the analytic update so numerical dust never leaks out.
     """
-    if dt <= 0.0:
-        raise ConfigurationError(f"dt must be positive, got {dt!r}")
+    if coeffs is None:
+        coeffs = kibam_coefficients(state.k, state.c, dt)
     k, c = state.k, state.c
-    y1, y2, y0 = state.available_c, state.bound_c, state.total_c
+    y1, y2 = state.available_c, state.bound_c
+    y0 = y1 + y2
     i = current_a
 
-    ekt = math.exp(-k * dt)
-    one_m_ekt = 1.0 - ekt
+    ekt = coeffs.ekt
+    one_m_ekt = coeffs.one_m_ekt
+    ramp = coeffs.kdt_m_one_m_ekt
     # Closed-form constant-current solution (Manwell & McGowan 1993).
     new_y1 = (y1 * ekt
               + (y0 * k * c - i) * one_m_ekt / k
-              - i * c * (k * dt - one_m_ekt) / k)
+              - i * c * ramp / k)
     new_y2 = (y2 * ekt
               + y0 * (1.0 - c) * one_m_ekt
-              - i * (1.0 - c) * (k * dt - one_m_ekt) / k)
+              - i * (1.0 - c) * ramp / k)
 
+    # Branchy clamps (identical to min(max(...)) including NaN flow-through)
+    # keep numerical dust inside [0, well capacity] without builtin calls.
     available_capacity = state.capacity_c * c
     bound_capacity = state.capacity_c * (1.0 - c)
-    new_y1 = min(max(new_y1, 0.0), available_capacity)
-    new_y2 = min(max(new_y2, 0.0), bound_capacity)
-    return KiBaMState(available_c=new_y1, bound_c=new_y2,
-                      capacity_c=state.capacity_c, c=c, k=k)
+    if new_y1 < 0.0:
+        new_y1 = 0.0
+    elif new_y1 > available_capacity:
+        new_y1 = available_capacity
+    if new_y2 < 0.0:
+        new_y2 = 0.0
+    elif new_y2 > bound_capacity:
+        new_y2 = bound_capacity
+    return _evolved(state, new_y1, new_y2)
 
 
-def kibam_max_discharge_current(state: KiBaMState, dt: float) -> float:
+def kibam_max_discharge_current(state: KiBaMState, dt: float,
+                                coeffs: Optional[KiBaMCoefficients] = None,
+                                ) -> float:
     """Largest constant current that keeps the available well >= 0 over dt.
 
     Derived by setting y1(dt) = 0 in the closed-form solution and solving
     for the current.
     """
-    if dt <= 0.0:
-        raise ConfigurationError(f"dt must be positive, got {dt!r}")
+    if coeffs is None:
+        coeffs = kibam_coefficients(state.k, state.c, dt)
     k, c = state.k, state.c
-    y1, y0 = state.available_c, state.total_c
+    y1 = state.available_c
+    y0 = y1 + state.bound_c
 
-    ekt = math.exp(-k * dt)
-    one_m_ekt = 1.0 - ekt
-    denominator = one_m_ekt + c * (k * dt - one_m_ekt)
+    ekt = coeffs.ekt
+    one_m_ekt = coeffs.one_m_ekt
+    denominator = coeffs.denominator
     if denominator <= 0.0:
         return 0.0
     numerator = k * y1 * ekt + y0 * k * c * one_m_ekt
     return max(0.0, numerator / denominator)
 
 
-def kibam_max_charge_current(state: KiBaMState, dt: float) -> float:
+def kibam_max_charge_current(state: KiBaMState, dt: float,
+                             coeffs: Optional[KiBaMCoefficients] = None,
+                             ) -> float:
     """Largest constant charging current that keeps the available well
     at or below its capacity over ``dt`` seconds.
 
@@ -156,15 +234,16 @@ def kibam_max_charge_current(state: KiBaMState, dt: float) -> float:
     physical root of the battery's limited valley-energy absorption that
     the REU experiments (Figure 12d) hinge on.
     """
-    if dt <= 0.0:
-        raise ConfigurationError(f"dt must be positive, got {dt!r}")
+    if coeffs is None:
+        coeffs = kibam_coefficients(state.k, state.c, dt)
     k, c = state.k, state.c
-    y1, y0 = state.available_c, state.total_c
+    y1 = state.available_c
+    y0 = y1 + state.bound_c
     available_capacity = state.capacity_c * c
 
-    ekt = math.exp(-k * dt)
-    one_m_ekt = 1.0 - ekt
-    denominator = one_m_ekt + c * (k * dt - one_m_ekt)
+    ekt = coeffs.ekt
+    one_m_ekt = coeffs.one_m_ekt
+    denominator = coeffs.denominator
     if denominator <= 0.0:
         return 0.0
     # Set y1(dt) = available_capacity with i = -current (charging).

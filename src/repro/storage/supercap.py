@@ -33,6 +33,16 @@ class Supercapacitor(EnergyStorageDevice):
                  soc: float = 1.0) -> None:
         super().__init__(name)
         self.config = config
+        # The config is a frozen dataclass, so every derived constant the
+        # per-tick flow paths need is hoisted here once instead of being
+        # recomputed through property chains on each call.
+        self._capacitance = config.capacitance_f
+        self._esr = config.esr_ohm
+        self._min_v = config.min_voltage_v
+        self._min_v_sq = config.min_voltage_v ** 2
+        self._max_charge_c = config.max_voltage_v * config.capacitance_f
+        self._max_charge_current = config.max_charge_current_a
+        self._nominal_j = config.nominal_energy_j
         self._charge_c = 0.0
         self.reset(soc)
 
@@ -43,20 +53,19 @@ class Supercapacitor(EnergyStorageDevice):
     @property
     def voltage(self) -> float:
         """Cell voltage from stored charge (V = q / C)."""
-        return self._charge_c / self.config.capacitance_f
+        return self._charge_c / self._capacitance
 
     @property
     def nominal_energy_j(self) -> float:
-        return self.config.nominal_energy_j
+        return self._nominal_j
 
     @property
     def stored_energy_j(self) -> float:
         """Usable energy above the converter cut-off voltage."""
-        cfg = self.config
-        v = self.voltage
-        if v <= cfg.min_voltage_v:
+        v = self._charge_c / self._capacitance
+        if v <= self._min_v:
             return 0.0
-        return 0.5 * cfg.capacitance_f * (v * v - cfg.min_voltage_v ** 2)
+        return 0.5 * self._capacitance * (v * v - self._min_v_sq)
 
     def open_circuit_voltage(self) -> float:
         return self.voltage
@@ -67,24 +76,22 @@ class Supercapacitor(EnergyStorageDevice):
 
     def _discharge_current_limit(self, dt: float) -> float:
         """Current that would take the cell exactly to the usable floor."""
-        cfg = self.config
         floor_voltage = self._floor_voltage()
-        floor_charge = floor_voltage * cfg.capacitance_f
+        floor_charge = floor_voltage * self._capacitance
         budget_c = max(0.0, self._charge_c - floor_charge)
         return budget_c / dt
 
     def _floor_voltage(self) -> float:
         """Converter cut-off raised by any controller DoD restriction."""
-        cfg = self.config
-        usable_floor_j = self._soc_floor * self.nominal_energy_j
+        usable_floor_j = self._soc_floor * self._nominal_j
         # stored(v) = 0.5 C (v^2 - vmin^2)  =>  v = sqrt(2 floor/C + vmin^2)
-        return math.sqrt(2.0 * usable_floor_j / cfg.capacitance_f
-                         + cfg.min_voltage_v ** 2)
+        return math.sqrt(2.0 * usable_floor_j / self._capacitance
+                         + self._min_v_sq)
 
     def max_discharge_power_w(self, dt: float) -> float:
         self._validate_flow_args(0.0, dt)
         v = self.voltage
-        esr = self.config.esr_ohm
+        esr = self._esr
         i_limit = self._discharge_current_limit(dt)
         if esr > _EPSILON:
             i_limit = min(i_limit, v / (2.0 * esr))
@@ -92,12 +99,10 @@ class Supercapacitor(EnergyStorageDevice):
 
     def max_charge_power_w(self, dt: float) -> float:
         self._validate_flow_args(0.0, dt)
-        cfg = self.config
-        headroom_c = max(
-            0.0, cfg.max_voltage_v * cfg.capacitance_f - self._charge_c)
-        i_limit = min(cfg.max_charge_current_a, headroom_c / dt)
+        headroom_c = max(0.0, self._max_charge_c - self._charge_c)
+        i_limit = min(self._max_charge_current, headroom_c / dt)
         v = self.voltage
-        return max(0.0, i_limit * (v + i_limit * cfg.esr_ohm))
+        return max(0.0, i_limit * (v + i_limit * self._esr))
 
     # ------------------------------------------------------------------
     # Flows
@@ -105,7 +110,7 @@ class Supercapacitor(EnergyStorageDevice):
 
     def _discharge_current_for_power(self, power_w: float) -> float:
         v = self.voltage
-        esr = self.config.esr_ohm
+        esr = self._esr
         if esr <= _EPSILON:
             return power_w / v if v > _EPSILON else 0.0
         discriminant = v * v - 4.0 * esr * power_w
@@ -115,22 +120,29 @@ class Supercapacitor(EnergyStorageDevice):
 
     def _charge_current_for_power(self, power_w: float) -> float:
         v = self.voltage
-        esr = self.config.esr_ohm
+        esr = self._esr
         if esr <= _EPSILON:
-            return power_w / max(v, self.config.min_voltage_v, _EPSILON)
+            return power_w / max(v, self._min_v, _EPSILON)
         discriminant = v * v + 4.0 * esr * power_w
         return (-v + math.sqrt(discriminant)) / (2.0 * esr)
 
     def discharge(self, power_w: float, dt: float) -> FlowResult:
         self._validate_flow_args(power_w, dt)
-        v = self.voltage
-        if power_w <= 0.0 or self.is_depleted:
+        v = self._charge_c / self._capacitance
+        # Inlined is_depleted: usable = max(0, stored - floor) and
+        # max(0, x) <= 1e-9  <=>  x <= 1e-9.
+        if v <= self._min_v:
+            stored = 0.0
+        else:
+            stored = 0.5 * self._capacitance * (v * v - self._min_v_sq)
+        if (power_w <= 0.0
+                or stored - self._soc_floor * self._nominal_j <= 1e-9):
             result = self._noflow(power_w, v)
             self.telemetry.record_discharge(result, 0.0, dt)
             return result
 
-        esr = self.config.esr_ohm
-        cap = self.config.capacitance_f
+        esr = self._esr
+        cap = self._capacitance
         # Solve against the mid-step voltage (one fixed-point refinement)
         # so an unclamped request actually delivers the requested power
         # instead of undershooting by the within-step droop.
@@ -175,35 +187,39 @@ class Supercapacitor(EnergyStorageDevice):
 
     def charge(self, power_w: float, dt: float) -> FlowResult:
         self._validate_flow_args(power_w, dt)
-        v = self.voltage
-        if power_w <= 0.0 or self.is_full:
+        v = self._charge_c / self._capacitance
+        # Inlined is_full (headroom = max(0, nominal - stored) <= 1e-9).
+        if v <= self._min_v:
+            stored = 0.0
+        else:
+            stored = 0.5 * self._capacitance * (v * v - self._min_v_sq)
+        if power_w <= 0.0 or self._nominal_j - stored <= 1e-9:
             result = self._noflow(power_w, v)
             self.telemetry.record_charge(result, 0.0, dt)
             return result
 
-        cfg = self.config
+        esr = self._esr
+        cap = self._capacitance
         # Refine against the mid-step voltage so the accepted power does
         # not overshoot the offer as the cell voltage rises within a step.
         i_request = self._charge_current_for_power(power_w)
         for _ in range(3):
-            v_mid = v + 0.5 * i_request * dt / cfg.capacitance_f
-            discriminant = v_mid * v_mid + 4.0 * cfg.esr_ohm * power_w
-            if cfg.esr_ohm > _EPSILON:
-                i_request = (-v_mid + math.sqrt(discriminant)) / (
-                    2.0 * cfg.esr_ohm)
+            v_mid = v + 0.5 * i_request * dt / cap
+            discriminant = v_mid * v_mid + 4.0 * esr * power_w
+            if esr > _EPSILON:
+                i_request = (-v_mid + math.sqrt(discriminant)) / (2.0 * esr)
             else:
                 i_request = power_w / max(v_mid, _EPSILON)
-        headroom_c = max(
-            0.0, cfg.max_voltage_v * cfg.capacitance_f - self._charge_c)
-        current = min(i_request, cfg.max_charge_current_a, headroom_c / dt)
+        headroom_c = max(0.0, self._max_charge_c - self._charge_c)
+        current = min(i_request, self._max_charge_current, headroom_c / dt)
         if current <= _EPSILON:
             result = self._noflow(power_w, v)
             self.telemetry.record_charge(result, 0.0, dt)
             return result
 
-        v_end = (self._charge_c + current * dt) / cfg.capacitance_f
+        v_end = (self._charge_c + current * dt) / cap
         v_mid = 0.5 * (v + v_end)
-        terminal_voltage = v_mid + current * cfg.esr_ohm
+        terminal_voltage = v_mid + current * esr
         achieved_w = current * terminal_voltage
         limited = achieved_w < power_w - 1e-6
 
@@ -211,7 +227,7 @@ class Supercapacitor(EnergyStorageDevice):
             requested_w=power_w,
             achieved_w=achieved_w,
             energy_j=achieved_w * dt,
-            loss_j=current * current * cfg.esr_ohm * dt,
+            loss_j=current * current * esr * dt,
             terminal_voltage_v=terminal_voltage,
             limited=limited,
             current_a=current,

@@ -1,0 +1,238 @@
+"""Bit-for-bit equivalence of the vectorized fast paths vs references.
+
+The engine's hot paths (scheduler assignment, cluster draws, KiBaM step
+coefficients, IPDU metering) were rewritten for throughput with the
+explicit contract that every simulated number stays *bit-identical* to
+the straightforward implementations they replaced.  This suite holds
+them to it with randomized inputs:
+
+* ``LoadScheduler.assign`` (memoized, argsort fast path) vs
+  :func:`repro.core.scheduler.reference_assign` — the pre-optimization
+  implementation kept verbatim as an oracle, including across stateful
+  call sequences that exercise every memo.
+* ``ServerCluster.draws_w`` (cached mask + array patching) vs a
+  per-server ``Server.draw_w`` loop, across random shutdown/restart
+  states.
+* ``kibam_step`` / max-current helpers with precomputed coefficients vs
+  the coefficient-free path vs a verbatim transcription of the original
+  inline formula.
+* ``IPDU.record`` dict API vs the array ring: same meter totals, same
+  history.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.config import prototype_cluster
+from repro.core.scheduler import LoadScheduler, reference_assign
+from repro.power.components import IPDU
+from repro.server.cluster import ServerCluster
+from repro.storage.kibam import (
+    KiBaMState,
+    kibam_coefficients,
+    kibam_max_charge_current,
+    kibam_max_discharge_current,
+    kibam_step,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+demand_strategy = st.floats(min_value=0.0, max_value=400.0,
+                            allow_nan=False, allow_infinity=False)
+demands_strategy = st.lists(demand_strategy, min_size=1, max_size=12)
+budget_strategy = st.floats(min_value=0.0, max_value=3000.0)
+# Deliberately wider than [0, 1]: assign must clamp exactly as the
+# reference does.
+r_lambda_strategy = st.floats(min_value=-0.5, max_value=1.5,
+                              allow_nan=False)
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+
+class TestSchedulerEquivalence:
+    @given(demands=demands_strategy, budget=budget_strategy,
+           r_lambda=r_lambda_strategy, use_sc=st.booleans(),
+           use_battery=st.booleans(), data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_single_call_matches_reference(self, demands, budget, r_lambda,
+                                           use_sc, use_battery, data):
+        available = data.draw(
+            st.lists(st.booleans(), min_size=len(demands),
+                     max_size=len(demands)))
+        as_array = data.draw(st.booleans())
+        arg = np.array(demands, dtype=float) if as_array else demands
+
+        expected = reference_assign(demands, available, budget, r_lambda,
+                                    use_sc=use_sc, use_battery=use_battery)
+        actual = LoadScheduler().assign(arg, available, budget, r_lambda,
+                                        use_sc=use_sc,
+                                        use_battery=use_battery)
+        assert actual == expected
+
+    @given(st.lists(st.tuples(demands_strategy, budget_strategy,
+                              r_lambda_strategy),
+                    min_size=2, max_size=8),
+           st.integers(min_value=2, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_stateful_sequence_matches_reference(self, calls, n):
+        """Memo reuse across repeated and alternating inputs is invisible."""
+        scheduler = LoadScheduler()
+        available = [True] * n
+        # Repeat each call twice so the identity/memo caches actually hit.
+        for demands, budget, r_lambda in calls:
+            demands = (demands * n)[:n]
+            arr = np.array(demands, dtype=float)
+            for _ in range(2):
+                actual = scheduler.assign(arr, available, budget, r_lambda)
+                expected = reference_assign(demands, available, budget,
+                                            r_lambda)
+                assert actual == expected
+
+    @given(demands=demands_strategy, budget=budget_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_readonly_mask_identity_cache(self, demands, budget):
+        """The read-only ndarray mask path equals the list path."""
+        n = len(demands)
+        mask = np.ones(n, dtype=bool)
+        mask.setflags(write=False)
+        scheduler = LoadScheduler()
+        arr = np.array(demands, dtype=float)
+        for _ in range(3):  # repeated calls hit the identity cache
+            actual = scheduler.assign(arr, mask, budget, 0.5)
+            expected = reference_assign(demands, [True] * n, budget, 0.5)
+            assert actual == expected
+
+
+# ----------------------------------------------------------------------
+# Cluster draws
+# ----------------------------------------------------------------------
+
+class TestClusterDrawEquivalence:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_draws_match_per_server_loop(self, data):
+        cluster = ServerCluster(prototype_cluster())
+        n = cluster.num_servers
+        demands = data.draw(st.lists(demand_strategy, min_size=n,
+                                     max_size=n))
+        # Random state mutations: shut some servers down, restart a few.
+        to_shut = data.draw(st.lists(st.integers(0, n - 1), max_size=n,
+                                     unique=True))
+        for index in to_shut:
+            cluster.servers[index].shut_down()
+        to_restart = data.draw(st.lists(st.sampled_from(range(n)),
+                                        max_size=len(to_shut),
+                                        unique=True))
+        for index in to_restart:
+            if index in to_shut:
+                cluster.servers[index].begin_restart()
+
+        reference = [server.draw_w(demand)
+                     for server, demand in zip(cluster.servers, demands)]
+        actual = cluster.draws_w(demands)
+        assert actual.tolist() == reference
+
+        # And again from an ndarray input (the engine's fast path).
+        actual_arr = cluster.draws_w(np.array(demands, dtype=float))
+        assert actual_arr.tolist() == reference
+
+
+# ----------------------------------------------------------------------
+# KiBaM
+# ----------------------------------------------------------------------
+
+def _reference_kibam_step(state, current_a, dt):
+    """Verbatim transcription of the pre-optimization inline formula."""
+    k, c = state.k, state.c
+    y1, y2, y0 = state.available_c, state.bound_c, state.total_c
+    i = current_a
+    ekt = math.exp(-k * dt)
+    one_m_ekt = 1.0 - ekt
+    new_y1 = (y1 * ekt
+              + (y0 * k * c - i) * one_m_ekt / k
+              - i * c * (k * dt - one_m_ekt) / k)
+    new_y2 = (y2 * ekt
+              + y0 * (1.0 - c) * one_m_ekt
+              - i * (1.0 - c) * (k * dt - one_m_ekt) / k)
+    available_capacity = state.capacity_c * c
+    bound_capacity = state.capacity_c * (1.0 - c)
+    new_y1 = min(max(new_y1, 0.0), available_capacity)
+    new_y2 = min(max(new_y2, 0.0), bound_capacity)
+    return new_y1, new_y2
+
+
+state_strategy = st.builds(
+    KiBaMState.at_soc,
+    capacity_c=st.floats(min_value=100.0, max_value=1e6),
+    c=st.floats(min_value=0.05, max_value=0.95),
+    k=st.floats(min_value=1e-5, max_value=1.0),
+    soc=st.floats(min_value=0.0, max_value=1.0))
+current_strategy = st.floats(min_value=-50.0, max_value=50.0)
+dt_strategy = st.floats(min_value=1e-3, max_value=3600.0)
+
+
+class TestKiBaMEquivalence:
+    @given(state=state_strategy, current=current_strategy, dt=dt_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_step_with_and_without_coefficients(self, state, current, dt):
+        coeffs = kibam_coefficients(state.k, state.c, dt)
+        with_coeffs = kibam_step(state, current, dt, coeffs)
+        without = kibam_step(state, current, dt)
+        reference = _reference_kibam_step(state, current, dt)
+        assert with_coeffs.available_c == without.available_c
+        assert with_coeffs.bound_c == without.bound_c
+        assert (with_coeffs.available_c, with_coeffs.bound_c) == reference
+
+    @given(state=state_strategy, dt=dt_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_max_currents_with_and_without_coefficients(self, state, dt):
+        coeffs = kibam_coefficients(state.k, state.c, dt)
+        assert (kibam_max_discharge_current(state, dt, coeffs)
+                == kibam_max_discharge_current(state, dt))
+        assert (kibam_max_charge_current(state, dt, coeffs)
+                == kibam_max_charge_current(state, dt))
+
+
+# ----------------------------------------------------------------------
+# IPDU metering
+# ----------------------------------------------------------------------
+
+class TestIPDUEquivalence:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_dict_and_array_apis_agree(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=8))
+        samples = data.draw(st.lists(
+            st.lists(demand_strategy, min_size=n, max_size=n),
+            min_size=1, max_size=20))
+        off = data.draw(st.lists(st.integers(0, n - 1), max_size=n,
+                                 unique=True))
+
+        via_dict = IPDU(n, history_limit=8)
+        via_array = IPDU(n, history_limit=8)
+        for outlet in off:
+            via_dict.set_outlet(outlet, False)
+            via_array.set_outlet(outlet, False)
+
+        for timestamp, sample in enumerate(samples):
+            via_dict.record(float(timestamp),
+                            {index: value
+                             for index, value in enumerate(sample)})
+            via_array.record_array(float(timestamp),
+                                   np.array(sample, dtype=float))
+
+        assert via_dict.energy_metered_j == via_array.energy_metered_j
+        dict_history = via_dict.history()
+        array_history = via_array.history()
+        assert len(dict_history) == len(array_history)
+        for lhs, rhs in zip(dict_history, array_history):
+            assert lhs.timestamp_s == rhs.timestamp_s
+            assert lhs.per_outlet_w == rhs.per_outlet_w
