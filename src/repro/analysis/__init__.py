@@ -10,13 +10,33 @@ codebase's three load-bearing conventions:
 * **exception hygiene** (RPR3xx) — raises stay inside the
   :class:`repro.errors.ReproError` contract, no broad ``except``.
 
+On top of the per-file rules, two *whole-program* passes (see
+:mod:`repro.analysis.semantics`) analyze every scanned module at once:
+dimensional dataflow (RPR11x) infers physical units across assignments,
+returns, and call-site bindings; cache-purity taint (RPR21x) flags
+impurities reachable from the cache-feeding entry points.  Results are
+served incrementally from an on-disk cache keyed by content hashes
+(:mod:`repro.analysis.cache`), and a baseline ratchet
+(:mod:`repro.analysis.baseline`) lets legacy findings be adopted
+without blocking new code.
+
 Suppress a finding in place with ``# repro: noqa[RPR102]`` (or a bare
-``# repro: noqa`` for every rule on that line).  See ``docs/analysis.md``
-for how to add a rule.
+``# repro: noqa`` for every rule on that line); on a multi-line simple
+statement the marker covers the whole statement.  See
+``docs/analysis.md`` for how to add a rule.
 """
 
 from __future__ import annotations
 
+from .baseline import (
+    DEFAULT_BASELINE_FILE,
+    baseline_counts,
+    load_baseline,
+    new_findings,
+    write_baseline,
+)
+from .cache import AnalysisCache, analysis_fingerprint
+from .changed import changed_python_files
 from .engine import (
     PARSE_ERROR_RULE_ID,
     LintReport,
@@ -26,21 +46,31 @@ from .engine import (
 )
 from .findings import Finding
 from .reporter import render_json, render_text
-from .rules import FileContext, Rule, all_rules, register
-from .suppressions import collect_suppressions
+from .rules import FileContext, Rule, all_rules, register, resolve_rule_ids
+from .suppressions import collect_suppressions, expand_suppressions
 
 __all__ = [
+    "AnalysisCache",
+    "DEFAULT_BASELINE_FILE",
     "PARSE_ERROR_RULE_ID",
     "Finding",
     "FileContext",
     "LintReport",
     "Rule",
     "all_rules",
+    "analysis_fingerprint",
+    "baseline_counts",
+    "changed_python_files",
     "collect_suppressions",
+    "expand_suppressions",
     "iter_python_files",
     "lint_paths",
     "lint_source",
+    "load_baseline",
+    "new_findings",
     "register",
     "render_json",
     "render_text",
+    "resolve_rule_ids",
+    "write_baseline",
 ]

@@ -1,0 +1,102 @@
+"""Baseline (ratchet) workflow for adopting the linter incrementally.
+
+``python -m repro lint --baseline write`` records every current finding
+as an accepted fingerprint; ``--baseline check`` then fails only on
+findings *not* covered by the recorded baseline, so new code is held to
+the rules while legacy findings are burned down over time.
+
+A fingerprint is (path, rule id, message) — deliberately line-free, so
+unrelated edits that shift a legacy finding up or down a file do not
+break the build.  Identical findings are counted: a file with two
+accepted ``RPR101`` findings that grows a third fails the check.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from ..errors import AnalysisError
+from .findings import Finding
+
+#: Bumped if the baseline file layout ever changes incompatibly.
+BASELINE_FORMAT = 1
+
+#: Default baseline location, repo-root relative.
+DEFAULT_BASELINE_FILE = ".repro-lint-baseline.json"
+
+
+def finding_fingerprint(finding: Finding) -> str:
+    """Line-free identity of a finding: path, rule, message."""
+    return f"{finding.path}::{finding.rule_id}::{finding.message}"
+
+
+def baseline_counts(findings: Sequence[Finding]) -> Dict[str, int]:
+    """fingerprint -> occurrence count for a finding set."""
+    return dict(Counter(finding_fingerprint(f) for f in findings))
+
+
+def write_baseline(path: Union[str, Path],
+                   findings: Sequence[Finding]) -> int:
+    """Persist the current findings as the accepted baseline.
+
+    Returns:
+        The number of distinct fingerprints written.
+    """
+    counts = baseline_counts(findings)
+    payload = json.dumps(
+        {"format": BASELINE_FORMAT, "counts": counts},
+        sort_keys=True, indent=2)
+    Path(path).write_text(payload + "\n", encoding="utf-8")
+    return len(counts)
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, int]:
+    """Accepted fingerprint counts; a missing file is an empty baseline.
+
+    Raises:
+        AnalysisError: On unreadable or format-incompatible content.
+    """
+    baseline_path = Path(path)
+    if not baseline_path.exists():
+        return {}
+    try:
+        payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        raise AnalysisError(
+            f"cannot read baseline {baseline_path}: {error}") from error
+    if (not isinstance(payload, dict)
+            or payload.get("format") != BASELINE_FORMAT
+            or not isinstance(payload.get("counts"), dict)):
+        raise AnalysisError(
+            f"baseline {baseline_path} has an unsupported layout "
+            f"(expected format {BASELINE_FORMAT})")
+    counts: Dict[str, int] = {}
+    for key, value in payload["counts"].items():
+        if not isinstance(key, str) or not isinstance(value, int):
+            raise AnalysisError(
+                f"baseline {baseline_path} has a malformed entry "
+                f"({key!r}: {value!r})")
+        counts[key] = value
+    return counts
+
+
+def new_findings(findings: Sequence[Finding],
+                 accepted: Dict[str, int]) -> List[Finding]:
+    """Findings exceeding their fingerprint's accepted count.
+
+    Findings are consumed in sorted order, so when a fingerprint occurs
+    more often than the baseline allows, the later occurrences (by line)
+    are the ones reported.
+    """
+    remaining = dict(accepted)
+    fresh: List[Finding] = []
+    for finding in sorted(findings):
+        fingerprint = finding_fingerprint(finding)
+        if remaining.get(fingerprint, 0) > 0:
+            remaining[fingerprint] -= 1
+        else:
+            fresh.append(finding)
+    return fresh

@@ -1,0 +1,92 @@
+"""``--changed``: restrict a lint run to files modified on this branch.
+
+The comparison point is ``git merge-base HEAD origin/main`` (falling
+back to a local ``main`` when no remote-tracking ref exists), so the
+selection is "everything this branch touched", not "everything not yet
+committed".  Untracked ``.py`` files count as changed; deleted files
+are dropped.  Designed for pre-commit hooks and fast local iteration —
+CI still lints the full tree.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..errors import AnalysisError
+from .engine import SKIPPED_DIRS
+
+#: Refs tried, in order, as the comparison base.
+BASE_REFS = ("origin/main", "main")
+
+
+def _git(args: Sequence[str], cwd: Optional[Path]) -> Optional[str]:
+    """stdout of one git command, or None on any failure."""
+    try:
+        completed = subprocess.run(
+            ["git", *args], cwd=cwd, capture_output=True, text=True,
+            timeout=30, check=False)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout
+
+
+def merge_base(cwd: Optional[Path] = None) -> Optional[str]:
+    """``git merge-base HEAD <base>`` for the first base that exists."""
+    for ref in BASE_REFS:
+        output = _git(["merge-base", "HEAD", ref], cwd)
+        if output and output.strip():
+            return output.strip()
+    return None
+
+
+def changed_python_files(paths: Sequence[str],
+                         cwd: Optional[Path] = None) -> List[str]:
+    """``.py`` files under ``paths`` modified since the merge base.
+
+    Includes committed, staged, unstaged, and untracked changes; files
+    that no longer exist on disk are skipped.
+
+    Raises:
+        AnalysisError: When the working directory is not a git
+            repository (there is nothing to diff against).
+    """
+    root_output = _git(["rev-parse", "--show-toplevel"], cwd)
+    if root_output is None:
+        raise AnalysisError(
+            "--changed requires a git repository "
+            "(git rev-parse --show-toplevel failed)")
+    repo_root = Path(root_output.strip())
+
+    base = merge_base(cwd)
+    candidates: List[str] = []
+    if base is not None:
+        diff_output = _git(["diff", "--name-only", base], cwd)
+        if diff_output:
+            candidates.extend(diff_output.splitlines())
+    untracked = _git(
+        ["ls-files", "--others", "--exclude-standard"], cwd)
+    if untracked:
+        candidates.extend(untracked.splitlines())
+
+    scopes = [Path(p).resolve() for p in paths]
+    selected: List[str] = []
+    seen = set()
+    for candidate in candidates:
+        name = candidate.strip()
+        if not name.endswith(".py"):
+            continue
+        resolved = (repo_root / name).resolve()
+        if not resolved.is_file() or resolved in seen:
+            continue
+        if SKIPPED_DIRS.intersection(Path(name).parts):
+            continue
+        if not any(scope == resolved or scope in resolved.parents
+                   for scope in scopes):
+            continue
+        seen.add(resolved)
+        selected.append(str(resolved))
+    return sorted(selected)

@@ -132,3 +132,58 @@ class SetIterationRule(Rule):
                     self, node,
                     "sum() over a set accumulates floats in "
                     "nondeterministic order; sum a sorted(...) sequence")
+
+
+#: Expression types that build a fresh mutable container.
+_MUTABLE_DEFAULT_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)
+_MUTABLE_DEFAULT_CALLS = frozenset({
+    "list", "dict", "set", "bytearray",
+    "defaultdict", "deque", "OrderedDict", "Counter",
+})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_DEFAULT_LITERALS):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_DEFAULT_CALLS
+    return False
+
+
+@register
+class MutableDefaultArgumentRule(Rule):
+    """No mutable default arguments on public functions.
+
+    A ``def f(items=[])`` default is evaluated once at definition time
+    and then shared by every call — state leaks across calls, which in
+    cached simulation code also couples runs executed in the same
+    process.  Default to ``None`` and create the container inside the
+    body.
+    """
+
+    id = "RPR203"
+    visits = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if node.name.startswith("_"):
+            return
+        args = node.args
+        positional = [*args.posonlyargs, *args.args]
+        for arg, default in zip(positional[len(positional)
+                                           - len(args.defaults):],
+                                args.defaults):
+            if _is_mutable_default(default):
+                yield ctx.finding(
+                    self, default,
+                    f"parameter {arg.arg!r} of public function "
+                    f"{node.name!r} has a mutable default; use None and "
+                    f"construct the container in the body")
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None and _is_mutable_default(default):
+                yield ctx.finding(
+                    self, default,
+                    f"parameter {arg.arg!r} of public function "
+                    f"{node.name!r} has a mutable default; use None and "
+                    f"construct the container in the body")

@@ -11,10 +11,15 @@ power/energy quantity.
 from __future__ import annotations
 
 import ast
+from pathlib import PurePath
 from typing import Dict, Iterator, Optional, Tuple
 
 from ..findings import Finding
 from ..rules import FileContext, Rule, register
+
+#: Packages whose float quantities come out of long accumulation chains,
+#: where exact equality is practically always a rounding bug.
+FLOAT_EQUALITY_PACKAGES = frozenset({"sim", "storage", "core"})
 
 #: Suffix -> dimension for names following the ``value_<unit>`` idiom.
 SUFFIX_DIMENSION: Dict[str, str] = {
@@ -166,3 +171,40 @@ class UnsuffixedQuantityRule(Rule):
     def _is_unsuffixed_quantity(name: str) -> bool:
         tokens = name.lower().split("_")
         return tokens[-1] in QUANTITY_TOKENS
+
+
+@register
+class FloatEqualityRule(Rule):
+    """No exact ``==``/``!=`` on power/energy quantities.
+
+    Values named ``*_w``/``*_j``/... in ``sim``, ``storage``, and
+    ``core`` come out of long float accumulation chains; comparing them
+    bit-exactly flips on the last ulp.  Use ``math.isclose`` or an
+    explicit tolerance (``abs(a - b) <= eps``).  Exact comparisons that
+    are genuinely intentional (memo-key checks) take a
+    ``# repro: noqa[RPR104]``.
+    """
+
+    id = "RPR104"
+    visits = (ast.Compare,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Compare)
+        if not FLOAT_EQUALITY_PACKAGES.intersection(
+                PurePath(ctx.path).parts):
+            return
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (left, right):
+                dim = _operand_dimension(side)
+                if dim in ("power", "energy"):
+                    label = _operand_name(side)
+                    yield ctx.finding(
+                        self, node,
+                        f"exact {'==' if isinstance(op, ast.Eq) else '!='}"
+                        f" on {dim} value {label!r}; float accumulation "
+                        f"makes bit-exact comparison unreliable — use "
+                        f"math.isclose or an explicit tolerance")
+                    break

@@ -2,18 +2,28 @@
 
 Exit codes follow the usual linter convention:
 
-* 0 — no findings,
+* 0 — no findings (or, with ``--baseline check``, none beyond the
+  recorded baseline),
 * 1 — findings were reported,
-* 2 — usage error (unknown rule id, missing path, unreadable file).
+* 2 — usage error (unknown rule id, missing path, unreadable file,
+  ``--changed`` outside a git repository).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional, TextIO
 
 from ..errors import AnalysisError
+from .baseline import (
+    DEFAULT_BASELINE_FILE,
+    load_baseline,
+    new_findings,
+    write_baseline,
+)
+from .changed import changed_python_files
 from .engine import lint_paths
 from .reporter import render_json, render_text
 from .rules import all_rules
@@ -29,10 +39,34 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="report format (default: text)")
     parser.add_argument(
         "--select", action="append", default=None, metavar="RULES",
-        help="comma-separated rule ids to run (repeatable; default: all)")
+        help="comma-separated rule ids or family prefixes to run "
+             "(e.g. RPR1,RPR2; repeatable; default: all)")
     parser.add_argument(
         "--ignore", action="append", default=None, metavar="RULES",
-        help="comma-separated rule ids to skip (repeatable)")
+        help="comma-separated rule ids or family prefixes to skip "
+             "(repeatable)")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the per-file stage (default: 1)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental lint cache")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="lint cache location (default: $REPRO_LINT_CACHE_DIR or "
+             "~/.cache/repro-heb-lint)")
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="lint only files modified vs git merge-base HEAD "
+             "origin/main (falls back to main)")
+    parser.add_argument(
+        "--baseline", choices=("write", "check"), default=None,
+        help="write: accept current findings as the baseline; "
+             "check: fail only on findings not in the baseline")
+    parser.add_argument(
+        "--baseline-file", default=DEFAULT_BASELINE_FILE,
+        metavar="FILE",
+        help=f"baseline location (default: {DEFAULT_BASELINE_FILE})")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="list registered rules and exit")
@@ -46,7 +80,9 @@ def _split_ids(groups: Optional[List[str]]) -> Optional[List[str]]:
 
 def _list_rules(stream: TextIO) -> int:
     for rule_id, rule_class in all_rules().items():
-        stream.write(f"{rule_id}  {rule_class.summary()}\n")
+        marker = "*" if rule_class.whole_program else " "
+        stream.write(f"{rule_id} {marker} {rule_class.summary()}\n")
+    stream.write("(* = whole-program pass)\n")
     return 0
 
 
@@ -58,12 +94,35 @@ def run_lint(args: argparse.Namespace,
     err = stderr if stderr is not None else sys.stderr
     if args.list_rules:
         return _list_rules(out)
+    baseline_mode = getattr(args, "baseline", None)
     try:
+        paths = list(args.paths)
+        if getattr(args, "changed", False):
+            paths = changed_python_files(paths)
+            if not paths:
+                out.write("clean: no changed Python files\n")
+                return 0
         report = lint_paths(
-            args.paths,
+            paths,
             select=_split_ids(args.select),
             ignore=_split_ids(args.ignore),
+            jobs=getattr(args, "jobs", 1) or 1,
+            use_cache=not getattr(args, "no_cache", False),
+            cache_dir=getattr(args, "cache_dir", None),
         )
+        if baseline_mode == "write":
+            written = write_baseline(args.baseline_file, report.findings)
+            out.write(f"baseline: recorded {written} fingerprint"
+                      f"{'s' if written != 1 else ''} "
+                      f"({len(report.findings)} finding"
+                      f"{'s' if len(report.findings) != 1 else ''}) "
+                      f"in {args.baseline_file}\n")
+            return 0
+        if baseline_mode == "check":
+            accepted = load_baseline(args.baseline_file)
+            report = dataclasses.replace(
+                report,
+                findings=tuple(new_findings(report.findings, accepted)))
     except AnalysisError as error:
         err.write(f"lint: error: {error}\n")
         return 2
@@ -78,6 +137,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro lint",
         description="Static analysis for the HEB reproduction: unit "
-                    "discipline, determinism, exception hygiene.")
+                    "discipline, determinism, exception hygiene, plus "
+                    "whole-program dimensional-dataflow and "
+                    "cache-purity passes.")
     add_lint_arguments(parser)
     return run_lint(parser.parse_args(argv))

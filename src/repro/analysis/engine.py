@@ -1,4 +1,4 @@
-"""The lint engine: file discovery, one-pass AST dispatch, filtering.
+"""The lint engine: discovery, per-file dispatch, whole-program passes.
 
 :func:`lint_paths` is the library entry point the CLI wraps::
 
@@ -6,15 +6,32 @@
     for finding in report.findings:
         print(finding.render())
 
-Each module is parsed once; every AST node is dispatched to the rules
-that subscribed to its type.  Findings on lines carrying a matching
-``# repro: noqa[...]`` comment are dropped, and the remainder come back
-sorted by (path, line, column, rule id) so output is deterministic.
+Per-file rules see one module at a time: each module is parsed once and
+every AST node is dispatched to the rules that subscribed to its type.
+Rules marked ``whole_program`` (the RPR11x/RPR21x passes) run after the
+per-file stage over *all* scanned modules at once, via
+:func:`repro.analysis.semantics.run_whole_program`.
+
+Two optional accelerators mirror the experiment runner:
+
+* an on-disk incremental cache (:mod:`repro.analysis.cache`) keyed by
+  file content hashes plus a fingerprint of the analysis code itself,
+  so a warm re-lint of an unchanged tree reads JSON instead of parsing;
+* a ``jobs`` parameter fanning the per-file parse+lint stage out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (results are merged
+  and re-sorted, so output is identical to a serial run).
+
+Findings on lines carrying a matching ``# repro: noqa[...]`` comment
+are dropped (a marker anywhere in a multi-line simple statement covers
+the whole statement), and the remainder come back sorted by
+(path, line, column, rule id) so output is deterministic.
 """
 
 from __future__ import annotations
 
 import ast
+import dataclasses
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -26,18 +43,27 @@ from typing import (
     Sequence,
     Tuple,
     Type,
+    Union,
 )
 
 from ..errors import AnalysisError
+from .cache import AnalysisCache, content_hash, file_key, project_key
 from .findings import Finding
 from .rules import FileContext, Rule, all_rules, resolve_rule_ids
-from .suppressions import collect_suppressions, is_suppressed
+from .suppressions import (
+    collect_suppressions,
+    expand_suppressions,
+    is_suppressed,
+)
 
 #: Rule id attached to files that fail to parse at all.
 PARSE_ERROR_RULE_ID = "RPR000"
 
-#: Directory names never descended into during discovery.
-SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".hypothesis"})
+#: Directory names never descended into during discovery.  ``fixtures``
+#: holds intentionally-failing lint specimens; passing such a file as an
+#: explicit path still lints it (the skip applies to discovery only).
+SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".hypothesis",
+                          "fixtures"})
 
 
 @dataclass(frozen=True)
@@ -47,6 +73,8 @@ class LintReport:
     findings: Tuple[Finding, ...]
     files_scanned: int
     rule_ids: Tuple[str, ...] = field(default_factory=tuple)
+    #: Files whose per-file findings were served from the lint cache.
+    files_from_cache: int = 0
 
     @property
     def clean(self) -> bool:
@@ -72,13 +100,23 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
             yield candidate
 
 
-def _select_rules(select: Optional[Iterable[str]],
-                  ignore: Optional[Iterable[str]]) -> List[Rule]:
+def _partition_rule_ids(select: Optional[Iterable[str]],
+                        ignore: Optional[Iterable[str]],
+                        ) -> Tuple[List[str], List[str]]:
+    """(per-file rule ids, whole-program rule ids) for a selection."""
     registry = all_rules()
     selected = resolve_rule_ids(select) if select else list(registry)
     ignored = set(resolve_rule_ids(ignore)) if ignore else set()
-    return [registry[rule_id]()
-            for rule_id in selected if rule_id not in ignored]
+    selected = [rid for rid in selected if rid not in ignored]
+    per_file = [rid for rid in selected
+                if not registry[rid].whole_program]
+    semantic = [rid for rid in selected if registry[rid].whole_program]
+    return per_file, semantic
+
+
+def _instantiate(rule_ids: Sequence[str]) -> List[Rule]:
+    registry = all_rules()
+    return [registry[rule_id]() for rule_id in rule_ids]
 
 
 def _dispatch_table(
@@ -93,7 +131,11 @@ def _dispatch_table(
 
 def lint_source(source: str, path: str,
                 rules: Sequence[Rule]) -> List[Finding]:
-    """Lint one in-memory module; returns unsorted, unsuppressed findings."""
+    """Lint one in-memory module with per-file rules.
+
+    Returns suppression-filtered findings in AST-walk order (callers
+    sort the merged result).
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as error:
@@ -110,36 +152,137 @@ def lint_source(source: str, path: str,
     for node in ast.walk(tree):
         for rule in table.get(type(node), ()):
             findings.extend(rule.visit(node, ctx))
-    suppressions = collect_suppressions(source)
+    suppressions = expand_suppressions(collect_suppressions(source), tree)
     return [f for f in findings
             if not is_suppressed(suppressions, f.line, f.rule_id)]
 
 
+def _lint_file_task(item: Tuple[str, str, Tuple[str, ...]]) -> List[Dict]:
+    """Worker-side per-file lint; serializes findings for pickling."""
+    path, source, rule_ids = item
+    return [dataclasses.asdict(finding)
+            for finding in lint_source(source, path,
+                                       _instantiate(rule_ids))]
+
+
+def _read_sources(files: Sequence[Path]) -> Dict[str, str]:
+    sources: Dict[str, str] = {}
+    for path in files:
+        try:
+            sources[str(path)] = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            raise AnalysisError(f"cannot read {path}: {error}") from error
+    return sources
+
+
+def _run_per_file_stage(sources: Dict[str, str],
+                        per_file_ids: Sequence[str],
+                        jobs: int,
+                        cache: Optional[AnalysisCache],
+                        hashes: Dict[str, str],
+                        ) -> Tuple[List[Finding], int]:
+    findings: List[Finding] = []
+    hits = 0
+    pending: List[Tuple[str, str]] = []
+    keys: Dict[str, str] = {}
+    for path, source in sources.items():
+        if cache is not None:
+            keys[path] = file_key(hashes[path], per_file_ids)
+            cached = cache.get_file(keys[path], path)
+            if cached is not None:
+                findings.extend(cached)
+                hits += 1
+                continue
+        pending.append((path, source))
+
+    computed: List[Tuple[str, List[Finding]]] = []
+    if jobs > 1 and len(pending) > 1:
+        tasks = [(path, source, tuple(per_file_ids))
+                 for path, source in pending]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for (path, _), entries in zip(pending,
+                                          pool.map(_lint_file_task, tasks)):
+                computed.append(
+                    (path, [Finding(**entry) for entry in entries]))
+    else:
+        rules = _instantiate(per_file_ids)
+        for path, source in pending:
+            computed.append((path, lint_source(source, path, rules)))
+
+    for path, file_findings in computed:
+        findings.extend(file_findings)
+        if cache is not None:
+            cache.put_file(keys[path], file_findings)
+    return findings, hits
+
+
+def _run_whole_program_stage(sources: Dict[str, str],
+                             semantic_ids: Sequence[str],
+                             cache: Optional[AnalysisCache],
+                             hashes: Dict[str, str],
+                             ) -> List[Finding]:
+    key: Optional[str] = None
+    if cache is not None:
+        key = project_key(sorted(hashes.items()), semantic_ids)
+        cached = cache.get_project(key)
+        if cached is not None:
+            return cached
+    # Imported here so merely loading the engine never pays for the
+    # semantics package.
+    from .semantics import SourceModule, run_whole_program
+    modules: List[SourceModule] = []
+    for path, source in sorted(sources.items()):
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue  # RPR000 already reported by the per-file stage
+        modules.append(SourceModule(path=path, source=source, tree=tree))
+    findings = run_whole_program(modules, semantic_ids)
+    if cache is not None and key is not None:
+        cache.put_project(key, findings)
+    return findings
+
+
 def lint_paths(paths: Sequence[str],
                select: Optional[Iterable[str]] = None,
-               ignore: Optional[Iterable[str]] = None) -> LintReport:
+               ignore: Optional[Iterable[str]] = None,
+               *,
+               jobs: int = 1,
+               use_cache: bool = False,
+               cache_dir: Union[str, Path, None] = None) -> LintReport:
     """Lint every Python file under ``paths``.
 
     Args:
         paths: Files and/or directories to scan.
-        select: Rule ids to run (default: all registered rules).
-        ignore: Rule ids to drop from the selection.
+        select: Rule ids or family prefixes to run (default: all).
+        ignore: Rule ids or family prefixes to drop from the selection.
+        jobs: Worker processes for the per-file stage (1 = in-process).
+        use_cache: Serve unchanged files (and unchanged projects) from
+            the incremental lint cache.
+        cache_dir: Cache location override (default:
+            ``$REPRO_LINT_CACHE_DIR`` or ``~/.cache/repro-heb-lint``).
 
     Raises:
-        AnalysisError: On unknown rule ids or missing paths.
+        AnalysisError: On unknown rule ids or missing/unreadable paths.
     """
-    rules = _select_rules(select, ignore)
-    findings: List[Finding] = []
-    files_scanned = 0
-    for path in iter_python_files(paths):
-        files_scanned += 1
-        try:
-            source = path.read_text(encoding="utf-8")
-        except (OSError, UnicodeDecodeError) as error:
-            raise AnalysisError(f"cannot read {path}: {error}") from error
-        findings.extend(lint_source(source, str(path), rules))
+    per_file_ids, semantic_ids = _partition_rule_ids(select, ignore)
+    files = list(iter_python_files(paths))
+    sources = _read_sources(files)
+    cache = AnalysisCache(cache_dir) if use_cache else None
+    hashes: Dict[str, str] = {}
+    if cache is not None:
+        hashes = {path: content_hash(source)
+                  for path, source in sources.items()}
+
+    findings, hits = _run_per_file_stage(
+        sources, per_file_ids, max(1, jobs), cache, hashes)
+    if semantic_ids:
+        findings.extend(_run_whole_program_stage(
+            sources, semantic_ids, cache, hashes))
+
     return LintReport(
         findings=tuple(sorted(findings)),
-        files_scanned=files_scanned,
-        rule_ids=tuple(sorted(rule.id for rule in rules)),
+        files_scanned=len(files),
+        rule_ids=tuple(sorted([*per_file_ids, *semantic_ids])),
+        files_from_cache=hits,
     )

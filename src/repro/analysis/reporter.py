@@ -29,6 +29,7 @@ def render_json(report: LintReport) -> str:
     payload = {
         "format": REPORT_FORMAT_VERSION,
         "files_scanned": report.files_scanned,
+        "files_from_cache": report.files_from_cache,
         "rules": list(report.rule_ids),
         "findings": [finding.to_dict() for finding in report.findings],
     }

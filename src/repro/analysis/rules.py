@@ -93,10 +93,15 @@ class Rule:
         id: Stable identifier (``RPR###``) used in reports and
             ``# repro: noqa[...]`` suppressions.
         visits: AST node types this rule wants to see.
+        whole_program: True for rules implemented by the
+            interprocedural passes in :mod:`repro.analysis.semantics`;
+            the engine routes them through the whole-program analyzer
+            instead of the per-file dispatch loop.
     """
 
     id: str = ""
     visits: Tuple[Type[ast.AST], ...] = ()
+    whole_program: bool = False
 
     def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
         """Yield findings for one node.  Default: nothing."""
@@ -129,25 +134,36 @@ def all_rules() -> Dict[str, Type[Rule]]:
 
 
 def resolve_rule_ids(ids: Iterable[str]) -> List[str]:
-    """Validate a user-supplied rule-id list against the registry.
+    """Expand a user-supplied rule-id list against the registry.
+
+    An entry may be an exact id (``RPR102``) or a family prefix
+    (``RPR1`` selects every registered ``RPR1xx`` rule), so
+    ``--select RPR1,RPR2`` enables both unit passes and both
+    determinism passes without enumerating ids.
 
     Raises:
-        AnalysisError: If any id is unknown.
+        AnalysisError: If any entry matches no registered rule.
     """
     known = all_rules()
-    resolved = []
+    resolved: List[str] = []
     for rule_id in ids:
         rule_id = rule_id.strip().upper()
         if not rule_id:
             continue
-        if rule_id not in known:
+        if rule_id in known:
+            if rule_id not in resolved:
+                resolved.append(rule_id)
+            continue
+        expanded = [rid for rid in known if rid.startswith(rule_id)]
+        if not expanded:
             raise AnalysisError(
                 f"unknown rule id {rule_id!r} "
                 f"(known: {', '.join(known)})")
-        resolved.append(rule_id)
+        resolved.extend(rid for rid in expanded if rid not in resolved)
     return resolved
 
 
 def _load_builtin_rules() -> None:
-    """Import the built-in checker modules (idempotent)."""
+    """Import the built-in rule modules (idempotent)."""
     from . import checkers  # noqa: F401  (import populates the registry)
+    from . import semantics  # noqa: F401  (whole-program rule ids)

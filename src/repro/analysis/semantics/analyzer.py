@@ -1,0 +1,76 @@
+"""Driver for the whole-program passes.
+
+:func:`run_whole_program` is the single entry point the lint engine
+calls: it builds the project index and call graph once, runs whichever
+interprocedural passes the selected rule ids enable, and applies
+``# repro: noqa`` suppressions (expanded to full statement extents) to
+the combined findings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence
+
+from ..findings import Finding
+from ..suppressions import (
+    collect_suppressions,
+    expand_suppressions,
+    is_suppressed,
+)
+from .callgraph import build_call_graph
+from .dimensions import run_dimensional_pass
+from .purity import run_purity_pass
+from .symbols import SourceModule, build_project_index
+
+#: Rule-id prefixes owned by each interprocedural pass.
+DIMENSION_PREFIX = "RPR11"
+PURITY_PREFIX = "RPR21"
+
+
+def whole_program_rule_ids() -> List[str]:
+    """Ids of every registered whole-program rule."""
+    from ..rules import all_rules
+    return [rule_id for rule_id, rule in all_rules().items()
+            if getattr(rule, "whole_program", False)]
+
+
+def run_whole_program(modules: Sequence[SourceModule],
+                      enabled_ids: Iterable[str]) -> List[Finding]:
+    """Run the enabled interprocedural passes over ``modules``.
+
+    Args:
+        modules: Every successfully-parsed module in the lint run; the
+            passes see all of them at once (that is the point).
+        enabled_ids: Selected rule ids; only the RPR11x/RPR21x subsets
+            matter here, the rest are ignored.
+
+    Returns:
+        Suppression-filtered findings, in (path, line, col, id) order.
+    """
+    enabled = frozenset(rule_id.upper() for rule_id in enabled_ids)
+    want_dimensions = any(rule_id.startswith(DIMENSION_PREFIX)
+                          for rule_id in enabled)
+    want_purity = any(rule_id.startswith(PURITY_PREFIX)
+                      for rule_id in enabled)
+    if not (want_dimensions or want_purity) or not modules:
+        return []
+
+    index = build_project_index(modules)
+    graph = build_call_graph(index)
+
+    findings: List[Finding] = []
+    if want_dimensions:
+        findings.extend(run_dimensional_pass(index, graph, enabled))
+    if want_purity:
+        findings.extend(run_purity_pass(index, graph, enabled))
+
+    suppressions_by_path: Dict[str, Dict[int, FrozenSet[str]]] = {}
+    for module in modules:
+        suppressions = expand_suppressions(
+            collect_suppressions(module.source), module.tree)
+        suppressions_by_path[module.path] = suppressions
+    kept = [finding for finding in findings
+            if not is_suppressed(
+                suppressions_by_path.get(finding.path, {}),
+                finding.line, finding.rule_id)]
+    return sorted(kept)

@@ -1,0 +1,350 @@
+"""Project call graph: who calls whom, resolved through the index.
+
+Resolution is intentionally static and conservative.  The shapes that
+resolve (and are exercised by the adversarial fixture tests):
+
+* module-level functions, through plain, aliased, relative, and star
+  imports;
+* ``self.method()`` and ``cls`` methods, walking project base classes;
+* ``self.attr.method()`` where ``attr`` was assigned a known class
+  instance (or annotated) anywhere in the class;
+* ``obj.method()`` where ``obj`` is a parameter or local whose class is
+  known from an annotation or a ``obj = ClassName(...)`` assignment;
+* ``ClassName(...)`` constructor calls (edge to ``__init__`` when one
+  exists, else to the class itself for dataclass-style classes);
+* ``functools.partial(f, ...)`` (edge to ``f``);
+* decorated functions (the decorator is ignored; the definition is the
+  callee);
+* recursion and call cycles (the graph is just edges; reachability
+  tracks visited nodes).
+
+What does *not* resolve — values pulled out of dicts, higher-order
+callbacks, ``getattr`` — simply produces no edge; the purity pass's
+guarantee is therefore "everything the graph can see", which the docs
+spell out.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .symbols import (
+    FUNCTION_NODES,
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+)
+
+
+def _dotted(expr: ast.expr) -> Optional[str]:
+    chain: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    chain.append(node.id)
+    return ".".join(reversed(chain))
+
+
+@dataclass
+class CallSite:
+    """One resolved call expression inside a project function."""
+
+    caller: str
+    callee: str
+    call: ast.Call
+    path: str
+    #: True when ``callee`` is a project function/class qualname.
+    is_project: bool
+    #: Function whose signature binds this site's arguments (the target
+    #: function, or a constructor's ``__init__``); None when binding is
+    #: not meaningful (``functools.partial``, externals).
+    bind_function: Optional[FunctionInfo] = None
+    #: Dataclass-style class bound by keyword fields (no ``__init__``).
+    bind_class: Optional[ClassInfo] = None
+    #: Skip the leading ``self``/``cls`` slot when binding positionals.
+    skip_first: bool = False
+
+
+@dataclass
+class CallGraph:
+    """Edges between project functions plus every resolved call site."""
+
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+    sites: List[CallSite] = field(default_factory=list)
+
+    def add_edge(self, caller: str, callee: str) -> None:
+        self.edges.setdefault(caller, set()).add(callee)
+
+    def callees(self, caller: str) -> Set[str]:
+        return self.edges.get(caller, set())
+
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self.edges.values())
+
+    def reachable_from(self, roots: Sequence[str],
+                       ) -> Tuple[Set[str], Dict[str, str]]:
+        """BFS closure over edges; returns (reachable, parent map)."""
+        reachable: Set[str] = set()
+        parents: Dict[str, str] = {}
+        queue = [root for root in roots]
+        reachable.update(queue)
+        while queue:
+            current = queue.pop(0)
+            for callee in sorted(self.edges.get(current, ())):
+                if callee not in reachable:
+                    reachable.add(callee)
+                    parents[callee] = current
+                    queue.append(callee)
+        return reachable, parents
+
+    def chain_to(self, qualname: str, parents: Dict[str, str],
+                 limit: int = 6) -> List[str]:
+        """Root-to-function path recorded by :meth:`reachable_from`."""
+        chain = [qualname]
+        while qualname in parents and len(chain) < limit:
+            qualname = parents[qualname]
+            chain.append(qualname)
+        return list(reversed(chain))
+
+
+def local_types(index: ProjectIndex, function: FunctionInfo,
+                ) -> Dict[str, str]:
+    """name -> class qualname for parameters and simple locals."""
+    module = index.modules[function.module]
+    env: Dict[str, str] = {}
+    node = function.node
+    assert isinstance(node, FUNCTION_NODES)
+    for arg in (*node.args.posonlyargs, *node.args.args,
+                *node.args.kwonlyargs):
+        resolved = index.resolve_annotation(module, arg.annotation)
+        if resolved:
+            env[arg.arg] = resolved
+    for stmt in iter_function_nodes(node):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                cls = _class_of_call(index, module, stmt.value)
+                if cls:
+                    env[target.id] = cls
+        elif isinstance(stmt, ast.AnnAssign):
+            target = stmt.target
+            if isinstance(target, ast.Name):
+                resolved = index.resolve_annotation(module, stmt.annotation)
+                if resolved:
+                    env[target.id] = resolved
+    return env
+
+
+def _class_of_call(index: ProjectIndex, module: ModuleInfo,
+                   value: ast.expr) -> Optional[str]:
+    if not isinstance(value, ast.Call):
+        return None
+    dotted = _dotted(value.func)
+    if dotted is None:
+        return None
+    resolved = index.resolve_name(module, dotted)
+    return resolved if resolved in index.classes else None
+
+
+def iter_function_nodes(node: ast.AST):
+    """Walk a function body without descending into nested defs."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(child, (*FUNCTION_NODES, ast.ClassDef)):
+            # Nested definitions are separate FunctionInfo entries; only
+            # their decorators/defaults run in this scope.
+            stack.extend(child.decorator_list)
+            if isinstance(child, FUNCTION_NODES):
+                stack.extend(child.args.defaults)
+                stack.extend(d for d in child.args.kw_defaults if d)
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+class _FunctionResolver:
+    """Resolves call expressions inside one function."""
+
+    def __init__(self, index: ProjectIndex,
+                 function: FunctionInfo) -> None:
+        self.index = index
+        self.function = function
+        self.module = index.modules[function.module]
+        self.locals = local_types(index, function)
+        node = function.node
+        assert isinstance(node, FUNCTION_NODES)
+        self.local_functions = {
+            stmt.name: f"{function.qualname}.{stmt.name}"
+            for stmt in ast.walk(node)
+            if isinstance(stmt, FUNCTION_NODES) and stmt is not node}
+        self.own_class = (index.classes.get(function.class_qualname)
+                          if function.class_qualname else None)
+
+    def resolve(self, call: ast.Call) -> Optional[CallSite]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_plain(call, func.id)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attribute(call, func)
+        return None
+
+    # -- helpers --------------------------------------------------------
+
+    def _site(self, call: ast.Call, callee: str, *,
+              is_project: bool,
+              bind_function: Optional[FunctionInfo] = None,
+              bind_class: Optional[ClassInfo] = None,
+              skip_first: bool = False) -> CallSite:
+        return CallSite(caller=self.function.qualname, callee=callee,
+                        call=call, path=self.function.path,
+                        is_project=is_project,
+                        bind_function=bind_function,
+                        bind_class=bind_class, skip_first=skip_first)
+
+    def _function_site(self, call: ast.Call, qualname: str,
+                       skip_first: bool = False) -> CallSite:
+        target = self.index.functions[qualname]
+        # ``self.helper(...)`` on a @staticmethod has no implicit slot.
+        return self._site(call, qualname, is_project=True,
+                          bind_function=target,
+                          skip_first=skip_first and target.binds_instance())
+
+    def _constructor_site(self, call: ast.Call,
+                          class_qualname: str) -> CallSite:
+        cls = self.index.classes[class_qualname]
+        init = self.index.lookup_method(class_qualname, "__init__")
+        if init is not None:
+            return self._site(call, init, is_project=True,
+                              bind_function=self.index.functions[init],
+                              skip_first=True)
+        return self._site(call, class_qualname, is_project=True,
+                          bind_class=cls)
+
+    def _resolve_qualified(self, call: ast.Call,
+                           dotted: str) -> Optional[CallSite]:
+        resolved = self.index.resolve_name(self.module, dotted)
+        if resolved in self.index.functions:
+            target = self.index.functions[resolved]
+            # ``ClassName.method(x)`` binds ``cls`` implicitly only for
+            # classmethods; plain methods called unbound take ``self``
+            # as an explicit first argument.
+            implicit_cls = (target.is_method
+                            and "classmethod" in target.decorator_names())
+            return self._function_site(call, resolved,
+                                       skip_first=implicit_cls)
+        if resolved in self.index.classes:
+            return self._constructor_site(call, resolved)
+        if resolved != dotted or "." in dotted:
+            return self._site(call, resolved, is_project=False)
+        return None
+
+    def _resolve_plain(self, call: ast.Call,
+                       name: str) -> Optional[CallSite]:
+        if name in self.local_functions:
+            qualname = self.local_functions[name]
+            if qualname in self.index.functions:
+                return self._function_site(call, qualname)
+        site = self._resolve_qualified(call, name)
+        if site is not None:
+            return site
+        # Unresolved bare name: a builtin or shadowed callable.
+        return self._site(call, name, is_project=False)
+
+    def _resolve_attribute(self, call: ast.Call,
+                           func: ast.Attribute) -> Optional[CallSite]:
+        method = func.attr
+        base = func.value
+        # self.method() / cls.method()
+        if (isinstance(base, ast.Name) and base.id in ("self", "cls")
+                and self.own_class is not None):
+            target = self.index.lookup_method(
+                self.own_class.qualname, method)
+            if target is not None:
+                return self._function_site(call, target, skip_first=True)
+            return None
+        # self.attr.method()
+        if (isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self" and self.own_class is not None):
+            attr_class = self.own_class.attr_types.get(base.attr)
+            if attr_class is not None:
+                target = self.index.lookup_method(attr_class, method)
+                if target is not None:
+                    return self._function_site(call, target,
+                                               skip_first=True)
+            return None
+        # local_var.method() with a known instance type
+        if isinstance(base, ast.Name) and base.id in self.locals:
+            target = self.index.lookup_method(self.locals[base.id], method)
+            if target is not None:
+                return self._function_site(call, target, skip_first=True)
+            return None
+        # Fully-dotted module access (units.hours, np.random.rand, ...)
+        dotted = _dotted(func)
+        if dotted is not None:
+            return self._resolve_qualified(call, dotted)
+        return None
+
+
+def build_call_graph(index: ProjectIndex,
+                     virtual_dispatch: bool = True) -> CallGraph:
+    """Resolve every call site in every indexed function.
+
+    Args:
+        index: The project symbol table.
+        virtual_dispatch: Also add edges from a resolved method to its
+            overrides in project subclasses (sound for reachability;
+            the recorded :class:`CallSite` keeps the static target).
+    """
+    graph = CallGraph()
+    for qualname in sorted(index.functions):
+        function = index.functions[qualname]
+        resolver = _FunctionResolver(index, function)
+        node = function.node
+        for child in iter_function_nodes(node):
+            if not isinstance(child, ast.Call):
+                continue
+            site = resolver.resolve(child)
+            if site is None:
+                continue
+            if site.callee == "functools.partial" and child.args:
+                target = _partial_target(resolver, child)
+                if target is not None:
+                    graph.add_edge(qualname, target)
+                    graph.sites.append(CallSite(
+                        caller=qualname, callee=target, call=child,
+                        path=function.path, is_project=True))
+                continue
+            graph.sites.append(site)
+            if not site.is_project:
+                continue
+            graph.add_edge(qualname, site.callee)
+            if virtual_dispatch and site.bind_function is not None:
+                bound = site.bind_function
+                if bound.class_qualname is not None:
+                    for override in index.override_methods(
+                            bound.class_qualname, bound.name):
+                        graph.add_edge(qualname, override)
+    return graph
+
+
+def _partial_target(resolver: _FunctionResolver,
+                    call: ast.Call) -> Optional[str]:
+    """The project function a ``functools.partial(f, ...)`` wraps."""
+    dotted = _dotted(call.args[0])
+    if dotted is None:
+        return None
+    resolved = resolver.index.resolve_name(resolver.module, dotted)
+    if resolved in resolver.index.functions:
+        return resolved
+    if resolved in resolver.index.classes:
+        init = resolver.index.lookup_method(resolved, "__init__")
+        return init or resolved
+    return None

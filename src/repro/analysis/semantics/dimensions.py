@@ -1,0 +1,607 @@
+"""Pass 1: interprocedural dimensional dataflow (RPR11x).
+
+Every quantity in this codebase carries its unit in its name (``_w``,
+``_j``, ``_s``, ...; see :mod:`repro.units`).  The per-file RPR101 rule
+can only compare two suffixes sitting in the same expression; this pass
+infers a unit for *values* — through assignments, function returns, and
+call-site argument binding — so a ``_j`` quantity smuggled into a ``_w``
+parameter two call hops away still surfaces.
+
+The unit lattice is deliberately small and concrete:
+
+``W kW J Wh kWh C Ah s h days years V A $`` plus *dimensionless* (bare
+literals, ratios) and *unknown*.  Multiplication and division follow
+the physical identities the codebase actually uses (``W x s = J``,
+``J / s = W``, ``A x s = C``, ``V x A = W``, ...); anything else is
+unknown.  A mismatch is only ever reported between two **known,
+non-dimensionless** units, which keeps the pass quiet on code it cannot
+prove anything about.
+
+Findings:
+
+* **RPR110** — a call-site argument whose inferred unit contradicts the
+  unit declared by the parameter's name suffix (or by a
+  ``repro.units`` helper signature);
+* **RPR111** — an assignment or ``return`` binding a value to a name
+  (or function) declaring a different unit;
+* **RPR112** — a ``repro.units`` conversion applied to a value already
+  in the helper's *output* unit (double conversion);
+* **RPR113** — additive arithmetic mixing units that only
+  whole-program inference can see (at least one operand's unit arrives
+  through a return value or a tracked variable, or the operands share a
+  dimension but not a scale — both invisible to RPR101).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..findings import Finding
+from ..rules import Rule, register
+from .callgraph import CallGraph, CallSite, iter_function_nodes
+from .symbols import FUNCTION_NODES, FunctionInfo, ProjectIndex
+
+#: Sentinel for "two different units joined here" (reads as unknown).
+AMBIGUOUS = "<ambiguous>"
+
+#: Dimensionless marker (literals, fractions, ratios).
+DIMLESS = "1"
+
+#: name suffix token -> unit.
+SUFFIX_UNITS: Dict[str, str] = {
+    "w": "W", "kw": "kW", "mw": "mW",
+    "j": "J", "wh": "Wh", "kwh": "kWh",
+    "c": "C", "ah": "Ah",
+    "s": "s", "sec": "s", "secs": "s", "seconds": "s",
+    "h": "h", "hr": "h", "hrs": "h", "hours": "h",
+    "days": "days",
+    "y": "years", "years": "years",
+    "v": "V", "a": "A",
+    "usd": "$", "dollars": "$",
+}
+
+#: unit -> physical dimension (for grouping in messages).
+UNIT_DIMENSION: Dict[str, str] = {
+    "W": "power", "kW": "power", "mW": "power",
+    "J": "energy", "Wh": "energy", "kWh": "energy",
+    "C": "charge", "Ah": "charge",
+    "s": "time", "h": "time", "days": "time", "years": "time",
+    "V": "potential", "A": "current",
+    "$": "money",
+}
+
+#: ``repro.units`` helper -> (expected input unit, output unit).
+UNITS_HELPER_SIGS: Dict[str, Tuple[Optional[str], str]] = {
+    "repro.units.wh_to_joules": ("Wh", "J"),
+    "repro.units.kwh_to_joules": ("kWh", "J"),
+    "repro.units.joules_to_wh": ("J", "Wh"),
+    "repro.units.joules_to_kwh": ("J", "kWh"),
+    "repro.units.ah_to_coulombs": ("Ah", "C"),
+    "repro.units.coulombs_to_ah": ("C", "Ah"),
+    "repro.units.minutes": (None, "s"),
+    "repro.units.hours": ("h", "s"),
+    "repro.units.days": ("days", "s"),
+    "repro.units.years": ("years", "s"),
+}
+
+#: Builtins that pass their argument's unit straight through.
+_PASSTHROUGH_BUILTINS = frozenset({"min", "max", "abs", "float", "round"})
+
+#: ``W x s = J``-style identities (symmetric).
+_MULT_TABLE: Dict[frozenset, str] = {
+    frozenset(("W", "s")): "J",
+    frozenset(("W", "h")): "Wh",
+    frozenset(("kW", "h")): "kWh",
+    frozenset(("A", "s")): "C",
+    frozenset(("A", "h")): "Ah",
+    frozenset(("V", "A")): "W",
+}
+
+#: ``J / s = W``-style identities (numerator, denominator) -> result.
+_DIV_TABLE: Dict[Tuple[str, str], str] = {
+    ("J", "s"): "W", ("J", "W"): "s",
+    ("Wh", "h"): "W", ("Wh", "W"): "h",
+    ("kWh", "h"): "kW", ("kWh", "kW"): "h",
+    ("C", "s"): "A", ("C", "A"): "s",
+    ("Ah", "h"): "A", ("Ah", "A"): "h",
+    ("W", "V"): "A", ("W", "A"): "V",
+}
+
+
+#: Two-token spelled-out suffixes (``watt_hours`` is Wh, not hours).
+_COMPOUND_SUFFIX_UNITS: Dict[Tuple[str, str], str] = {
+    ("watt", "hours"): "Wh",
+    ("kilowatt", "hours"): "kWh",
+    ("amp", "hours"): "Ah",
+    ("ampere", "hours"): "Ah",
+}
+
+
+def name_unit(name: Optional[str]) -> Optional[str]:
+    """Unit declared by a name's suffix, or None.
+
+    Names carrying a ``_per_`` token are rates/densities (``$ per kWh``)
+    whose suffix does not name the value's own unit; they are skipped.
+    """
+    if not name or "_" not in name:
+        return None
+    tokens = name.lower().split("_")
+    if "per" in tokens:
+        return None
+    if len(tokens) >= 2:
+        compound = _COMPOUND_SUFFIX_UNITS.get((tokens[-2], tokens[-1]))
+        if compound:
+            return compound
+    return SUFFIX_UNITS.get(tokens[-1])
+
+
+def unit_dimension(unit: Optional[str]) -> str:
+    if unit is None or unit in (DIMLESS, AMBIGUOUS):
+        return "unknown"
+    return UNIT_DIMENSION.get(unit, "unknown")
+
+
+def _describe(unit: str) -> str:
+    dim = unit_dimension(unit)
+    return f"{unit} ({dim})" if dim != "unknown" else unit
+
+
+def _operand_name(node: ast.expr) -> Optional[str]:
+    """Mirror of RPR101's operand naming: Name, Attribute, or Call."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _operand_name(node.func)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Registered rule markers (logic lives in DimensionAnalysis)
+# ----------------------------------------------------------------------
+
+@register
+class CrossCallUnitRule(Rule):
+    """Call arguments must match the unit the parameter declares.
+
+    Whole-program: a ``_j`` expression bound to a ``_w`` parameter is
+    flagged at the call site, however many modules apart definition and
+    call are.
+    """
+
+    id = "RPR110"
+    whole_program = True
+
+
+@register
+class BindingUnitRule(Rule):
+    """Assignments and returns must respect declared name units.
+
+    Whole-program: ``total_w = stored_energy_j()`` and ``return x_j``
+    inside ``def peak_power_w()`` both flag, using units inferred
+    across function boundaries.
+    """
+
+    id = "RPR111"
+    whole_program = True
+
+
+@register
+class DoubleConversionRule(Rule):
+    """No ``repro.units`` conversion of an already-converted value.
+
+    Whole-program: ``wh_to_joules(x)`` where ``x`` is already joules is
+    a silent factor-3600 bug.
+    """
+
+    id = "RPR112"
+    whole_program = True
+
+
+@register
+class InferredMixedUnitRule(Rule):
+    """Additive unit mixes that only dataflow inference can see.
+
+    Whole-program: ``limit_w - battery_reserve()`` flags when the
+    helper's return is known to be joules; RPR101 cannot see through
+    the call.
+    """
+
+    id = "RPR113"
+    whole_program = True
+
+
+# ----------------------------------------------------------------------
+# The analysis
+# ----------------------------------------------------------------------
+
+#: Environment keys: ("local", fn_qual, name) / ("attr", cls_qual, name)
+#: / ("global", module, name) / ("ret", fn_qual).
+_EnvKey = Tuple[str, ...]
+
+
+class DimensionAnalysis:
+    """Flow-insensitive unit inference over the whole project."""
+
+    #: Fixpoint guard; unit facts only ever move declared -> derived,
+    #: so real projects converge in 2-3 rounds.
+    MAX_ROUNDS = 10
+
+    def __init__(self, index: ProjectIndex, graph: CallGraph) -> None:
+        self.index = index
+        self.graph = graph
+        self.site_by_call: Dict[int, CallSite] = {
+            id(site.call): site for site in graph.sites}
+        self.env: Dict[_EnvKey, str] = {}
+
+    # -- environment ----------------------------------------------------
+
+    def _join(self, key: _EnvKey, unit: Optional[str]) -> None:
+        if unit is None or unit == DIMLESS:
+            return
+        current = self.env.get(key)
+        if current is None:
+            self.env[key] = unit
+        elif current != unit:
+            self.env[key] = AMBIGUOUS
+
+    def _lookup(self, key: _EnvKey) -> Optional[str]:
+        unit = self.env.get(key)
+        return None if unit == AMBIGUOUS else unit
+
+    # -- inference ------------------------------------------------------
+
+    def unit_of(self, expr: ast.expr,
+                fn: Optional[FunctionInfo]) -> Optional[str]:
+        """Inferred unit of ``expr`` (None = unknown)."""
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, bool):
+                return None
+            if isinstance(expr.value, (int, float)):
+                return DIMLESS
+            return None
+        if isinstance(expr, ast.Name):
+            declared = name_unit(expr.id)
+            if declared:
+                return declared
+            if fn is not None:
+                local = self._lookup(("local", fn.qualname, expr.id))
+                if local:
+                    return local
+                module = self.index.modules.get(fn.module)
+                if module is not None and expr.id in module.globals:
+                    return self._lookup(("global", fn.module, expr.id))
+            return None
+        if isinstance(expr, ast.Attribute):
+            declared = name_unit(expr.attr)
+            if declared:
+                return declared
+            if (isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"
+                    and fn is not None and fn.class_qualname):
+                return self._lookup(("attr", fn.class_qualname, expr.attr))
+            return None
+        if isinstance(expr, ast.Call):
+            return self._unit_of_call(expr, fn)
+        if isinstance(expr, ast.BinOp):
+            return self._unit_of_binop(expr, fn)
+        if isinstance(expr, ast.UnaryOp):
+            return self.unit_of(expr.operand, fn)
+        if isinstance(expr, ast.IfExp):
+            left = self.unit_of(expr.body, fn)
+            right = self.unit_of(expr.orelse, fn)
+            if left == right:
+                return left
+            if left in (None, DIMLESS):
+                return right
+            if right in (None, DIMLESS):
+                return left
+            return None
+        if isinstance(expr, (ast.Compare, ast.BoolOp)):
+            return None
+        return None
+
+    def _unit_of_call(self, call: ast.Call,
+                      fn: Optional[FunctionInfo]) -> Optional[str]:
+        site = self.site_by_call.get(id(call))
+        if site is None:
+            return None
+        helper = UNITS_HELPER_SIGS.get(site.callee)
+        if helper is not None:
+            return helper[1]
+        if site.callee == "repro.units.clamp" and call.args:
+            return self.unit_of(call.args[0], fn)
+        if not site.is_project:
+            if site.callee in _PASSTHROUGH_BUILTINS:
+                units = [self.unit_of(arg, fn) for arg in call.args]
+                known = {u for u in units if u not in (None, DIMLESS)}
+                if len(known) == 1:
+                    return known.pop()
+            return None
+        target = site.bind_function
+        if target is None or target.name == "__init__":
+            return None
+        declared = name_unit(target.name)
+        if declared:
+            return declared
+        return self._lookup(("ret", target.qualname))
+
+    def _unit_of_binop(self, expr: ast.BinOp,
+                       fn: Optional[FunctionInfo]) -> Optional[str]:
+        left = self.unit_of(expr.left, fn)
+        right = self.unit_of(expr.right, fn)
+        if isinstance(expr.op, (ast.Add, ast.Sub)):
+            if left == right:
+                return left
+            if left in (None, DIMLESS):
+                return right if left == DIMLESS else None
+            if right in (None, DIMLESS):
+                return left if right == DIMLESS else None
+            return None  # mismatch; RPR113 reports it, result unknown
+        if left is None or right is None:
+            return None
+        if isinstance(expr.op, ast.Mult):
+            if left == DIMLESS:
+                return right
+            if right == DIMLESS:
+                return left
+            return _MULT_TABLE.get(frozenset((left, right)))
+        if isinstance(expr.op, ast.Div):
+            if right == DIMLESS:
+                return left
+            if left == right:
+                return DIMLESS
+            return _DIV_TABLE.get((left, right))
+        return None
+
+    # -- propagation ----------------------------------------------------
+
+    def propagate(self) -> None:
+        """Run assignments/returns to a fixpoint over the project."""
+        for _ in range(self.MAX_ROUNDS):
+            before = dict(self.env)
+            for module in self.index.modules.values():
+                for stmt in module.tree.body:
+                    self._propagate_module_stmt(module.name, stmt)
+            for qualname in sorted(self.index.functions):
+                self._propagate_function(self.index.functions[qualname])
+            self._propagate_call_bindings()
+            if self.env == before:
+                break
+
+    def _propagate_call_bindings(self) -> None:
+        """Flow argument units into unsuffixed callee parameters."""
+        for site in self.graph.sites:
+            if site.bind_function is None:
+                continue
+            caller = self.index.functions.get(site.caller)
+            callee = site.bind_function.qualname
+            for param, arg in self._bindings(site, site.call):
+                if name_unit(param):
+                    continue
+                self._join(("local", callee, param),
+                           self.unit_of(arg, caller))
+
+    def _propagate_module_stmt(self, module: str, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            return
+        unit = self.unit_of(value, None)
+        for target in targets:
+            if isinstance(target, ast.Name) and not name_unit(target.id):
+                self._join(("global", module, target.id), unit)
+
+    def _propagate_function(self, fn: FunctionInfo) -> None:
+        for node in iter_function_nodes(fn.node):
+            if isinstance(node, ast.Assign):
+                unit = self.unit_of(node.value, fn)
+                for target in node.targets:
+                    self._bind_target(fn, target, unit)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                self._bind_target(fn, node.target,
+                                  self.unit_of(node.value, fn))
+            elif isinstance(node, ast.Return) and node.value is not None:
+                if not name_unit(fn.name):
+                    self._join(("ret", fn.qualname),
+                               self.unit_of(node.value, fn))
+
+    def _bind_target(self, fn: FunctionInfo, target: ast.expr,
+                     unit: Optional[str]) -> None:
+        if isinstance(target, ast.Name):
+            if not name_unit(target.id):
+                self._join(("local", fn.qualname, target.id), unit)
+        elif (isinstance(target, ast.Attribute)
+              and isinstance(target.value, ast.Name)
+              and target.value.id == "self" and fn.class_qualname):
+            if not name_unit(target.attr):
+                self._join(("attr", fn.class_qualname, target.attr), unit)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            return  # tuple unpacking: no per-element inference
+
+    # -- checking -------------------------------------------------------
+
+    def check(self, enabled: frozenset) -> List[Finding]:
+        findings: List[Finding] = []
+        for qualname in sorted(self.index.functions):
+            fn = self.index.functions[qualname]
+            for node in iter_function_nodes(fn.node):
+                if isinstance(node, ast.Call):
+                    findings.extend(self._check_call(fn, node, enabled))
+                elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    if "RPR111" in enabled:
+                        findings.extend(self._check_assign(fn, node))
+                elif isinstance(node, ast.Return):
+                    if "RPR111" in enabled:
+                        findings.extend(self._check_return(fn, node))
+                elif isinstance(node, (ast.BinOp, ast.AugAssign)):
+                    if "RPR113" in enabled:
+                        findings.extend(self._check_additive(fn, node))
+        return findings
+
+    def _finding(self, fn: FunctionInfo, node: ast.AST, rule_id: str,
+                 message: str) -> Finding:
+        return Finding(path=fn.path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       rule_id=rule_id, message=message)
+
+    def _check_call(self, fn: FunctionInfo, call: ast.Call,
+                    enabled: frozenset) -> Iterator[Finding]:
+        site = self.site_by_call.get(id(call))
+        if site is None:
+            return
+        helper = UNITS_HELPER_SIGS.get(site.callee)
+        if helper is not None:
+            yield from self._check_units_helper(fn, call, site, helper,
+                                                enabled)
+            return
+        if "RPR110" not in enabled:
+            return
+        for param_name, arg in self._bindings(site, call):
+            expected = name_unit(param_name)
+            if not expected:
+                continue
+            actual = self.unit_of(arg, fn)
+            if actual in (None, DIMLESS, expected):
+                continue
+            yield self._finding(
+                fn, arg, "RPR110",
+                f"argument bound to parameter {param_name!r} of "
+                f"{site.callee!r} expects {_describe(expected)} but the "
+                f"value is {_describe(actual)}; convert explicitly via "
+                f"repro.units")
+
+    def _check_units_helper(self, fn: FunctionInfo, call: ast.Call,
+                            site: CallSite,
+                            helper: Tuple[Optional[str], str],
+                            enabled: frozenset) -> Iterator[Finding]:
+        expected, output = helper
+        if not call.args or len(call.args) != 1:
+            return
+        actual = self.unit_of(call.args[0], fn)
+        if actual in (None, DIMLESS):
+            return
+        if actual == output and "RPR112" in enabled:
+            yield self._finding(
+                fn, call, "RPR112",
+                f"{site.callee.rsplit('.', 1)[-1]}() applied to a value "
+                f"already in {_describe(output)}; this converts twice")
+        elif expected is not None and actual != expected \
+                and "RPR110" in enabled:
+            yield self._finding(
+                fn, call.args[0], "RPR110",
+                f"{site.callee.rsplit('.', 1)[-1]}() expects "
+                f"{_describe(expected)} but the value is "
+                f"{_describe(actual)}")
+
+    def _bindings(self, site: CallSite,
+                  call: ast.Call) -> Iterator[Tuple[str, ast.expr]]:
+        """(parameter name, argument expression) pairs for a site."""
+        if site.bind_function is not None:
+            params = [arg.arg
+                      for arg in site.bind_function.parameters()]
+            if site.skip_first and params:
+                params = params[1:]
+            for param, arg in zip(params, call.args):
+                if isinstance(arg, ast.Starred):
+                    break
+                yield param, arg
+            keyword_names = {
+                arg.arg for arg in site.bind_function.keyword_parameters()}
+            for keyword in call.keywords:
+                if keyword.arg and keyword.arg in keyword_names:
+                    yield keyword.arg, keyword.value
+        elif site.bind_class is not None:
+            fields = site.bind_class.fields
+            for param, arg in zip(fields, call.args):
+                if isinstance(arg, ast.Starred):
+                    break
+                yield param, arg
+            for keyword in call.keywords:
+                if keyword.arg and keyword.arg in fields:
+                    yield keyword.arg, keyword.value
+
+    def _check_assign(self, fn: FunctionInfo,
+                      node: ast.stmt) -> Iterator[Finding]:
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        else:
+            assert isinstance(node, ast.AnnAssign)
+            if node.value is None:
+                return
+            targets, value = [node.target], node.value
+        actual = self.unit_of(value, fn)
+        if actual in (None, DIMLESS):
+            return
+        for target in targets:
+            declared = None
+            label = None
+            if isinstance(target, ast.Name):
+                declared, label = name_unit(target.id), target.id
+            elif isinstance(target, ast.Attribute):
+                declared, label = name_unit(target.attr), target.attr
+            if declared and actual != declared:
+                yield self._finding(
+                    fn, node, "RPR111",
+                    f"{label!r} declares {_describe(declared)} but is "
+                    f"assigned a {_describe(actual)} value; convert "
+                    f"explicitly via repro.units")
+
+    def _check_return(self, fn: FunctionInfo,
+                      node: ast.Return) -> Iterator[Finding]:
+        declared = name_unit(fn.name)
+        if not declared or node.value is None:
+            return
+        if UNITS_HELPER_SIGS.get(f"{fn.module}.{fn.name}"):
+            return  # the units helpers themselves convert by definition
+        actual = self.unit_of(node.value, fn)
+        if actual in (None, DIMLESS, declared):
+            return
+        yield self._finding(
+            fn, node, "RPR111",
+            f"{fn.name!r} declares a {_describe(declared)} return but "
+            f"this path returns {_describe(actual)}")
+
+    def _check_additive(self, fn: FunctionInfo,
+                        node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, ast.BinOp):
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                return
+            left_expr, right_expr = node.left, node.right
+        else:
+            assert isinstance(node, ast.AugAssign)
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                return
+            left_expr, right_expr = node.target, node.value
+        left = self.unit_of(left_expr, fn)
+        right = self.unit_of(right_expr, fn)
+        if left in (None, DIMLESS) or right in (None, DIMLESS):
+            return
+        if left == right:
+            return
+        # RPR101's territory: both operands carry a direct suffix *and*
+        # their dimensions differ (that is exactly when RPR101 fires).
+        left_direct = name_unit(_operand_name(left_expr))
+        right_direct = name_unit(_operand_name(right_expr))
+        if (left_direct and right_direct
+                and unit_dimension(left_direct)
+                != unit_dimension(right_direct)):
+            return
+        yield self._finding(
+            fn, node, "RPR113",
+            f"additive arithmetic mixes {_describe(left)} with "
+            f"{_describe(right)} through inferred dataflow; convert "
+            f"explicitly via repro.units first")
+
+
+def run_dimensional_pass(index: ProjectIndex, graph: CallGraph,
+                         enabled: frozenset) -> List[Finding]:
+    """Propagate units to a fixpoint, then collect findings."""
+    analysis = DimensionAnalysis(index, graph)
+    analysis.propagate()
+    return analysis.check(enabled)

@@ -1,0 +1,286 @@
+"""Pass 2: cache-purity taint from the cache-feeding entry points (RPR21x).
+
+The result cache stores a run's output under a SHA-256 of (request,
+code); the experiment runner additionally promises parallel == serial
+bit-for-bit.  Both guarantees require everything *reachable* from the
+execution entry points to be pure: no clocks, no unseeded entropy, no
+environment or filesystem reads, no unordered iteration, no mutable
+module state.
+
+The per-file RPR201/RPR202 rules approximate this with a directory
+allowlist (``sim/ core/ storage/ runner/``).  This pass replaces that
+approximation with an actual proof obligation: it walks the project
+call graph from
+
+* any function named ``execute_request`` (the runner's single
+  execution path), and
+* any method whose qualified name ends in ``Simulation.run`` (the
+  engine tick loop),
+
+and flags every impurity inside a reachable function — wherever the
+function lives — attaching the call chain that makes it reachable.
+
+Soundness boundary: the call graph resolves static call shapes only
+(see :mod:`.callgraph`); calls through dict-registries, ``getattr``, or
+injected objects (e.g. the engine's *injected* profiler) produce no
+edge and are therefore not proven pure.  That is by design — the
+profiler is injected precisely so the deterministic core never imports
+a clock — and the docs spell the boundary out.
+
+Findings: RPR210 clocks/entropy/unseeded RNG, RPR211 environment or
+filesystem reads, RPR212 unordered-set iteration, RPR213 mutable
+module-global writes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..checkers.determinism import (
+    NondeterministicCallRule,
+    _is_set_expression,
+)
+from ..findings import Finding
+from ..rules import Rule, register
+from .callgraph import CallGraph, iter_function_nodes
+from .symbols import FunctionInfo, ProjectIndex
+
+#: Function names treated as cache-feeding entry points wherever they
+#: are defined (the runner's one execution path).
+ROOT_FUNCTION_NAMES = frozenset({"execute_request"})
+
+#: Qualified-name suffixes treated as entry points (the tick loop).
+ROOT_QUALNAME_SUFFIXES = (".Simulation.run",)
+
+#: Environment/filesystem call targets (resolved through imports).
+IMPURE_IO_CALLS = frozenset({
+    "open",
+    "os.getenv",
+    "os.environ.get",
+    "os.listdir",
+    "os.scandir",
+    "os.walk",
+    "os.stat",
+    "os.getcwd",
+    "os.cpu_count",
+    "platform.node",
+    "platform.platform",
+    "socket.gethostname",
+})
+
+#: Methods that mutate a container in place.
+MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "sort", "reverse",
+})
+
+
+@register
+class ReachableAmbientStateRule(Rule):
+    """No clock/entropy/unseeded-RNG call reachable from the cache path.
+
+    Whole-program: ``time.time()`` three frames below
+    ``execute_request`` corrupts the content-addressed cache exactly
+    like one in the tick loop; reachability, not directory, decides.
+    """
+
+    id = "RPR210"
+    whole_program = True
+
+
+@register
+class ReachableIOReadRule(Rule):
+    """No environment or filesystem read reachable from the cache path.
+
+    Whole-program: results keyed by (request, code) must not depend on
+    ``os.environ``, ``open()``, or host lookups anywhere downstream of
+    the entry points.
+    """
+
+    id = "RPR211"
+    whole_program = True
+
+
+@register
+class ReachableSetIterationRule(Rule):
+    """No unordered-set iteration reachable from the cache path.
+
+    Whole-program: set iteration order varies with hash seeds; a sum
+    over a set two calls below the tick loop still breaks bit-for-bit
+    reproducibility.
+    """
+
+    id = "RPR212"
+    whole_program = True
+
+
+@register
+class ReachableGlobalMutationRule(Rule):
+    """No mutable module-global write reachable from the cache path.
+
+    Whole-program: memoizing into a module-level dict (or rebinding a
+    module global) makes a run depend on what ran before it in the same
+    process, which the parallel==serial guarantee forbids.
+    """
+
+    id = "RPR213"
+    whole_program = True
+
+
+def find_roots(index: ProjectIndex) -> List[str]:
+    """Entry-point function qualnames present in this project."""
+    roots = []
+    for qualname, info in index.functions.items():
+        if info.name in ROOT_FUNCTION_NAMES:
+            roots.append(qualname)
+        elif any(qualname.endswith(suffix)
+                 for suffix in ROOT_QUALNAME_SUFFIXES):
+            roots.append(qualname)
+    return sorted(roots)
+
+
+class PurityAnalysis:
+    """Reachability closure plus per-function impurity detection."""
+
+    def __init__(self, index: ProjectIndex, graph: CallGraph) -> None:
+        self.index = index
+        self.graph = graph
+        self.site_by_call = {id(site.call): site for site in graph.sites}
+        self.roots = find_roots(index)
+        self.reachable, self.parents = graph.reachable_from(self.roots)
+
+    # -- reporting helpers ---------------------------------------------
+
+    def _finding(self, fn: FunctionInfo, node: ast.AST, rule_id: str,
+                 message: str) -> Finding:
+        chain = self.graph.chain_to(fn.qualname, self.parents)
+        tail = " -> ".join(link.rsplit(".", 2)[-1] if link.count(".") < 2
+                           else ".".join(link.rsplit(".", 2)[-2:])
+                           for link in chain)
+        return Finding(
+            path=fn.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=rule_id,
+            message=f"{message} [reachable: {tail}]")
+
+    # -- impurity detection --------------------------------------------
+
+    def check(self, enabled: frozenset) -> List[Finding]:
+        findings: List[Finding] = []
+        for qualname in sorted(self.reachable):
+            fn = self.index.functions.get(qualname)
+            if fn is None:
+                continue
+            findings.extend(self._check_function(fn, enabled))
+        return findings
+
+    def _check_function(self, fn: FunctionInfo,
+                        enabled: frozenset) -> Iterator[Finding]:
+        module = self.index.modules[fn.module]
+        declared_globals: Set[str] = set()
+        for node in iter_function_nodes(fn.node):
+            if isinstance(node, ast.Global):
+                declared_globals.update(node.names)
+        for node in iter_function_nodes(fn.node):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(fn, node, enabled)
+            if "RPR211" in enabled and isinstance(node, ast.Attribute):
+                if (isinstance(node.value, ast.Name)
+                        and module.imports.get(node.value.id,
+                                               node.value.id) == "os"
+                        and node.attr == "environ"):
+                    yield self._finding(
+                        fn, node, "RPR211",
+                        "os.environ read on a cache-feeding path; "
+                        "results must be a pure function of the request")
+            if "RPR212" in enabled:
+                yield from self._check_set_iteration(fn, node)
+            if "RPR213" in enabled:
+                yield from self._check_global_mutation(
+                    fn, node, module.mutable_globals, declared_globals)
+
+    def _check_call(self, fn: FunctionInfo, call: ast.Call,
+                    enabled: frozenset) -> Iterator[Finding]:
+        site = self.site_by_call.get(id(call))
+        if site is None or site.is_project:
+            return
+        target = site.callee
+        if "RPR210" in enabled:
+            reason = NondeterministicCallRule._violation(target)
+            if reason:
+                yield self._finding(
+                    fn, call, "RPR210",
+                    f"call to {target!r} {reason} on a cache-feeding "
+                    f"path; route entropy through the seeded request")
+                return
+        if "RPR211" in enabled and target in IMPURE_IO_CALLS:
+            yield self._finding(
+                fn, call, "RPR211",
+                f"call to {target!r} reads the environment/filesystem "
+                f"on a cache-feeding path; pass the data in explicitly")
+
+    def _check_set_iteration(self, fn: FunctionInfo,
+                             node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, ast.For) and _is_set_expression(node.iter):
+            yield self._finding(
+                fn, node, "RPR212",
+                "iteration over a set on a cache-feeding path has no "
+                "deterministic order; wrap it in sorted(...)")
+        elif isinstance(node, ast.comprehension) and _is_set_expression(
+                node.iter):
+            yield self._finding(
+                fn, node.iter, "RPR212",
+                "comprehension iterates a set on a cache-feeding path; "
+                "wrap it in sorted(...)")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Name) and func.id == "sum"
+                    and node.args and _is_set_expression(node.args[0])):
+                yield self._finding(
+                    fn, node, "RPR212",
+                    "sum() over a set on a cache-feeding path "
+                    "accumulates in nondeterministic order; sort first")
+
+    def _check_global_mutation(self, fn: FunctionInfo, node: ast.AST,
+                               mutable_globals: Set[str],
+                               declared_globals: Set[str],
+                               ) -> Iterator[Finding]:
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if (isinstance(target, ast.Name)
+                        and target.id in declared_globals):
+                    yield self._finding(
+                        fn, node, "RPR213",
+                        f"rebinding module global {target.id!r} on a "
+                        f"cache-feeding path couples runs executed in "
+                        f"the same process")
+                elif (isinstance(target, ast.Subscript)
+                      and isinstance(target.value, ast.Name)
+                      and target.value.id in mutable_globals):
+                    yield self._finding(
+                        fn, node, "RPR213",
+                        f"writing into module-level container "
+                        f"{target.value.id!r} on a cache-feeding path "
+                        f"couples runs executed in the same process")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in mutable_globals
+                    and func.attr in MUTATING_METHODS):
+                yield self._finding(
+                    fn, node, "RPR213",
+                    f"{func.value.id}.{func.attr}() mutates a module "
+                    f"global on a cache-feeding path; memoize on the "
+                    f"instance or key the cache by the request")
+
+
+def run_purity_pass(index: ProjectIndex, graph: CallGraph,
+                    enabled: frozenset) -> List[Finding]:
+    """Reachability closure, then impurity detection on the closure."""
+    analysis = PurityAnalysis(index, graph)
+    return analysis.check(enabled)

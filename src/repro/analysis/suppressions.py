@@ -1,10 +1,18 @@
 """``# repro: noqa`` suppression comments.
 
-Two forms, both scoped to the line they appear on:
+Two forms:
 
-* ``# repro: noqa`` — suppress every rule on this line;
+* ``# repro: noqa`` — suppress every rule;
 * ``# repro: noqa[RPR102]`` / ``# repro: noqa[RPR102, RPR201]`` —
   suppress only the listed rule ids.
+
+A marker covers the line it appears on; when that line belongs to a
+*simple* statement that spans several lines (a parenthesised assignment,
+a call split over arguments, ...), :func:`expand_suppressions` widens it
+to the statement's full extent, so the marker works no matter which line
+of the statement the checker anchors its finding to.  Compound
+statements (``if``/``for``/``def``...) are deliberately not expanded — a
+marker inside a branch must not silence the whole block.
 
 Comments are located with :mod:`tokenize` rather than a substring scan
 so the marker is never matched inside a string literal.
@@ -12,10 +20,11 @@ so the marker is never matched inside a string literal.
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
-from typing import Dict, FrozenSet
+from typing import Dict, FrozenSet, Optional
 
 #: Sentinel meaning "every rule is suppressed on this line".
 ALL_RULES: FrozenSet[str] = frozenset({"*"})
@@ -54,6 +63,46 @@ def collect_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
     except (tokenize.TokenError, IndentationError, SyntaxError):
         return {}
     return suppressions
+
+
+#: Statement types whose bodies are their own scopes; a noqa inside one
+#: of these must stay line-scoped, not cover the whole construct.
+_COMPOUND_STATEMENTS = (
+    ast.If, ast.For, ast.AsyncFor, ast.While, ast.With, ast.AsyncWith,
+    ast.Try, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+)
+
+
+def expand_suppressions(
+        suppressions: Dict[int, FrozenSet[str]],
+        tree: Optional[ast.Module],
+) -> Dict[int, FrozenSet[str]]:
+    """Widen markers to cover the full extent of multi-line statements.
+
+    A ``# repro: noqa[RULE]`` on *any* line of a simple statement (e.g.
+    the closing-paren line of a wrapped assignment) suppresses that rule
+    on *every* line of the statement.  The result merges with, and never
+    narrows, the line-scoped input.
+    """
+    if tree is None or not suppressions:
+        return suppressions
+    expanded = dict(suppressions)
+    for node in ast.walk(tree):
+        if (not isinstance(node, ast.stmt)
+                or isinstance(node, _COMPOUND_STATEMENTS)):
+            continue
+        start = getattr(node, "lineno", None)
+        end = getattr(node, "end_lineno", None)
+        if start is None or end is None or end <= start:
+            continue
+        combined: FrozenSet[str] = frozenset()
+        for line in range(start, end + 1):
+            combined = combined | suppressions.get(line, frozenset())
+        if not combined:
+            continue
+        for line in range(start, end + 1):
+            expanded[line] = expanded.get(line, frozenset()) | combined
+    return expanded
 
 
 def is_suppressed(suppressions: Dict[int, FrozenSet[str]],

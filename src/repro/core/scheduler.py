@@ -168,7 +168,10 @@ class LoadScheduler:
             if total <= budget_w or not (use_sc or use_battery):
                 self.within_budget_hits += 1
                 cached = self._cached_within_budget
-                if (cached is not None and cached.utility_draw_w == total
+                # Bit-exact on purpose: the memo must only hit when the
+                # input is literally identical.
+                if (cached is not None
+                        and cached.utility_draw_w == total  # repro: noqa[RPR104]
                         and len(cached.sources) == n):
                     return cached
                 assignment = Assignment(

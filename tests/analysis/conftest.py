@@ -1,0 +1,16 @@
+"""Shared fixtures: isolate every analysis test from the user's caches."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_lint_cache(tmp_path, monkeypatch):
+    """Point the lint cache at a per-test directory.
+
+    The CLI caches by default (mirroring the experiment runner), so
+    without this every test run would read and write
+    ``~/.cache/repro-heb-lint``.
+    """
+    monkeypatch.setenv("REPRO_LINT_CACHE_DIR", str(tmp_path / "lint-cache"))

@@ -1,0 +1,1 @@
+"""Adversarial call-graph fixture: every shape the resolver claims."""

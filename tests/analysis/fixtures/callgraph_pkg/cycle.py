@@ -1,0 +1,19 @@
+"""Mutual recursion plus self-recursion: reachability must terminate."""
+
+
+def ping(n):
+    if n <= 0:
+        return 0
+    return pong(n - 1)
+
+
+def pong(n):
+    if n <= 0:
+        return 1
+    return ping(n - 1)
+
+
+def spin(n):
+    if n:
+        return spin(n - 1)
+    return 0

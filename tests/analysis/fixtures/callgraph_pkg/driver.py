@@ -1,0 +1,23 @@
+"""Star imports, aliased imports, ``functools.partial``, instances."""
+
+import functools
+
+from .cycle import ping
+from .gadgets import *
+from .ops import doubled, scale as rescale
+
+
+def launch(value):
+    gadget = Gadget(2.0)
+    boosted = gadget.run(value)
+    return rescale(boosted, ping(3))
+
+
+def schedule(values):
+    apply_default = functools.partial(rescale, factor=2.0)
+    return [apply_default(doubled(v)) for v in values]
+
+
+def fleet():
+    turbo = TurboGadget(3.0)
+    return turbo.step(1.0)

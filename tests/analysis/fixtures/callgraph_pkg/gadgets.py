@@ -1,0 +1,28 @@
+"""Classes: self-dispatch, inheritance, static/class methods, overrides."""
+
+
+class Gadget:
+    def __init__(self, gain):
+        self.gain = gain
+
+    def run(self, value):
+        return self.step(self.prepare(value))
+
+    def prepare(self, value):
+        return self.clamp(value)
+
+    def step(self, value):
+        return value * self.gain
+
+    @staticmethod
+    def clamp(value):
+        return max(0.0, value)
+
+    @classmethod
+    def default(cls):
+        return cls(1.0)
+
+
+class TurboGadget(Gadget):
+    def step(self, value):
+        return super().step(value) * 2.0

@@ -1,0 +1,20 @@
+"""Leaf helpers reached through several import styles."""
+
+
+def scale(value, factor):
+    return value * factor
+
+
+def offset(value, delta):
+    return value + delta
+
+
+def traced(func):
+    def wrapper(*args, **kwargs):
+        return func(*args, **kwargs)
+    return wrapper
+
+
+@traced
+def doubled(value):
+    return scale(value, 2.0)

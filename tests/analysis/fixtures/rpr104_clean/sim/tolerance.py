@@ -1,0 +1,11 @@
+"""RPR104 clean fixture: tolerant comparison and non-quantity equality."""
+
+import math
+
+
+def peaks_match(left_w: float, right_w: float) -> bool:
+    return math.isclose(left_w, right_w, rel_tol=1e-9)
+
+
+def counts_match(left: int, right: int) -> bool:
+    return left == right

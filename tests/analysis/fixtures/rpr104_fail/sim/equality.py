@@ -1,0 +1,9 @@
+"""RPR104 failing fixture: exact float equality on power/energy values."""
+
+
+def peaks_match(left_w: float, right_w: float) -> bool:
+    return left_w == right_w
+
+
+def energy_differs(stored_j: float, target_j: float) -> bool:
+    return stored_j != target_j

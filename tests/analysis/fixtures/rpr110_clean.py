@@ -1,0 +1,15 @@
+"""RPR110 clean fixture: arguments match the units parameters declare."""
+
+
+def drain(power_w: float) -> float:
+    return power_w * 0.5
+
+
+def stored_w() -> float:
+    demand_w = 42.0
+    return demand_w
+
+
+def tick() -> float:
+    reserve = stored_w()
+    return drain(reserve) + drain(power_w=reserve)

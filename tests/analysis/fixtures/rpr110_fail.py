@@ -1,0 +1,20 @@
+"""RPR110 failing fixture: joules flow into a watts parameter.
+
+No single expression here mixes units — only interprocedural dataflow
+(the inferred return unit of ``stored``) exposes the bug, so per-file
+RPR101 stays silent.
+"""
+
+
+def drain(power_w: float) -> float:
+    return power_w * 0.5
+
+
+def stored() -> float:
+    energy_j = 42.0
+    return energy_j
+
+
+def tick() -> float:
+    reserve = stored()
+    return drain(reserve) + drain(power_w=reserve)

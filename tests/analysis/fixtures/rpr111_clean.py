@@ -1,0 +1,14 @@
+"""RPR111 clean fixture: bindings agree with declared units."""
+
+
+def stored_energy_j() -> float:
+    return 4200.0
+
+
+def peak_power_w(energy_j: float, dt_s: float) -> float:
+    return energy_j / dt_s
+
+
+def snapshot() -> float:
+    total_j = stored_energy_j()
+    return total_j

@@ -1,0 +1,14 @@
+"""RPR111 failing fixture: bindings contradict declared name units."""
+
+
+def stored_energy_j() -> float:
+    return 4200.0
+
+
+def peak_power_w() -> float:
+    return stored_energy_j()
+
+
+def snapshot() -> float:
+    total_w = stored_energy_j()
+    return total_w

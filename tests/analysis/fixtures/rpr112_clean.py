@@ -1,0 +1,11 @@
+"""RPR112 clean fixture: conversions applied to the unit they expect."""
+
+from repro.units import joules_to_wh, wh_to_joules
+
+
+def as_joules(stored_wh: float) -> float:
+    return wh_to_joules(stored_wh)
+
+
+def as_watt_hours(stored_j: float) -> float:
+    return joules_to_wh(stored_j)

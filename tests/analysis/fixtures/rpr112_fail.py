@@ -1,0 +1,11 @@
+"""RPR112 failing fixture: converting values already in the output unit."""
+
+from repro.units import joules_to_wh, wh_to_joules
+
+
+def round_trip_j(stored_j: float) -> float:
+    return wh_to_joules(stored_j)
+
+
+def round_trip_wh(stored_wh: float) -> float:
+    return joules_to_wh(stored_wh)

@@ -1,0 +1,9 @@
+"""RPR113 clean fixture: additive arithmetic on matching units."""
+
+
+def battery_reserve_j() -> float:
+    return 500.0
+
+
+def total_j(stored_j: float) -> float:
+    return stored_j + battery_reserve_j()

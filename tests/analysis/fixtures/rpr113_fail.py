@@ -1,0 +1,20 @@
+"""RPR113 failing fixture: additive mixes only dataflow can see.
+
+``limit_w - battery_reserve()`` hides the joules behind a call; RPR101
+never sees a suffix on the right operand.  ``stored_wh + losses_j``
+shares a dimension (energy) but not a scale, which RPR101's
+dimension-only check cannot distinguish.
+"""
+
+
+def battery_reserve() -> float:
+    reserve_j = 500.0
+    return reserve_j
+
+
+def headroom(limit_w: float) -> float:
+    return limit_w - battery_reserve()
+
+
+def combined_store(stored_wh: float, losses_j: float) -> float:
+    return stored_wh + losses_j

@@ -1,0 +1,17 @@
+"""RPR203 clean fixture: None defaults, immutable defaults, private fn."""
+
+
+def collect(values=None):
+    if values is None:
+        values = []
+    values.append(1)
+    return values
+
+
+def merge(*, overrides=None, order=("a", "b")):
+    return dict(overrides or {}), order
+
+
+def _scratch(buffer=[]):
+    # Private helpers are the author's own problem.
+    return buffer

@@ -1,0 +1,10 @@
+"""RPR203 failing fixture: mutable defaults on public functions."""
+
+
+def collect(values=[]):
+    values.append(1)
+    return values
+
+
+def merge(*, overrides={}):
+    return dict(overrides)

@@ -1,0 +1,12 @@
+"""RPR210 clean fixture: the clock exists but is not reachable."""
+
+import time
+
+
+def wall_clock():
+    # Never called from a cache-feeding entry point.
+    return time.time()
+
+
+def execute_request(request):
+    return float(request)

@@ -1,0 +1,21 @@
+"""RPR210 failing fixture: clock and RNG reachable from the cache path.
+
+The fixture lives outside the sim/core/storage/runner directories, so
+the per-file RPR201 rule never looks at it; only reachability from
+``execute_request`` exposes the impurity.
+"""
+
+import random
+import time
+
+
+def jitter():
+    return random.random()
+
+
+def current_timestamp():
+    return time.time()
+
+
+def execute_request(request):
+    return current_timestamp() + jitter()

@@ -1,0 +1,12 @@
+"""RPR211 clean fixture: ambient reads stay off the cache path."""
+
+import os
+
+
+def debug_banner():
+    # Only called by tooling, never by execute_request.
+    return os.getenv("HOSTNAME", "unknown")
+
+
+def execute_request(request):
+    return request.payload

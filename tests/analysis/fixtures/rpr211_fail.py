@@ -1,0 +1,15 @@
+"""RPR211 failing fixture: environment reads on the cache path."""
+
+import os
+
+
+def host_label():
+    return os.getenv("HOSTNAME", "unknown")
+
+
+def default_worker_count():
+    return os.cpu_count()
+
+
+def execute_request(request):
+    return (host_label(), default_worker_count())

@@ -1,0 +1,12 @@
+"""RPR212 clean fixture: sets are sorted before iteration."""
+
+
+def total(values):
+    acc = 0.0
+    for value in sorted(set(values)):
+        acc += value
+    return acc
+
+
+def execute_request(request):
+    return total(request)

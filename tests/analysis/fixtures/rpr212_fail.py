@@ -1,0 +1,16 @@
+"""RPR212 failing fixture: unordered-set iteration on the cache path."""
+
+
+def total(values):
+    acc = 0.0
+    for value in {1.0, 2.0, 3.0}:
+        acc += value
+    return acc
+
+
+def checksum(values):
+    return sum(set(values))
+
+
+def execute_request(request):
+    return total(request) + checksum(request)

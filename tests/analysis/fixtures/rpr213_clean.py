@@ -1,0 +1,13 @@
+"""RPR213 clean fixture: constants and per-call containers only."""
+
+_LIMITS = (1, 2, 3)
+
+
+def tally(values):
+    counts = {}
+    counts["total"] = sum(values)
+    return counts
+
+
+def execute_request(request):
+    return tally([*request, _LIMITS[0]])

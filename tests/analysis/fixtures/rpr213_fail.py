@@ -1,0 +1,19 @@
+"""RPR213 failing fixture: module-global writes on the cache path."""
+
+_MEMO = {}
+_RUN_COUNT = 0
+
+
+def record(key, value):
+    _MEMO[key] = value
+
+
+def bump():
+    global _RUN_COUNT
+    _RUN_COUNT = _RUN_COUNT + 1
+
+
+def execute_request(request):
+    bump()
+    record(request, 1)
+    return _RUN_COUNT

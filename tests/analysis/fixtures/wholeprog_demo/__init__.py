@@ -1,0 +1,7 @@
+"""Seeded cross-module bugs only the whole-program passes can see.
+
+Every defect here spans a module boundary (a unit inferred in one file,
+misused in another; an impurity reachable only through the request entry
+point in a different file), so the per-file RPR1xx/RPR2xx rules are
+structurally unable to report any of them.
+"""

@@ -1,0 +1,27 @@
+"""Cross-module unit bugs: the units are inferred in other files."""
+
+from repro.units import wh_to_joules
+
+from .loads import draw
+from .reserves import headroom, stored_energy_j
+
+
+def plan_discharge(cells):
+    # BUG(RPR110): stored_energy_j() returns joules; draw() wants watts.
+    return draw(stored_energy_j(cells), 10.0)
+
+
+def peak_power_w(cells):
+    # BUG(RPR111): a _w-suffixed function returning joules.
+    return stored_energy_j(cells)
+
+
+def total_joules(cells):
+    # BUG(RPR112): the argument is already in joules, not watt-hours.
+    return wh_to_joules(stored_energy_j(cells))
+
+
+def combined_budget(cells):
+    # BUG(RPR113): adds the Wh headroom to a J quantity; neither operand
+    # carries a suffix here, so the per-file RPR101 rule cannot fire.
+    return headroom() + stored_energy_j(cells)

@@ -1,0 +1,36 @@
+"""Impurities that only matter because service.py makes them reachable.
+
+This module sits outside the sim/storage/core directories, so the
+per-file determinism rules never inspect it.
+"""
+
+import os
+import time
+
+_CALLS = 0
+_LOG = {}
+
+
+def stamp():
+    # BUG(RPR210): wall-clock read on the cached request path.
+    return time.time()
+
+
+def audit_environment():
+    # BUG(RPR211): environment read feeding a cacheable result.
+    return os.getenv("DEMO_TUNING", "off")
+
+
+def mix_readings(readings):
+    total = 0.0
+    # BUG(RPR212): set iteration order is arbitrary across runs.
+    for value in set(readings):
+        total += value
+    return total
+
+
+def note_request():
+    # BUG(RPR213): mutable module-global writes on the request path.
+    global _CALLS
+    _CALLS += 1
+    _LOG["count"] = _CALLS

@@ -1,0 +1,5 @@
+"""Consumers with unit-suffixed signatures."""
+
+
+def draw(power_w, dt_s):
+    return power_w * dt_s

@@ -1,0 +1,13 @@
+"""Energy bookkeeping helpers the bug modules lean on."""
+
+JOULES_PER_CELL = 5400.0
+
+
+def stored_energy_j(cells):
+    return JOULES_PER_CELL * cells
+
+
+def headroom():
+    """Watt-hour budget left in the rack (deliberately unsuffixed)."""
+    budget_wh = 250.0
+    return budget_wh

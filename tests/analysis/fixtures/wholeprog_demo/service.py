@@ -1,0 +1,9 @@
+"""The cache-feeding entry point; itself spotless, per-file."""
+
+from .impure import audit_environment, mix_readings, note_request, stamp
+
+
+def execute_request(readings):
+    note_request()
+    audit_environment()
+    return mix_readings(readings) + stamp()

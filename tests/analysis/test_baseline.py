@@ -1,0 +1,134 @@
+"""Baseline (ratchet) workflow: library behavior and CLI wiring."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths
+from repro.analysis.baseline import (
+    baseline_counts,
+    finding_fingerprint,
+    load_baseline,
+    new_findings,
+    write_baseline,
+)
+from repro.analysis.cli import main as lint_main
+from repro.analysis.findings import Finding
+from repro.errors import AnalysisError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _finding(line=1, rule="RPR102", message="msg", path="a.py"):
+    return Finding(path, line, 1, rule, message)
+
+
+# ----------------------------------------------------------------------
+# Library semantics
+# ----------------------------------------------------------------------
+
+def test_fingerprint_is_line_free():
+    assert finding_fingerprint(_finding(line=3)) == finding_fingerprint(
+        _finding(line=99))
+    assert finding_fingerprint(_finding(rule="RPR101")) != (
+        finding_fingerprint(_finding(rule="RPR102")))
+
+
+def test_counts_accumulate_identical_findings():
+    counts = baseline_counts([_finding(line=1), _finding(line=2)])
+    assert list(counts.values()) == [2]
+
+
+def test_write_then_load_round_trips(tmp_path):
+    path = tmp_path / "base.json"
+    written = write_baseline(path, [_finding(), _finding(rule="RPR103")])
+    assert written == 2
+    assert load_baseline(path) == baseline_counts(
+        [_finding(), _finding(rule="RPR103")])
+
+
+def test_missing_baseline_is_empty_and_garbage_raises(tmp_path):
+    assert load_baseline(tmp_path / "absent.json") == {}
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(AnalysisError):
+        load_baseline(bad)
+    bad.write_text(json.dumps({"format": 99, "counts": {}}))
+    with pytest.raises(AnalysisError):
+        load_baseline(bad)
+
+
+def test_new_findings_respects_counts_and_reports_extras():
+    accepted = baseline_counts([_finding(line=1)])
+    same = new_findings([_finding(line=40)], accepted)
+    assert same == []  # moved, not new
+    grown = new_findings([_finding(line=1), _finding(line=2)], accepted)
+    assert [f.line for f in grown] == [2]  # the later duplicate is new
+    other = new_findings([_finding(rule="RPR301")], accepted)
+    assert len(other) == 1
+
+
+# ----------------------------------------------------------------------
+# CLI workflow
+# ----------------------------------------------------------------------
+
+def test_baseline_write_then_check_ratchets(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    fixture = str(FIXTURES / "rpr102_fail.py")
+
+    # Plain run fails; writing a baseline accepts the debt.
+    assert lint_main([fixture]) == 1
+    capsys.readouterr()
+    assert lint_main([fixture, "--baseline", "write",
+                      "--baseline-file", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "recorded" in out and baseline.exists()
+
+    # Checking against the fresh baseline is clean.
+    assert lint_main([fixture, "--baseline", "check",
+                      "--baseline-file", str(baseline)]) == 0
+    capsys.readouterr()
+
+    # A file with findings outside the baseline still fails the check.
+    extra = str(FIXTURES / "rpr103_fail.py")
+    code = lint_main([fixture, extra, "--baseline", "check",
+                      "--baseline-file", str(baseline)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "RPR103" in out and "RPR102" not in out
+
+
+def test_empty_baseline_on_clean_tree(tmp_path, capsys):
+    """Acceptance shape: a clean scope writes an empty baseline and the
+    subsequent check passes."""
+    baseline = tmp_path / "baseline.json"
+    clean = str(FIXTURES / "rpr101_clean.py")
+    assert lint_main([clean, "--baseline", "write",
+                      "--baseline-file", str(baseline)]) == 0
+    capsys.readouterr()
+    assert json.loads(baseline.read_text())["counts"] == {}
+    assert lint_main([clean, "--baseline", "check",
+                      "--baseline-file", str(baseline)]) == 0
+
+
+def test_corrupt_baseline_is_a_usage_error(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("[]")
+    code = lint_main([str(FIXTURES / "rpr101_clean.py"),
+                      "--baseline", "check",
+                      "--baseline-file", str(baseline)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "baseline" in captured.err
+
+
+def test_repo_baseline_workflow_against_src(tmp_path):
+    """The shipped tree has no debt: its baseline is empty and check-clean."""
+    repo_src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    baseline = tmp_path / "baseline.json"
+    report = lint_paths([str(repo_src)], select=["RPR1", "RPR2"])
+    assert write_baseline(baseline, report.findings) == 0
+    assert new_findings(report.findings, load_baseline(baseline)) == []

@@ -1,0 +1,120 @@
+"""Call-graph resolution on adversarial shapes.
+
+The ``callgraph_pkg`` fixture packs the shapes the resolver documents:
+call cycles (mutual and self-recursion), decorated callees, star and
+aliased imports, ``functools.partial``, ``self.``/``cls`` dispatch,
+static/class methods, constructors through inheritance, and virtual
+dispatch to overrides.  Edge sets are asserted exactly, so any
+resolution regression (an edge lost *or* invented) fails loudly.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.semantics import (
+    SourceModule,
+    build_call_graph,
+    build_project_index,
+)
+
+PKG = Path(__file__).parent / "fixtures" / "callgraph_pkg"
+
+
+def _load_modules():
+    modules = []
+    for path in sorted(PKG.glob("*.py")):
+        source = path.read_text(encoding="utf-8")
+        modules.append(SourceModule(path=str(path), source=source,
+                                    tree=ast.parse(source)))
+    return modules
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_call_graph(build_project_index(_load_modules()))
+
+
+def test_index_sees_every_function_including_nested():
+    index = build_project_index(_load_modules())
+    assert len(index.functions) == 18
+    # Nested defs are first-class entries under their parent's qualname.
+    assert "callgraph_pkg.ops.traced.wrapper" in index.functions
+
+
+def test_total_resolved_edge_count(graph):
+    assert graph.edge_count() == 16
+
+
+def test_cycles_resolve_and_terminate(graph):
+    assert graph.callees("callgraph_pkg.cycle.ping") == {
+        "callgraph_pkg.cycle.pong"}
+    assert graph.callees("callgraph_pkg.cycle.pong") == {
+        "callgraph_pkg.cycle.ping"}
+    assert graph.callees("callgraph_pkg.cycle.spin") == {
+        "callgraph_pkg.cycle.spin"}
+    reachable, _ = graph.reachable_from(["callgraph_pkg.cycle.ping"])
+    assert reachable == {"callgraph_pkg.cycle.ping",
+                         "callgraph_pkg.cycle.pong"}
+
+
+def test_decorated_function_is_an_ordinary_callee(graph):
+    # ``doubled`` wears @traced; the call edge targets the definition.
+    assert graph.callees("callgraph_pkg.ops.doubled") == {
+        "callgraph_pkg.ops.scale"}
+    assert "callgraph_pkg.ops.doubled" in graph.callees(
+        "callgraph_pkg.driver.schedule")
+
+
+def test_functools_partial_resolves_to_wrapped_function(graph):
+    # ``functools.partial(rescale, ...)`` — through the import alias.
+    assert graph.callees("callgraph_pkg.driver.schedule") == {
+        "callgraph_pkg.ops.doubled", "callgraph_pkg.ops.scale"}
+
+
+def test_self_dispatch_and_virtual_overrides(graph):
+    # self.step() resolves statically to Gadget.step and, for
+    # reachability soundness, also to the TurboGadget override.
+    assert graph.callees("callgraph_pkg.gadgets.Gadget.run") == {
+        "callgraph_pkg.gadgets.Gadget.prepare",
+        "callgraph_pkg.gadgets.Gadget.step",
+        "callgraph_pkg.gadgets.TurboGadget.step",
+    }
+    # self.clamp() lands on the @staticmethod; no override exists.
+    assert graph.callees("callgraph_pkg.gadgets.Gadget.prepare") == {
+        "callgraph_pkg.gadgets.Gadget.clamp"}
+
+
+def test_star_import_and_instance_typing(graph):
+    # Gadget arrives via ``from .gadgets import *``; the constructor
+    # resolves to __init__ and ``gadget.run()`` through the local's
+    # inferred class.
+    assert graph.callees("callgraph_pkg.driver.launch") == {
+        "callgraph_pkg.cycle.ping",
+        "callgraph_pkg.gadgets.Gadget.__init__",
+        "callgraph_pkg.gadgets.Gadget.run",
+        "callgraph_pkg.ops.scale",
+    }
+
+
+def test_inherited_constructor_resolves_to_base_init(graph):
+    # TurboGadget defines no __init__; Gadget's is found on the MRO walk.
+    assert graph.callees("callgraph_pkg.driver.fleet") == {
+        "callgraph_pkg.gadgets.Gadget.__init__",
+        "callgraph_pkg.gadgets.TurboGadget.step",
+    }
+
+
+def test_reachability_closure_from_launch(graph):
+    reachable, parents = graph.reachable_from(
+        ["callgraph_pkg.driver.launch"])
+    assert len(reachable) == 10
+    assert "callgraph_pkg.ops.offset" not in reachable  # never called
+    assert "callgraph_pkg.driver.schedule" not in reachable
+    # The parent map reconstructs a root-to-function chain.
+    chain = graph.chain_to("callgraph_pkg.cycle.pong", parents)
+    assert chain[0] == "callgraph_pkg.driver.launch"
+    assert chain[-1] == "callgraph_pkg.cycle.pong"

@@ -1,0 +1,89 @@
+"""``--changed`` selection against real (temporary) git repositories."""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.changed import changed_python_files, merge_base
+from repro.analysis.cli import main as lint_main
+from repro.errors import AnalysisError
+
+
+def _git(repo: Path, *args: str) -> None:
+    subprocess.run(
+        ["git", "-C", str(repo),
+         "-c", "user.email=test@example.invalid", "-c", "user.name=test",
+         *args],
+        check=True, capture_output=True, text=True)
+
+
+@pytest.fixture()
+def repo(tmp_path):
+    """A repo on branch ``work`` with one commit on ``main`` behind it."""
+    root = tmp_path / "repo"
+    root.mkdir()
+    _git(root, "init", "--initial-branch=main")
+    (root / "src").mkdir()
+    (root / "src" / "stable.py").write_text("x = 1\n")
+    (root / "src" / "touched.py").write_text("y = 1\n")
+    _git(root, "add", ".")
+    _git(root, "commit", "-m", "seed")
+    _git(root, "checkout", "-b", "work")
+    return root
+
+
+def test_merge_base_falls_back_to_local_main(repo):
+    assert merge_base(cwd=repo) is not None
+
+
+def test_changed_lists_tracked_untracked_and_committed_edits(repo):
+    (repo / "src" / "touched.py").write_text("y = 2\n")  # unstaged edit
+    (repo / "src" / "fresh.py").write_text("z = 1\n")    # untracked
+    (repo / "src" / "notes.txt").write_text("not python\n")
+    (repo / "src" / "committed.py").write_text("c = 1\n")
+    _git(repo, "add", "src/committed.py")
+    _git(repo, "commit", "-m", "add committed.py")
+
+    selected = changed_python_files([str(repo / "src")], cwd=repo)
+    names = [Path(p).name for p in selected]
+    assert names == ["committed.py", "fresh.py", "touched.py"]
+
+
+def test_changed_respects_scope_and_skips_fixture_dirs(repo):
+    (repo / "src" / "fixtures").mkdir()
+    (repo / "src" / "fixtures" / "specimen.py").write_text("s = 1\n")
+    (repo / "elsewhere").mkdir()
+    (repo / "elsewhere" / "outside.py").write_text("o = 1\n")
+    selected = changed_python_files([str(repo / "src")], cwd=repo)
+    assert selected == []
+
+
+def test_deleted_files_are_dropped(repo):
+    (repo / "src" / "touched.py").unlink()
+    assert changed_python_files([str(repo / "src")], cwd=repo) == []
+
+
+def test_outside_a_repo_raises(tmp_path):
+    bare = tmp_path / "norepo"
+    bare.mkdir()
+    with pytest.raises(AnalysisError):
+        changed_python_files([str(bare)], cwd=bare)
+
+
+def test_cli_changed_lints_only_the_branch_delta(repo, monkeypatch,
+                                                 capsys):
+    monkeypatch.chdir(repo)
+    # Nothing changed yet: the run is a cheap no-op.
+    assert lint_main(["--changed", "src"]) == 0
+    assert "no changed Python files" in capsys.readouterr().out
+
+    # A freshly-added violation is caught; the stable file is not read.
+    (repo / "src" / "bad.py").write_text("seconds = 86400.0\n")
+    code = lint_main(["--changed", "src"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "RPR102" in out and "bad.py" in out
+    assert "stable.py" not in out

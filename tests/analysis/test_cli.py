@@ -82,3 +82,51 @@ def test_syntax_error_fixture_reports_parse_rule(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert code == 1
     assert [entry["rule"] for entry in payload["findings"]] == ["RPR000"]
+
+
+def test_list_rules_marks_whole_program_passes(capsys):
+    assert repro_main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "RPR110 *" in out
+    assert "RPR210 *" in out
+    assert "RPR102  " in out  # per-file rules carry no marker
+    assert "(* = whole-program pass)" in out
+
+
+def test_family_prefix_selection_via_cli(capsys):
+    fixture = str(FIXTURES / "rpr301_fail.py")
+    assert repro_main(["lint", fixture, "--select", "RPR1"]) == 0
+    capsys.readouterr()
+    assert repro_main(["lint", fixture, "--select", "RPR3"]) == 1
+
+
+def test_jobs_flag_reports_identical_findings(capsys):
+    fixture = str(FIXTURES / "rpr102_fail.py")
+    assert repro_main(
+        ["lint", fixture, "--no-cache", "--format", "json"]) == 1
+    serial = json.loads(capsys.readouterr().out)
+    assert repro_main(
+        ["lint", fixture, "--no-cache", "--jobs", "2",
+         "--format", "json"]) == 1
+    parallel = json.loads(capsys.readouterr().out)
+    assert parallel["findings"] == serial["findings"]
+
+
+def test_json_report_counts_cache_hits(capsys):
+    fixture = str(FIXTURES / "rpr101_clean.py")
+    assert repro_main(["lint", fixture, "--format", "json"]) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["files_from_cache"] == 0
+    assert repro_main(["lint", fixture, "--format", "json"]) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["files_from_cache"] == 1
+    assert warm["findings"] == cold["findings"]
+
+
+def test_cache_dir_flag_overrides_the_environment(tmp_path, capsys):
+    store = tmp_path / "explicit-store"
+    fixture = str(FIXTURES / "rpr101_clean.py")
+    assert repro_main(
+        ["lint", fixture, "--cache-dir", str(store)]) == 0
+    capsys.readouterr()
+    assert any(store.rglob("*.json"))

@@ -20,7 +20,11 @@ from repro.analysis import (
     render_text,
 )
 from repro.analysis.rules import FileContext, resolve_rule_ids
-from repro.analysis.suppressions import ALL_RULES, is_suppressed
+from repro.analysis.suppressions import (
+    ALL_RULES,
+    expand_suppressions,
+    is_suppressed,
+)
 from repro.errors import AnalysisError, ReproError
 
 FIXTURES = Path(__file__).parent / "fixtures"
@@ -63,6 +67,48 @@ def test_plain_noqa_comment_is_not_ours():
 
 def test_unparseable_source_yields_no_suppressions():
     assert collect_suppressions("def broken(:\n") == {}
+
+
+def test_noqa_covers_the_whole_multiline_statement():
+    source = ("total = (stored_j\n"
+              "         + demand_w)  # repro: noqa[RPR101]\n")
+    sup = expand_suppressions(collect_suppressions(source),
+                              ast.parse(source))
+    assert is_suppressed(sup, 1, "RPR101")
+    assert is_suppressed(sup, 2, "RPR101")
+    # End to end: RPR101 anchors on line 1, the marker sits on line 2.
+    rules = [cls() for cls in all_rules().values()]
+    assert lint_source(source, "mod.py", rules) == []
+
+
+def test_noqa_markers_merge_across_a_statement():
+    source = ("value = (stored_j  # repro: noqa[RPR101]\n"
+              "         + 8760)  # repro: noqa[RPR102]\n")
+    sup = expand_suppressions(collect_suppressions(source),
+                              ast.parse(source))
+    for line in (1, 2):
+        assert is_suppressed(sup, line, "RPR101")
+        assert is_suppressed(sup, line, "RPR102")
+
+
+def test_blanket_noqa_survives_expansion():
+    source = ("value = (stored_j\n"
+              "         + demand_w)  # repro: noqa\n")
+    sup = expand_suppressions(collect_suppressions(source),
+                              ast.parse(source))
+    assert sup[1] is ALL_RULES or is_suppressed(sup, 1, "RPR999")
+
+
+def test_noqa_on_compound_statement_stays_on_its_line():
+    source = ("if flag:  # repro: noqa[RPR102]\n"
+              "    seconds = 86400.0\n")
+    sup = expand_suppressions(collect_suppressions(source),
+                              ast.parse(source))
+    assert is_suppressed(sup, 1, "RPR102")
+    assert not is_suppressed(sup, 2, "RPR102")
+    rules = [cls() for cls in all_rules().values()]
+    findings = lint_source(source, "mod.py", rules)
+    assert [f.rule_id for f in findings] == ["RPR102"]
 
 
 # ----------------------------------------------------------------------
@@ -123,6 +169,24 @@ def test_unknown_rule_id_raises_analysis_error():
 
 def test_rule_ids_are_case_insensitive():
     assert resolve_rule_ids(["rpr102"]) == ["RPR102"]
+
+
+def test_family_prefix_expands_to_every_member():
+    units_family = resolve_rule_ids(["RPR1"])
+    assert set(units_family) == {
+        rid for rid in all_rules() if rid.startswith("RPR1")}
+    narrow = resolve_rule_ids(["RPR11"])
+    assert set(narrow) == {"RPR110", "RPR111", "RPR112", "RPR113"}
+
+
+def test_exact_id_and_prefix_mix_without_duplicates():
+    resolved = resolve_rule_ids(["RPR102", "RPR1"])
+    assert resolved.count("RPR102") == 1
+
+
+def test_unmatched_prefix_raises():
+    with pytest.raises(AnalysisError):
+        resolve_rule_ids(["RPR9"])
 
 
 def test_lint_paths_unknown_select_raises():

@@ -1,0 +1,157 @@
+"""Incremental cache and parallel-stage tests.
+
+Includes the acceptance criterion: a warm incremental re-lint of the
+unchanged ``src/repro`` tree must cost less than 25% of the cold run's
+wall time (measured margin is orders of magnitude wider).
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisCache, lint_paths
+from repro.analysis.cache import content_hash, file_key, project_key
+from repro.analysis.findings import Finding
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _demo_files():
+    return sorted(str(p)
+                  for p in (FIXTURES / "wholeprog_demo").glob("*.py"))
+
+
+# ----------------------------------------------------------------------
+# The acceptance criterion
+# ----------------------------------------------------------------------
+
+def test_warm_relint_of_src_is_under_quarter_of_cold_time():
+    start = time.perf_counter()
+    cold = lint_paths([str(REPO_SRC)], use_cache=True)
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = lint_paths([str(REPO_SRC)], use_cache=True)
+    warm_seconds = time.perf_counter() - start
+
+    assert cold.files_from_cache == 0
+    assert warm.files_from_cache == warm.files_scanned
+    assert warm.findings == cold.findings
+    assert warm_seconds < 0.25 * cold_seconds, (
+        f"warm lint took {warm_seconds:.3f}s vs cold {cold_seconds:.3f}s")
+
+
+# ----------------------------------------------------------------------
+# Per-file entries
+# ----------------------------------------------------------------------
+
+def test_nonempty_findings_survive_the_cache_round_trip():
+    fixture = str(FIXTURES / "rpr102_fail.py")
+    cold = lint_paths([fixture], use_cache=True)
+    warm = lint_paths([fixture], use_cache=True)
+    assert cold.findings  # the fixture genuinely fails
+    assert warm.files_from_cache == 1
+    assert warm.findings == cold.findings
+
+
+def test_renamed_file_rehits_and_reanchors(tmp_path):
+    original = tmp_path / "a.py"
+    original.write_text((FIXTURES / "rpr102_fail.py").read_text())
+    cold = lint_paths([str(original)], use_cache=True)
+    renamed = tmp_path / "b.py"
+    original.rename(renamed)
+    warm = lint_paths([str(renamed)], use_cache=True)
+    # Same content => per-file hit; findings re-anchored at the new path.
+    assert warm.files_from_cache == 1
+    assert [f.line for f in warm.findings] == [
+        f.line for f in cold.findings]
+    assert all(f.path == str(renamed) for f in warm.findings)
+
+
+def test_edited_file_misses_and_recomputes(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("hours = 8760\n")
+    first = lint_paths([str(target)], use_cache=True)
+    assert {f.rule_id for f in first.findings} == {"RPR102"}
+    target.write_text("from repro.units import HOURS_PER_YEAR\n"
+                      "hours = HOURS_PER_YEAR\n")
+    second = lint_paths([str(target)], use_cache=True)
+    assert second.files_from_cache == 0
+    assert second.clean
+
+
+# ----------------------------------------------------------------------
+# Project (whole-program) entries
+# ----------------------------------------------------------------------
+
+def test_project_findings_come_from_cache_on_unchanged_tree(monkeypatch):
+    files = _demo_files()
+    cold = lint_paths(files, use_cache=True)
+    assert any(f.rule_id.startswith("RPR2") for f in cold.findings)
+
+    import repro.analysis.semantics as semantics
+
+    def _must_not_run(*args, **kwargs):
+        raise AssertionError("whole-program pass ran on a warm cache")
+
+    monkeypatch.setattr(semantics, "run_whole_program", _must_not_run)
+    warm = lint_paths(files, use_cache=True)
+    assert warm.findings == cold.findings
+
+
+def test_any_file_edit_invalidates_the_project_entry(tmp_path):
+    for name in ("service.py", "impure.py", "__init__.py"):
+        shutil.copy(FIXTURES / "wholeprog_demo" / name, tmp_path / name)
+    files = sorted(str(p) for p in tmp_path.glob("*.py"))
+    first = lint_paths(files, use_cache=True)
+    assert any(f.rule_id == "RPR210" for f in first.findings)
+    # Neutering the entry point must drop every purity finding even
+    # though impure.py itself is byte-identical (per-file hit).
+    (tmp_path / "service.py").write_text(
+        '"""No entry point any more."""\n')
+    second = lint_paths(files, use_cache=True)
+    assert not any(f.rule_id.startswith("RPR21")
+                   for f in second.findings)
+
+
+def test_keys_change_with_content_rules_and_fileset():
+    source_hash = content_hash("x = 1\n")
+    assert file_key(source_hash, ["RPR101"]) != file_key(
+        source_hash, ["RPR102"])
+    assert file_key(source_hash, ["RPR101"]) != file_key(
+        content_hash("x = 2\n"), ["RPR101"])
+    pairs = [("a.py", source_hash)]
+    assert project_key(pairs, ["RPR210"]) != project_key(
+        pairs + [("b.py", source_hash)], ["RPR210"])
+
+
+def test_cache_store_roundtrip_and_clear(tmp_path):
+    cache = AnalysisCache(tmp_path / "store")
+    finding = Finding("x.py", 3, 1, "RPR102", "msg")
+    key = file_key(content_hash("x"), ["RPR102"])
+    assert cache.get_file(key, "x.py") is None
+    cache.put_file(key, [finding])
+    assert cache.get_file(key, "moved.py") == [
+        Finding("moved.py", 3, 1, "RPR102", "msg")]
+    assert cache.clear() == 1
+    assert cache.get_file(key, "x.py") is None
+
+
+# ----------------------------------------------------------------------
+# Parallel per-file stage
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("use_cache", [False, True])
+def test_parallel_stage_matches_serial_output(use_cache):
+    files = [str(FIXTURES / "rpr102_fail.py"),
+             str(FIXTURES / "rpr103_fail.py"),
+             str(FIXTURES / "rpr301_fail.py")]
+    serial = lint_paths(files, jobs=1, use_cache=use_cache)
+    parallel = lint_paths(files, jobs=2, use_cache=use_cache)
+    assert serial.findings
+    assert parallel.findings == serial.findings

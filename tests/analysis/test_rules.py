@@ -16,9 +16,20 @@ RULE_FIXTURES = {
     "RPR101": ("rpr101_fail.py", "rpr101_clean.py"),
     "RPR102": ("rpr102_fail.py", "rpr102_clean/units.py"),
     "RPR103": ("rpr103_fail.py", "rpr103_clean.py"),
+    "RPR104": ("rpr104_fail/sim/equality.py",
+               "rpr104_clean/sim/tolerance.py"),
+    "RPR110": ("rpr110_fail.py", "rpr110_clean.py"),
+    "RPR111": ("rpr111_fail.py", "rpr111_clean.py"),
+    "RPR112": ("rpr112_fail.py", "rpr112_clean.py"),
+    "RPR113": ("rpr113_fail.py", "rpr113_clean.py"),
     "RPR201": ("rpr201_fail/sim/clocked.py", "rpr201_clean/sim/seeded.py"),
     "RPR202": ("rpr202_fail/core/setsum.py",
                "rpr202_clean/core/sorted_sets.py"),
+    "RPR203": ("rpr203_fail.py", "rpr203_clean.py"),
+    "RPR210": ("rpr210_fail.py", "rpr210_clean.py"),
+    "RPR211": ("rpr211_fail.py", "rpr211_clean.py"),
+    "RPR212": ("rpr212_fail.py", "rpr212_clean.py"),
+    "RPR213": ("rpr213_fail.py", "rpr213_clean.py"),
     "RPR301": ("rpr301_fail.py", "rpr301_clean.py"),
     "RPR302": ("rpr302_fail.py", "rpr302_clean.py"),
 }
@@ -29,8 +40,18 @@ EXPECTED_FAIL_COUNTS = {
     "RPR101": 2,   # BinOp add + AugAssign subtract
     "RPR102": 3,   # 8760, 3600.0, 86400.0
     "RPR103": 2,   # bare parameter + unsuffixed float-returning function
+    "RPR104": 2,   # exact == and != on power/energy names
+    "RPR110": 2,   # positional + keyword J-into-W bindings
+    "RPR111": 2,   # return-unit mismatch + assignment-unit mismatch
+    "RPR112": 2,   # wh_to_joules(J) + joules_to_wh(Wh)
+    "RPR113": 2,   # inferred-return mix + same-dimension scale mix
     "RPR201": 4,   # time.time, aliased time, np.random.rand, random.random
     "RPR202": 2,   # for-over-set + sum-over-set-comprehension
+    "RPR203": 2,   # positional list default + keyword-only dict default
+    "RPR210": 2,   # reachable time.time + reachable random.random
+    "RPR211": 2,   # reachable os.getenv + reachable os.cpu_count
+    "RPR212": 2,   # reachable for-over-set + reachable sum-over-set
+    "RPR213": 2,   # reachable global rebind + reachable dict store
     "RPR301": 2,   # except Exception + bare except
     "RPR302": 2,   # RuntimeError + custom non-ReproError subclass
 }

@@ -1,0 +1,63 @@
+"""The seeded cross-module bug package: whole-program-only findings.
+
+``wholeprog_demo`` plants eight defects that each span a module
+boundary.  The acceptance test below checks both directions: the
+whole-program passes report all of them, and the per-file rules —
+given the very same files — report none.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_rules, lint_paths
+
+DEMO = Path(__file__).parent / "fixtures" / "wholeprog_demo"
+
+
+def _demo_files():
+    return sorted(str(p) for p in DEMO.glob("*.py"))
+
+
+@pytest.fixture(scope="module")
+def report():
+    return lint_paths(_demo_files())
+
+
+def test_demo_yields_at_least_six_distinct_whole_program_findings(report):
+    rules_hit = {f.rule_id for f in report.findings}
+    assert len(rules_hit) >= 6
+    assert rules_hit == {"RPR110", "RPR111", "RPR112", "RPR113",
+                         "RPR210", "RPR211", "RPR212", "RPR213"}
+
+
+def test_per_file_rules_are_blind_to_every_demo_bug():
+    per_file_ids = [rule_id for rule_id, cls in all_rules().items()
+                    if not cls.whole_program]
+    report = lint_paths(_demo_files(), select=per_file_ids)
+    assert report.clean, [f.render() for f in report.findings]
+
+
+def test_unit_bugs_point_at_the_misusing_module(report):
+    unit_findings = [f for f in report.findings
+                     if f.rule_id.startswith("RPR11")]
+    assert unit_findings
+    assert all(f.path.endswith("dispatch.py") for f in unit_findings)
+
+
+def test_purity_findings_carry_the_reachability_chain(report):
+    purity_findings = [f for f in report.findings
+                       if f.rule_id.startswith("RPR21")]
+    assert purity_findings
+    for finding in purity_findings:
+        assert finding.path.endswith("impure.py")
+        assert "[reachable: " in finding.message
+        assert "execute_request" in finding.message
+
+
+def test_impurities_without_the_entry_point_are_silent():
+    files = [p for p in _demo_files() if not p.endswith("service.py")]
+    report = lint_paths(files)
+    assert not any(f.rule_id.startswith("RPR21") for f in report.findings)

@@ -34,9 +34,11 @@ class TestRuntime:
     def test_failover_extends_runtime(self):
         """r=1 drains the SC first but the battery takes over, so runtime
         exceeds the SC-alone duration."""
-        sc_alone_s = prototype_buffer().sc_energy_j / 120.0
+        deficit_w = 120.0
+        sc_alone_s = prototype_buffer().sc_energy_j / deficit_w
         runtime = runtime_for_ratio(sc_factory, battery_factory,
-                                    deficit_w=120.0, r_lambda=1.0, dt=10.0)
+                                    deficit_w=deficit_w, r_lambda=1.0,
+                                    dt=10.0)
         assert runtime > sc_alone_s
 
 
