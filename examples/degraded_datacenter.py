@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Scenario: a bad week in the machine room.
+
+The paper's availability story (Section 7.2) is told under clean power.
+This example stresses it with the fault-injection subsystem
+(``repro.faults``):
+
+1. replays one composite storm — a deep brownout, battery aging, then a
+   hard outage — against BaOnly and HEB-D, and decomposes the resulting
+   downtime per fault class;
+2. shows the controller's graceful degradation: the plan a HEB policy
+   produces when its battery is unreachable or its telemetry is noise;
+3. sweeps the storm's intensity from 0 to 1 and compares how fast each
+   architecture's downtime grows (the ``python -m repro resilience``
+   experiment in miniature).
+
+Run with::
+
+    python examples/degraded_datacenter.py
+"""
+
+import dataclasses
+
+from repro import make_policy, prototype_buffer, quick_run
+from repro.core.policies.base import SlotObservation
+from repro.experiments import format_resilience, run_resilience
+from repro.units import joules_to_wh
+from repro.faults import (
+    BatteryCellAging,
+    FaultSchedule,
+    UtilityBrownout,
+    UtilityOutage,
+)
+
+
+def storm_section() -> None:
+    print("=== 1. One storm, two architectures ===")
+    storm = FaultSchedule.of(
+        UtilityBrownout(start_s=600.0, duration_s=1200.0,
+                        budget_fraction=0.15),
+        BatteryCellAging(start_s=300.0, fade_fraction=0.3,
+                         resistance_growth=2.0),
+        UtilityOutage(start_s=2700.0, duration_s=600.0))
+    print("storm:", ", ".join(
+        f"{e['kind']}@{e['start_s']:.0f}s" for e in storm.to_dict()["events"]))
+    for scheme in ("BaOnly", "HEB-D"):
+        metrics = quick_run(scheme, "PR", hours=1.0, seed=1,
+                            faults=storm).metrics
+        print(f"{scheme:>7s}: downtime {metrics.server_downtime_s:7.1f} s"
+              f" | unserved {joules_to_wh(metrics.unserved_energy_j):.1f} Wh"
+              f" | EE {metrics.energy_efficiency:.3f}")
+        for kind, seconds in (metrics.fault_downtime_s or {}).items():
+            print(f"         {kind:<16s} -> {seconds:7.1f} s")
+    print("-> the hybrid rides through what drains a battery-only UPS,")
+    print("   and the attribution names the faults that still hurt.")
+
+
+def degradation_section() -> None:
+    print()
+    print("=== 2. What the controller plans when hardware goes away ===")
+    policy = make_policy("HEB-D", hybrid=prototype_buffer())
+    clean = SlotObservation(
+        index=3, start_s=1800.0, budget_w=260.0,
+        sc_usable_j=120000.0, battery_usable_j=300000.0,
+        sc_nominal_j=160000.0, battery_nominal_j=380000.0,
+        last_peak_w=340.0, last_valley_w=200.0,
+        last_peak_duration_s=45.0, num_servers=6)
+    cases = {
+        "clean": clean,
+        "battery open-circuit": dataclasses.replace(
+            clean, battery_available=False),
+        "supercap unreachable": dataclasses.replace(
+            clean, sc_available=False),
+        "telemetry corrupted": dataclasses.replace(
+            clean, predictor_corrupted=True),
+    }
+    for label, observation in cases.items():
+        plan = policy.begin_slot(observation)
+        print(f"{label:>21s}: r_lambda={plan.r_lambda:.2f}"
+              f" sc={plan.use_sc} battery={plan.use_battery}"
+              f" | {plan.note}")
+    print("-> degraded slots also gate learning: a noisy window can't")
+    print("   poison the predictor or the PAT.")
+
+
+def sweep_section() -> None:
+    print()
+    print("=== 3. Downtime vs storm intensity (resilience sweep) ===")
+    # One simulated hour per (scheme, intensity) cell; below ~an hour
+    # the buffers ride out even the full storm and every cell is 0.
+    print(format_resilience(run_resilience(duration_h=1.0, seed=1)))
+
+
+def main() -> None:
+    storm_section()
+    degradation_section()
+    sweep_section()
+
+
+if __name__ == "__main__":
+    main()

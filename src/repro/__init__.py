@@ -19,7 +19,18 @@ per-figure reproduction harness.
 
 from __future__ import annotations
 
-from . import config, core, power, runner, server, sim, storage, tco, workloads
+from . import (
+    config,
+    core,
+    faults,
+    power,
+    runner,
+    server,
+    sim,
+    storage,
+    tco,
+    workloads,
+)
 from .config import (
     BatteryConfig,
     ClusterConfig,
@@ -40,6 +51,7 @@ from .config import (
 )
 from .core import make_policy, POLICY_NAMES
 from .errors import ReproError
+from .faults import FaultSchedule, load_schedule
 from .runner import (
     ExperimentRunner,
     ExperimentSetup,
@@ -53,8 +65,9 @@ from .workloads import get_workload, workload_names
 __version__ = "1.0.0"
 
 __all__ = [
-    "config", "core", "power", "runner", "server", "sim", "storage", "tco",
-    "workloads",
+    "config", "core", "faults", "power", "runner", "server", "sim",
+    "storage", "tco", "workloads",
+    "FaultSchedule", "load_schedule",
     "ExperimentRunner", "ExperimentSetup", "ResultCache", "RunRequest",
     "using_runner",
     "BatteryConfig", "ClusterConfig", "ControllerConfig",
@@ -72,7 +85,8 @@ __all__ = [
 
 def quick_run(scheme: str, workload: str, hours: float = 2.0,
               seed: int = 0, budget_w: float | None = None,
-              sc_fraction: float = 0.3) -> RunResult:
+              sc_fraction: float = 0.3,
+              faults: FaultSchedule | None = None) -> RunResult:
     """Run one (scheme, workload) simulation with prototype defaults.
 
     Args:
@@ -82,6 +96,8 @@ def quick_run(scheme: str, workload: str, hours: float = 2.0,
         seed: Workload RNG seed.
         budget_w: Utility budget override (prototype default 260 W).
         sc_fraction: SC share of the buffer capacity (paper default 0.3).
+        faults: Optional :class:`repro.faults.FaultSchedule` to inject;
+            None (or an empty schedule) runs fault-free.
 
     Returns:
         The :class:`repro.sim.RunResult` of the run.
@@ -90,4 +106,5 @@ def quick_run(scheme: str, workload: str, hours: float = 2.0,
 
     setup = ExperimentSetup(duration_h=hours, budget_w=budget_w,
                             seed=seed, sc_fraction=sc_fraction)
-    return get_runner().run(RunRequest(scheme, workload, setup=setup))
+    return get_runner().run(RunRequest(scheme, workload, setup=setup,
+                                       faults=faults))

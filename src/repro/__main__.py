@@ -6,6 +6,8 @@ Usage::
     python -m repro fig12 --hours 2 --seed 3 --jobs 8
     python -m repro fig15
     python -m repro run HEB-D PR --hours 2
+    python -m repro run HEB-D PR --faults storm.json
+    python -m repro resilience --hours 2
     python -m repro cache stats
     python -m repro cache clear
     python -m repro lint src --format json
@@ -26,7 +28,8 @@ from typing import Callable, Dict, List, Optional
 from . import experiments, quick_run
 from .analysis.cli import add_lint_arguments, run_lint
 from .core import POLICY_NAMES
-from .errors import ConfigurationError
+from .errors import ConfigurationError, FaultSpecError
+from .faults import load_schedule
 from .runner import (
     ExperimentRunner,
     ResultCache,
@@ -137,7 +140,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="time the engine's tick phases and print a "
                           "per-phase breakdown (runs locally, skips the "
                           "result cache; simulated numbers are unchanged)")
+    run.add_argument("--faults", type=str, default=None, metavar="SPEC",
+                     help="JSON fault-schedule file to inject (see "
+                          "docs/resilience.md for the format)")
     _add_runner_arguments(run)
+
+    resilience = subparsers.add_parser(
+        "resilience", help="sweep fault intensity and compare downtime "
+                           "across BaOnly / SCFirst / HEB-D")
+    resilience.add_argument("--hours", type=float, default=2.0)
+    resilience.add_argument("--seed", type=int, default=1)
+    resilience.add_argument("--workload", type=str, default="PR",
+                            choices=list(workload_names()))
+    _add_runner_arguments(resilience)
 
     lint = subparsers.add_parser(
         "lint", help="static analysis: unit, determinism, and exception "
@@ -163,6 +178,7 @@ def _build_runner(args) -> ExperimentRunner:
 
 
 def _run_single(args) -> str:
+    schedule = getattr(args, "fault_schedule", None)
     if args.profile:
         # Profiling wants a live, in-process run: bypass the runner and
         # its cache so the engine actually executes under the timer.
@@ -173,11 +189,13 @@ def _run_single(args) -> str:
         setup = ExperimentSetup(duration_h=args.hours, budget_w=args.budget,
                                 seed=args.seed)
         result = execute_request(
-            RunRequest(args.scheme, args.workload, setup=setup),
+            RunRequest(args.scheme, args.workload, setup=setup,
+                       faults=schedule),
             profiler=TickProfiler())
     else:
         result = quick_run(args.scheme, args.workload, hours=args.hours,
-                           seed=args.seed, budget_w=args.budget)
+                           seed=args.seed, budget_w=args.budget,
+                           faults=schedule)
     metrics = result.metrics
     lines = [
         f"{args.scheme} on {args.workload} "
@@ -189,6 +207,10 @@ def _run_single(args) -> str:
         f"{joules_to_wh(metrics.buffer_energy_out_j):.1f} / "
         f"{joules_to_wh(metrics.buffer_energy_in_j):.1f} Wh",
     ]
+    if metrics.fault_downtime_s:
+        lines.append("  downtime by fault class:")
+        for kind, seconds in metrics.fault_downtime_s.items():
+            lines.append(f"    {kind:<20s}: {seconds:.1f} s")
     if result.perf is not None:
         lines.append("")
         lines.append(result.perf.format_table())
@@ -221,12 +243,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "cache":
             return _cache_command(args)
+        if getattr(args, "faults", None):
+            args.fault_schedule = load_schedule(args.faults)
         runner = _build_runner(args)
-    except (ConfigurationError, OSError) as exc:
+    except (ConfigurationError, FaultSpecError, OSError) as exc:
         parser.error(str(exc))
     with using_runner(runner):
         if args.command == "run":
             print(_run_single(args))
+            return 0
+        if args.command == "resilience":
+            print(experiments.format_resilience(experiments.run_resilience(
+                duration_h=args.hours, seed=args.seed,
+                workload=args.workload)))
             return 0
         print(FIGURES[args.command](args))
     return 0

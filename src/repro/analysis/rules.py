@@ -22,7 +22,8 @@ from .findings import Finding
 #: Path components under which simulation results must be bit-for-bit
 #: reproducible (they feed the content-addressed result cache and the
 #: parallel==serial guarantee of the experiment runner).
-DETERMINISTIC_PACKAGES = frozenset({"sim", "core", "storage", "runner"})
+DETERMINISTIC_PACKAGES = frozenset(
+    {"sim", "core", "storage", "runner", "faults"})
 
 
 class FileContext:

@@ -33,6 +33,14 @@ class SlotObservation:
             the previous slot (zero for the first slot).
         last_peak_duration_s: Mean above-budget event duration last slot.
         num_servers: Cluster size.
+        sc_available / battery_available: Whether the pool is reachable
+            this slot.  False under injected power-path faults (battery
+            open-circuit, converter dropout); policies should not plan
+            around an unreachable pool.
+        predictor_corrupted: True when the peak/valley telemetry above
+            was perturbed by an active sensor fault; prediction-driven
+            policies should degrade to prediction-free operation and
+            skip learning from this slot.
     """
 
     index: int
@@ -46,6 +54,15 @@ class SlotObservation:
     last_valley_w: float
     last_peak_duration_s: float
     num_servers: int
+    sc_available: bool = True
+    battery_available: bool = True
+    predictor_corrupted: bool = False
+
+    @property
+    def degraded(self) -> bool:
+        """True when any fault flag calls for graceful degradation."""
+        return (not self.sc_available or not self.battery_available
+                or self.predictor_corrupted)
 
     @property
     def last_mismatch_w(self) -> float:

@@ -62,9 +62,65 @@ class _HebBase(Policy):
         """Expected peak duration; persistence of last slot by default."""
         return observation.last_peak_duration_s
 
+    # -- graceful degradation ---------------------------------------------
+
+    def degraded_plan(self, observation: SlotObservation) -> SlotPlan:
+        """Prediction-free fallback under fault flags (Section 5.2 spirit).
+
+        When a buffer bank has dropped out, or the predictor's inputs are
+        flagged corrupted, the PAT lookup cannot be trusted: its key (the
+        predicted deficit) or its premise (both pools answering) is wrong.
+        The safe plan is the two-tier small-peak policy — every buffered
+        server on the surviving fast pool, the other pool as backstop —
+        shrunk to whatever hardware still answers:
+
+        * both pools up, telemetry corrupted → all-SC with battery
+          fallback (the classic two-tier arrangement);
+        * battery out → all-SC, no fallback target behind it;
+        * SC out → all-battery, no fallback;
+        * neither pool reachable → ride the utility feed alone and let
+          the engine shed what the budget cannot carry.
+        """
+        sc_ok = observation.sc_available
+        battery_ok = observation.battery_available
+        if sc_ok and battery_ok:
+            return SlotPlan(
+                r_lambda=1.0,
+                charge_order=_CHARGE_ORDER,
+                fallback=True,
+                note="degraded two-tier (telemetry corrupted)",
+            )
+        if sc_ok:
+            return SlotPlan(
+                r_lambda=1.0,
+                charge_order=("sc",),
+                use_battery=False,
+                fallback=False,
+                note="degraded sc-only (battery bank out)",
+            )
+        if battery_ok:
+            return SlotPlan(
+                r_lambda=0.0,
+                charge_order=("battery",),
+                use_sc=False,
+                fallback=False,
+                note="degraded battery-only (sc bank out)",
+            )
+        return SlotPlan(
+            r_lambda=0.0,
+            charge_order=(),
+            use_sc=False,
+            use_battery=False,
+            fallback=False,
+            note="degraded utility-only (no buffers reachable)",
+        )
+
     # -- planning --------------------------------------------------------
 
     def begin_slot(self, observation: SlotObservation) -> SlotPlan:
+        if observation.degraded:
+            self._last_deficit_w = 0.0
+            return self.degraded_plan(observation)
         peak = self.estimate_peak(observation)
         deficit = max(0.0, peak - observation.budget_w)
         duration = self.estimate_duration(observation)
@@ -158,6 +214,10 @@ class HebSPolicy(_HebBase):
         return entry.r_lambda if entry is not None else 0.5
 
     def end_slot(self, result: SlotResult) -> None:
+        # A slot whose telemetry was flagged corrupted teaches nothing:
+        # feeding noise into Holt-Winters poisons every later forecast.
+        if result.observation.predictor_corrupted:
+            return
         self.predictor.observe_slot(result.actual_peak_w,
                                     result.actual_valley_w)
 
@@ -203,6 +263,10 @@ class HebDPolicy(_HebBase):
         return plan
 
     def end_slot(self, result: SlotResult) -> None:
+        # Corrupted telemetry must neither update the predictor nor
+        # teach the PAT — both would learn the noise, not the workload.
+        if result.observation.predictor_corrupted:
+            return
         self.predictor.observe_slot(result.actual_peak_w,
                                     result.actual_valley_w)
         # Only large-peak slots that actually hit the buffers teach the

@@ -61,6 +61,15 @@ class TCOError(ReproError):
     """An economics computation received inconsistent inputs."""
 
 
+class FaultSpecError(ReproError):
+    """A fault-injection schedule or event specification is invalid.
+
+    Raised for out-of-range event parameters, unknown fault kinds, and
+    malformed schedule documents — always before a simulation starts,
+    never while one is running.
+    """
+
+
 class AnalysisError(ReproError):
     """The static-analysis tooling was invoked incorrectly.
 

@@ -1,0 +1,162 @@
+"""Resilience sweep: downtime vs fault intensity across architectures.
+
+The paper's availability argument (Section 7.2) is made under clean
+power.  This experiment stresses it: a parameterized fault scenario —
+utility brownout, a hard outage, battery aging, and sensor noise, all
+scaled by one ``intensity`` knob in [0, 1] — is injected into BaOnly,
+SCFirst, and HEB-D runs, and aggregate server downtime is compared as
+the scenario worsens.  Intensity 0 is the fault-free baseline (an empty
+schedule, bit-identical to an ordinary run); intensity 1 is the full
+storm.
+
+The interesting question is *graceful degradation*: HEB-D detects
+corrupted telemetry and unreachable pools and falls back to the two-tier
+plan, so its downtime should grow no faster than the static
+architectures it beats under clean power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..faults import (
+    BatteryCellAging,
+    FaultSchedule,
+    SensorNoise,
+    UtilityBrownout,
+    UtilityOutage,
+)
+from ..runner import ExperimentSetup, RunRequest, get_runner
+from ..units import hours
+
+#: The three architectures of the availability comparison: battery-only
+#: (the conventional UPS), SC-first (naive hybrid), and the full HEB.
+SCHEMES: Tuple[str, ...] = ("BaOnly", "SCFirst", "HEB-D")
+
+INTENSITIES: Tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+# Full-storm (intensity 1.0) scenario parameters; every knob scales
+# linearly down to nothing at intensity 0.
+_MAX_BROWNOUT_DEPTH = 0.4     # budget drops to 60% of nominal
+_MAX_OUTAGE_S = 300.0         # 5-minute hard outage
+_MAX_AGING_FADE = 0.25        # quarter of battery capacity gone
+_MAX_SENSOR_SIGMA = 0.3      # 30% multiplicative telemetry noise
+
+
+@dataclass(frozen=True)
+class ResiliencePoint:
+    """One (scheme, intensity) sweep point."""
+
+    scheme: str
+    intensity: float
+    downtime_s: float
+    downtime_fraction: float
+    lifetime_years: float
+    fault_downtime_s: Optional[Dict[str, float]]
+
+
+def fault_schedule_for(intensity: float, duration_s: float,
+                       seed: int = 0) -> FaultSchedule:
+    """The sweep's fault scenario at one intensity in [0, 1].
+
+    The storm is laid out over the run: a brownout window through the
+    second quarter, battery aging at the midpoint, a hard outage at the
+    start of the final quarter, and sensor noise over the second half.
+    At intensity 0 the schedule is empty (fault-free baseline).
+    """
+    if intensity <= 0.0:
+        return FaultSchedule.empty()
+    quarter = duration_s / 4.0
+    events = (
+        UtilityBrownout(
+            start_s=quarter,
+            duration_s=quarter,
+            budget_fraction=1.0 - _MAX_BROWNOUT_DEPTH * intensity),
+        BatteryCellAging(
+            start_s=2.0 * quarter,
+            fade_fraction=_MAX_AGING_FADE * intensity,
+            resistance_growth=1.0 + intensity),
+        UtilityOutage(
+            start_s=3.0 * quarter,
+            duration_s=_MAX_OUTAGE_S * intensity),
+        SensorNoise(
+            start_s=2.0 * quarter,
+            duration_s=2.0 * quarter,
+            sigma_fraction=_MAX_SENSOR_SIGMA * intensity),
+    )
+    return FaultSchedule.of(*events, seed=seed)
+
+
+def run_resilience(duration_h: float = 2.0, seed: int = 1,
+                   workload: str = "PR",
+                   schemes: Sequence[str] = SCHEMES,
+                   intensities: Sequence[float] = INTENSITIES,
+                   ) -> Dict[str, List[ResiliencePoint]]:
+    """Sweep fault intensity for each scheme; returns points per scheme."""
+    schemes = list(schemes)
+    intensities = list(intensities)
+    setup = ExperimentSetup(duration_h=duration_h, seed=seed)
+    duration_s = hours(duration_h)
+
+    requests: List[RunRequest] = []
+    for scheme in schemes:
+        for intensity in intensities:
+            requests.append(RunRequest(
+                scheme, workload, setup=setup,
+                faults=fault_schedule_for(intensity, duration_s,
+                                          seed=seed)))
+    results = get_runner().map(requests)
+
+    points: Dict[str, List[ResiliencePoint]] = {}
+    cursor = 0
+    for scheme in schemes:
+        rows: List[ResiliencePoint] = []
+        for intensity in intensities:
+            metrics = results[cursor].metrics
+            cursor += 1
+            rows.append(ResiliencePoint(
+                scheme=scheme,
+                intensity=intensity,
+                downtime_s=metrics.server_downtime_s,
+                downtime_fraction=metrics.downtime_fraction,
+                lifetime_years=metrics.battery_lifetime_years,
+                fault_downtime_s=metrics.fault_downtime_s,
+            ))
+        points[scheme] = rows
+    return points
+
+
+def format_resilience(points: Dict[str, List[ResiliencePoint]]) -> str:
+    """Downtime table: one row per intensity, one column per scheme."""
+    schemes = sorted(points)
+    intensities = [row.intensity for row in points[schemes[0]]]
+    header = f"{'intensity':>9s}" + "".join(
+        f" {scheme:>12s}" for scheme in schemes)
+    lines = ["Resilience — aggregate server downtime (s) vs fault "
+             "intensity",
+             header]
+    for index, intensity in enumerate(intensities):
+        cells = "".join(
+            f" {points[scheme][index].downtime_s:>12.1f}"
+            for scheme in schemes)
+        lines.append(f"{intensity:>9.2f}{cells}")
+
+    # Downtime attribution at the full storm, where every class fired.
+    lines.append("")
+    lines.append("Full-storm downtime attribution (s):")
+    for scheme in schemes:
+        worst = points[scheme][-1]
+        buckets = worst.fault_downtime_s or {}
+        detail = ", ".join(f"{kind}={seconds:.1f}"
+                           for kind, seconds in buckets.items())
+        lines.append(f"  {scheme:>8s}: {detail if detail else '(none)'}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_resilience(run_resilience()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,278 @@
+"""Typed fault events: everything that can go wrong, as frozen data.
+
+The taxonomy covers the disturbance classes the resilience literature
+evaluates hybrid buffers under — supply-side sags and outages, storage
+degradation, power-path hardware loss, and sensing corruption:
+
+* :class:`UtilityBrownout` / :class:`UtilityOutage` — the source budget
+  sags to a fraction of nominal (or to zero) for a window.
+* :class:`BatteryCellAging` — a step of capacity fade plus internal-
+  resistance growth (sulfation / cell dry-out), applied once and
+  persistent for the rest of the run.
+* :class:`BatteryOpenCircuit` — the battery bank drops off the bus for a
+  window (blown fuse, contactor weld, BMS trip).
+* :class:`SupercapESRDrift` — a persistent step multiplier on the SC
+  pool's equivalent series resistance (electrolyte dry-out).
+* :class:`SupercapLeakage` — a parasitic self-discharge draw on the SC
+  pool for a window (dielectric leakage, balancing-resistor fault).
+* :class:`ConverterDropout` — the shared buffer-side converter fails for
+  a window: *neither* pool can serve or absorb power.
+* :class:`SensorNoise` — the power telemetry feeding the predictor is
+  corrupted by multiplicative Gaussian noise for a window; observations
+  taken inside the window are flagged so policies can degrade.
+
+Events are frozen dataclasses so a :class:`~repro.faults.FaultSchedule`
+embedded in a :class:`~repro.runner.RunRequest` is hashable, picklable,
+and canonically serializable — fault scenarios are content-addressed and
+cacheable like any other run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, Tuple, Type
+
+from ..errors import FaultSpecError
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise FaultSpecError(message)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: something goes wrong at ``start_s``.
+
+    Subclasses without a duration are *step* events: their effect is
+    applied once at ``start_s`` and persists to the end of the run.
+    """
+
+    #: Stable spec/reporting name of the fault class (subclass constant).
+    kind: ClassVar[str] = "fault"
+    #: Whether the event degrades the system permanently once started.
+    persistent: ClassVar[bool] = True
+
+    start_s: float
+
+    def __post_init__(self) -> None:
+        _require(self.start_s >= 0.0,
+                 f"{self.kind}: start_s must be >= 0, got {self.start_s!r}")
+
+    def active_at(self, now_s: float) -> bool:
+        """Whether the fault affects the system at simulation time ``now_s``."""
+        return now_s >= self.start_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible spec form (``kind`` plus the event's fields)."""
+        payload: Dict[str, Any] = {"kind": self.kind}
+        for spec_field in fields(self):
+            payload[spec_field.name] = getattr(self, spec_field.name)
+        return payload
+
+
+@dataclass(frozen=True)
+class WindowedFault(FaultEvent):
+    """A fault active over ``[start_s, start_s + duration_s)``."""
+
+    persistent: ClassVar[bool] = False
+
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(self.duration_s >= 0.0,
+                 f"{self.kind}: duration_s must be >= 0, "
+                 f"got {self.duration_s!r}")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def active_at(self, now_s: float) -> bool:
+        return self.start_s <= now_s < self.end_s
+
+
+@dataclass(frozen=True)
+class UtilityBrownout(WindowedFault):
+    """The utility (or solar) budget sags to a fraction of nominal.
+
+    Attributes:
+        budget_fraction: Remaining fraction of the nominal budget during
+            the window, in [0, 1].  Multiple overlapping brownouts
+            compose by taking the deepest sag.
+    """
+
+    kind: ClassVar[str] = "brownout"
+
+    budget_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(0.0 <= self.budget_fraction <= 1.0,
+                 f"{self.kind}: budget_fraction must lie in [0, 1], "
+                 f"got {self.budget_fraction!r}")
+
+
+@dataclass(frozen=True)
+class UtilityOutage(WindowedFault):
+    """The source feed disappears entirely for a window."""
+
+    kind: ClassVar[str] = "outage"
+
+
+@dataclass(frozen=True)
+class BatteryCellAging(FaultEvent):
+    """A step of battery capacity fade applied once at ``start_s``.
+
+    Models sudden degradation (a cell shorting, deep sulfation found at
+    inspection) rather than gradual calendar wear: the pool's capacity
+    shrinks by ``fade_fraction`` of its fresh value and its internal
+    resistance grows, both permanently.
+
+    Attributes:
+        fade_fraction: Capacity fraction lost relative to the fresh
+            battery, in [0, 1).
+        resistance_growth: Internal-resistance multiplier per unit of
+            fade (>= 1); see
+            :meth:`repro.storage.battery.LeadAcidBattery.apply_aging`.
+    """
+
+    kind: ClassVar[str] = "battery_aging"
+
+    fade_fraction: float = 0.2
+    resistance_growth: float = 2.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(0.0 <= self.fade_fraction < 1.0,
+                 f"{self.kind}: fade_fraction must lie in [0, 1), "
+                 f"got {self.fade_fraction!r}")
+        _require(self.resistance_growth >= 1.0,
+                 f"{self.kind}: resistance_growth must be >= 1, "
+                 f"got {self.resistance_growth!r}")
+
+
+@dataclass(frozen=True)
+class BatteryOpenCircuit(WindowedFault):
+    """The battery bank is disconnected from the bus for a window."""
+
+    kind: ClassVar[str] = "battery_open_circuit"
+
+
+@dataclass(frozen=True)
+class SupercapESRDrift(FaultEvent):
+    """A persistent step multiplier on the SC pool's series resistance.
+
+    Attributes:
+        esr_multiplier: Multiplier on the configured ESR (>= 1); repeated
+            events compose multiplicatively through the device hook,
+            which only ever raises resistance.
+    """
+
+    kind: ClassVar[str] = "sc_esr_drift"
+
+    esr_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(self.esr_multiplier >= 1.0,
+                 f"{self.kind}: esr_multiplier must be >= 1, "
+                 f"got {self.esr_multiplier!r}")
+
+
+@dataclass(frozen=True)
+class SupercapLeakage(WindowedFault):
+    """Parasitic self-discharge on the SC pool during a window.
+
+    Attributes:
+        leakage_w: Constant internal drain while active (>= 0); the
+            energy leaves the store as loss, never as delivered output.
+    """
+
+    kind: ClassVar[str] = "sc_leakage"
+
+    leakage_w: float = 5.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(self.leakage_w >= 0.0,
+                 f"{self.kind}: leakage_w must be >= 0, "
+                 f"got {self.leakage_w!r}")
+
+
+@dataclass(frozen=True)
+class ConverterDropout(WindowedFault):
+    """The shared buffer-side converter fails: no pool can serve or charge."""
+
+    kind: ClassVar[str] = "converter_dropout"
+
+
+@dataclass(frozen=True)
+class SensorNoise(WindowedFault):
+    """Predictor observations are corrupted by multiplicative noise.
+
+    Slot observations taken inside the window have their realized
+    peak/valley telemetry perturbed by ``1 + sigma_fraction * N(0, 1)``
+    (clipped non-negative) and are flagged ``predictor_corrupted`` so
+    policies can fall back to prediction-free operation.
+
+    Attributes:
+        sigma_fraction: Relative standard deviation of the noise (>= 0).
+    """
+
+    kind: ClassVar[str] = "sensor_noise"
+
+    sigma_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(self.sigma_fraction >= 0.0,
+                 f"{self.kind}: sigma_fraction must be >= 0, "
+                 f"got {self.sigma_fraction!r}")
+
+
+#: Every concrete event type, in spec-registry order.
+EVENT_TYPES: Tuple[Type[FaultEvent], ...] = (
+    UtilityBrownout,
+    UtilityOutage,
+    BatteryCellAging,
+    BatteryOpenCircuit,
+    SupercapESRDrift,
+    SupercapLeakage,
+    ConverterDropout,
+    SensorNoise,
+)
+
+#: Spec ``kind`` string -> event class.
+EVENT_REGISTRY: Dict[str, Type[FaultEvent]] = {
+    cls.kind: cls for cls in EVENT_TYPES}
+
+#: Every fault-class name, plus the attribution bucket for downtime that
+#: accrues with no fault active.
+BASELINE_CLASS = "baseline"
+FAULT_CLASSES: Tuple[str, ...] = tuple(cls.kind for cls in EVENT_TYPES)
+
+
+def event_from_dict(payload: Dict[str, Any]) -> FaultEvent:
+    """Build one event from its spec dict (inverse of ``to_dict``).
+
+    Raises:
+        FaultSpecError: On a missing/unknown ``kind`` or bad fields.
+    """
+    if not isinstance(payload, dict):
+        raise FaultSpecError(f"fault event spec must be an object, "
+                             f"got {type(payload).__name__}")
+    spec = dict(payload)
+    kind = spec.pop("kind", None)
+    if kind is None:
+        raise FaultSpecError("fault event spec is missing 'kind'")
+    event_cls = EVENT_REGISTRY.get(kind)
+    if event_cls is None:
+        known = ", ".join(sorted(EVENT_REGISTRY))
+        raise FaultSpecError(f"unknown fault kind {kind!r}; known: {known}")
+    try:
+        return event_cls(**spec)
+    except TypeError as error:
+        raise FaultSpecError(
+            f"bad fields for fault kind {kind!r}: {error}") from error

@@ -1,0 +1,246 @@
+"""The deterministic fault-state machine the engine consults every tick.
+
+A :class:`FaultInjector` turns a frozen
+:class:`~repro.faults.schedule.FaultSchedule` into the per-tick answers
+the engine needs:
+
+* :meth:`begin_tick` — advance to a simulation time: apply due step
+  events (battery aging, ESR drift) to the buffers, drain active SC
+  leakage, and recompute the active-fault snapshot.
+* :meth:`transform_budget` — the supply-side view (brownouts/outages).
+* :attr:`sc_available` / :attr:`battery_available` — the power-path view
+  (open circuits, converter dropout).
+* :meth:`observe` — the sensing view: perturb a slot observation's
+  telemetry under active sensor noise and stamp availability flags.
+* :meth:`attribute_downtime` — downtime bookkeeping per fault class,
+  surfaced in :class:`~repro.sim.metrics.RunMetrics.fault_downtime_s`.
+
+Determinism: all stochastic draws come from one private
+``numpy.random.Generator`` seeded by the schedule, and draws happen
+*only* when a sensor-noise window is active — an injector built from an
+empty schedule performs no draws and no mutations, so a zero-fault run
+is bit-identical to a run with no injector at all (asserted by test).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.policies.base import SlotObservation
+from ..errors import SimulationError
+from ..storage.bank import DeviceBank
+from ..storage.battery import LeadAcidBattery
+from ..storage.device import EnergyStorageDevice
+from ..storage.supercap import Supercapacitor
+from .events import (
+    BASELINE_CLASS,
+    BatteryCellAging,
+    BatteryOpenCircuit,
+    ConverterDropout,
+    SensorNoise,
+    SupercapESRDrift,
+    SupercapLeakage,
+    UtilityBrownout,
+    UtilityOutage,
+)
+from .schedule import FaultSchedule
+
+
+def _leaf_devices(device: Optional[EnergyStorageDevice]
+                  ) -> List[EnergyStorageDevice]:
+    """Flatten a pool (single device or relay-connected bank) to leaves."""
+    if device is None:
+        return []
+    if isinstance(device, DeviceBank):
+        leaves: List[EnergyStorageDevice] = []
+        for member in device.devices:
+            leaves.extend(_leaf_devices(member))
+        return leaves
+    return [device]
+
+
+class FaultInjector:
+    """Executes one :class:`FaultSchedule` against one simulation run.
+
+    An injector is single-use: it carries applied-event and downtime
+    state, so every run must construct its own (``execute_request``
+    does).  All mutation happens through :meth:`begin_tick`, which the
+    engine calls exactly once per tick in time order.
+    """
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+        self._rng = np.random.default_rng(schedule.seed)
+        self._events = schedule.events
+        self._applied = [False] * len(schedule.events)
+        self._fade_applied = 0.0
+        self._now_s = -1.0
+
+        # Snapshot of the world at the current tick, rebuilt by begin_tick.
+        self._budget_fraction = 1.0
+        self._battery_open = False
+        self._converter_down = False
+        self._sensor_sigma = 0.0
+        self._active_classes: Tuple[str, ...] = ()
+
+        self._downtime_by_class: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Tick protocol
+    # ------------------------------------------------------------------
+
+    def begin_tick(self, now_s: float, dt: float, buffers) -> None:
+        """Advance the fault state to ``now_s`` and act on the buffers.
+
+        Args:
+            now_s: Simulation time of the tick start (must not go
+                backwards; the injector is single-use).
+            dt: Tick length in seconds.
+            buffers: The run's :class:`~repro.sim.buffers.HybridBuffers`
+                (step events and leakage mutate its devices).
+        """
+        if now_s < self._now_s:
+            raise SimulationError(
+                f"fault injector stepped backwards: {now_s} < {self._now_s}")
+        self._now_s = now_s
+
+        budget_fraction = 1.0
+        battery_open = False
+        converter_down = False
+        sensor_sigma = 0.0
+        leakage_w = 0.0
+        active: List[str] = []
+
+        for index, event in enumerate(self._events):
+            if not event.active_at(now_s):
+                continue
+            active.append(event.kind)
+            if event.persistent and not self._applied[index]:
+                self._apply_step(event, buffers)
+                self._applied[index] = True
+            if isinstance(event, UtilityOutage):
+                budget_fraction = 0.0
+            elif isinstance(event, UtilityBrownout):
+                budget_fraction = min(budget_fraction,
+                                      event.budget_fraction)
+            elif isinstance(event, BatteryOpenCircuit):
+                battery_open = True
+            elif isinstance(event, ConverterDropout):
+                converter_down = True
+            elif isinstance(event, SensorNoise):
+                sensor_sigma = max(sensor_sigma, event.sigma_fraction)
+            elif isinstance(event, SupercapLeakage):
+                leakage_w += event.leakage_w
+
+        self._budget_fraction = budget_fraction
+        self._battery_open = battery_open
+        self._converter_down = converter_down
+        self._sensor_sigma = sensor_sigma
+        # Dedupe while preserving canonical order.
+        self._active_classes = tuple(dict.fromkeys(active))
+
+        if leakage_w > 0.0:
+            for device in _leaf_devices(buffers.sc):
+                if isinstance(device, Supercapacitor):
+                    device.apply_leakage(leakage_w, dt)
+
+    def _apply_step(self, event, buffers) -> None:
+        """Apply a persistent degradation step to the buffer devices."""
+        if isinstance(event, BatteryCellAging):
+            # Compose repeated aging steps: each fades the *remaining*
+            # capacity, so total fade is monotone and stays below 1.
+            self._fade_applied = (
+                self._fade_applied
+                + event.fade_fraction * (1.0 - self._fade_applied))
+            for device in _leaf_devices(buffers.battery):
+                if isinstance(device, LeadAcidBattery):
+                    device.apply_aging(self._fade_applied,
+                                       event.resistance_growth)
+        elif isinstance(event, SupercapESRDrift):
+            for device in _leaf_devices(buffers.sc):
+                if isinstance(device, Supercapacitor):
+                    device.apply_esr_drift(event.esr_multiplier)
+
+    # ------------------------------------------------------------------
+    # Per-tick queries (valid until the next begin_tick)
+    # ------------------------------------------------------------------
+
+    @property
+    def sc_available(self) -> bool:
+        """Whether the SC pool is reachable this tick."""
+        return not self._converter_down
+
+    @property
+    def battery_available(self) -> bool:
+        """Whether the battery pool is reachable this tick."""
+        return not (self._converter_down or self._battery_open)
+
+    @property
+    def active_classes(self) -> Tuple[str, ...]:
+        """Fault classes in force this tick (canonical order, deduped)."""
+        return self._active_classes
+
+    def transform_budget(self, budget_w: float) -> float:
+        """The supply budget after active brownouts/outages."""
+        if self._budget_fraction >= 1.0:
+            return budget_w
+        return budget_w * self._budget_fraction
+
+    def observe(self, observation: SlotObservation) -> SlotObservation:
+        """The controller's (possibly corrupted) view of an observation.
+
+        Under active sensor noise the realized peak/valley telemetry of
+        the previous slot is perturbed multiplicatively and the
+        observation is flagged ``predictor_corrupted``; pool-availability
+        flags always reflect the current tick.  With no sensing or
+        power-path fault active, the observation is returned unchanged
+        (same object).
+        """
+        sc_ok = self.sc_available
+        battery_ok = self.battery_available
+        sigma = self._sensor_sigma
+        if sigma <= 0.0 and sc_ok and battery_ok:
+            return observation
+
+        changes: Dict[str, object] = {
+            "sc_available": sc_ok,
+            "battery_available": battery_ok,
+        }
+        if sigma > 0.0:
+            peak_gain = max(0.0, 1.0 + sigma * self._rng.standard_normal())
+            valley_gain = max(0.0, 1.0 + sigma * self._rng.standard_normal())
+            noisy_peak = observation.last_peak_w * peak_gain
+            noisy_valley = min(noisy_peak,
+                               observation.last_valley_w * valley_gain)
+            changes["last_peak_w"] = noisy_peak
+            changes["last_valley_w"] = noisy_valley
+            changes["predictor_corrupted"] = True
+        return dataclasses.replace(observation, **changes)
+
+    # ------------------------------------------------------------------
+    # Downtime attribution
+    # ------------------------------------------------------------------
+
+    def attribute_downtime(self, delta_s: float) -> None:
+        """Charge newly-accrued downtime to the active fault classes.
+
+        Downtime accrued while ``n`` fault classes are active is split
+        evenly among them; downtime with no fault active is charged to
+        the ``"baseline"`` bucket.  The buckets therefore always sum to
+        the run's total downtime.
+        """
+        if delta_s <= 0.0:
+            return
+        classes = self._active_classes or (BASELINE_CLASS,)
+        share = delta_s / len(classes)
+        for kind in classes:
+            self._downtime_by_class[kind] = (
+                self._downtime_by_class.get(kind, 0.0) + share)
+
+    def downtime_by_class(self) -> Dict[str, float]:
+        """Per-fault-class downtime attribution so far (sorted by class)."""
+        return {kind: self._downtime_by_class[kind]
+                for kind in sorted(self._downtime_by_class)}

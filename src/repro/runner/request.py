@@ -28,6 +28,7 @@ from ..config import (
 )
 from ..core import make_policy
 from ..errors import ConfigurationError
+from ..faults import FaultInjector, FaultSchedule
 from ..sim import HybridBuffers, RunResult, Simulation
 from ..units import hours
 from ..workloads import generate_solar_trace, get_workload
@@ -95,6 +96,11 @@ class RunRequest:
             Figure 13 trick of carving usable m:n ratios out of fixed
             hardware with DoD caps while the pilot profile sees only the
             usable capacities.
+        faults: Optional :class:`~repro.faults.FaultSchedule` injected
+            into the run.  A schedule is pure frozen data, so fault
+            scenarios are content-addressed and cacheable like any other
+            request; ``None`` and an *empty* schedule both execute the
+            exact fault-free path (bit-identical results).
     """
 
     scheme: str
@@ -106,6 +112,7 @@ class RunRequest:
     start_hour: float = 8.0
     policy_sc_fraction: Optional[float] = None
     policy_total_wh: Optional[float] = None
+    faults: Optional[FaultSchedule] = None
 
     def __post_init__(self) -> None:
         if self.solar is not None and not self.renewable:
@@ -113,6 +120,11 @@ class RunRequest:
                 "a solar supply requires renewable=True")
         if self.renewable and self.solar is None:
             object.__setattr__(self, "solar", DEFAULT_RENEWABLE_SOLAR)
+        # An empty schedule injects nothing; canonicalize it to None so
+        # the cache key (and the execution path) is identical to a
+        # request that never mentioned faults.
+        if self.faults is not None and self.faults.is_empty:
+            object.__setattr__(self, "faults", None)
 
 
 def execute_request(request: RunRequest, profiler=None) -> RunResult:
@@ -156,6 +168,11 @@ def execute_request(request: RunRequest, profiler=None) -> RunResult:
                             battery_dod=setup.battery_dod,
                             sc_dod=setup.sc_dod)
 
+    # Injectors carry per-run state (applied steps, downtime buckets), so
+    # each execution builds a fresh one from the frozen schedule.
+    injector = (FaultInjector(request.faults)
+                if request.faults is not None else None)
+
     if request.renewable:
         supply = generate_solar_trace(duration_s, config=request.solar,
                                       seed=setup.seed,
@@ -164,10 +181,10 @@ def execute_request(request: RunRequest, profiler=None) -> RunResult:
                                 cluster_config=cluster,
                                 controller_config=request.controller,
                                 supply=supply, renewable=True,
-                                profiler=profiler)
+                                profiler=profiler, injector=injector)
     else:
         simulation = Simulation(trace, policy, buffers,
                                 cluster_config=cluster,
                                 controller_config=request.controller,
-                                profiler=profiler)
+                                profiler=profiler, injector=injector)
     return simulation.run()

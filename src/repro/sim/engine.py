@@ -20,6 +20,15 @@ Power-flow rules per tick (all at the server side of the converter):
    cohort (Section 7.2).
 4. With no deficit, headroom restarts offline servers first, then charges
    the pools in the plan's ``charge_order``.
+
+Fault injection: an optional :class:`~repro.faults.FaultInjector` hooks
+the loop at three points — the tick prologue (degradation steps, budget
+sag, pool availability), :meth:`Simulation._observe` (sensor corruption
+and availability flags on the slot observation), and
+:meth:`Simulation._serve_buffers` / :meth:`Simulation._charge_pools`
+(unreachable pools neither serve, back up, nor charge).  Every hook is
+gated on ``injector is not None``, so a run without an injector is
+bit-identical to one from before the subsystem existed.
 """
 
 from __future__ import annotations
@@ -60,7 +69,8 @@ class Simulation:
                  sim_config: Optional[SimulationConfig] = None,
                  supply: Optional[PowerTrace] = None,
                  renewable: bool = False,
-                 profiler=None) -> None:
+                 profiler=None,
+                 injector=None) -> None:
         self.trace = trace
         self.policy = policy
         self.buffers = buffers
@@ -68,6 +78,10 @@ class Simulation:
         #: rather than imported so the deterministic sim package never
         #: touches wall clocks itself.
         self.profiler = profiler
+        #: Optional fault injector (``repro.faults.FaultInjector``); also
+        #: injected rather than imported — the engine only consults its
+        #: hook protocol, keeping ``sim`` free of a ``faults`` dependency.
+        self.injector = injector
         self.cluster_config = cluster_config or ClusterConfig()
         self.controller_config = controller_config or ControllerConfig()
         self.sim_config = sim_config or SimulationConfig()
@@ -125,6 +139,12 @@ class Simulation:
         fixed_budget = self.cluster_config.utility_budget_w
         has_sc = buffers.sc is not None
         prof = self.profiler
+        injector = self.injector
+        # Pool reachability under injected power-path faults; stays True
+        # for the whole run when no injector is present.
+        sc_ok = True
+        ba_ok = True
+        last_downtime_s = 0.0
 
         # Per-tick cluster demand totals, computed in one vectorized pass.
         # An axis-0 reduce accumulates rows sequentially, which matches
@@ -153,6 +173,13 @@ class Simulation:
             if prof is not None:
                 prof.begin_tick()
 
+            # --- fault prologue -----------------------------------------
+            if injector is not None:
+                injector.begin_tick(now, dt, buffers)
+                budget = injector.transform_budget(budget)
+                sc_ok = injector.sc_available
+                ba_ok = injector.battery_available
+
             # --- slot boundary ------------------------------------------
             if tick % slot_ticks == 0:
                 if plan is not None and observation is not None:
@@ -176,8 +203,8 @@ class Simulation:
             draws = cluster.draw_array(raw)
             assignment = scheduler.assign(
                 draws, cluster.powered_mask(), budget, plan.r_lambda,
-                use_sc=plan.use_sc and has_sc,
-                use_battery=plan.use_battery)
+                use_sc=plan.use_sc and has_sc and sc_ok,
+                use_battery=plan.use_battery and ba_ok)
             if prof is not None:
                 prof.mark("schedule")
 
@@ -215,7 +242,8 @@ class Simulation:
             # --- buffer service -------------------------------------------
             buffers.begin_tick()
             served_from_buffers, shortfall_unserved, loss_w = (
-                self._serve_buffers(assignment, plan, draws, dt, accumulator))
+                self._serve_buffers(assignment, plan, draws, dt, accumulator,
+                                    sc_ok=sc_ok, ba_ok=ba_ok))
             unserved_w += shortfall_unserved
             if prof is not None:
                 prof.mark("buffers")
@@ -235,13 +263,20 @@ class Simulation:
                                 server.draw_w(0.0),
                                 server.config.idle_power_w)
                     charge_w = self._charge_pools(
-                        plan.charge_order, max(0.0, headroom), dt)
+                        plan.charge_order, max(0.0, headroom), dt,
+                        sc_ok=sc_ok, ba_ok=ba_ok)
             buffers.settle(dt)
             if prof is not None:
                 prof.mark("charge")
 
             # --- bookkeeping ----------------------------------------------
             cluster.tick(dt, now, raw)
+            if injector is not None:
+                # Attribute newly-accrued downtime to the fault classes
+                # in force this tick (cheap: only runs under injection).
+                downtime_total = cluster.total_downtime_s()
+                injector.attribute_downtime(downtime_total - last_downtime_s)
+                last_downtime_s = downtime_total
             ipdu.record_array(now, draws, dt)
             if tick_totals is not None:
                 slot_demand.append(tick_totals[tick])
@@ -303,8 +338,14 @@ class Simulation:
 
     def _serve_buffers(self, assignment, plan: SlotPlan, draws,
                        dt: float, accumulator: MetricsAccumulator,
+                       sc_ok: bool = True, ba_ok: bool = True,
                        ) -> Tuple[float, float, float]:
         """Discharge pools for the buffered servers.
+
+        ``sc_ok`` / ``ba_ok`` carry injected power-path faults: an
+        unreachable pool cannot serve its own cohort (the scheduler never
+        assigns one) and — enforced here — cannot take over the other
+        pool's shortfall either.
 
         Returns (power served to servers, power unserved after shedding,
         conversion loss).
@@ -331,13 +372,13 @@ class Simulation:
             ba_short = max(0.0, assignment.battery_draw_w - delivered)
 
         if plan.fallback:
-            if sc_short > _EPSILON:
+            if sc_short > _EPSILON and ba_ok:
                 result = self.buffers.discharge("battery", sc_short / eff, dt)
                 delivered = result.achieved_w * eff
                 loss += result.achieved_w * (1.0 - eff)
                 served += delivered
                 sc_short = max(0.0, sc_short - delivered)
-            if ba_short > _EPSILON and self.buffers.sc is not None:
+            if ba_short > _EPSILON and sc_ok and self.buffers.sc is not None:
                 result = self.buffers.discharge("sc", ba_short / eff, dt)
                 delivered = result.achieved_w * eff
                 loss += result.achieved_w * (1.0 - eff)
@@ -360,13 +401,20 @@ class Simulation:
         return served, unserved, loss
 
     def _charge_pools(self, order: Tuple[str, ...], headroom_w: float,
-                      dt: float) -> float:
-        """Offer valley surplus to the pools; returns power accepted."""
+                      dt: float, sc_ok: bool = True,
+                      ba_ok: bool = True) -> float:
+        """Offer valley surplus to the pools; returns power accepted.
+
+        Pools made unreachable by injected power-path faults are skipped
+        — an open-circuited bank can no more absorb surplus than serve.
+        """
         accepted = 0.0
         for name in order:
             if headroom_w <= _EPSILON:
                 break
-            if name == "sc" and self.buffers.sc is None:
+            if name == "sc" and (self.buffers.sc is None or not sc_ok):
+                continue
+            if name == "battery" and not ba_ok:
                 continue
             result = self.buffers.charge(name, headroom_w, dt)
             accepted += result.achieved_w
@@ -385,7 +433,7 @@ class Simulation:
             last_peak = last_analysis.peak_w
             last_valley = last_analysis.valley_w
             last_duration = expected_peak_duration_s(last_analysis)
-        return SlotObservation(
+        observation = SlotObservation(
             index=index,
             start_s=now,
             budget_w=budget,
@@ -398,6 +446,11 @@ class Simulation:
             last_peak_duration_s=last_duration,
             num_servers=self.cluster.num_servers,
         )
+        if self.injector is not None:
+            # The controller sees what its sensors report: telemetry may
+            # be perturbed (and flagged), pools may be marked unreachable.
+            observation = self.injector.observe(observation)
+        return observation
 
     def _close_slot(self, observation: SlotObservation, plan: SlotPlan,
                     slot_demand: List[float], dt: float,
@@ -456,6 +509,11 @@ class Simulation:
             restart_energy_j=self.cluster.total_restart_energy_j(),
             relay_switches=self.fabric.total_switches(),
             renewable=self.renewable,
+            # Empty buckets collapse to None so an injector that never
+            # attributed anything (e.g. the empty schedule) leaves the
+            # metrics bit-identical to an injector-free run.
+            fault_downtime_s=((self.injector.downtime_by_class() or None)
+                              if self.injector is not None else None),
         )
         return RunResult(
             scheme=self.policy.name,

@@ -15,7 +15,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 
 @dataclass
@@ -74,6 +74,13 @@ class RunMetrics:
         restart_energy_j: Energy wasted by those cycles.
         relay_switches: Relay actuations over the run.
         duration_s: Simulated wall time.
+        fault_downtime_s: Per-fault-class downtime attribution for runs
+            with an injected :class:`~repro.faults.FaultSchedule`: maps
+            fault kind (plus ``"baseline"`` for downtime accrued with no
+            fault active) to seconds of downtime charged to it; buckets
+            sum to ``server_downtime_s``.  None for fault-free runs and
+            for injected runs that accrued no downtime at all (so a
+            zero-fault injection stays bit-identical to no injection).
     """
 
     energy_efficiency: float
@@ -94,6 +101,7 @@ class RunMetrics:
     restart_energy_j: float
     relay_switches: int
     duration_s: float
+    fault_downtime_s: Optional[Dict[str, float]] = None
 
 
 def finalize_metrics(accumulator: MetricsAccumulator,
@@ -109,7 +117,9 @@ def finalize_metrics(accumulator: MetricsAccumulator,
                      total_restarts: int,
                      restart_energy_j: float,
                      relay_switches: int,
-                     renewable: bool) -> RunMetrics:
+                     renewable: bool,
+                     fault_downtime_s: Optional[Dict[str, float]] = None,
+                     ) -> RunMetrics:
     """Combine tick counters and device telemetry into final metrics."""
     drawdown = max(0.0, initial_stored_j - final_stored_j)
     energy_cost = buffer_in_j + drawdown
@@ -128,11 +138,16 @@ def finalize_metrics(accumulator: MetricsAccumulator,
         if surplus > 1e-9:
             capture = min(1.0, accumulator.charge_energy_j / surplus)
 
-    wall = max(duration_s, 1e-9)
+    # A zero-length run or an empty cluster has no server-seconds to be
+    # down for: the fraction is 0, not a division by (num_servers * 0).
+    if num_servers > 0 and duration_s > 0.0:
+        downtime_fraction = downtime_s / (num_servers * duration_s)
+    else:
+        downtime_fraction = 0.0
     return RunMetrics(
         energy_efficiency=efficiency,
         server_downtime_s=downtime_s,
-        downtime_fraction=downtime_s / (num_servers * wall),
+        downtime_fraction=downtime_fraction,
         battery_lifetime_years=lifetime_years,
         battery_equivalent_cycles=equivalent_cycles,
         reu=reu,
@@ -149,4 +164,5 @@ def finalize_metrics(accumulator: MetricsAccumulator,
         restart_energy_j=restart_energy_j,
         relay_switches=relay_switches,
         duration_s=duration_s,
+        fault_downtime_s=fault_downtime_s,
     )

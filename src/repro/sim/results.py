@@ -31,7 +31,8 @@ from .metrics import RunMetrics
 
 #: Bumped whenever the serialized layout changes incompatibly; stored in
 #: every JSON line so stale cache entries are rejected, not misparsed.
-RESULT_FORMAT_VERSION = 1
+#: Version 2 added ``RunMetrics.fault_downtime_s``.
+RESULT_FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True)

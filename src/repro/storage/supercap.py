@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 
 from ..config import SupercapConfig
+from ..errors import ConfigurationError
 from ..units import clamp
 from .device import EnergyStorageDevice, FlowResult
 
@@ -45,6 +46,58 @@ class Supercapacitor(EnergyStorageDevice):
         self._nominal_j = config.nominal_energy_j
         self._charge_c = 0.0
         self.reset(soc)
+
+    # ------------------------------------------------------------------
+    # Degradation hooks (fault injection / aging studies)
+    # ------------------------------------------------------------------
+
+    @property
+    def esr_ohm(self) -> float:
+        """Present equivalent series resistance (grows with drift)."""
+        return self._esr
+
+    def apply_esr_drift(self, multiplier: float) -> None:
+        """Permanently raise the ESR (electrolyte dry-out, aging).
+
+        Higher ESR degrades deliverable power and round-trip efficiency
+        — the SC analogue of battery resistance growth.  Drift composes
+        multiplicatively and is irreversible.
+
+        Args:
+            multiplier: Factor to apply to the present ESR (>= 1).
+        """
+        if multiplier < 1.0:
+            raise ConfigurationError(
+                f"{self.name}: ESR can only grow, got multiplier "
+                f"{multiplier!r}")
+        self._esr *= multiplier
+
+    def apply_leakage(self, power_w: float, dt: float) -> float:
+        """Drain stored charge internally (self-discharge / leakage).
+
+        The energy leaves the store as internal loss: it is recorded in
+        ``telemetry.loss_j`` but never in ``energy_out_j``, so delivered-
+        energy accounting and the efficiency metric see leakage as pure
+        waste, exactly like ESR heating.
+
+        Args:
+            power_w: Parasitic drain at the cell (>= 0).
+            dt: Step length in seconds (> 0).
+
+        Returns:
+            Energy actually drained over the step in joules.
+        """
+        self._validate_flow_args(power_w, dt)
+        v = self._charge_c / self._capacitance
+        if power_w <= 0.0 or v <= _EPSILON:
+            return 0.0
+        current = power_w / v
+        drained_c = min(self._charge_c, current * dt)
+        v_end = (self._charge_c - drained_c) / self._capacitance
+        self._charge_c -= drained_c
+        leaked_j = 0.5 * (v + v_end) * drained_c
+        self.telemetry.loss_j += leaked_j
+        return leaked_j
 
     # ------------------------------------------------------------------
     # State

@@ -1,0 +1,70 @@
+"""The resilience sweep: downtime vs fault intensity per scheme."""
+
+import pytest
+
+from repro.experiments import (
+    fault_schedule_for,
+    format_resilience,
+    run_resilience,
+)
+from repro.faults import FaultSchedule
+from repro.units import hours
+
+
+class TestFaultScheduleFor:
+    def test_zero_intensity_is_empty(self):
+        assert fault_schedule_for(0.0, hours(1.0)) == FaultSchedule.empty()
+
+    def test_positive_intensity_builds_the_storm(self):
+        schedule = fault_schedule_for(1.0, hours(1.0), seed=5)
+        assert schedule.classes_present() == (
+            "battery_aging", "brownout", "outage", "sensor_noise")
+        assert schedule.seed == 5
+
+    def test_intensity_scales_monotonically(self):
+        mild = fault_schedule_for(0.25, hours(1.0))
+        harsh = fault_schedule_for(1.0, hours(1.0))
+
+        def by_kind(schedule):
+            return {e["kind"]: e for e in schedule.to_dict()["events"]}
+
+        mild_events, harsh_events = by_kind(mild), by_kind(harsh)
+        assert (harsh_events["brownout"]["budget_fraction"]
+                < mild_events["brownout"]["budget_fraction"])
+        assert (harsh_events["outage"]["duration_s"]
+                > mild_events["outage"]["duration_s"])
+        assert (harsh_events["battery_aging"]["fade_fraction"]
+                > mild_events["battery_aging"]["fade_fraction"])
+
+    def test_deterministic(self):
+        assert fault_schedule_for(0.5, hours(2.0)) == fault_schedule_for(
+            0.5, hours(2.0))
+
+
+class TestRunResilience:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_resilience(duration_h=0.25, seed=1,
+                              schemes=("BaOnly", "HEB-D"),
+                              intensities=(0.0, 1.0))
+
+    def test_shape(self, points):
+        assert set(points) == {"BaOnly", "HEB-D"}
+        for rows in points.values():
+            assert [row.intensity for row in rows] == [0.0, 1.0]
+
+    def test_zero_intensity_is_fault_free(self, points):
+        for rows in points.values():
+            baseline = rows[0]
+            assert baseline.fault_downtime_s is None
+
+    def test_downtime_never_negative_and_monotone_from_zero(self, points):
+        for rows in points.values():
+            assert rows[0].downtime_s >= 0.0
+            assert rows[-1].downtime_s >= rows[0].downtime_s - 1e-9
+
+    def test_format_renders_every_scheme_and_intensity(self, points):
+        text = format_resilience(points)
+        assert "BaOnly" in text and "HEB-D" in text
+        assert "0.00" in text and "1.00" in text
+        assert "attribution" in text

@@ -1,0 +1,100 @@
+"""Regenerate the golden fault-scenario fixtures.
+
+Run from the repository root after an *intentional* change to fault
+injection or downtime accounting::
+
+    PYTHONPATH=src python tests/faults/golden/generate.py
+
+Each fixture pins the headline metrics (downtime, its per-fault-class
+attribution, energy efficiency, battery lifetime, and the energy ledger)
+of one canonical fault scenario — a utility brownout, a hard outage, and
+battery aging — for each of BaOnly / SCFirst / HEB-D at a small
+fixed-seed configuration.  The golden tests fail when any metric drifts
+by more than 1e-9.  Floats are stored at full shortest-repr precision.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro import quick_run
+from repro.faults import (
+    BatteryCellAging,
+    FaultSchedule,
+    SupercapESRDrift,
+    UtilityBrownout,
+    UtilityOutage,
+    schedule_from_dict,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+SCHEMES = ("BaOnly", "SCFirst", "HEB-D")
+
+#: Shared run parameters: half an hour of the PR (peak-rich) workload.
+RUN_PARAMS = {"workload": "PR", "hours": 0.5, "seed": 1}
+
+SCENARIOS = {
+    # Twenty minutes at a tenth of the utility budget, starting five
+    # minutes in: the buffers carry the gap until they can't, the
+    # schemes split three ways on how long that takes, and the recovery
+    # tail after the window closes lands in the "baseline" bucket.
+    "brownout": FaultSchedule.of(
+        UtilityBrownout(start_s=300.0, duration_s=1200.0,
+                        budget_fraction=0.1)),
+    # A hard outage covering the whole second half of the run drains
+    # whatever the policy kept in reserve, then starts shedding.
+    "outage": FaultSchedule.of(
+        UtilityOutage(start_s=900.0, duration_s=900.0)),
+    # Permanent degradation five minutes in — half the battery capacity
+    # gone, internal resistance tripled, SC ESR doubled — followed by a
+    # six-minute outage the aged buffers must ride through.  Downtime
+    # during the overlap is attributed to aging and outage evenly.
+    "aging": FaultSchedule.of(
+        BatteryCellAging(start_s=300.0, fade_fraction=0.5,
+                         resistance_growth=3.0),
+        SupercapESRDrift(start_s=300.0, esr_multiplier=2.0),
+        UtilityOutage(start_s=1200.0, duration_s=360.0)),
+}
+
+
+def metrics_row(metrics) -> dict:
+    return {
+        "energy_efficiency": metrics.energy_efficiency,
+        "server_downtime_s": metrics.server_downtime_s,
+        "downtime_fraction": metrics.downtime_fraction,
+        "battery_lifetime_years": metrics.battery_lifetime_years,
+        "served_energy_j": metrics.served_energy_j,
+        "unserved_energy_j": metrics.unserved_energy_j,
+        "utility_energy_j": metrics.utility_energy_j,
+        "fault_downtime_s": metrics.fault_downtime_s,
+    }
+
+
+def generate(name: str, schedule: FaultSchedule) -> None:
+    rows = {}
+    for scheme in SCHEMES:
+        result = quick_run(scheme, faults=schedule, **RUN_PARAMS)
+        rows[scheme] = metrics_row(result.metrics)
+    payload = {
+        "params": RUN_PARAMS,
+        "schedule": schedule.to_dict(),
+        "rows": rows,
+    }
+    path = GOLDEN_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
+def main() -> None:
+    for name, schedule in SCENARIOS.items():
+        # Round-trip through the JSON spec so the fixture's embedded
+        # schedule is guaranteed to rebuild the exact schedule used.
+        rebuilt = schedule_from_dict(schedule.to_dict())
+        assert rebuilt == schedule
+        generate(name, schedule)
+
+
+if __name__ == "__main__":
+    main()

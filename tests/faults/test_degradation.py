@@ -1,0 +1,115 @@
+"""Graceful degradation of the HEB policies under fault flags."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import prototype_buffer
+from repro.core import make_policy
+from repro.core.policies.base import SlotObservation, SlotResult
+
+
+def observation(**overrides):
+    defaults = dict(index=3, start_s=1800.0, budget_w=260.0,
+                    sc_usable_j=120000.0, battery_usable_j=300000.0,
+                    sc_nominal_j=160000.0, battery_nominal_j=380000.0,
+                    last_peak_w=340.0, last_valley_w=200.0,
+                    last_peak_duration_s=45.0, num_servers=6)
+    defaults.update(overrides)
+    return SlotObservation(**defaults)
+
+
+def heb(name="HEB-D"):
+    return make_policy(name, hybrid=prototype_buffer())
+
+
+@pytest.mark.parametrize("scheme", ["HEB-F", "HEB-S", "HEB-D"])
+class TestDegradedPlans:
+    def test_corrupted_telemetry_two_tier(self, scheme):
+        plan = heb(scheme).begin_slot(
+            observation(predictor_corrupted=True))
+        assert plan.r_lambda == 1.0
+        assert plan.use_sc and plan.use_battery
+        assert plan.fallback
+        assert "degraded" in plan.note
+
+    def test_battery_out_sc_only(self, scheme):
+        plan = heb(scheme).begin_slot(
+            observation(battery_available=False))
+        assert plan.r_lambda == 1.0
+        assert plan.use_sc and not plan.use_battery
+        assert plan.charge_order == ("sc",)
+
+    def test_sc_out_battery_only(self, scheme):
+        plan = heb(scheme).begin_slot(observation(sc_available=False))
+        assert plan.r_lambda == 0.0
+        assert not plan.use_sc and plan.use_battery
+        assert plan.charge_order == ("battery",)
+
+    def test_nothing_reachable_utility_only(self, scheme):
+        plan = heb(scheme).begin_slot(
+            observation(sc_available=False, battery_available=False))
+        assert not plan.use_sc and not plan.use_battery
+        assert plan.charge_order == ()
+
+    def test_clean_observation_plans_normally(self, scheme):
+        plan = heb(scheme).begin_slot(observation())
+        assert "degraded" not in plan.note
+
+
+@pytest.mark.parametrize("scheme", ["HEB-S", "HEB-D"])
+class TestLearningGates:
+    def test_corrupted_slot_skips_predictor(self, scheme):
+        policy = heb(scheme)
+        clean_obs = observation()
+        plan = policy.begin_slot(clean_obs)
+        corrupted = dataclasses.replace(clean_obs,
+                                        predictor_corrupted=True,
+                                        last_peak_w=9999.0)
+        policy.end_slot(SlotResult(
+            observation=corrupted, plan=plan,
+            sc_usable_end_j=100000.0, battery_usable_end_j=250000.0,
+            actual_peak_w=9999.0, actual_valley_w=100.0,
+            actual_peak_duration_s=60.0, downtime_s=0.0))
+        assert policy.predictor.observations == 0
+
+    def test_clean_slot_feeds_predictor(self, scheme):
+        policy = heb(scheme)
+        obs = observation()
+        plan = policy.begin_slot(obs)
+        policy.end_slot(SlotResult(
+            observation=obs, plan=plan,
+            sc_usable_end_j=100000.0, battery_usable_end_j=250000.0,
+            actual_peak_w=330.0, actual_valley_w=210.0,
+            actual_peak_duration_s=60.0, downtime_s=0.0))
+        assert policy.predictor.observations == 1
+
+
+class TestHebDPatGate:
+    def test_degraded_slot_never_teaches_pat(self):
+        """A degraded plan is not a 'large-peak (' plan, so HEB-D must
+        not record a PAT outcome for it even with realized deficit."""
+        policy = heb("HEB-D")
+        entries_before = len(policy.pat.entries())
+        obs = observation(battery_available=False)
+        plan = policy.begin_slot(obs)
+        clean = dataclasses.replace(obs, battery_available=True)
+        policy.end_slot(SlotResult(
+            observation=clean, plan=plan,
+            sc_usable_end_j=50000.0, battery_usable_end_j=250000.0,
+            actual_peak_w=500.0, actual_valley_w=100.0,
+            actual_peak_duration_s=120.0, downtime_s=0.0))
+        assert len(policy.pat.entries()) == entries_before
+
+
+class TestStaticPoliciesIgnoreFlags:
+    """The non-HEB schemes have no PAT/predictor to poison; they must
+    still return a usable plan under fault flags (the engine enforces
+    availability regardless of the plan)."""
+
+    @pytest.mark.parametrize("scheme", ["BaOnly", "BaFirst", "SCFirst"])
+    def test_plan_still_produced(self, scheme):
+        plan = make_policy(scheme, hybrid=prototype_buffer()).begin_slot(
+            observation(sc_available=False, battery_available=False,
+                        predictor_corrupted=True))
+        assert plan is not None

@@ -83,3 +83,35 @@ class TestDowntime:
             acc.record_tick(1.0, 0, 0, 0, 0, 0, 0, deficit)
         metrics = finalize(acc)
         assert metrics.deficit_time_fraction == pytest.approx(0.25)
+
+    def test_zero_duration_gives_zero_fraction(self):
+        """A zero-length run has no server-seconds; the fraction must be
+        0, not a blow-up against the 1e-9 epsilon wall."""
+        metrics = finalize(downtime_s=0.0, duration_s=0.0)
+        assert metrics.downtime_fraction == 0.0
+
+    def test_zero_servers_gives_zero_fraction(self):
+        """An empty cluster used to divide by (0 * wall) = 0."""
+        metrics = finalize(num_servers=0, duration_s=3600.0)
+        assert metrics.downtime_fraction == 0.0
+
+    def test_zero_servers_and_zero_duration(self):
+        metrics = finalize(num_servers=0, duration_s=0.0)
+        assert metrics.downtime_fraction == 0.0
+
+    def test_real_runs_unchanged_by_degenerate_guard(self):
+        """The guard must be bit-identical to the old formula whenever
+        the denominator is positive."""
+        metrics = finalize(downtime_s=123.456, num_servers=7,
+                           duration_s=5400.0)
+        assert metrics.downtime_fraction == 123.456 / (7 * 5400.0)
+
+
+class TestFaultDowntime:
+    def test_default_is_none(self):
+        assert finalize().fault_downtime_s is None
+
+    def test_attribution_passthrough(self):
+        buckets = {"baseline": 10.0, "outage": 50.0}
+        metrics = finalize(downtime_s=60.0, fault_downtime_s=buckets)
+        assert metrics.fault_downtime_s == buckets
