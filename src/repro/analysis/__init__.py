@@ -10,11 +10,15 @@ codebase's three load-bearing conventions:
 * **exception hygiene** (RPR3xx) — raises stay inside the
   :class:`repro.errors.ReproError` contract, no broad ``except``.
 
-On top of the per-file rules, two *whole-program* passes (see
+On top of the per-file rules, three *whole-program* passes (see
 :mod:`repro.analysis.semantics`) analyze every scanned module at once:
 dimensional dataflow (RPR11x) infers physical units across assignments,
 returns, and call-site bindings; cache-purity taint (RPR21x) flags
-impurities reachable from the cache-feeding entry points.  Results are
+impurities reachable from the cache-feeding entry points; array
+semantics (RPR4xx) and the batch-readiness audit (RPR5xx) track NumPy
+shape, dtype, aliasing, and batchable-axis facts interprocedurally.
+Reports render as text, JSON, or SARIF 2.1.0
+(:mod:`repro.analysis.sarif`) for GitHub code scanning.  Results are
 served incrementally from an on-disk cache keyed by content hashes
 (:mod:`repro.analysis.cache`), and a baseline ratchet
 (:mod:`repro.analysis.baseline`) lets legacy findings be adopted
@@ -47,6 +51,7 @@ from .engine import (
 from .findings import Finding
 from .reporter import render_json, render_text
 from .rules import FileContext, Rule, all_rules, register, resolve_rule_ids
+from .sarif import render_sarif, sarif_document
 from .suppressions import collect_suppressions, expand_suppressions
 
 __all__ = [
@@ -70,7 +75,9 @@ __all__ = [
     "new_findings",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
+    "sarif_document",
     "resolve_rule_ids",
     "write_baseline",
 ]

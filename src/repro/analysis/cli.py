@@ -27,6 +27,7 @@ from .changed import changed_python_files
 from .engine import lint_paths
 from .reporter import render_json, render_text
 from .rules import all_rules
+from .sarif import render_sarif
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -35,7 +36,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "paths", nargs="*", default=["src"], metavar="PATH",
         help="files or directories to lint (default: src)")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)")
     parser.add_argument(
         "--select", action="append", default=None, metavar="RULES",
@@ -126,7 +127,8 @@ def run_lint(args: argparse.Namespace,
     except AnalysisError as error:
         err.write(f"lint: error: {error}\n")
         return 2
-    renderer = render_json if args.format == "json" else render_text
+    renderer = {"json": render_json,
+                "sarif": render_sarif}.get(args.format, render_text)
     out.write(renderer(report))
     out.write("\n")
     return 0 if report.clean else 1

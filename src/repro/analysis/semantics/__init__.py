@@ -17,9 +17,15 @@ and runs two interprocedural passes on top of it:
   (``execute_request``, ``Simulation.run``) and flags any impurity on a
   reachable path (clocks, unseeded RNGs, env/filesystem reads,
   unordered-set iteration, mutable module-global writes), wherever the
-  function lives.
+  function lives;
+* **array semantics** (RPR4xx/RPR5xx, :mod:`.arrays`) — an abstract
+  value per name tracking NumPy shape (symbolic dims), dtype,
+  view-vs-copy provenance, cache-aliasing taint, and batch-axis
+  exposure, flagging dtype narrowing, impossible broadcasts, mutations
+  of cache-aliased arrays, uninitialized ``np.empty`` reads, and the
+  batch-readiness debt ROADMAP item 2 must clear.
 
-Both passes are wired into the lint engine: their rule ids register in
+The passes are wired into the lint engine: their rule ids register in
 the ordinary registry, and :func:`run_whole_program` is invoked by
 :func:`repro.analysis.engine.lint_paths` whenever one of them is
 selected.
@@ -28,6 +34,7 @@ selected.
 from __future__ import annotations
 
 from .analyzer import run_whole_program
+from .arrays import ArrayAnalysis, ArrayValue, run_array_pass
 from .callgraph import CallGraph, CallSite, build_call_graph
 from .symbols import (
     ClassInfo,
@@ -40,6 +47,8 @@ from .symbols import (
 )
 
 __all__ = [
+    "ArrayAnalysis",
+    "ArrayValue",
     "CallGraph",
     "CallSite",
     "ClassInfo",
@@ -50,5 +59,6 @@ __all__ = [
     "build_call_graph",
     "build_project_index",
     "module_name_for_path",
+    "run_array_pass",
     "run_whole_program",
 ]

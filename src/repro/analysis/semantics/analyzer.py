@@ -17,6 +17,7 @@ from ..suppressions import (
     expand_suppressions,
     is_suppressed,
 )
+from .arrays import run_array_pass
 from .callgraph import build_call_graph
 from .dimensions import run_dimensional_pass
 from .purity import run_purity_pass
@@ -25,6 +26,7 @@ from .symbols import SourceModule, build_project_index
 #: Rule-id prefixes owned by each interprocedural pass.
 DIMENSION_PREFIX = "RPR11"
 PURITY_PREFIX = "RPR21"
+ARRAY_PREFIXES = ("RPR4", "RPR5")
 
 
 def whole_program_rule_ids() -> List[str]:
@@ -52,7 +54,10 @@ def run_whole_program(modules: Sequence[SourceModule],
                           for rule_id in enabled)
     want_purity = any(rule_id.startswith(PURITY_PREFIX)
                       for rule_id in enabled)
-    if not (want_dimensions or want_purity) or not modules:
+    want_arrays = any(rule_id.startswith(ARRAY_PREFIXES)
+                      for rule_id in enabled)
+    if not (want_dimensions or want_purity or want_arrays) \
+            or not modules:
         return []
 
     index = build_project_index(modules)
@@ -63,6 +68,8 @@ def run_whole_program(modules: Sequence[SourceModule],
         findings.extend(run_dimensional_pass(index, graph, enabled))
     if want_purity:
         findings.extend(run_purity_pass(index, graph, enabled))
+    if want_arrays:
+        findings.extend(run_array_pass(index, graph, enabled))
 
     suppressions_by_path: Dict[str, Dict[int, FrozenSet[str]]] = {}
     for module in modules:

@@ -1,0 +1,1547 @@
+"""Pass 3: interprocedural array semantics (RPR4xx) and batch readiness (RPR5xx).
+
+The batched multi-scenario engine (ROADMAP item 2) will thread a new
+leading scenario axis through every NumPy array in ``sim/``,
+``server/``, ``storage/``, and ``faults/`` — exactly the kind of change
+where a silent broadcast, a float32 narrowing, or a mutation of an
+array aliased into a cache destroys the bit-exactness the golden
+fixtures guarantee.  This pass learns array semantics *before* that
+refactor: an abstract value per name tracking
+
+* **shape rank with symbolic dims** — ``np.zeros((num_servers,
+  num_samples))`` carries ``(num_servers, num_samples)``; literal ints
+  stay literal, anything unresolvable is ``?`` (compatible with
+  everything);
+* **dtype** — from ``dtype=`` keywords, NumPy scalar types, and the
+  float64 creation defaults;
+* **view vs copy** — basic slicing, ``asarray``/``ascontiguousarray``,
+  and ``.T`` keep the provenance of their base; ``np.array``,
+  ``.copy()``, ``astype``, ``tolist`` and arithmetic results are fresh;
+* **aliasing taint** — the set of cache/memo cells (``Class.attr`` or
+  ``module.global`` labels) a value may share memory with.  Loading an
+  instance-attribute array taints the loaded value; storing a local
+  into an instance attribute or module-level container taints the
+  local.  Taint is *forward-only*: handing a locally-built array to a
+  constructor does not retroactively taint the local (the ubiquitous
+  fill-then-hand-over pattern stays clean);
+* **batchable** — whether the value's leading axis is a per-server /
+  per-outlet axis that the batch refactor will displace.  Seeded from
+  symbolic creation dims (``num_servers`` …) and the engine's state
+  vocabulary (``demands_w``, ``draws_w``, ``values_w``,
+  ``powered_mask``), and preserved through views, ``tolist()`` and
+  arithmetic.
+
+Propagation is the same flow-insensitive fixpoint as the RPR110-113
+dimensional pass: assignments, ``return`` values, call-site argument
+binding, and attribute stores, iterated over the whole project until
+the environment stops changing.  Flow-insensitivity is a feature and a
+boundary at once: a mutation is flagged if *any* binding of the name
+may alias a cache, so proving a copy safe means giving the copy its own
+name — which is also what makes the code reviewable.
+
+Findings:
+
+* **RPR401** — dtype narrowing (float64 -> float32/float16) or mixed
+  float32/float64 arithmetic inside ``sim|server|storage|faults``;
+* **RPR402** — statically incompatible broadcast shapes at an operator
+  or elementwise ``np.*`` call site (two known, conflicting dims);
+* **RPR403** — in-place mutation (``+=``, ``[...] =``, ``out=``,
+  mutator methods) of an array aliased into cached state, in a
+  function with no version-counter/dirty-flag invalidation;
+* **RPR404** — ``np.empty`` allocation whose elements may be read
+  before every element is assigned;
+* **RPR501** — hardcoded non-negative ``axis=`` or literal leading
+  index on a batchable array (a leading scenario axis shifts both);
+* **RPR502** — Python-level loop or builtin reduction over a batchable
+  axis in an engine/scheduler hot path;
+* **RPR503** — ``float()``/``.item()`` scalarization of a batchable
+  array or of a reduction over one, in a hot path.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from ..findings import Finding
+from ..rules import Rule, register
+from .callgraph import (
+    CallGraph,
+    CallSite,
+    iter_function_nodes,
+    local_types,
+)
+from .symbols import FunctionInfo, ModuleInfo, ProjectIndex
+
+#: Placeholder dim compatible with every other dim.
+UNKNOWN_DIM = "?"
+
+#: Symbolic dims whose axis the scenario-batch refactor will displace.
+BATCHABLE_DIMS = frozenset({
+    "num_servers", "n_servers", "server_count",
+    "num_outlets", "n_outlets", "outlet_count",
+})
+
+#: Engine state vocabulary: names whose leading axis is per-server.
+BATCHABLE_NAMES = frozenset({
+    "demands_w", "draws_w", "values_w", "powered_mask",
+})
+
+#: Module basenames whose tick/assign loops are batch-critical.
+HOT_PATH_MODULES = frozenset({"engine", "scheduler"})
+
+#: Path/module segments inside which RPR401 dtype discipline applies.
+ARRAY_SCOPE_SEGMENTS = frozenset({"sim", "server", "storage", "faults"})
+
+#: Attribute writes that count as cache invalidation evidence.
+INVALIDATION_ATTR_RE = re.compile(
+    r"version|dirty|stale|generation|revision")
+
+#: Method calls that count as cache invalidation evidence.
+INVALIDATION_CALL_RE = re.compile(r"invalidate|mark_\w*dirty|bump")
+
+#: Count-like names that may stand for a single symbolic dim.
+_COUNT_NAME_RE = re.compile(
+    r"(?:^|_)(?:n|num|count|len|size|limit|samples|servers|outlets)"
+    r"(?:_|$)|(?:count|samples|servers|outlets|limit|size)$")
+
+#: ndarray methods that mutate their receiver in place.
+MUTATOR_METHODS = frozenset({
+    "fill", "sort", "partition", "put", "resize", "setfield", "itemset",
+})
+
+#: ndarray methods that reduce away an axis (or the whole array).
+_REDUCTION_METHODS = frozenset({
+    "sum", "max", "min", "mean", "prod", "std", "var",
+    "argmax", "argmin", "any", "all", "dot",
+})
+
+#: np.* creation calls taking an explicit shape first argument.
+_SHAPE_CREATORS = frozenset({"zeros", "ones", "empty", "full"})
+
+#: np.* calls returning an array shaped like their first argument.
+_LIKE_CREATORS = frozenset({
+    "zeros_like", "ones_like", "empty_like", "full_like",
+})
+
+#: np.* calls that may alias (view) their argument.
+_ALIASING_CALLS = frozenset({
+    "asarray", "ascontiguousarray", "asfortranarray", "atleast_1d",
+    "ravel", "reshape", "broadcast_to",
+})
+
+#: np.* calls that always copy their argument.
+_COPYING_CALLS = frozenset({"array", "copy"})
+
+#: np.* elementwise/broadcasting binary calls (RPR402 checks these).
+_ELEMENTWISE_CALLS = frozenset({
+    "add", "subtract", "multiply", "divide", "true_divide",
+    "floor_divide", "power", "mod", "hypot", "arctan2",
+    "minimum", "maximum", "fmin", "fmax", "where", "clip", "copysign",
+})
+
+#: np.* reductions (RPR503 flags float() of these over batchables).
+_NP_REDUCTIONS = frozenset({
+    "sum", "max", "min", "mean", "prod", "median", "percentile",
+    "amax", "amin", "nansum", "nanmax", "nanmin", "nanmean",
+    "dot", "vdot", "inner", "trapz", "ptp", "count_nonzero",
+})
+
+#: Builtins that reduce or materialize an iterable at Python level.
+_PY_REDUCERS = frozenset({
+    "sum", "sorted", "min", "max", "list", "tuple", "any", "all",
+})
+
+#: dtype spellings -> canonical label.
+_DTYPE_LABELS = {
+    "float64": "float64", "double": "float64", "float_": "float64",
+    "float32": "float32", "single": "float32",
+    "float16": "float16", "half": "float16",
+    "int64": "int64", "int32": "int32", "intp": "intp", "int_": "int64",
+    "bool_": "bool", "bool": "bool",
+    "float": "float64", "int": "int64",
+}
+
+#: Float dtypes ordered widest-first (for narrowing detection).
+_FLOAT_WIDTH = {"float64": 64, "float32": 32, "float16": 16}
+
+
+@dataclass(frozen=True)
+class ArrayValue:
+    """Abstract value for one binding of a (possible) NumPy array."""
+
+    #: Some binding of this value is an ndarray.
+    is_array: bool = False
+    #: Symbolic per-axis dims, or None when rank/dims are unknown.
+    shape: Optional[Tuple[str, ...]] = None
+    #: Canonical dtype label, or None when unknown/ambiguous.
+    dtype: Optional[str] = None
+    #: Allocated via np.empty and possibly never fully initialized.
+    uninit: bool = False
+    #: Leading axis is a per-server/per-outlet (batchable) axis.
+    batchable: bool = False
+    #: Cache/memo cells this value may share memory with.
+    taints: FrozenSet[str] = frozenset()
+
+
+def _merge_dim(a: str, b: str) -> str:
+    if a == b:
+        return a
+    if a == UNKNOWN_DIM:
+        return b
+    if b == UNKNOWN_DIM:
+        return a
+    return UNKNOWN_DIM
+
+
+def _merge_shapes(a: Optional[Tuple[str, ...]],
+                  b: Optional[Tuple[str, ...]],
+                  ) -> Optional[Tuple[str, ...]]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if len(a) != len(b):
+        return None
+    return tuple(_merge_dim(da, db) for da, db in zip(a, b))
+
+
+def join_values(current: Optional[ArrayValue],
+                incoming: Optional[ArrayValue]) -> Optional[ArrayValue]:
+    """Least upper bound of two abstract values (None = no fact)."""
+    if incoming is None:
+        return current
+    if current is None:
+        return incoming
+    return ArrayValue(
+        is_array=current.is_array or incoming.is_array,
+        shape=_merge_shapes(current.shape, incoming.shape),
+        dtype=(current.dtype if current.dtype == incoming.dtype
+               else current.dtype or incoming.dtype
+               if None in (current.dtype, incoming.dtype) else None),
+        uninit=current.uninit or incoming.uninit,
+        batchable=current.batchable or incoming.batchable,
+        taints=current.taints | incoming.taints)
+
+
+def broadcast_conflict(a: Tuple[str, ...], b: Tuple[str, ...],
+                       ) -> Optional[Tuple[str, str]]:
+    """First provably incompatible dim pair under broadcasting rules.
+
+    Dims align from the trailing end.  ``?`` matches anything, ``1``
+    broadcasts, a symbolic dim is only *provably* incompatible with a
+    different symbolic dim or another literal is with another literal;
+    symbolic-vs-literal is unknown and passes.
+    """
+    for da, db in zip(reversed(a), reversed(b)):
+        if UNKNOWN_DIM in (da, db) or da == db or "1" in (da, db):
+            continue
+        a_lit, b_lit = da.isdigit(), db.isdigit()
+        if a_lit == b_lit:
+            return (da, db)
+    return None
+
+
+def _format_shape(shape: Tuple[str, ...]) -> str:
+    return "(" + ", ".join(shape) + ("," if len(shape) == 1 else "") + ")"
+
+
+def _is_full_slice(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Slice) and node.lower is None
+            and node.upper is None and node.step is None)
+
+
+def _is_int_constant(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, int)
+            and not isinstance(node.value, bool))
+
+
+def _int_literal(node: ast.expr) -> Optional[int]:
+    """Integer value of a literal, unwrapping unary minus (``-1``)."""
+    if _is_int_constant(node):
+        return node.value  # type: ignore[attr-defined]
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub) \
+            and _is_int_constant(node.operand):
+        return -node.operand.value  # type: ignore[attr-defined]
+    return None
+
+
+# ----------------------------------------------------------------------
+# Registered rule markers (logic lives in ArrayAnalysis)
+# ----------------------------------------------------------------------
+
+@register
+class DtypeNarrowingRule(Rule):
+    """No float64 -> float32 narrowing in the bit-exact core.
+
+    Whole-program: the golden fixtures hold at 1e-9 only in float64;
+    an ``astype(np.float32)`` or a mixed float32/float64 expression in
+    ``sim|server|storage|faults`` silently loses the guarantee.
+    """
+
+    id = "RPR401"
+    whole_program = True
+
+
+@register
+class BroadcastShapeRule(Rule):
+    """No statically incompatible broadcast at operators or np calls.
+
+    Whole-program: shapes flow through assignments, returns and call
+    bindings, so ``per_server + per_outlet`` flags even when the two
+    arrays were created in different modules.
+    """
+
+    id = "RPR402"
+    whole_program = True
+
+
+@register
+class AliasedMutationRule(Rule):
+    """No in-place mutation of arrays aliased into cached state.
+
+    Whole-program: an array stored into a ``ServerCluster`` cache or a
+    scheduler/KiBaM memo shares memory with it; mutating it later
+    silently corrupts the memo unless the function also bumps a
+    version counter or dirty flag.  Copies must be *provably* fresh
+    under flow-insensitive analysis — give the copy its own name.
+    """
+
+    id = "RPR403"
+    whole_program = True
+
+
+@register
+class UninitializedEmptyRule(Rule):
+    """No np.empty read before every element is assigned.
+
+    Whole-program: ``np.empty`` contents are garbage; unless the
+    function fully initializes the buffer (full-slice store, ``fill``,
+    or a store under every loop index), any read may observe it.
+    """
+
+    id = "RPR404"
+    whole_program = True
+
+
+@register
+class HardcodedAxisRule(Rule):
+    """No hardcoded axis=0 / literal leading index on batchable arrays.
+
+    Batch-readiness: the scenario-batch refactor prepends a scenario
+    axis to per-server state arrays, so ``axis=0`` and ``arr[0]`` stop
+    meaning "the server axis"; negative axes survive the change.
+    """
+
+    id = "RPR501"
+    whole_program = True
+
+
+@register
+class PythonLoopOverBatchAxisRule(Rule):
+    """No Python-level loop over a batchable axis in hot paths.
+
+    Batch-readiness: a ``for`` loop (or ``sum``/``sorted`` builtin)
+    over per-server state in engine/scheduler code is exactly the code
+    the batched engine cannot vectorize; each occurrence is batch debt.
+    """
+
+    id = "RPR502"
+    whole_program = True
+
+
+@register
+class ScalarizedBatchValueRule(Rule):
+    """No float()/.item() scalarization of batchable intermediates.
+
+    Batch-readiness: collapsing a per-server array (or a reduction
+    over one) to a Python scalar pins the computation to one scenario;
+    keeping it an array lets the batch axis ride through.
+    """
+
+    id = "RPR503"
+    whole_program = True
+
+
+# ----------------------------------------------------------------------
+# The analysis
+# ----------------------------------------------------------------------
+
+#: Environment keys: ("local", fn_qual, name) / ("attr", cls_qual, name)
+#: / ("global", module, name) / ("ret", fn_qual).
+_EnvKey = Tuple[str, ...]
+
+
+class ArrayAnalysis:
+    """Flow-insensitive array-provenance inference over the project."""
+
+    #: Fixpoint guard; facts only accumulate, so convergence is fast.
+    MAX_ROUNDS = 10
+
+    def __init__(self, index: ProjectIndex, graph: CallGraph) -> None:
+        self.index = index
+        self.graph = graph
+        self.site_by_call: Dict[int, CallSite] = {
+            id(site.call): site for site in graph.sites}
+        self.env: Dict[_EnvKey, ArrayValue] = {}
+        self._invalidates: Dict[str, bool] = {}
+        self._locals_cache: Dict[str, Dict[str, str]] = {}
+        #: (class qualname, attr) -> class qualname, inferred from
+        #: ``self.x = param`` passthrough stores (attr_types only sees
+        #: constructor calls and annotations).
+        self.attr_classes: Dict[Tuple[str, str], str] = {}
+        #: (fn qualname, local name) pairs with at least one element
+        #: store (``x[i] = ...`` / ``x.fill(...)``).  Flow-insensitive
+        #: optimism: any store clears ``uninit`` for interprocedural
+        #: flow — the precise per-function coverage check (RPR404)
+        #: still analyzes direct ``np.empty`` allocations exactly.
+        self._element_stores: Set[Tuple[str, str]] = set()
+        for fn in index.functions.values():
+            for node in iter_function_nodes(fn.node):
+                targets: List[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [node.target]
+                elif isinstance(node, ast.Call) \
+                        and isinstance(node.func, ast.Attribute) \
+                        and node.func.attr == "fill" \
+                        and isinstance(node.func.value, ast.Name):
+                    self._element_stores.add(
+                        (fn.qualname, node.func.value.id))
+                for target in targets:
+                    if isinstance(target, ast.Subscript) \
+                            and isinstance(target.value, ast.Name):
+                        self._element_stores.add(
+                            (fn.qualname, target.value.id))
+        for fn in index.functions.values():
+            if not fn.class_qualname:
+                continue
+            types = local_types(index, fn)
+            for node in iter_function_nodes(fn.node):
+                if not isinstance(node, ast.Assign) \
+                        or not isinstance(node.value, ast.Name):
+                    continue
+                cls = types.get(node.value.id)
+                if cls is None:
+                    continue
+                for target in node.targets:
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        self.attr_classes.setdefault(
+                            (fn.class_qualname, target.attr), cls)
+
+    # -- environment ----------------------------------------------------
+
+    def _join(self, key: _EnvKey, value: Optional[ArrayValue]) -> None:
+        if value is None:
+            return
+        self.env[key] = join_values(self.env.get(key), value)
+
+    def _lookup(self, key: _EnvKey) -> Optional[ArrayValue]:
+        return self.env.get(key)
+
+    # -- shared resolution helpers --------------------------------------
+
+    def _np_callee(self, call: ast.Call) -> Optional[str]:
+        """``numpy.``-stripped target of an external call, or None."""
+        site = self.site_by_call.get(id(call))
+        if site is None or site.is_project:
+            return None
+        if site.callee.startswith("numpy."):
+            return site.callee[len("numpy."):]
+        return None
+
+    def _dtype_label(self, expr: Optional[ast.expr]) -> Optional[str]:
+        if expr is None:
+            return None
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            return _DTYPE_LABELS.get(expr.value)
+        if isinstance(expr, ast.Attribute):
+            return _DTYPE_LABELS.get(expr.attr)
+        if isinstance(expr, ast.Name):
+            return _DTYPE_LABELS.get(expr.id)
+        return None
+
+    def _dim_label(self, expr: ast.expr) -> str:
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, int) \
+                and not isinstance(expr.value, bool):
+            return str(expr.value)
+        name = None
+        if isinstance(expr, ast.Name):
+            name = expr.id
+        elif isinstance(expr, ast.Attribute):
+            name = expr.attr
+        if name and _COUNT_NAME_RE.search(name):
+            return name
+        return UNKNOWN_DIM
+
+    def _shape_from_arg(self, expr: ast.expr,
+                        ) -> Optional[Tuple[str, ...]]:
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            return tuple(self._dim_label(elt) for elt in expr.elts)
+        # A scalar count: rank-1.  Non-count names could hold a tuple,
+        # so they become rank-1 (?,) — broadcast checks treat ? as
+        # compatible with everything, keeping the guess harmless.
+        return (self._dim_label(expr),)
+
+    @staticmethod
+    def _leading_batchable(shape: Optional[Tuple[str, ...]]) -> bool:
+        return bool(shape) and shape[0] in BATCHABLE_DIMS
+
+    def _keyword(self, call: ast.Call, name: str) -> Optional[ast.expr]:
+        for keyword in call.keywords:
+            if keyword.arg == name:
+                return keyword.value
+        return None
+
+    # -- abstract evaluation --------------------------------------------
+
+    def value_of(self, expr: ast.expr,
+                 fn: Optional[FunctionInfo]) -> Optional[ArrayValue]:
+        """Abstract value of ``expr`` (None = no array fact)."""
+        if isinstance(expr, ast.Name):
+            value = None
+            if fn is not None:
+                value = self._lookup(("local", fn.qualname, expr.id))
+                if value is None:
+                    module = self.index.modules.get(fn.module)
+                    if module is not None and expr.id in module.globals:
+                        value = self._lookup(
+                            ("global", fn.module, expr.id))
+            if value is not None and value.uninit and fn is not None \
+                    and (fn.qualname, expr.id) in self._element_stores:
+                value = replace(value, uninit=False)
+            if expr.id in BATCHABLE_NAMES:
+                seed = ArrayValue(batchable=True)
+                return join_values(value, seed)
+            return value
+        if isinstance(expr, ast.Attribute):
+            return self._value_of_attribute(expr, fn)
+        if isinstance(expr, ast.Call):
+            return self._value_of_call(expr, fn)
+        if isinstance(expr, ast.Subscript):
+            return self._value_of_subscript(expr, fn)
+        if isinstance(expr, ast.BinOp):
+            return self._value_of_binop(expr, fn)
+        if isinstance(expr, ast.UnaryOp):
+            return self.value_of(expr.operand, fn)
+        if isinstance(expr, ast.IfExp):
+            return join_values(self.value_of(expr.body, fn),
+                               self.value_of(expr.orelse, fn))
+        return None
+
+    def _attr_class(self, cls_qual: str, attr: str) -> Optional[str]:
+        info = self.index.classes.get(cls_qual)
+        if info is not None and attr in info.attr_types:
+            return info.attr_types[attr]
+        return self.attr_classes.get((cls_qual, attr))
+
+    def _local_classes(self, fn: FunctionInfo) -> Dict[str, str]:
+        """name -> class qualname for params, locals and attr aliases."""
+        cached = self._locals_cache.get(fn.qualname)
+        if cached is not None:
+            return cached
+        env = dict(local_types(self.index, fn))
+        if fn.class_qualname:
+            for node in iter_function_nodes(fn.node):
+                if isinstance(node, ast.Assign) \
+                        and len(node.targets) == 1 \
+                        and isinstance(node.targets[0], ast.Name) \
+                        and isinstance(node.value, ast.Attribute) \
+                        and isinstance(node.value.value, ast.Name) \
+                        and node.value.value.id == "self":
+                    cls = self._attr_class(fn.class_qualname,
+                                           node.value.attr)
+                    if cls is not None:
+                        env.setdefault(node.targets[0].id, cls)
+        self._locals_cache[fn.qualname] = env
+        return env
+
+    def _attr_owner(self, base: ast.expr,
+                    fn: Optional[FunctionInfo]) -> Optional[str]:
+        """Class qualname owning ``base`` in ``base.attr``, if known."""
+        if fn is None:
+            return None
+        if isinstance(base, ast.Name):
+            if base.id == "self" and fn.class_qualname:
+                return fn.class_qualname
+            return self._local_classes(fn).get(base.id)
+        if (isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self" and fn.class_qualname):
+            return self._attr_class(fn.class_qualname, base.attr)
+        return None
+
+    def _value_of_attribute(self, expr: ast.Attribute,
+                            fn: Optional[FunctionInfo],
+                            ) -> Optional[ArrayValue]:
+        if expr.attr == "T":
+            base = self.value_of(expr.value, fn)
+            if base is not None and base.is_array:
+                shape = (tuple(reversed(base.shape))
+                         if base.shape else None)
+                return replace(base, shape=shape, batchable=False)
+            return None
+        cls_qual = self._attr_owner(expr.value, fn)
+        value = None
+        if cls_qual is not None:
+            value = self._lookup(("attr", cls_qual, expr.attr))
+            if value is None:
+                value = self._property_value(cls_qual, expr.attr)
+            if value is not None and value.is_array:
+                # An instance-attribute array *is* cached state: loads
+                # alias it, so the loaded value carries its label.
+                label = f"{cls_qual.rsplit('.', 1)[-1]}.{expr.attr}"
+                value = replace(value, taints=value.taints | {label})
+        if expr.attr in BATCHABLE_NAMES:
+            return join_values(value, ArrayValue(batchable=True))
+        return value
+
+    def _property_value(self, cls_qual: str,
+                        attr: str) -> Optional[ArrayValue]:
+        """Return value of an ``@property`` accessor, if ``attr`` is one."""
+        method_qual = self.index.lookup_method(cls_qual, attr)
+        if method_qual is None:
+            return None
+        method = self.index.functions.get(method_qual)
+        if method is None or "property" not in method.decorator_names():
+            return None
+        return self._lookup(("ret", method_qual))
+
+    def _value_of_call(self, call: ast.Call,
+                       fn: Optional[FunctionInfo],
+                       ) -> Optional[ArrayValue]:
+        np_name = self._np_callee(call)
+        if np_name is not None:
+            return self._value_of_np(np_name, call, fn)
+        if isinstance(call.func, ast.Attribute):
+            method_value = self._value_of_method(call, fn)
+            if method_value is not None:
+                return method_value
+        site = self.site_by_call.get(id(call))
+        if site is not None and site.bind_function is not None:
+            target = site.bind_function
+            if target.name != "__init__":
+                return self._lookup(("ret", target.qualname))
+        return None
+
+    def _value_of_method(self, call: ast.Call,
+                         fn: Optional[FunctionInfo],
+                         ) -> Optional[ArrayValue]:
+        assert isinstance(call.func, ast.Attribute)
+        method = call.func.attr
+        base = self.value_of(call.func.value, fn)
+        if base is None or not base.is_array:
+            return None
+        if method == "astype":
+            dtype = self._dtype_label(
+                call.args[0] if call.args
+                else self._keyword(call, "dtype"))
+            return ArrayValue(is_array=True, shape=base.shape,
+                              dtype=dtype, uninit=base.uninit,
+                              batchable=base.batchable)
+        if method == "copy":
+            return replace(base, taints=frozenset())
+        if method == "tolist":
+            # A Python list copy: not an array, but still a per-server
+            # sequence — batch debt follows it into sum()/loops.
+            return ArrayValue(batchable=base.batchable)
+        if method in ("ravel", "reshape", "flatten", "transpose",
+                      "squeeze", "view"):
+            return ArrayValue(is_array=True, dtype=base.dtype,
+                              uninit=base.uninit, taints=base.taints)
+        if method == "argsort":
+            return ArrayValue(is_array=True, shape=base.shape,
+                              dtype="intp", batchable=base.batchable)
+        if method in _REDUCTION_METHODS:
+            return self._reduced(base, call)
+        if method == "item":
+            return None
+        return None
+
+    def _reduced(self, base: ArrayValue,
+                 call: ast.Call) -> Optional[ArrayValue]:
+        """Result of an axis reduction over ``base`` (None = scalar)."""
+        axis = self._keyword(call, "axis")
+        if axis is None and len(call.args) >= 2:
+            axis = call.args[1]
+        if axis is None:
+            return None
+        shape: Optional[Tuple[str, ...]] = None
+        keep_leading = False
+        index = _int_literal(axis)
+        if base.shape is not None and index is not None:
+            if -len(base.shape) <= index < len(base.shape):
+                normalized = index % len(base.shape)
+                shape = tuple(dim for pos, dim in enumerate(base.shape)
+                              if pos != normalized)
+                keep_leading = normalized != 0
+                if not shape:
+                    return None
+        return ArrayValue(is_array=True, shape=shape, dtype=base.dtype,
+                          batchable=base.batchable and keep_leading)
+
+    def _value_of_np(self, np_name: str, call: ast.Call,
+                     fn: Optional[FunctionInfo],
+                     ) -> Optional[ArrayValue]:
+        dtype = self._dtype_label(self._keyword(call, "dtype"))
+        if np_name in _SHAPE_CREATORS:
+            if not call.args:
+                return ArrayValue(is_array=True)
+            shape = self._shape_from_arg(call.args[0])
+            uninit = (np_name == "empty" and shape is not None
+                      and shape[0] != "0")
+            return ArrayValue(
+                is_array=True, shape=shape,
+                dtype=dtype or ("float64" if np_name != "full" else None),
+                uninit=uninit,
+                batchable=self._leading_batchable(shape))
+        if np_name in _LIKE_CREATORS:
+            base = self.value_of(call.args[0], fn) if call.args else None
+            return ArrayValue(
+                is_array=True,
+                shape=base.shape if base else None,
+                dtype=dtype or (base.dtype if base else None),
+                uninit=np_name == "empty_like",
+                batchable=bool(base and base.batchable))
+        if np_name in _COPYING_CALLS:
+            base = self.value_of(call.args[0], fn) if call.args else None
+            return ArrayValue(
+                is_array=True,
+                shape=base.shape if base else None,
+                dtype=dtype or (base.dtype if base else None),
+                uninit=bool(base and base.uninit),
+                batchable=bool(base and base.batchable))
+        if np_name in _ALIASING_CALLS:
+            base = self.value_of(call.args[0], fn) if call.args else None
+            if base is None:
+                return ArrayValue(is_array=True, dtype=dtype)
+            return replace(base, is_array=True, dtype=dtype or base.dtype)
+        if np_name in ("arange", "linspace"):
+            return ArrayValue(is_array=True, shape=(UNKNOWN_DIM,),
+                              dtype=dtype)
+        if np_name == "argsort":
+            base = self.value_of(call.args[0], fn) if call.args else None
+            return ArrayValue(is_array=True,
+                              shape=base.shape if base else None,
+                              dtype="intp",
+                              batchable=bool(base and base.batchable))
+        if np_name in ("flatnonzero", "nonzero", "unique"):
+            return ArrayValue(is_array=True, shape=(UNKNOWN_DIM,),
+                              dtype="intp" if np_name != "unique" else None)
+        if np_name in ("concatenate", "stack", "vstack", "hstack",
+                       "column_stack"):
+            return ArrayValue(is_array=True)
+        if np_name in _NP_REDUCTIONS or np_name.endswith(".reduce"):
+            base = self.value_of(call.args[0], fn) if call.args else None
+            if base is None or not base.is_array:
+                return None
+            return self._reduced(base, call)
+        if np_name in ("cumsum", "cumprod", "sort", "clip", "abs",
+                       "sqrt", "exp", "log", "round"):
+            base = self.value_of(call.args[0], fn) if call.args else None
+            if base is None:
+                return None
+            return ArrayValue(is_array=base.is_array, shape=base.shape,
+                              dtype=dtype or base.dtype,
+                              batchable=base.batchable)
+        if np_name in _ELEMENTWISE_CALLS:
+            values = [self.value_of(arg, fn) for arg in call.args]
+            arrays = [v for v in values if v is not None and v.is_array]
+            if not arrays:
+                return None
+            shape = None
+            for value in arrays:
+                shape = _merge_shapes(shape, value.shape) \
+                    if shape is None else self._broadcast_shape(
+                        shape, value.shape)
+            return ArrayValue(
+                is_array=True, shape=shape,
+                dtype=self._promote([v.dtype for v in arrays]),
+                uninit=any(v.uninit for v in arrays),
+                batchable=any(v.batchable for v in arrays))
+        if np_name in ("float64", "float32", "float16"):
+            base = self.value_of(call.args[0], fn) if call.args else None
+            if base is not None and base.is_array:
+                return replace(base, dtype=np_name, taints=frozenset())
+            return None
+        return None
+
+    @staticmethod
+    def _broadcast_shape(a: Optional[Tuple[str, ...]],
+                         b: Optional[Tuple[str, ...]],
+                         ) -> Optional[Tuple[str, ...]]:
+        if a is None or b is None:
+            return None
+        longer, shorter = (a, b) if len(a) >= len(b) else (b, a)
+        pad = len(longer) - len(shorter)
+        result = list(longer[:pad])
+        for da, db in zip(longer[pad:], shorter):
+            if da == db:
+                result.append(da)
+            elif da == "1":
+                result.append(db)
+            elif db == "1":
+                result.append(da)
+            elif UNKNOWN_DIM in (da, db):
+                result.append(da if db == UNKNOWN_DIM else db)
+            else:
+                result.append(UNKNOWN_DIM)
+        return tuple(result)
+
+    @staticmethod
+    def _promote(dtypes: List[Optional[str]]) -> Optional[str]:
+        known = [d for d in dtypes if d is not None]
+        if not known:
+            return None
+        floats = [d for d in known if d in _FLOAT_WIDTH]
+        if floats:
+            return max(floats, key=lambda d: _FLOAT_WIDTH[d])
+        if len(set(known)) == 1:
+            return known[0]
+        return None
+
+    def _value_of_subscript(self, expr: ast.Subscript,
+                            fn: Optional[FunctionInfo],
+                            ) -> Optional[ArrayValue]:
+        base = self.value_of(expr.value, fn)
+        if base is None or not base.is_array:
+            return None
+        elts = (list(expr.slice.elts)
+                if isinstance(expr.slice, ast.Tuple) else [expr.slice])
+        if any(isinstance(e, ast.Constant) and e.value is Ellipsis
+               for e in elts):
+            return ArrayValue(is_array=True, dtype=base.dtype,
+                              uninit=base.uninit, taints=base.taints)
+        first_full = _is_full_slice(elts[0])
+        has_slice = False
+        fancy = False
+        dims: List[str] = []
+        known = list(base.shape) if base.shape is not None else None
+        for pos, elt in enumerate(elts):
+            if isinstance(elt, ast.Slice):
+                has_slice = True
+                if known is not None and pos < len(known):
+                    dims.append(known[pos] if _is_full_slice(elt)
+                                else UNKNOWN_DIM)
+                else:
+                    dims.append(UNKNOWN_DIM)
+            else:
+                index_value = self.value_of(elt, fn)
+                if index_value is not None and index_value.is_array:
+                    fancy = True
+                # An integer-like index: the dim is consumed.
+        if fancy:
+            # Advanced indexing copies; the filtered axis order is no
+            # longer the plain server axis.
+            return ArrayValue(is_array=True, dtype=base.dtype,
+                              uninit=base.uninit)
+        if known is not None:
+            dims.extend(known[len(elts):])
+            if not dims:
+                return None  # fully indexed: a scalar
+            return ArrayValue(is_array=True, shape=tuple(dims),
+                              dtype=base.dtype, uninit=base.uninit,
+                              batchable=base.batchable and first_full,
+                              taints=base.taints)
+        if not has_slice:
+            return None  # probably a scalar element
+        return ArrayValue(is_array=True, dtype=base.dtype,
+                          uninit=base.uninit,
+                          batchable=base.batchable and first_full,
+                          taints=base.taints)
+
+    def _value_of_binop(self, expr: ast.BinOp,
+                        fn: Optional[FunctionInfo],
+                        ) -> Optional[ArrayValue]:
+        left = self.value_of(expr.left, fn)
+        right = self.value_of(expr.right, fn)
+        arrays = [v for v in (left, right)
+                  if v is not None and v.is_array]
+        if not arrays:
+            return None
+        shape = (self._broadcast_shape(arrays[0].shape, arrays[1].shape)
+                 if len(arrays) == 2 else arrays[0].shape)
+        return ArrayValue(
+            is_array=True, shape=shape,
+            dtype=self._promote([v.dtype for v in arrays]),
+            uninit=any(v.uninit for v in arrays),
+            batchable=any(v.batchable for v in arrays))
+
+    # -- propagation ----------------------------------------------------
+
+    def propagate(self) -> None:
+        """Run assignments/returns/bindings to a fixpoint."""
+        for _ in range(self.MAX_ROUNDS):
+            before = dict(self.env)
+            for module in self.index.modules.values():
+                for stmt in module.tree.body:
+                    self._propagate_module_stmt(module.name, stmt)
+            for qualname in sorted(self.index.functions):
+                self._propagate_function(
+                    self.index.functions[qualname])
+            self._propagate_call_bindings()
+            if self.env == before:
+                break
+
+    def _propagate_module_stmt(self, module: str,
+                               stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            return
+        inferred = self.value_of(value, None)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self._join(("global", module, target.id), inferred)
+
+    def _seed_parameters(self, fn: FunctionInfo) -> None:
+        module = self.index.modules.get(fn.module)
+        args = fn.node.args  # type: ignore[union-attr]
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            seed = None
+            if module is not None and arg.annotation is not None:
+                dotted = _dotted_name(arg.annotation)
+                if dotted and self.index.resolve_name(
+                        module, dotted) == "numpy.ndarray":
+                    seed = ArrayValue(is_array=True)
+            if arg.arg in BATCHABLE_NAMES:
+                seed = join_values(seed, ArrayValue(batchable=True))
+            if seed is not None:
+                self._join(("local", fn.qualname, arg.arg), seed)
+
+    def _propagate_function(self, fn: FunctionInfo) -> None:
+        self._seed_parameters(fn)
+        for node in iter_function_nodes(fn.node):
+            if isinstance(node, ast.Assign):
+                inferred = self.value_of(node.value, fn)
+                for target in node.targets:
+                    self._bind_target(fn, target, inferred)
+                self._taint_store(fn, node.targets, node.value)
+            elif isinstance(node, ast.AnnAssign) \
+                    and node.value is not None:
+                self._bind_target(fn, node.target,
+                                  self.value_of(node.value, fn))
+                self._taint_store(fn, [node.target], node.value)
+            elif isinstance(node, ast.For):
+                # ``for row in matrix:`` binds each row (a view).
+                source = self.value_of(node.iter, fn)
+                if source is not None and source.is_array \
+                        and isinstance(node.target, ast.Name):
+                    row = ArrayValue(
+                        is_array=source.shape is None
+                        or len(source.shape) > 1,
+                        dtype=source.dtype, uninit=source.uninit,
+                        taints=source.taints)
+                    if row.is_array:
+                        self._join(("local", fn.qualname,
+                                    node.target.id), row)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                self._join(("ret", fn.qualname),
+                           self.value_of(node.value, fn))
+
+    def _bind_target(self, fn: FunctionInfo, target: ast.expr,
+                     value: Optional[ArrayValue]) -> None:
+        if isinstance(target, ast.Name):
+            self._join(("local", fn.qualname, target.id), value)
+        elif (isinstance(target, ast.Attribute)
+              and isinstance(target.value, ast.Name)
+              and target.value.id == "self" and fn.class_qualname):
+            self._join(("attr", fn.class_qualname, target.attr), value)
+
+    def _sink_label(self, target: ast.expr,
+                    fn: FunctionInfo) -> Optional[str]:
+        """Cache-cell label a store into ``target`` aliases, or None."""
+        if isinstance(target, ast.Subscript):
+            inner = target.value
+            if (isinstance(inner, ast.Attribute)
+                    and isinstance(inner.value, ast.Name)
+                    and inner.value.id == "self" and fn.class_qualname):
+                cls = fn.class_qualname.rsplit(".", 1)[-1]
+                return f"{cls}.{inner.attr}"
+            if isinstance(inner, ast.Name):
+                module = self.index.modules.get(fn.module)
+                if module is not None \
+                        and inner.id in module.mutable_globals:
+                    short = fn.module.rsplit(".", 1)[-1]
+                    return f"{short}.{inner.id}"
+        elif (isinstance(target, ast.Attribute)
+              and isinstance(target.value, ast.Name)
+              and target.value.id == "self" and fn.class_qualname):
+            cls = fn.class_qualname.rsplit(".", 1)[-1]
+            return f"{cls}.{target.attr}"
+        return None
+
+    def _taint_store(self, fn: FunctionInfo,
+                     targets: List[ast.expr],
+                     value: ast.expr) -> None:
+        """Storing a local into a cache cell taints the local name."""
+        if not isinstance(value, ast.Name):
+            return
+        key = ("local", fn.qualname, value.id)
+        current = self.env.get(key)
+        if current is None or not current.is_array:
+            return
+        for target in targets:
+            label = self._sink_label(target, fn)
+            if label is not None:
+                self.env[key] = replace(
+                    current, taints=current.taints | {label})
+
+    def _propagate_call_bindings(self) -> None:
+        """Flow argument values into callee parameters."""
+        for site in self.graph.sites:
+            if site.bind_function is None:
+                continue
+            caller = self.index.functions.get(site.caller)
+            callee = site.bind_function.qualname
+            for param, arg in _bindings(site, site.call):
+                self._join(("local", callee, param),
+                           self.value_of(arg, caller))
+
+    # -- invalidation evidence ------------------------------------------
+
+    def _function_invalidates(self, fn: FunctionInfo) -> bool:
+        cached = self._invalidates.get(fn.qualname)
+        if cached is not None:
+            return cached
+        result = False
+        for node in iter_function_nodes(fn.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if isinstance(target, ast.Attribute) \
+                            and INVALIDATION_ATTR_RE.search(target.attr):
+                        result = True
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and INVALIDATION_CALL_RE.search(node.func.attr):
+                result = True
+            if result:
+                break
+        self._invalidates[fn.qualname] = result
+        return result
+
+    # -- checking -------------------------------------------------------
+
+    def check(self, enabled: frozenset) -> List[Finding]:
+        findings: List[Finding] = []
+        for qualname in sorted(self.index.functions):
+            fn = self.index.functions[qualname]
+            in_scope = _in_array_scope(fn)
+            hot = _in_hot_path(fn)
+            if "RPR404" in enabled:
+                findings.extend(self._check_empty_reads(fn))
+            for node in iter_function_nodes(fn.node):
+                if isinstance(node, ast.BinOp):
+                    if "RPR401" in enabled and in_scope:
+                        findings.extend(self._check_mixed_dtype(fn, node))
+                    if "RPR402" in enabled:
+                        findings.extend(
+                            self._check_binop_broadcast(fn, node))
+                elif isinstance(node, ast.Call):
+                    findings.extend(
+                        self._check_call(fn, node, enabled, in_scope,
+                                         hot))
+                elif isinstance(node, ast.Subscript):
+                    if "RPR501" in enabled:
+                        findings.extend(
+                            self._check_literal_index(fn, node))
+                elif isinstance(node, (ast.Assign, ast.AnnAssign,
+                                       ast.AugAssign)):
+                    if "RPR403" in enabled:
+                        findings.extend(self._check_mutation(fn, node))
+                elif isinstance(node, ast.For):
+                    if "RPR502" in enabled and hot:
+                        findings.extend(
+                            self._check_loop(fn, node, node.iter,
+                                             "for loop"))
+                elif isinstance(node, ast.comprehension):
+                    if "RPR502" in enabled and hot:
+                        findings.extend(
+                            self._check_loop(fn, node.iter, node.iter,
+                                             "comprehension"))
+        return findings
+
+    def _finding(self, fn: FunctionInfo, node: ast.AST, rule_id: str,
+                 message: str) -> Finding:
+        return Finding(path=fn.path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       rule_id=rule_id, message=message)
+
+    # RPR401 ------------------------------------------------------------
+
+    def _check_mixed_dtype(self, fn: FunctionInfo,
+                           node: ast.BinOp) -> Iterator[Finding]:
+        left = self.value_of(node.left, fn)
+        right = self.value_of(node.right, fn)
+        dtypes = {v.dtype for v in (left, right)
+                  if v is not None and v.dtype in _FLOAT_WIDTH}
+        if len(dtypes) > 1:
+            yield self._finding(
+                fn, node, "RPR401",
+                f"mixed {'/'.join(sorted(dtypes))} arithmetic silently "
+                f"promotes and re-narrows; the bit-exact core is "
+                f"float64 end to end")
+
+    def _check_narrowing(self, fn: FunctionInfo, call: ast.Call,
+                         ) -> Iterator[Finding]:
+        narrowed: Optional[str] = None
+        source: Optional[ArrayValue] = None
+        if isinstance(call.func, ast.Attribute) \
+                and call.func.attr == "astype":
+            dtype = self._dtype_label(
+                call.args[0] if call.args
+                else self._keyword(call, "dtype"))
+            if dtype in _FLOAT_WIDTH:
+                narrowed = dtype
+                source = self.value_of(call.func.value, fn)
+        else:
+            np_name = self._np_callee(call)
+            if np_name in (_COPYING_CALLS | _ALIASING_CALLS
+                           | {"float32", "float16"}):
+                dtype = (np_name if np_name in ("float32", "float16")
+                         else self._dtype_label(
+                             self._keyword(call, "dtype")))
+                if dtype in _FLOAT_WIDTH and call.args:
+                    narrowed = dtype
+                    source = self.value_of(call.args[0], fn)
+        if narrowed is None or source is None:
+            return
+        if source.dtype in _FLOAT_WIDTH \
+                and _FLOAT_WIDTH[narrowed] < _FLOAT_WIDTH[source.dtype]:
+            yield self._finding(
+                fn, call, "RPR401",
+                f"{source.dtype} value narrowed to {narrowed}; the "
+                f"golden fixtures hold at 1e-9 only in float64")
+
+    # RPR402 ------------------------------------------------------------
+
+    def _check_binop_broadcast(self, fn: FunctionInfo,
+                               node: ast.BinOp) -> Iterator[Finding]:
+        left = self.value_of(node.left, fn)
+        right = self.value_of(node.right, fn)
+        if not (left is not None and left.is_array and left.shape
+                and right is not None and right.is_array and right.shape):
+            return
+        conflict = broadcast_conflict(left.shape, right.shape)
+        if conflict is not None:
+            yield self._finding(
+                fn, node, "RPR402",
+                f"operands have statically incompatible broadcast "
+                f"shapes {_format_shape(left.shape)} vs "
+                f"{_format_shape(right.shape)}: dim {conflict[0]!r} "
+                f"cannot align with {conflict[1]!r}")
+
+    def _check_np_broadcast(self, fn: FunctionInfo, call: ast.Call,
+                            np_name: str) -> Iterator[Finding]:
+        if np_name not in _ELEMENTWISE_CALLS:
+            return
+        shaped = [(arg, value) for arg in call.args
+                  if (value := self.value_of(arg, fn)) is not None
+                  and value.is_array and value.shape]
+        for pos in range(1, len(shaped)):
+            conflict = broadcast_conflict(shaped[0][1].shape,
+                                          shaped[pos][1].shape)
+            if conflict is not None:
+                yield self._finding(
+                    fn, call, "RPR402",
+                    f"np.{np_name} arguments have statically "
+                    f"incompatible shapes "
+                    f"{_format_shape(shaped[0][1].shape)} vs "
+                    f"{_format_shape(shaped[pos][1].shape)}: dim "
+                    f"{conflict[0]!r} cannot align with {conflict[1]!r}")
+                return
+
+    # RPR403 ------------------------------------------------------------
+
+    def _mutation_finding(self, fn: FunctionInfo, node: ast.AST,
+                          value: Optional[ArrayValue],
+                          what: str) -> Iterator[Finding]:
+        if value is None or not value.is_array or not value.taints:
+            return
+        if self._function_invalidates(fn):
+            return
+        cells = ", ".join(sorted(value.taints))
+        yield self._finding(
+            fn, node, "RPR403",
+            f"{what} mutates an array aliased into cached state "
+            f"({cells}) with no version/dirty invalidation in "
+            f"{fn.name!r}; copy into a fresh name first or bump the "
+            f"cache's version counter")
+
+    def _check_mutation(self, fn: FunctionInfo,
+                        node: ast.stmt) -> Iterator[Finding]:
+        if isinstance(node, ast.AugAssign):
+            target = node.target
+            if isinstance(target, ast.Name):
+                yield from self._mutation_finding(
+                    fn, node, self.value_of(target, fn),
+                    f"augmented assignment to {target.id!r}")
+                return
+            if isinstance(target, ast.Subscript):
+                yield from self._mutation_finding(
+                    fn, node, self.value_of(target.value, fn),
+                    "augmented subscript assignment")
+            return
+        targets = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target])
+        for target in targets:
+            if not isinstance(target, ast.Subscript):
+                continue
+            base = target.value
+            # Storing into ``self._cache[k]`` is the cache update
+            # itself, not an aliasing hazard; _taint_store covers it.
+            if isinstance(base, ast.Attribute):
+                continue
+            yield from self._mutation_finding(
+                fn, node, self.value_of(base, fn),
+                "subscript store")
+
+    def _check_out_kwarg(self, fn: FunctionInfo,
+                         call: ast.Call) -> Iterator[Finding]:
+        out = self._keyword(call, "out")
+        if out is None:
+            return
+        yield from self._mutation_finding(
+            fn, call, self.value_of(out, fn), "out= target")
+
+    def _check_mutator_method(self, fn: FunctionInfo,
+                              call: ast.Call) -> Iterator[Finding]:
+        func = call.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in MUTATOR_METHODS):
+            return
+        yield from self._mutation_finding(
+            fn, call, self.value_of(func.value, fn),
+            f".{func.attr}() call")
+
+    # RPR404 ------------------------------------------------------------
+
+    def _check_empty_reads(self, fn: FunctionInfo) -> Iterator[Finding]:
+        allocs: Dict[str, ast.Call] = {}
+        loop_vars: Set[str] = set()
+        fully_initialized: Set[str] = set()
+        store_base_ids: Set[int] = set()
+        partial_targets: List[Tuple[str, ast.expr]] = []
+
+        for node in iter_function_nodes(fn.node):
+            if isinstance(node, ast.Assign) \
+                    and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and isinstance(node.value, ast.Call):
+                # Direct ``np.empty`` calls and helpers whose inferred
+                # return value is still uninitialized both count: the
+                # lattice carries ``uninit`` through project-local
+                # return flow, so allocation wrappers don't launder it.
+                value = self.value_of(node.value, fn)
+                if value is not None and value.uninit:
+                    allocs.setdefault(node.targets[0].id, node.value)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                iter_expr = node.iter
+                is_counted = (isinstance(iter_expr, ast.Call)
+                              and isinstance(iter_expr.func, ast.Name)
+                              and iter_expr.func.id in ("range",
+                                                        "enumerate"))
+                if is_counted:
+                    target = node.target
+                    names = ([target] if isinstance(target, ast.Name)
+                             else list(target.elts)
+                             if isinstance(target, ast.Tuple) else [])
+                    loop_vars.update(n.id for n in names
+                                     if isinstance(n, ast.Name))
+        if not allocs:
+            return
+
+        def record_store(target: ast.expr) -> None:
+            if not (isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in allocs):
+                return
+            store_base_ids.add(id(target.value))
+            name = target.value.id
+            index = target.slice
+            elts = (list(index.elts) if isinstance(index, ast.Tuple)
+                    else [index])
+            first = elts[0]
+            if _is_full_slice(first) or (
+                    isinstance(first, ast.Constant)
+                    and first.value is Ellipsis):
+                fully_initialized.add(name)
+            elif isinstance(first, ast.Name) and first.id in loop_vars:
+                # A store under every index of a counted loop: treated
+                # as covering (the loop bound matching the dim is the
+                # author's responsibility; this pass checks intent).
+                fully_initialized.add(name)
+            else:
+                partial_targets.append((name, target))
+
+        for node in iter_function_nodes(fn.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    record_store(target)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                # ``buf[i] += x`` reads before writing: not an init.
+                pass
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "fill" \
+                    and isinstance(node.func.value, ast.Name) \
+                    and node.func.value.id in allocs:
+                fully_initialized.add(node.func.value.id)
+                store_base_ids.add(id(node.func.value))
+
+        read_names: Set[str] = set()
+        for node in iter_function_nodes(fn.node):
+            if isinstance(node, ast.Name) \
+                    and isinstance(node.ctx, ast.Load) \
+                    and node.id in allocs \
+                    and id(node) not in store_base_ids:
+                read_names.add(node.id)
+
+        for name in sorted(allocs):
+            if name in fully_initialized:
+                continue
+            if name in read_names:
+                yield self._finding(
+                    fn, allocs[name], "RPR404",
+                    f"np.empty array {name!r} may be read before every "
+                    f"element is assigned; use np.zeros/np.full or "
+                    f"prove coverage with a full-slice or counted-loop "
+                    f"store")
+
+    # RPR501 ------------------------------------------------------------
+
+    def _check_axis_kwarg(self, fn: FunctionInfo,
+                          call: ast.Call) -> Iterator[Finding]:
+        axis = self._keyword(call, "axis")
+        if axis is None and self._np_callee(call) is not None \
+                and len(call.args) >= 2 \
+                and (self._np_callee(call) in _NP_REDUCTIONS
+                     or self._np_callee(call).endswith(".reduce")):
+            axis = call.args[1]
+        if not (axis is not None and _is_int_constant(axis)
+                and axis.value >= 0):  # type: ignore[attr-defined]
+            return
+        base: Optional[ArrayValue] = None
+        if self._np_callee(call) is not None and call.args:
+            base = self.value_of(call.args[0], fn)
+        elif isinstance(call.func, ast.Attribute):
+            base = self.value_of(call.func.value, fn)
+        if base is not None and base.is_array and base.batchable:
+            yield self._finding(
+                fn, call, "RPR501",
+                f"hardcoded axis={axis.value} on a batchable "  # type: ignore[attr-defined]
+                f"per-server array; a leading scenario-batch axis "
+                f"shifts positive axes — count from the end "
+                f"(axis=-{len(base.shape) - axis.value if base.shape else 1} here)"  # type: ignore[attr-defined]
+                )
+
+    def _check_literal_index(self, fn: FunctionInfo,
+                             sub: ast.Subscript) -> Iterator[Finding]:
+        base = self.value_of(sub.value, fn)
+        if base is None or not base.is_array or not base.batchable:
+            return
+        first = (sub.slice.elts[0] if isinstance(sub.slice, ast.Tuple)
+                 and sub.slice.elts else sub.slice)
+        if _is_int_constant(first) \
+                and first.value >= 0:  # type: ignore[attr-defined]
+            yield self._finding(
+                fn, sub, "RPR501",
+                f"literal index [{first.value}] on the leading axis "  # type: ignore[attr-defined]
+                f"of a batchable per-server array; a scenario-batch "
+                f"axis will occupy axis 0 — index the server axis "
+                f"explicitly or from the end")
+
+    # RPR502 ------------------------------------------------------------
+
+    def _iteration_sources(self, expr: ast.expr) -> Iterator[ast.expr]:
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name) \
+                    and func.id in ("enumerate", "zip", "reversed"):
+                for arg in expr.args:
+                    yield from self._iteration_sources(arg)
+                return
+            if isinstance(func, ast.Name) and func.id == "range":
+                if expr.args and isinstance(expr.args[0], ast.Call) \
+                        and isinstance(expr.args[0].func, ast.Name) \
+                        and expr.args[0].func.id == "len" \
+                        and expr.args[0].args:
+                    yield expr.args[0].args[0]
+                return
+            if isinstance(func, ast.Attribute) and func.attr == "tolist":
+                yield func.value
+                return
+        yield expr
+
+    def _batchable_source(self, expr: ast.expr,
+                          fn: FunctionInfo) -> bool:
+        for source in self._iteration_sources(expr):
+            value = self.value_of(source, fn)
+            if value is not None and value.batchable:
+                return True
+        return False
+
+    def _check_loop(self, fn: FunctionInfo, node: ast.AST,
+                    iter_expr: ast.expr, what: str) -> Iterator[Finding]:
+        if self._batchable_source(iter_expr, fn):
+            yield self._finding(
+                fn, node, "RPR502",
+                f"Python-level {what} over a batchable per-server axis "
+                f"in a batch-critical module; the batched engine "
+                f"(ROADMAP item 2) needs this vectorized")
+
+    def _check_py_reducer(self, fn: FunctionInfo,
+                          call: ast.Call) -> Iterator[Finding]:
+        func = call.func
+        if not (isinstance(func, ast.Name)
+                and func.id in _PY_REDUCERS and call.args):
+            return
+        first = call.args[0]
+        if isinstance(first, (ast.GeneratorExp, ast.ListComp,
+                              ast.SetComp)):
+            return  # the comprehension's own iter is checked instead
+        if self._batchable_source(first, fn):
+            yield self._finding(
+                fn, call, "RPR502",
+                f"builtin {func.id}() reduces a batchable per-server "
+                f"sequence element-by-element in a batch-critical "
+                f"module; use the NumPy equivalent so the scenario "
+                f"axis can ride through")
+
+    # RPR503 ------------------------------------------------------------
+
+    def _is_batchable_reduction(self, expr: ast.expr,
+                                fn: FunctionInfo) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        np_name = self._np_callee(expr)
+        if np_name is not None \
+                and (np_name in _NP_REDUCTIONS
+                     or np_name.endswith(".reduce")) and expr.args:
+            value = self.value_of(expr.args[0], fn)
+            return value is not None and value.batchable
+        func = expr.func
+        if isinstance(func, ast.Attribute) \
+                and func.attr in _REDUCTION_METHODS:
+            value = self.value_of(func.value, fn)
+            return value is not None and value.batchable
+        return False
+
+    def _check_scalarize(self, fn: FunctionInfo,
+                         call: ast.Call) -> Iterator[Finding]:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "float" \
+                and len(call.args) == 1:
+            arg = call.args[0]
+            value = self.value_of(arg, fn)
+            if value is not None and value.is_array and value.batchable:
+                yield self._finding(
+                    fn, call, "RPR503",
+                    "float() scalarizes a whole batchable array; keep "
+                    "it an array so the scenario axis can ride through")
+            elif self._is_batchable_reduction(arg, fn):
+                yield self._finding(
+                    fn, call, "RPR503",
+                    "float() collapses a reduction over a batchable "
+                    "per-server axis to a Python scalar; keeping the "
+                    "NumPy scalar/array lets the batch axis survive")
+        elif isinstance(func, ast.Attribute) and func.attr == "item" \
+                and not call.args:
+            base = self.value_of(func.value, fn)
+            if (base is not None and base.is_array and base.batchable) \
+                    or self._is_batchable_reduction(func.value, fn):
+                yield self._finding(
+                    fn, call, "RPR503",
+                    ".item() scalarizes a batchable intermediate; "
+                    "keeping the NumPy value lets the batch axis "
+                    "survive")
+
+    # -- per-call dispatch ----------------------------------------------
+
+    def _check_call(self, fn: FunctionInfo, call: ast.Call,
+                    enabled: frozenset, in_scope: bool,
+                    hot: bool) -> Iterator[Finding]:
+        np_name = self._np_callee(call)
+        if "RPR401" in enabled and in_scope:
+            yield from self._check_narrowing(fn, call)
+        if "RPR402" in enabled and np_name is not None:
+            yield from self._check_np_broadcast(fn, call, np_name)
+        if "RPR403" in enabled:
+            yield from self._check_out_kwarg(fn, call)
+            yield from self._check_mutator_method(fn, call)
+        if "RPR501" in enabled:
+            yield from self._check_axis_kwarg(fn, call)
+        if "RPR502" in enabled and hot:
+            yield from self._check_py_reducer(fn, call)
+        if "RPR503" in enabled and hot:
+            yield from self._check_scalarize(fn, call)
+
+
+def _dotted_name(expr: ast.expr) -> Optional[str]:
+    chain: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        chain.append(node.id)
+        return ".".join(reversed(chain))
+    return None
+
+
+def _bindings(site: CallSite,
+              call: ast.Call) -> Iterator[Tuple[str, ast.expr]]:
+    """(parameter name, argument expression) pairs for a site."""
+    if site.bind_function is not None:
+        params = [arg.arg for arg in site.bind_function.parameters()]
+        if site.skip_first and params:
+            params = params[1:]
+        for param, arg in zip(params, call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            yield param, arg
+        keyword_names = {
+            arg.arg for arg in site.bind_function.keyword_parameters()}
+        for keyword in call.keywords:
+            if keyword.arg and keyword.arg in keyword_names:
+                yield keyword.arg, keyword.value
+    elif site.bind_class is not None:
+        fields = site.bind_class.fields
+        for param, arg in zip(fields, call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            yield param, arg
+        for keyword in call.keywords:
+            if keyword.arg and keyword.arg in fields:
+                yield keyword.arg, keyword.value
+
+
+def _in_array_scope(fn: FunctionInfo) -> bool:
+    segments = set(fn.module.split("."))
+    segments.update(fn.module.rsplit(".", 1)[-1].split("_"))
+    segments.update(part for part in fn.path.replace("\\", "/").split("/"))
+    return bool(segments & ARRAY_SCOPE_SEGMENTS)
+
+
+def _in_hot_path(fn: FunctionInfo) -> bool:
+    tokens = set(fn.module.rsplit(".", 1)[-1].split("_"))
+    return bool(tokens & HOT_PATH_MODULES)
+
+
+def run_array_pass(index: ProjectIndex, graph: CallGraph,
+                   enabled: frozenset) -> List[Finding]:
+    """Propagate array facts to a fixpoint, then collect findings."""
+    analysis = ArrayAnalysis(index, graph)
+    analysis.propagate()
+    return analysis.check(enabled)

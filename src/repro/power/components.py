@@ -138,10 +138,14 @@ class IPDU:
         """
         if self._any_off:
             # Copy before zeroing so the caller's array is untouched.
-            draws_w = np.array(draws_w, dtype=float)
+            # The copy gets its own name: ``draws_w`` is aliased into
+            # the ring by reference, so mutating under that name would
+            # be (and reads as) a cache corruption.
+            masked = np.array(draws_w, dtype=float)
             for outlet, on in enumerate(self.outlet_on):
                 if not on:
-                    draws_w[outlet] = 0.0
+                    masked[outlet] = 0.0
+            draws_w = masked
         slot = self._ring_next
         self._ring_rows[slot] = draws_w
         self._ring_t[slot] = timestamp_s

@@ -152,8 +152,11 @@ class Simulation:
         # pairwise summation only reorders beyond 8 terms); wider
         # clusters keep the historical per-tick reduction.
         if values.shape[0] <= 8:
+            # axis=-2 is the server axis of the (servers, ticks) trace;
+            # counting from the end keeps it the server axis when a
+            # leading scenario-batch axis lands (ROADMAP item 2).
             tick_totals: Optional[List[float]] = (
-                np.add.reduce(values, axis=0).tolist())
+                np.add.reduce(values, axis=-2).tolist())
         else:
             tick_totals = None
 
@@ -281,7 +284,7 @@ class Simulation:
             if tick_totals is not None:
                 slot_demand.append(tick_totals[tick])
             else:
-                slot_demand.append(float(np.sum(np.ascontiguousarray(raw))))
+                slot_demand.append(float(np.sum(np.ascontiguousarray(raw))))  # repro: noqa[RPR503] wide-cluster fallback keeps the historical per-tick summation order bit-exact
             accumulator.record_tick(
                 dt=dt,
                 served_w=utility_draw + served_from_buffers,

@@ -186,7 +186,9 @@ class ClusterTrace:
 
     def aggregate(self) -> PowerTrace:
         """Total cluster demand."""
-        return PowerTrace(self._values.sum(axis=0), self.dt_s,
+        # axis=-2 == the server axis of (servers, samples), stable
+        # under a future leading scenario-batch axis.
+        return PowerTrace(self._values.sum(axis=-2), self.dt_s,
                           name=f"{self.name}/total")
 
     def at(self, sample: int) -> np.ndarray:

@@ -1,0 +1,9 @@
+"""Adversarial package for the array-semantics pass (RPR4xx/RPR5xx).
+
+Every defect in this package spans a module boundary: shapes, dtypes,
+uninitialized buffers, aliasing taint, and batchable flags all have to
+flow through helper returns, parameter bindings, or class attributes
+before the misuse site becomes visible.  ``test_arraysem.py`` asserts
+the exact finding set — and that linting each module alone reports
+nothing, proving the findings are genuinely interprocedural.
+"""

@@ -1,0 +1,20 @@
+"""A memoized ring buffer whose accessor returns the cached array.
+
+The aliasing taint (``RingCache._ring``) is born here; the misuses
+live in ``pool_ops`` — the view crosses a module boundary through a
+method return before anyone mutates it.
+"""
+import numpy as np
+
+
+class RingCache:
+    def __init__(self, width: int) -> None:
+        self._ring = np.zeros(width)
+        self._version = 0
+
+    def window(self) -> np.ndarray:
+        """Zero-copy access: the caller holds cache storage."""
+        return self._ring
+
+    def invalidate(self) -> None:
+        self._version += 1

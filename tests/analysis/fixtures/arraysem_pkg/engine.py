@@ -1,0 +1,29 @@
+"""Hot-path consumer: batch-axis defects on arrays built elsewhere.
+
+The batchable flag travels from ``server_pool`` through return values;
+linting this file alone sees plain unknown locals and stays silent.
+"""
+import numpy as np
+
+from .server_pool import cluster_demands, demand_grid
+
+
+def tick(num_servers: int, width: int) -> float:
+    demands_w = cluster_demands(num_servers)
+    grid = demand_grid(num_servers, width)
+    head = float(grid[0, 0])  # RPR501: literal index on the server axis
+    totals = grid.sum(axis=0)  # RPR501: hardcoded axis=0
+    total = 0.0
+    for draw in demands_w:  # RPR502: Python loop over the server axis
+        total += draw
+    peak = float(np.max(demands_w))  # RPR503: scalarized reduction
+    return head + total + peak + float(np.sum(totals))
+
+
+def tick_clean(num_servers: int, width: int) -> np.ndarray:
+    demands_w = cluster_demands(num_servers)
+    grid = demand_grid(num_servers, width)
+    tail = grid[-1]  # counted from the end: batch-safe
+    totals = grid.sum(axis=-1)  # server axis kept
+    scaled = demands_w * 2.0
+    return totals + scaled + tail

@@ -1,0 +1,27 @@
+"""Array factories: every defect consumer imports its arrays from here.
+
+This module is deliberately free of scope tokens (not a sim/storage/
+faults module, not an engine/scheduler hot path) so nothing in it is
+flagged directly — the facts it creates only matter downstream.
+"""
+import numpy as np
+
+
+def half_precision(count: int) -> np.ndarray:
+    """A float32 buffer; the narrowing only bites when mixed later."""
+    return np.zeros(count, dtype=np.float32)
+
+
+def fresh_slots(width: int) -> np.ndarray:
+    """Uninitialized storage; callers must fill before reading."""
+    return np.empty(width)
+
+
+def per_server_demands(num_servers: int) -> np.ndarray:
+    """Batchable: leading dim is the server axis."""
+    return np.zeros(num_servers)
+
+
+def per_outlet_draws(num_outlets: int) -> np.ndarray:
+    """A different symbolic leading dim than the server axis."""
+    return np.zeros(num_outlets)

@@ -1,0 +1,31 @@
+"""Consumers of ``RingCache`` views: aliased-mutation defects.
+
+The failing functions mutate cache storage obtained through
+``RingCache.window()`` without any invalidation evidence; the clean
+ones either bump the version counter or copy first.
+"""
+import numpy as np
+
+from .cache_ring import RingCache
+
+
+def smooth(cache: RingCache) -> None:
+    window = cache.window()
+    window[0] = 0.0  # RPR403: writes cache storage through an alias
+
+
+def double(cache: RingCache) -> None:
+    view = cache.window()
+    np.multiply(view, 2.0, out=view)  # RPR403: out= into cache storage
+
+
+def rewrite(cache: RingCache) -> None:
+    view = cache.window()
+    view[:] = 0.0
+    cache.invalidate()  # version bump: the mutation is accounted for
+
+
+def snapshot(cache: RingCache) -> np.ndarray:
+    private = cache.window().copy()
+    private[0] = 1.0  # a fresh copy carries no aliasing taint
+    return private

@@ -1,0 +1,17 @@
+"""Second hot module: scalarization through builtin reducers."""
+from .server_pool import cluster_demands
+
+
+def plan(num_servers: int) -> float:
+    demands_w = cluster_demands(num_servers)
+    budget = sum(demands_w.tolist())  # RPR502: builtin sum over servers
+    worst = demands_w.max().item()  # RPR503: .item() on a reduction
+    return budget + worst
+
+
+def plan_clean(num_servers: int) -> float:
+    import numpy as np
+    demands_w = cluster_demands(num_servers)
+    settings = [0.5, 1.5]
+    calm = sum(settings) + max(settings)  # plain list: no batch axis
+    return calm + float(np.asarray(demands_w).size)

@@ -1,0 +1,12 @@
+"""Server-scope factories: the batchable facts the hot modules consume."""
+import numpy as np
+
+
+def cluster_demands(num_servers: int) -> np.ndarray:
+    """Rank-1 over the server axis: batchable."""
+    return np.zeros(num_servers)
+
+
+def demand_grid(num_servers: int, width: int) -> np.ndarray:
+    """(servers, window) grid: leading axis is the server axis."""
+    return np.zeros((num_servers, width))

@@ -1,0 +1,48 @@
+"""Storage-scope consumers: dtype, broadcast, and uninit defects.
+
+All three failing functions depend on facts created in ``makers``:
+linting this file alone reports nothing.
+"""
+import numpy as np
+
+from .makers import (
+    fresh_slots,
+    half_precision,
+    per_outlet_draws,
+    per_server_demands,
+)
+
+
+def blend(count: int) -> np.ndarray:
+    narrow = half_precision(count)
+    wide = np.zeros(count)
+    return narrow + wide  # RPR401: cross-module float32 meets float64
+
+
+def misaligned(num_servers: int, num_outlets: int) -> np.ndarray:
+    demands = per_server_demands(num_servers)
+    draws = per_outlet_draws(num_outlets)
+    # RPR402: symbolic leading dims num_servers vs num_outlets conflict.
+    return np.add(demands, draws)
+
+
+def first_slot(width: int) -> float:
+    slots = fresh_slots(width)
+    return float(slots[0])  # RPR404: np.empty read through a helper
+
+
+def blend_clean(count: int) -> np.ndarray:
+    widened = half_precision(count).astype(np.float64)
+    return widened + np.zeros(count)
+
+
+def aligned(num_servers: int) -> np.ndarray:
+    left = per_server_demands(num_servers)
+    right = per_server_demands(num_servers)
+    return np.add(left, right)  # same symbolic dim: compatible
+
+
+def filled_slot(width: int) -> float:
+    slots = fresh_slots(width)
+    slots[:] = 0.0  # full-slice store initializes everything
+    return float(slots[0])

@@ -1,0 +1,13 @@
+"""RPR401 clean: float64 end to end (storage scope)."""
+import numpy as np
+
+
+def uniform_arithmetic(width: int):
+    a = np.zeros(width, dtype=np.float64)
+    b = np.ones(width, dtype=np.float64)
+    return a + b
+
+
+def widened(values: np.ndarray):
+    narrow = np.asarray(values, dtype=np.float32)
+    return narrow.astype(np.float64)  # widening is fine

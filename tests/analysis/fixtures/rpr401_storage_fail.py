@@ -1,0 +1,13 @@
+"""RPR401: dtype narrowing / mixed float arithmetic (storage scope)."""
+import numpy as np
+
+
+def mixed_arithmetic(width: int):
+    narrow = np.zeros(width, dtype=np.float32)
+    wide = np.ones(width, dtype=np.float64)
+    return narrow + wide  # mixed float32/float64 arithmetic
+
+
+def narrowed(values: np.ndarray):
+    wide = np.asarray(values, dtype=np.float64)
+    return wide.astype(np.float32)  # float64 -> float32 narrowing

@@ -1,0 +1,20 @@
+"""RPR402 clean: compatible or unprovable broadcasts."""
+import numpy as np
+
+
+def same_shape(num_servers: int):
+    a = np.zeros(num_servers)
+    b = np.ones(num_servers)
+    return a + b
+
+
+def broadcasting_one(num_servers: int):
+    rows = np.zeros((num_servers, 3))
+    scale = np.ones((1, 3))
+    return np.add(rows, scale)  # dim 1 broadcasts
+
+
+def symbolic_vs_literal(num_servers: int):
+    a = np.zeros(num_servers)
+    b = np.ones(8)
+    return a + b  # unprovable: symbolic against literal passes

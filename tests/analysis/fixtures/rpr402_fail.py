@@ -1,0 +1,14 @@
+"""RPR402: statically incompatible broadcast shapes."""
+import numpy as np
+
+
+def literal_conflict():
+    four_wide = np.zeros((4, 3))
+    five_wide = np.ones((5, 3))
+    return four_wide + five_wide  # 4 vs 5 on the same axis
+
+
+def symbolic_conflict(num_servers: int, num_outlets: int):
+    per_server = np.zeros(num_servers)
+    per_outlet = np.zeros(num_outlets)
+    return np.add(per_server, per_outlet)  # num_servers vs num_outlets

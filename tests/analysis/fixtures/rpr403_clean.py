@@ -1,0 +1,18 @@
+"""RPR403 clean: fresh copies, or mutation with version invalidation."""
+import numpy as np
+
+
+class Memo:
+    def __init__(self, width: int) -> None:
+        self._memo = np.zeros(width)
+        self._version = 0
+
+    def scaled(self, k: int) -> np.ndarray:
+        fresh = self._memo.copy()  # provably fresh: its own name
+        fresh[k] = 0.0
+        return fresh
+
+    def rebuild(self, k: int) -> None:
+        staged = self._memo
+        staged[k] = 1.0  # allowed: the version counter is bumped
+        self._version += 1

@@ -1,0 +1,18 @@
+"""RPR403: mutation of arrays aliased into cached state, no invalidation."""
+import numpy as np
+
+
+class Memo:
+    def __init__(self, width: int) -> None:
+        self._memo = np.zeros(width)
+
+    def smudge(self, k: int) -> None:
+        view = self._memo
+        view[k] = 1.0  # mutates the memo through an alias
+
+    def drift(self) -> None:
+        aliased = self._memo
+        aliased += 1.0  # augmented assignment through an alias
+
+    def double(self) -> None:
+        np.multiply(self._memo, 2.0, out=self._memo)  # out= into the memo

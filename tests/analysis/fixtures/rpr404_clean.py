@@ -1,0 +1,25 @@
+"""RPR404 clean: full coverage before any read."""
+import numpy as np
+
+
+def loop_filled(width: int) -> np.ndarray:
+    out = np.empty(width)
+    for i in range(width):
+        out[i] = float(i)  # counted-loop store covers the buffer
+    return out
+
+
+def slice_filled(width: int) -> np.ndarray:
+    out = np.empty(width)
+    out[:] = 3.0  # full-slice store
+    return out
+
+
+def filled(width: int) -> np.ndarray:
+    out = np.empty(width)
+    out.fill(0.0)
+    return out
+
+
+def zero_length() -> np.ndarray:
+    return np.empty(0)  # nothing to initialize

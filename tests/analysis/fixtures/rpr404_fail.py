@@ -1,0 +1,13 @@
+"""RPR404: np.empty read before every element is assigned."""
+import numpy as np
+
+
+def read_uninitialized(width: int) -> float:
+    buf = np.empty(width)
+    return float(buf[0])  # no element was ever assigned
+
+
+def partial_fill(width: int) -> np.ndarray:
+    data = np.empty(width)
+    data[0] = 1.0  # only element 0 is assigned
+    return data

@@ -1,0 +1,17 @@
+"""RPR501 clean: end-relative axes, or non-batchable arrays."""
+import numpy as np
+
+
+def axis_from_end(num_servers: int) -> np.ndarray:
+    demands_w = np.zeros((num_servers, 16))
+    return demands_w.sum(axis=-2)  # survives a leading batch axis
+
+
+def tail(num_servers: int) -> float:
+    draws_w = np.ones(num_servers)
+    return draws_w[-1]  # negative indices count from the end
+
+
+def plain_axis_zero(width: int) -> np.ndarray:
+    table = np.zeros((width, 16))
+    return table.sum(axis=0)  # not a batchable array

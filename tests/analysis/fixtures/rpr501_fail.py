@@ -1,0 +1,12 @@
+"""RPR501: hardcoded axis/index on a batchable per-server array."""
+import numpy as np
+
+
+def axis_zero(num_servers: int) -> np.ndarray:
+    demands_w = np.zeros((num_servers, 16))
+    return demands_w.sum(axis=0)  # axis 0 is the server axis today
+
+
+def head(num_servers: int) -> float:
+    draws_w = np.ones(num_servers)
+    return draws_w[0]  # literal leading index

@@ -1,0 +1,13 @@
+"""RPR502 clean: NumPy reductions, or loops over non-batchable data."""
+import numpy as np
+
+
+def tick(num_servers: int) -> float:
+    demands_w = np.zeros(num_servers)
+    total = np.sum(demands_w)  # vectorized reduction
+    worst = np.max(demands_w)
+    settings = [1.0, 2.0, 3.0]
+    calm = sum(settings)  # plain python list: no batch axis
+    for value in settings:
+        calm += value
+    return float(total + worst) + calm

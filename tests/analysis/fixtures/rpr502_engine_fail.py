@@ -1,0 +1,12 @@
+"""RPR502: Python-level loops over a batchable axis in a hot module."""
+import numpy as np
+
+
+def tick(num_servers: int) -> float:
+    demands_w = np.zeros(num_servers)
+    total = 0.0
+    for draw in demands_w:  # for loop over the server axis
+        total += draw
+    total += sum(demands_w.tolist())  # builtin sum over the server axis
+    worst = max(demands_w)  # builtin max over the server axis
+    return total + worst

@@ -1,0 +1,11 @@
+"""RPR503: scalarization of batchable intermediates in a hot module."""
+import numpy as np
+
+
+def report(num_servers: int) -> float:
+    values_w = np.zeros((num_servers, 4))
+    per_server = values_w.sum(axis=-1)  # still batchable: rank-1 per-server
+    peak = float(np.max(per_server))  # float() of a reduction
+    mean = per_server.mean().item()  # .item() of a method reduction
+    head = float(per_server)  # float() of the whole array
+    return peak + mean + head

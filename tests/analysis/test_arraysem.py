@@ -1,0 +1,138 @@
+"""Acceptance tests for the array-semantics pass (RPR4xx/RPR5xx).
+
+``arraysem_pkg`` plants eleven defects that each need a fact inferred
+in another module: dtypes, symbolic shapes, uninitialized buffers,
+aliasing taint, and batchable flags all cross a module boundary before
+the misuse site.  The tests pin the exact finding set, prove the
+cross-module findings vanish when modules are linted alone, and cover
+the incremental-cache contract for the new families.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+PKG = FIXTURES / "arraysem_pkg"
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+ARRAY_FAMILIES = ["RPR4", "RPR5"]
+
+#: rule id -> sorted (file basename, function-area line) the package
+#: must produce — exactly these, nothing else.
+EXPECTED = {
+    "RPR401": [("storage.py", 19)],
+    "RPR402": [("storage.py", 26)],
+    "RPR403": [("pool_ops.py", 14), ("pool_ops.py", 19)],
+    "RPR404": [("storage.py", 30)],
+    "RPR501": [("engine.py", 14), ("engine.py", 15)],
+    "RPR502": [("engine.py", 17), ("scheduler_ops.py", 7)],
+    "RPR503": [("engine.py", 19), ("scheduler_ops.py", 8)],
+}
+
+
+def _pkg_files():
+    return sorted(str(p) for p in PKG.glob("*.py"))
+
+
+@pytest.fixture(scope="module")
+def report():
+    return lint_paths(_pkg_files(), select=ARRAY_FAMILIES)
+
+
+def test_package_yields_the_exact_finding_set(report):
+    got: dict = {}
+    for finding in report.findings:
+        got.setdefault(finding.rule_id, []).append(
+            (Path(finding.path).name, finding.line))
+    assert {k: sorted(v) for k, v in got.items()} == EXPECTED
+
+
+def test_every_array_rule_fires_in_the_package(report):
+    assert {f.rule_id for f in report.findings} == set(EXPECTED)
+
+
+def test_findings_carry_positions_and_messages(report):
+    for finding in report.findings:
+        assert finding.line >= 1 and finding.col >= 1
+        assert finding.message
+
+
+def test_cross_module_facts_vanish_when_modules_lint_alone():
+    """The dtype/shape/aliasing/uninit defects need the whole package.
+
+    Linting each module by itself severs the interprocedural flow;
+    only the name-seeded batchable hits in the hot modules survive
+    (``demands_w`` is batchable by naming convention alone).
+    """
+    alone: set = set()
+    for path in _pkg_files():
+        single = lint_paths([path], select=ARRAY_FAMILIES)
+        alone.update(f.rule_id for f in single.findings)
+    assert alone.isdisjoint({"RPR401", "RPR402", "RPR403",
+                             "RPR404", "RPR501"})
+    assert alone <= {"RPR502", "RPR503"}
+
+
+def test_clean_counterparts_stay_clean(report):
+    """Invalidation evidence, copies, astype widening, end-relative
+    indexing: every *_clean / aligned / rewrite / snapshot function
+    contributes nothing to the finding set."""
+    lines = {(Path(f.path).name, f.line) for f in report.findings}
+    expected = {pair for pairs in EXPECTED.values() for pair in pairs}
+    assert lines == expected
+
+
+# ----------------------------------------------------------------------
+# Incremental-cache contract for the new families
+# ----------------------------------------------------------------------
+
+def test_warm_relint_serves_array_findings_from_cache():
+    files = _pkg_files()
+    cold = lint_paths(files, select=ARRAY_FAMILIES, use_cache=True)
+    warm = lint_paths(files, select=ARRAY_FAMILIES, use_cache=True)
+    assert cold.files_from_cache == 0
+    assert warm.files_from_cache == warm.files_scanned
+    assert warm.findings == cold.findings
+
+
+def test_fingerprint_bump_forces_cold_reanalysis(monkeypatch):
+    files = _pkg_files()
+    first = lint_paths(files, select=ARRAY_FAMILIES, use_cache=True)
+    assert first.findings
+
+    import repro.analysis.cache as cache_mod
+
+    monkeypatch.setattr(cache_mod, "analysis_fingerprint",
+                        lambda: "edited-analysis-package")
+    second = lint_paths(files, select=ARRAY_FAMILIES, use_cache=True)
+    # New fingerprint => every key misses => full re-analysis...
+    assert second.files_from_cache == 0
+    assert second.findings == first.findings
+    # ...and the re-analysis repopulates under the new keys.
+    third = lint_paths(files, select=ARRAY_FAMILIES, use_cache=True)
+    assert third.files_from_cache == third.files_scanned
+
+
+def test_warm_relint_of_src_with_array_families_is_fast():
+    """Acceptance: warm re-lint under 25% of the cold wall time with
+    the array families enabled over the real tree."""
+    select = ["RPR11", "RPR2", "RPR4", "RPR5"]
+    start = time.perf_counter()
+    cold = lint_paths([str(REPO_SRC)], select=select, use_cache=True)
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = lint_paths([str(REPO_SRC)], select=select, use_cache=True)
+    warm_seconds = time.perf_counter() - start
+
+    assert cold.files_from_cache == 0
+    assert warm.files_from_cache == warm.files_scanned
+    assert warm.findings == cold.findings
+    assert warm_seconds < 0.25 * cold_seconds, (
+        f"warm lint took {warm_seconds:.3f}s vs cold {cold_seconds:.3f}s")

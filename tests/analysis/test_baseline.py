@@ -129,6 +129,15 @@ def test_repo_baseline_workflow_against_src(tmp_path):
     """The shipped tree has no debt: its baseline is empty and check-clean."""
     repo_src = Path(__file__).resolve().parents[2] / "src" / "repro"
     baseline = tmp_path / "baseline.json"
-    report = lint_paths([str(repo_src)], select=["RPR1", "RPR2"])
+    report = lint_paths([str(repo_src)],
+                        select=["RPR1", "RPR2", "RPR4", "RPR5"])
     assert write_baseline(baseline, report.findings) == 0
     assert new_findings(report.findings, load_baseline(baseline)) == []
+
+
+def test_checked_in_ratchet_baseline_is_empty():
+    """CI's RPR4/RPR5 ratchet file stays empty: new array-semantics
+    findings must be fixed (or noqa'd with a reason), never accepted."""
+    repo_root = Path(__file__).resolve().parents[2]
+    accepted = load_baseline(repo_root / ".repro-lint-baseline.json")
+    assert accepted == {}
