@@ -1,15 +1,25 @@
-"""Benchmark: engine tick-loop throughput with a regression gate.
+"""Benchmark: engine throughput with regression gates.
 
 Unlike the figure benchmarks (which reproduce paper results), this one
-guards the engine's *speed*: it times the canonical HEB-D x PR run on
-the default six-server prototype configuration, writes the measurement
-to ``benchmarks/BENCH_engine.json``, and fails when throughput regresses
-more than 30% below the recorded baseline in
+guards the engine's *speed* along two axes:
+
+* ``engine`` — single-scenario tick-loop throughput: the canonical
+  HEB-D x PR run on the default six-server prototype configuration,
+  reported as ticks/s.
+* ``batch`` — multi-scenario sweep throughput: a 256-scenario sweep
+  (every policy x every workload x six seeds) advanced by one
+  ``BatchSimulation`` tick loop, reported as scenarios/s.  The same
+  sweep is replayed sequentially through the scalar engine as a
+  bit-exactness oracle (every ``RunResult`` must compare equal) and to
+  record an honest batched-vs-scalar speedup.
+
+Both measurements land in ``benchmarks/BENCH_engine.json`` and fail
+when throughput regresses more than 30% below the matching section of
 ``benchmarks/BENCH_baseline.json``.
 
-The baseline is keyed by a commit-agnostic hash of the benchmark
-configuration (workload, scheme, durations, cluster and buffer sizing),
-so editing the benchmark invalidates the baseline loudly instead of
+The baselines are keyed by a commit-agnostic hash of the benchmark
+configuration (scenarios, durations, cluster and buffer sizing), so
+editing the benchmark invalidates the baseline loudly instead of
 silently comparing different workloads.  Set ``REPRO_BENCH_SKIP_GATE=1``
 to measure without enforcing (e.g. on a loaded machine).
 """
@@ -17,14 +27,18 @@ to measure without enforcing (e.g. on a loaded machine).
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 from pathlib import Path
 from time import perf_counter
 
 from repro.core import make_policy
-from repro.runner.request import ExperimentSetup
+from repro.core.policies import POLICY_NAMES
+from repro.runner.request import (ExperimentSetup, RunRequest,
+                                  build_simulation, execute_request)
 from repro.sim import HybridBuffers, Simulation
+from repro.sim.batch import BatchSimulation
 from repro.units import hours
 from repro.workloads import get_workload
 
@@ -37,23 +51,49 @@ WORKLOAD = "PR"
 DURATION_H = 2.0
 SEED = 1
 ROUNDS = 5
-#: Fail when ticks/s drops below this fraction of the recorded baseline.
+#: Fail when throughput drops below this fraction of the recorded baseline.
 GATE_FRACTION = 0.7
 
 # The expected simulation outcome for this exact configuration; any
 # optimization that changes the simulated numbers is a bug, not a win.
 EXPECTED_EFFICIENCY = 0.9585311736123626
 
+#: The batched sweep: every policy x every workload x six seeds, capped
+#: at 256 scenarios (hundreds of lanes — the regime the batched engine
+#: exists for).
+WORKLOADS = ("PR", "WC", "DA", "WS", "MS", "DFS", "HB", "TS")
+BATCH_SEEDS = range(1, 7)
+BATCH_SCENARIOS = 256
+BATCH_DURATION_H = 0.5
+BATCH_ROUNDS = 3
 
-def _config_hash(setup: ExperimentSetup) -> str:
-    """Commit-agnostic fingerprint of everything the measurement depends on."""
+
+def _write_section(section: str, measurement: dict) -> None:
+    """Merge one measurement section into the result file."""
+    results = {}
+    if RESULT_PATH.exists():
+        try:
+            loaded = json.loads(RESULT_PATH.read_text())
+        except ValueError:
+            loaded = {}
+        if isinstance(loaded, dict):
+            results = {key: loaded[key] for key in ("engine", "batch")
+                       if key in loaded}
+    results[section] = measurement
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def _baseline_section(section: str) -> dict | None:
+    if not BASELINE_PATH.exists():
+        return None
+    baseline = json.loads(BASELINE_PATH.read_text())
+    return baseline.get(section)
+
+
+def _sizing_payload(setup: ExperimentSetup) -> dict:
     cluster = setup.cluster()
     hybrid = setup.hybrid()
-    payload = {
-        "scheme": SCHEME,
-        "workload": WORKLOAD,
-        "duration_h": DURATION_H,
-        "seed": SEED,
+    return {
         "num_servers": cluster.num_servers,
         "utility_budget_w": cluster.utility_budget_w,
         "server_peak_w": cluster.server.peak_power_w,
@@ -61,8 +101,33 @@ def _config_hash(setup: ExperimentSetup) -> str:
         "total_energy_j": hybrid.total_energy_j,
         "sc_fraction": hybrid.sc_fraction,
     }
+
+
+def _digest(payload: dict) -> str:
     canonical = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def _config_hash(setup: ExperimentSetup) -> str:
+    """Commit-agnostic fingerprint of everything the measurement depends on."""
+    payload = {
+        "scheme": SCHEME,
+        "workload": WORKLOAD,
+        "duration_h": DURATION_H,
+        "seed": SEED,
+    }
+    payload.update(_sizing_payload(setup))
+    return _digest(payload)
+
+
+def _batch_config_hash(requests) -> str:
+    payload = {
+        "duration_h": BATCH_DURATION_H,
+        "scenarios": [[r.scheme, r.workload, r.setup.seed]
+                      for r in requests],
+    }
+    payload.update(_sizing_payload(requests[0].setup))
+    return _digest(payload)
 
 
 def _measure() -> dict:
@@ -104,9 +169,81 @@ def _measure() -> dict:
     }
 
 
+def _batch_requests():
+    combos = itertools.product(BATCH_SEEDS, POLICY_NAMES, WORKLOADS)
+    return [
+        RunRequest(scheme=scheme, workload=workload,
+                   setup=ExperimentSetup(duration_h=BATCH_DURATION_H,
+                                         seed=seed))
+        for seed, scheme, workload in itertools.islice(
+            combos, BATCH_SCENARIOS)
+    ]
+
+
+def _measure_batch() -> tuple[dict, list, list]:
+    requests = _batch_requests()
+
+    # Warm-up: policy seeding is memoized per scheme; a one-minute run
+    # per scheme pays that cost before either timed pass.
+    for scheme in POLICY_NAMES:
+        execute_request(RunRequest(
+            scheme=scheme, workload="WS",
+            setup=ExperimentSetup(duration_h=1.0 / 60.0)))
+
+    best_wall = None
+    batched = None
+    for _ in range(BATCH_ROUNDS):
+        start = perf_counter()
+        sims = [build_simulation(request) for request in requests]
+        batched = BatchSimulation(sims).run_all()
+        wall = perf_counter() - start
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+
+    # One sequential pass through the scalar engine: the bit-exactness
+    # oracle for the batched results, and the honest denominator for the
+    # recorded speedup (single-shot — repeating a multi-second sweep is
+    # not worth the bench time).
+    start = perf_counter()
+    scalar = [execute_request(request) for request in requests]
+    scalar_wall = perf_counter() - start
+
+    measurement = {
+        "scenarios": len(requests),
+        "duration_h": BATCH_DURATION_H,
+        "schemes": list(POLICY_NAMES),
+        "workloads": list(WORKLOADS),
+        "seeds": list(BATCH_SEEDS),
+        "rounds": BATCH_ROUNDS,
+        "wall_s": round(best_wall, 6),
+        "scenarios_per_s": round(len(requests) / best_wall, 2),
+        "scalar_wall_s": round(scalar_wall, 6),
+        "speedup_vs_scalar": round(scalar_wall / best_wall, 2),
+        "config_hash": _batch_config_hash(requests),
+    }
+    return measurement, batched, scalar
+
+
+def _enforce_gate(section: str, measurement: dict, metric: str,
+                  unit: str) -> None:
+    if os.environ.get("REPRO_BENCH_SKIP_GATE"):
+        return
+    baseline = _baseline_section(section)
+    if baseline is None:
+        return
+    assert baseline["config_hash"] == measurement["config_hash"], (
+        f"{section} benchmark configuration changed; re-record the "
+        f"'{section}' section of BENCH_baseline.json")
+    floor = baseline[metric] * GATE_FRACTION
+    assert measurement[metric] >= floor, (
+        f"{section} throughput regression: {measurement[metric]:,.0f} "
+        f"{unit} is below {GATE_FRACTION:.0%} of the recorded baseline "
+        f"{baseline[metric]:,.0f} {unit}")
+
+
 def test_engine_throughput():
     measurement = _measure()
-    RESULT_PATH.write_text(json.dumps(measurement, indent=2) + "\n")
+    _write_section("engine", measurement)
     print()
     print(f"engine throughput: {measurement['ticks_per_s']:,.0f} ticks/s "
           f"({measurement['ticks']} ticks in {measurement['wall_s']:.3f} s)")
@@ -114,15 +251,25 @@ def test_engine_throughput():
     # Correctness anchor: the timed run must produce the golden numbers.
     assert measurement["energy_efficiency"] == EXPECTED_EFFICIENCY
 
-    if os.environ.get("REPRO_BENCH_SKIP_GATE"):
-        return
-    if not BASELINE_PATH.exists():
-        return
-    baseline = json.loads(BASELINE_PATH.read_text())
-    assert baseline["config_hash"] == measurement["config_hash"], (
-        "benchmark configuration changed; re-record BENCH_baseline.json")
-    floor = baseline["ticks_per_s"] * GATE_FRACTION
-    assert measurement["ticks_per_s"] >= floor, (
-        f"throughput regression: {measurement['ticks_per_s']:,.0f} ticks/s "
-        f"is below {GATE_FRACTION:.0%} of the recorded baseline "
-        f"{baseline['ticks_per_s']:,.0f} ticks/s")
+    _enforce_gate("engine", measurement, "ticks_per_s", "ticks/s")
+
+
+def test_batched_sweep_throughput():
+    measurement, batched, scalar = _measure_batch()
+    _write_section("batch", measurement)
+    print()
+    print(f"batched sweep: {measurement['scenarios_per_s']:,.1f} "
+          f"scenarios/s ({measurement['scenarios']} scenarios in "
+          f"{measurement['wall_s']:.3f} s; "
+          f"{measurement['speedup_vs_scalar']:.2f}x vs scalar)")
+
+    # Correctness anchor: the batched sweep must be bit-identical to the
+    # scalar oracle, scenario by scenario.
+    requests = _batch_requests()
+    assert len(batched) == len(scalar) == len(requests)
+    for request, got, want in zip(requests, batched, scalar):
+        assert got == want, (
+            f"{request.scheme} x {request.workload} seed "
+            f"{request.setup.seed} diverged from the scalar oracle")
+
+    _enforce_gate("batch", measurement, "scenarios_per_s", "scenarios/s")

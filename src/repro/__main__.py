@@ -109,6 +109,9 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
                              f"(default: {default_cache_dir()})")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk result cache")
+    parser.add_argument("--no-batch", action="store_true",
+                        help="disable the batched multi-scenario engine "
+                             "(one scalar tick loop per run)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -174,7 +177,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _build_runner(args) -> ExperimentRunner:
     cache = None if args.no_cache else ResultCache(args.cache)
-    return ExperimentRunner(jobs=args.jobs, cache=cache)
+    return ExperimentRunner(jobs=args.jobs, cache=cache,
+                            batch=not args.no_batch)
 
 
 def _run_single(args) -> str:

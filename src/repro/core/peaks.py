@@ -77,16 +77,20 @@ def analyze_slot(slot: PowerTrace, budget_w: float) -> PeakAnalysis:
     excess = np.maximum(values - budget_w, 0.0)
     surplus = np.maximum(budget_w - values, 0.0)
 
+    # Run detection on the over mask: an event starts where the mask
+    # flips False -> True and stops where it flips back (or at the slot
+    # edges).  Identical (start, stop) windows to a linear scan.
     events: List[PeakEvent] = []
-    start = None
-    for index, flag in enumerate(over):
-        if flag and start is None:
-            start = index
-        elif not flag and start is not None:
-            events.append(_make_event(excess, start, index, dt))
-            start = None
-    if start is not None:
-        events.append(_make_event(excess, start, len(values), dt))
+    if over.any():
+        edges = np.diff(over.view(np.int8))
+        starts = np.flatnonzero(edges == 1) + 1
+        stops = np.flatnonzero(edges == -1) + 1
+        if over[0]:
+            starts = np.concatenate(([0], starts))
+        if over[-1]:
+            stops = np.concatenate((stops, [len(values)]))
+        for start, stop in zip(starts.tolist(), stops.tolist()):
+            events.append(_make_event(excess, start, stop, dt))
 
     return PeakAnalysis(
         peak_w=float(values.max()),
@@ -97,6 +101,55 @@ def analyze_slot(slot: PowerTrace, budget_w: float) -> PeakAnalysis:
         surplus_energy_j=float(surplus.sum()) * dt,
         events=tuple(events),
     )
+
+
+def analyze_slots(blocks: np.ndarray, budgets: np.ndarray,
+                  dt: float) -> List[PeakAnalysis]:
+    """Row-parallel :func:`analyze_slot` over a (lanes, ticks) block.
+
+    Row ``i``'s result is exactly
+    ``analyze_slot(PowerTrace(blocks[i], dt), float(budgets[i]))``: the
+    row-wise reductions of a C-ordered block use the same (pairwise)
+    reduction an equivalent 1-D call would, elementwise arithmetic is
+    identical by construction, and the event windows come from the same
+    edge detection applied per row.  ``blocks`` must be C-contiguous.
+    """
+    lanes, num = blocks.shape
+    col_budgets = budgets[:, None]
+    over = blocks > col_budgets
+    excess = np.maximum(blocks - col_budgets, 0.0)
+    surplus = np.maximum(col_budgets - blocks, 0.0)
+    peaks = blocks.max(axis=1)
+    valleys = blocks.min(axis=1)
+    over_counts = over.sum(axis=1)
+    excess_sums = excess.sum(axis=1)
+    surplus_sums = surplus.sum(axis=1)
+
+    results: List[PeakAnalysis] = []
+    for lane in range(lanes):
+        events: List[PeakEvent] = []
+        if over_counts[lane]:
+            row = over[lane]
+            edges = np.diff(row.view(np.int8))
+            starts = np.flatnonzero(edges == 1) + 1
+            stops = np.flatnonzero(edges == -1) + 1
+            if row[0]:
+                starts = np.concatenate(([0], starts))
+            if row[-1]:
+                stops = np.concatenate((stops, [num]))
+            excess_row = excess[lane]
+            for start, stop in zip(starts.tolist(), stops.tolist()):
+                events.append(_make_event(excess_row, start, stop, dt))
+        results.append(PeakAnalysis(
+            peak_w=float(peaks[lane]),
+            valley_w=float(valleys[lane]),
+            mismatch_w=float(peaks[lane] - valleys[lane]),
+            time_over_budget_s=float(over_counts[lane]) * dt,
+            excess_energy_j=float(excess_sums[lane]) * dt,
+            surplus_energy_j=float(surplus_sums[lane]) * dt,
+            events=tuple(events),
+        ))
+    return results
 
 
 def _make_event(excess: np.ndarray, start: int, stop: int,

@@ -49,6 +49,17 @@ class SimulationError(ReproError):
     """The simulation engine reached an inconsistent state."""
 
 
+class BatchCompatibilityError(SimulationError):
+    """A scenario set cannot share one batched tick loop.
+
+    Raised by :class:`~repro.sim.batch.BatchSimulation` when scenarios
+    disagree on the tick grid, slot grid, or cluster shape, or use
+    features (fault injection, profiling, device banks) the batched
+    path does not carry.  The runner catches this and falls back to
+    per-scenario scalar runs.
+    """
+
+
 class TraceError(ReproError):
     """A power trace is malformed (wrong length, negative power, ...)."""
 

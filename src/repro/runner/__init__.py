@@ -14,12 +14,19 @@ results on disk keyed by request content + code version:
 See ``docs/runner.md`` for the cache layout and invalidation rules.
 """
 
+from .batch import (
+    batchable,
+    execute_request_group,
+    group_key,
+    plan_units,
+)
 from .cache import CACHE_DIR_ENV, CacheStats, ResultCache, default_cache_dir
 from .keys import cache_key, canonical_json, code_fingerprint, freeze
 from .request import (
     DEFAULT_RENEWABLE_SOLAR,
     ExperimentSetup,
     RunRequest,
+    build_simulation,
     execute_request,
 )
 from .runner import (
@@ -38,13 +45,18 @@ __all__ = [
     "ExperimentSetup",
     "ResultCache",
     "RunRequest",
+    "batchable",
+    "build_simulation",
     "cache_key",
     "canonical_json",
     "code_fingerprint",
     "default_cache_dir",
     "execute_request",
+    "execute_request_group",
     "freeze",
     "get_runner",
+    "group_key",
+    "plan_units",
     "run_requests",
     "set_runner",
     "using_runner",

@@ -127,19 +127,13 @@ class RunRequest:
             object.__setattr__(self, "faults", None)
 
 
-def execute_request(request: RunRequest, profiler=None) -> RunResult:
-    """Run one request to completion (pure function of the request).
+def build_simulation(request: RunRequest, profiler=None) -> Simulation:
+    """Construct the fully-wired :class:`Simulation` for one request.
 
-    This is the single execution path behind ``run_scheme``,
-    ``run_renewable``, and every figure grid — serial and parallel runs
-    share it, so they are bit-for-bit identical.
-
-    Args:
-        request: The run to execute.
-        profiler: Optional ``repro.perf.TickProfiler``; when given, the
-            engine times its tick phases and attaches a
-            :class:`~repro.perf.PerfReport` to ``RunResult.perf``.
-            Profiling never changes the simulated numbers.
+    Shared by :func:`execute_request` (which runs it) and the batched
+    runner (which hands a list of them to
+    :class:`~repro.sim.batch.BatchSimulation`), so both paths simulate
+    the exact same object graph.
     """
     setup = request.setup
     cluster = setup.cluster()
@@ -177,14 +171,29 @@ def execute_request(request: RunRequest, profiler=None) -> RunResult:
         supply = generate_solar_trace(duration_s, config=request.solar,
                                       seed=setup.seed,
                                       start_time_s=hours(request.start_hour))
-        simulation = Simulation(trace, policy, buffers,
-                                cluster_config=cluster,
-                                controller_config=request.controller,
-                                supply=supply, renewable=True,
-                                profiler=profiler, injector=injector)
-    else:
-        simulation = Simulation(trace, policy, buffers,
-                                cluster_config=cluster,
-                                controller_config=request.controller,
-                                profiler=profiler, injector=injector)
-    return simulation.run()
+        return Simulation(trace, policy, buffers,
+                          cluster_config=cluster,
+                          controller_config=request.controller,
+                          supply=supply, renewable=True,
+                          profiler=profiler, injector=injector)
+    return Simulation(trace, policy, buffers,
+                      cluster_config=cluster,
+                      controller_config=request.controller,
+                      profiler=profiler, injector=injector)
+
+
+def execute_request(request: RunRequest, profiler=None) -> RunResult:
+    """Run one request to completion (pure function of the request).
+
+    This is the single execution path behind ``run_scheme``,
+    ``run_renewable``, and every figure grid — serial and parallel runs
+    share it, so they are bit-for-bit identical.
+
+    Args:
+        request: The run to execute.
+        profiler: Optional ``repro.perf.TickProfiler``; when given, the
+            engine times its tick phases and attaches a
+            :class:`~repro.perf.PerfReport` to ``RunResult.perf``.
+            Profiling never changes the simulated numbers.
+    """
+    return build_simulation(request, profiler=profiler).run()

@@ -21,6 +21,7 @@ from typing import Iterator, List, Optional, Sequence
 
 from ..errors import ConfigurationError
 from ..sim import RunResult
+from .batch import execute_unit, plan_units
 from .cache import ResultCache
 from .keys import cache_key
 from .request import RunRequest, execute_request
@@ -35,20 +36,29 @@ class ExperimentRunner:
             serially in-process — no pool is spawned.
         cache: Result cache consulted before executing and updated
             after; ``None`` disables caching entirely.
+        batch: Route compatible cache misses through the batched engine
+            (one vectorized tick loop per group).  Results, cache keys,
+            and request order are identical either way; disable to force
+            one scalar tick loop per request.
 
     Attributes:
         hits / misses: Per-runner counters of cache outcomes (misses
             also count every request executed with caching disabled).
+        batched: Requests executed via a batched group (a subset of
+            ``misses``).
     """
 
     def __init__(self, jobs: Optional[int] = None,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 batch: bool = True) -> None:
         if jobs is not None and jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs!r}")
         self.jobs = jobs
         self.cache = cache
+        self.batch = batch
         self.hits = 0
         self.misses = 0
+        self.batched = 0
 
     @property
     def effective_jobs(self) -> int:
@@ -83,7 +93,23 @@ class ExperimentRunner:
         if miss_indices:
             workers = min(self.effective_jobs, len(miss_indices))
             pending = [requests[index] for index in miss_indices]
-            if workers > 1:
+            if self.batch:
+                units, unit_positions = plan_units(pending, workers=workers)
+                self.batched += sum(len(positions)
+                                    for (kind, _), positions
+                                    in zip(units, unit_positions)
+                                    if kind == "group")
+                if workers > 1 and len(units) > 1:
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        unit_results = list(pool.map(execute_unit, units))
+                else:
+                    unit_results = [execute_unit(unit) for unit in units]
+                computed: List[Optional[RunResult]] = [None] * len(pending)
+                for positions, unit_result in zip(unit_positions,
+                                                  unit_results):
+                    for position, result in zip(positions, unit_result):
+                        computed[position] = result
+            elif workers > 1:
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     computed = list(pool.map(execute_request, pending))
             else:

@@ -5,6 +5,7 @@ relay actuation, buffer charge/discharge, LRU shedding, and the 10-minute
 hControl planning cadence (Sections 5-6).
 """
 
+from .batch import BatchSimulation
 from .buffers import HybridBuffers
 from .engine import Simulation
 from .metrics import RunMetrics
@@ -28,6 +29,7 @@ from .report import (
 )
 
 __all__ = [
+    "BatchSimulation",
     "HybridBuffers",
     "Simulation",
     "RunMetrics",

@@ -1,0 +1,792 @@
+"""The batched multi-scenario engine: one tick loop, N scenarios.
+
+:class:`BatchSimulation` advances N independent scalar
+:class:`~repro.sim.engine.Simulation` scenarios through a single
+vectorized tick loop, threading a leading *lane* axis through every
+array the scalar engine already carries: per-server draws become
+(lanes, servers), buffer wells and telemetry become (lanes,) columns,
+and the metrics accumulator becomes a bank of (lanes,) running sums.
+Per-scenario divergence — policy branches, slot plans, pool fallback,
+shedding, restarts — is handled by boolean lane masks; the rare
+genuinely sequential paths (LRU shedding, restart scans, slot closes)
+drop to per-lane Python only on the lanes that need them.
+
+The scalar ``Simulation`` is untouched and stays the bit-exactness
+oracle: ``BatchSimulation([s1, ..., sN]).run_all()`` returns
+:class:`~repro.sim.results.RunResult` objects **exactly equal** to
+``[s1.run(), ..., sN.run()]``, per scenario.  Every expression here is
+a lane-wise transcription of the scalar code with operand order,
+branch structure, and epsilon thresholds preserved; where the scalar
+engine leans on Python semantics (selection ``min``/``max``, CPython
+``**``, element-order sums) the batch path replicates those semantics
+rather than substituting the NumPy near-equivalent (see
+:mod:`repro.storage.batch`).
+
+Scenario sets must share the tick grid (trace length, ``dt``, slot
+length) and the cluster shape; anything else — budgets, converter
+efficiencies, policies, workloads, buffer sizings, supplies — may vary
+per lane.  Incompatible sets raise
+:class:`~repro.errors.BatchCompatibilityError`, which the batched
+runner treats as "fall back to scalar".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.batch import BatchScheduler
+from ..core.peaks import analyze_slots, expected_peak_duration_s
+from ..core.policies.base import SlotObservation, SlotPlan, SlotResult
+from ..errors import BatchCompatibilityError
+from ..power.batch import BatchFabric, BatchIPDU
+from ..server.batch import (SOURCE_SUPERCAP, SOURCE_UTILITY, BatchCluster,
+                            SOURCE_BATTERY)
+from ..storage.batch import (BatchBattery, BatchLifetime, BatchSupercap,
+                             max0)
+from ..storage.battery import LeadAcidBattery
+from ..storage.supercap import Supercapacitor
+from .buffers import HybridBuffers
+from .engine import Simulation, _CALENDAR_LIFE_YEARS, _EPSILON
+from .metrics import MetricsAccumulator, finalize_metrics
+from .results import RunResult, SlotRecord
+
+#: Widest cluster the batched path accepts: the per-tick demand totals
+#: rely on ``np.add.reduce`` staying sequential, which numpy guarantees
+#: only below its pairwise-summation threshold (the scalar engine keys
+#: the same fast path on this width).
+_MAX_BATCH_SERVERS = 8
+
+#: Charge orders the merged three-call schedule can interleave without
+#: per-group calls: every shipped policy emits one of these.  Any other
+#: order (from a custom policy) falls back to the generic group loop.
+_MERGEABLE_ORDERS = frozenset({
+    (), ("sc",), ("battery",), ("sc", "battery"), ("battery", "sc")})
+
+
+class BatchBuffers:
+    """Lane-parallel :class:`~repro.sim.buffers.HybridBuffers`.
+
+    Wraps one :class:`BatchBattery`, one :class:`BatchSupercap` (with
+    absent lanes parked), and one :class:`BatchLifetime`, enforcing the
+    scalar tick protocol: touched-pool tracking per tick, battery
+    discharges feeding the lifetime model with the *post-step* SoC,
+    battery charges and rests extending its observation window.
+    """
+
+    def __init__(self, buffers: Sequence[HybridBuffers], dt: float) -> None:
+        n = len(buffers)
+        self.n = n
+        self.scalars = list(buffers)
+        self.battery = BatchBattery([b.battery for b in buffers], dt)
+        self.sc = BatchSupercap([b.sc for b in buffers], dt)
+        self.lifetime = BatchLifetime([b.lifetime for b in buffers])
+        self.has_sc = self.sc.present
+        self._battery_touched = np.zeros(n, dtype=bool)
+        self._battery_discharged = np.zeros(n, dtype=bool)
+        self._sc_touched = np.zeros(n, dtype=bool)
+
+    # -- state views ---------------------------------------------------
+
+    def sc_usable_j(self) -> np.ndarray:
+        return np.where(self.has_sc, self.sc.usable_j(), 0.0)
+
+    def battery_usable_j(self) -> np.ndarray:
+        return self.battery.usable_j()
+
+    def sc_nominal_j(self) -> np.ndarray:
+        return np.where(self.has_sc, self.sc.nominal_j, 0.0)
+
+    def battery_nominal_j(self) -> np.ndarray:
+        return self.battery.nominal_j
+
+    # -- tick protocol -------------------------------------------------
+
+    def begin_tick(self) -> None:
+        self._battery_touched[:] = False
+        self._battery_discharged[:] = False
+        self._sc_touched[:] = False
+
+    def discharge_battery(self, mask: np.ndarray, power_w: np.ndarray,
+                          dt: float) -> np.ndarray:
+        self._battery_touched |= mask
+        self._battery_discharged |= mask
+        achieved, current = self.battery.discharge(mask, power_w, dt)
+        # observe_flow reads the battery's SoC *after* the step.
+        self.lifetime.observe_discharge(mask, current, dt,
+                                        self.battery.soc())
+        return achieved
+
+    def discharge_sc(self, mask: np.ndarray, power_w: np.ndarray,
+                     dt: float) -> np.ndarray:
+        self._sc_touched |= mask
+        return self.sc.discharge(mask, power_w, dt)
+
+    def charge_battery(self, mask: np.ndarray, power_w: np.ndarray,
+                       dt: float, defer: bool = False) -> np.ndarray:
+        """Charge the battery pool; the lifetime model's idle
+        observation and (optionally) the KiBaM step are folded into
+        :meth:`settle`, which the tick protocol guarantees runs before
+        any battery state is read again."""
+        self._battery_touched |= mask
+        return self.battery.charge(mask, power_w, dt, defer_step=defer)
+
+    def charge_sc(self, mask: np.ndarray, power_w: np.ndarray,
+                  dt: float) -> np.ndarray:
+        self._sc_touched |= mask
+        return self.sc.charge(mask, power_w, dt)
+
+    def settle(self, dt: float) -> None:
+        rest_battery = ~self._battery_touched
+        any_rest = bool(np.count_nonzero(rest_battery))
+        self.battery.flush_step(rest_battery, any_rest)
+        if any_rest:
+            self.battery.telemetry.record_rest(rest_battery, dt)
+        # Idle observation covers charged *and* rested lanes — exactly
+        # the complement of this tick's discharges (charge and
+        # discharge lanes are disjoint within a tick), merged into one
+        # add since nothing reads the model mid-tick.
+        if np.count_nonzero(self._battery_discharged):
+            self.lifetime.observe_idle(~self._battery_discharged, dt)
+        else:
+            self.lifetime.observe_idle(None, dt)
+        self.sc.rest(self.has_sc & ~self._sc_touched, dt)
+
+    # -- finalization --------------------------------------------------
+
+    def write_back(self) -> None:
+        """Install final device state into every lane's scalar buffers."""
+        for lane, buf in enumerate(self.scalars):
+            self.battery.write_back(lane, buf.battery)
+            if buf.sc is not None:
+                self.sc.write_back(lane, buf.sc)
+            self.lifetime.write_back(lane, buf.lifetime)
+
+
+def _check_compatible(sims: Sequence[Simulation]) -> None:
+    """Raise :class:`BatchCompatibilityError` unless one tick loop fits."""
+    first = sims[0]
+    dt = first.sim_config.tick_seconds
+    num_ticks = first.trace.num_samples
+    slot_ticks = max(1, int(round(first.controller_config.slot_seconds / dt)))
+    num_servers = first.cluster_config.num_servers
+    server_config = first.cluster_config.server
+    if num_servers > _MAX_BATCH_SERVERS:
+        raise BatchCompatibilityError(
+            f"batched path supports at most {_MAX_BATCH_SERVERS} servers, "
+            f"got {num_servers}")
+    for index, sim in enumerate(sims):
+        if sim.injector is not None:
+            raise BatchCompatibilityError(
+                f"scenario {index}: fault injection requires the scalar "
+                "path")
+        if sim.profiler is not None:
+            raise BatchCompatibilityError(
+                f"scenario {index}: tick profiling requires the scalar path")
+        if not isinstance(sim.buffers.battery, LeadAcidBattery):
+            raise BatchCompatibilityError(
+                f"scenario {index}: battery pool is not a single "
+                "LeadAcidBattery")
+        if sim.buffers.sc is not None and not isinstance(
+                sim.buffers.sc, Supercapacitor):
+            raise BatchCompatibilityError(
+                f"scenario {index}: SC pool is not a single Supercapacitor")
+        if abs(sim.sim_config.tick_seconds - dt) > 1e-12:
+            raise BatchCompatibilityError(
+                f"scenario {index}: tick length differs")
+        if sim.trace.num_samples != num_ticks:
+            raise BatchCompatibilityError(
+                f"scenario {index}: trace length differs")
+        sim_slot_ticks = max(1, int(round(
+            sim.controller_config.slot_seconds / sim.sim_config.tick_seconds)))
+        if sim_slot_ticks != slot_ticks:
+            raise BatchCompatibilityError(
+                f"scenario {index}: slot grid differs")
+        if sim.cluster_config.num_servers != num_servers:
+            raise BatchCompatibilityError(
+                f"scenario {index}: cluster size differs")
+        if sim.cluster_config.server != server_config:
+            raise BatchCompatibilityError(
+                f"scenario {index}: server configuration differs")
+
+
+class BatchSimulation:
+    """N scenario runs advanced by one vectorized tick loop.
+
+    Args:
+        sims: Freshly constructed scalar simulations, one per scenario.
+            Their constructors have already validated trace/supply/config
+            consistency; this class only adds cross-scenario checks.
+            The scalar objects are *consumed*: their device state is
+            advanced by the batch run exactly as their own ``run()``
+            would have advanced it.
+    """
+
+    def __init__(self, sims: Sequence[Simulation]) -> None:
+        self.sims = list(sims)
+        if self.sims:
+            _check_compatible(self.sims)
+
+    # ------------------------------------------------------------------
+
+    def run_all(self) -> List[RunResult]:
+        """Execute every scenario; returns per-scenario results in order.
+
+        Each result is exactly equal to what the corresponding scalar
+        ``Simulation.run()`` would have returned.
+        """
+        sims = self.sims
+        if not sims:
+            return []
+        n = len(sims)
+        first = sims[0]
+        dt = first.sim_config.tick_seconds
+        num_ticks = first.trace.num_samples
+        slot_ticks = max(1, int(round(
+            first.controller_config.slot_seconds / dt)))
+        s = first.cluster_config.num_servers
+
+        cluster = BatchCluster(n, s, first.cluster_config.server)
+        scheduler = BatchScheduler(n, s)
+        fabric = BatchFabric(n, s)
+        ipdu = BatchIPDU(n, s, history_limit=slot_ticks)
+        buffers = BatchBuffers([sim.buffers for sim in sims], dt)
+        has_sc = buffers.has_sc
+
+        eff = np.array([sim.cluster_config.converter_efficiency
+                        for sim in sims])
+        one_m_eff = 1.0 - eff
+        renewable = [sim.renewable for sim in sims]
+
+        # (ticks, lanes, servers) demand stack and (ticks, lanes) budget
+        # and generation columns — bit-exact copies of every lane's
+        # per-tick scalars.
+        stack = np.ascontiguousarray(
+            np.stack([sim.trace.values_w for sim in sims],
+                     axis=0).transpose(2, 0, 1))
+        budget_col = np.empty((num_ticks, n))
+        generation_col = np.zeros((num_ticks, n))
+        for lane, sim in enumerate(sims):
+            if sim.supply is not None:
+                vals = sim.supply.values_w[:num_ticks]
+                budget_col[:, lane] = vals
+                generation_col[:, lane] = vals
+            else:
+                budget_col[:, lane] = sim.cluster_config.utility_budget_w
+        # Per-tick demand totals, accumulated server-by-server in index
+        # order — the scalar engine's ``np.add.reduce(values, axis=-2)``
+        # is sequential over the (outer) server axis, and a contiguous
+        # inner-axis reduce would switch to numpy's unrolled pairwise
+        # path at exactly 8 servers.
+        tick_totals = np.zeros((num_ticks, n))
+        for j in range(s):
+            tick_totals = tick_totals + stack[:, :, j]
+
+        # (ticks, lanes) accumulator banks: each tick stores its rate
+        # row and the per-lane running sums are folded once at the end.
+        # ``np.add.reduce`` over axis 0 of a C-ordered bank is a strict
+        # row-by-row (tick-order) accumulation — bit-identical to the
+        # scalar accumulator's per-tick ``+= w * dt`` — because numpy's
+        # pairwise summation only engages on a contiguous reduction
+        # axis.  Rows never stored keep their zeros, matching the
+        # scalar's exact ``+= 0.0 * dt`` no-ops.
+        bank_served = np.zeros((num_ticks, n))
+        bank_unserved = np.zeros((num_ticks, n))
+        bank_utility = np.zeros((num_ticks, n))
+        bank_charge = np.zeros((num_ticks, n))
+        bank_loss = np.zeros((num_ticks, n))
+        bank_deficit = np.zeros((num_ticks, n), dtype=bool)
+        shed_events = np.zeros(n, dtype=np.int64)
+
+        # Per-lane slot state.
+        plans: List[Optional[SlotPlan]] = [None] * n
+        observations: List[Optional[SlotObservation]] = [None] * n
+        last_analysis: List = [None] * n
+        slot_records: List[List[SlotRecord]] = [[] for _ in range(n)]
+        slot_downtime_base = [0.0] * n
+        slot_start = 0
+
+        # Plan-derived lane arrays, rebuilt at each slot boundary (the
+        # first tick is always a boundary, so these placeholders are
+        # never read).
+        r_lambda = np.zeros(n)
+        plan_use_battery = np.zeros(n, dtype=bool)
+        plan_fallback = np.zeros(n, dtype=bool)
+        use_sc_eff = np.zeros(n, dtype=bool)
+        no_pools = np.zeros(n, dtype=bool)
+        any_no_pools = False
+        charge_generic: Optional[Dict[Tuple[str, ...], np.ndarray]] = None
+        charge_sc_lead: Optional[np.ndarray] = None
+        charge_bat: Optional[np.ndarray] = None
+        charge_sc_trail: Optional[np.ndarray] = None
+
+        for sim in sims:
+            sim.policy.reset()
+
+        def close_slot_lane(lane: int, analysis,
+                            sc_usable: np.ndarray,
+                            battery_usable: np.ndarray) -> None:
+            observation = observations[lane]
+            plan = plans[lane]
+            assert observation is not None and plan is not None
+            downtime = (cluster.total_downtime_lane(lane)
+                        - slot_downtime_base[lane])
+            peak_duration_s = expected_peak_duration_s(analysis)
+            sc_usable_end = float(sc_usable[lane])
+            battery_usable_end = float(battery_usable[lane])
+            sims[lane].policy.end_slot(SlotResult(
+                observation=observation,
+                plan=plan,
+                sc_usable_end_j=sc_usable_end,
+                battery_usable_end_j=battery_usable_end,
+                actual_peak_w=analysis.peak_w,
+                actual_valley_w=analysis.valley_w,
+                actual_peak_duration_s=peak_duration_s,
+                downtime_s=downtime,
+            ))
+            slot_records[lane].append(SlotRecord(
+                index=observation.index,
+                note=plan.note,
+                r_lambda=plan.r_lambda,
+                peak_w=analysis.peak_w,
+                valley_w=analysis.valley_w,
+                peak_duration_s=peak_duration_s,
+                sc_usable_end_j=sc_usable_end,
+                battery_usable_end_j=battery_usable_end,
+                downtime_in_slot_s=downtime,
+            ))
+            last_analysis[lane] = analysis
+
+        with np.errstate(all="ignore"):
+            for tick in range(num_ticks):
+                now = tick * dt
+                budget = budget_col[tick]
+
+                # --- slot boundary ------------------------------------
+                if tick % slot_ticks == 0:
+                    sc_usable = buffers.sc_usable_j()
+                    battery_usable = buffers.battery_usable_j()
+                    sc_nominal = buffers.sc_nominal_j()
+                    battery_nominal = buffers.battery_nominal_j()
+                    analyses = None
+                    if plans[0] is not None:
+                        # Every lane's plan is set at the same boundary,
+                        # so one row-parallel analysis covers them all.
+                        analyses = analyze_slots(
+                            np.ascontiguousarray(
+                                tick_totals[slot_start:tick].T),
+                            budget_col[slot_start], dt)
+                    for lane in range(n):
+                        if analyses is not None:
+                            close_slot_lane(lane, analyses[lane],
+                                            sc_usable, battery_usable)
+                        slot_downtime_base[lane] = (
+                            cluster.total_downtime_lane(lane))
+                        analysis = last_analysis[lane]
+                        if analysis is None:
+                            last_peak = last_valley = last_duration = 0.0
+                        else:
+                            last_peak = analysis.peak_w
+                            last_valley = analysis.valley_w
+                            last_duration = expected_peak_duration_s(analysis)
+                        observation = SlotObservation(
+                            index=tick // slot_ticks,
+                            start_s=now,
+                            budget_w=float(budget[lane]),
+                            sc_usable_j=float(sc_usable[lane]),
+                            battery_usable_j=float(battery_usable[lane]),
+                            sc_nominal_j=float(sc_nominal[lane]),
+                            battery_nominal_j=float(battery_nominal[lane]),
+                            last_peak_w=last_peak,
+                            last_valley_w=last_valley,
+                            last_peak_duration_s=last_duration,
+                            num_servers=s,
+                        )
+                        observations[lane] = observation
+                        plans[lane] = sims[lane].policy.begin_slot(
+                            observation)
+                    slot_start = tick
+                    r_lambda = np.array(
+                        [p.r_lambda for p in plans], dtype=float)
+                    # clamp(r_lambda, 0, 1) with the scalar's NaN -> 1.0
+                    # quirk, hoisted out of the tick loop (plans are
+                    # constant within a slot).
+                    r_lambda = np.where(
+                        ~(r_lambda < 1.0), 1.0,
+                        np.where(r_lambda < 0.0, 0.0, r_lambda))
+                    plan_use_battery = np.array(
+                        [p.use_battery for p in plans], dtype=bool)
+                    plan_fallback = np.array(
+                        [p.fallback for p in plans], dtype=bool)
+                    use_sc_eff = np.array(
+                        [p.use_sc for p in plans], dtype=bool) & has_sc
+                    no_pools = ~use_sc_eff & ~plan_use_battery
+                    any_no_pools = bool(np.count_nonzero(no_pools))
+                    orders = [p.charge_order for p in plans]
+                    if all(o in _MERGEABLE_ORDERS for o in orders):
+                        # Merged schedule: one SC call for sc-leading
+                        # lanes, one battery call, one SC call for
+                        # ("battery", "sc") lanes.  Empty masks drop
+                        # their call entirely.
+                        charge_generic = None
+                        lead = np.array(
+                            [o[:1] == ("sc",) for o in orders],
+                            dtype=bool) & has_sc
+                        charge_sc_lead = (lead if np.count_nonzero(lead)
+                                          else None)
+                        bat = np.array(
+                            ["battery" in o for o in orders], dtype=bool)
+                        charge_bat = (bat if np.count_nonzero(bat)
+                                      else None)
+                        trail = np.array(
+                            [o == ("battery", "sc") for o in orders],
+                            dtype=bool) & has_sc
+                        charge_sc_trail = (trail
+                                           if np.count_nonzero(trail)
+                                           else None)
+                    else:
+                        charge_generic = {}
+                        for lane, plan in enumerate(plans):
+                            mask = charge_generic.get(plan.charge_order)
+                            if mask is None:
+                                mask = np.zeros(n, dtype=bool)
+                                charge_generic[plan.charge_order] = mask
+                            mask[lane] = True
+
+                # --- demand & assignment ------------------------------
+                all_on = cluster.all_on
+                raw = stack[tick]
+                draws = cluster.draw_array(raw)
+                assignment = scheduler.assign(
+                    draws, None if all_on else cluster.powered_mask(),
+                    budget, r_lambda, use_sc=use_sc_eff,
+                    use_battery=plan_use_battery, no_pools=no_pools,
+                    total=tick_totals[tick] if all_on else None)
+
+                # The scalar engine skips relay applies only on ticks
+                # where an apply would move zero relays, so per-tick
+                # diff counting is switch-count identical.
+                cluster.assign_sources(assignment.sources)
+                fabric.apply_sources(assignment.sources)
+
+                utility_draw = assignment.utility_draw_w
+                unserved = None
+                if not all_on:
+                    off = cluster.off_mask()
+                    unserved = np.zeros(n)
+                    for j in range(s):
+                        unserved = unserved + np.where(
+                            off[:, j], raw[:, j], 0.0)
+
+                # Forced capping: no pool could absorb the excess.
+                # Skippable when every lane stayed within budget with
+                # pools enabled (the within check already proved
+                # ``total <= budget`` for every no-pools lane).
+                if any_no_pools or not assignment.all_utility:
+                    over = utility_draw - budget
+                    over_mask = over > _EPSILON
+                    if np.count_nonzero(over_mask):
+                        if unserved is None:
+                            unserved = np.zeros(n)
+                        # utility_draw may alias the precomputed totals
+                        # row (a bank view); never mutate through it.
+                        if (utility_draw.base is not None
+                                or not utility_draw.flags.writeable):
+                            utility_draw = utility_draw.copy()
+                        for lane in np.flatnonzero(over_mask).tolist():
+                            shed_ids = cluster.shed_lru_lane(
+                                lane, float(over[lane]), draws,
+                                (SOURCE_UTILITY,))
+                            freed = 0.0
+                            for sid in shed_ids:  # repro: noqa[RPR502] shed-order re-sum matches the scalar engine
+                                freed += float(draws[lane, sid])
+                            utility_draw[lane] -= freed
+                            unserved[lane] += freed
+                            shed_events[lane] += len(shed_ids)
+
+                # --- buffer service -----------------------------------
+                buffers.begin_tick()
+                served = loss = None
+                if not assignment.all_utility:
+                    served, shortfall_unserved, loss = self._serve_buffers(
+                        buffers, cluster, assignment, plan_fallback,
+                        draws, eff, one_m_eff, has_sc, shed_events, dt)
+                    if shortfall_unserved is not None:
+                        unserved = (shortfall_unserved if unserved is None
+                                    else unserved + shortfall_unserved)
+
+                # --- charging / restarts ------------------------------
+                charge_w = None
+                headroom = budget - utility_draw
+                if assignment.all_utility:
+                    deficit = None
+                    can_charge = headroom > _EPSILON
+                else:
+                    deficit = assignment.n_buffered > 0
+                    can_charge = ~deficit & (headroom > _EPSILON)
+                if np.count_nonzero(can_charge):
+                    if not cluster.all_on:
+                        restart_lanes = can_charge & (cluster.num_off() > 0)
+                        if np.count_nonzero(restart_lanes):
+                            headroom = headroom.copy()
+                            for lane in np.flatnonzero(
+                                    restart_lanes).tolist():
+                                needed = cluster.restart_offline_lane(
+                                    lane, float(headroom[lane]))
+                                for needed_w in needed:  # repro: noqa[RPR502] restart-order deduction matches the scalar engine
+                                    headroom[lane] -= needed_w
+                    if charge_generic is None:
+                        charge_w = self._charge_pools_merged(
+                            buffers, charge_sc_lead, charge_bat,
+                            charge_sc_trail, can_charge, headroom, dt)
+                    else:
+                        charge_w = self._charge_pools(
+                            buffers, charge_generic, can_charge, has_sc,
+                            headroom, dt)
+                buffers.settle(dt)
+
+                # --- bookkeeping --------------------------------------
+                cluster.tick(dt, now, raw)
+                ipdu.record_array(
+                    now, draws, dt,
+                    tick_totals[tick] if all_on else None)
+                bank_utility[tick] = utility_draw
+                if served is None:
+                    bank_served[tick] = utility_draw
+                else:
+                    bank_served[tick] = utility_draw + served
+                if unserved is not None:
+                    bank_unserved[tick] = unserved
+                if charge_w is not None:
+                    bank_charge[tick] = charge_w
+                if loss is not None:
+                    bank_loss[tick] = loss
+                if deficit is not None:
+                    bank_deficit[tick] = deficit
+
+        sc_usable = buffers.sc_usable_j()
+        battery_usable = buffers.battery_usable_j()
+        if plans[0] is not None:
+            analyses = analyze_slots(
+                np.ascontiguousarray(tick_totals[slot_start:num_ticks].T),
+                budget_col[slot_start], dt)
+            for lane in range(n):
+                close_slot_lane(lane, analyses[lane], sc_usable,
+                                battery_usable)
+
+        # --- finalization --------------------------------------------
+        # Fold the banks tick-by-tick (see the bank allocation comment
+        # for why axis-0 reduce of a C-ordered bank is sequential).
+        served_energy = np.add.reduce(bank_served * dt, axis=0)
+        unserved_energy = np.add.reduce(bank_unserved * dt, axis=0)
+        utility_energy = np.add.reduce(bank_utility * dt, axis=0)
+        charge_energy = np.add.reduce(bank_charge * dt, axis=0)
+        generation_energy = np.add.reduce(generation_col * dt, axis=0)
+        conversion_loss = np.add.reduce(bank_loss * dt, axis=0)
+        # Bool reduce would saturate at True; sum() counts.
+        deficit_ticks = bank_deficit.sum(axis=0, dtype=np.int64)
+
+        buffers.write_back()
+        duration_s = num_ticks * dt
+        results: List[RunResult] = []
+        for lane, sim in enumerate(sims):
+            buf = sim.buffers
+            report = buf.lifetime_report()
+            lifetime_years = min(report.estimated_lifetime_years,
+                                 _CALENDAR_LIFE_YEARS)
+            accumulator = MetricsAccumulator(
+                served_energy_j=float(served_energy[lane]),
+                unserved_energy_j=float(unserved_energy[lane]),
+                utility_energy_j=float(utility_energy[lane]),
+                charge_energy_j=float(charge_energy[lane]),
+                generation_energy_j=float(generation_energy[lane]),
+                conversion_loss_j=float(conversion_loss[lane]),
+                deficit_ticks=int(deficit_ticks[lane]),
+                total_ticks=num_ticks,
+                shed_events=int(shed_events[lane]),
+            )
+            metrics = finalize_metrics(
+                accumulator,
+                buffer_in_j=buf.energy_in_j(),
+                buffer_out_j=buf.energy_out_j(),
+                initial_stored_j=buf.initial_stored_j,
+                final_stored_j=buf.total_stored_j,
+                downtime_s=cluster.total_downtime_lane(lane),
+                num_servers=s,
+                duration_s=duration_s,
+                lifetime_years=lifetime_years,
+                equivalent_cycles=report.equivalent_full_cycles,
+                total_restarts=cluster.total_restarts_lane(lane),
+                restart_energy_j=cluster.total_restart_energy_lane(lane),
+                relay_switches=fabric.total_switches_lane(lane),
+                renewable=renewable[lane],
+                fault_downtime_s=None,
+            )
+            results.append(RunResult(
+                scheme=sim.policy.name,
+                workload=sim.trace.name,
+                metrics=metrics,
+                lifetime=report,
+                slots=tuple(slot_records[lane]),
+                perf=None,
+            ))
+        return results
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _serve_buffers(buffers: BatchBuffers, cluster: BatchCluster,
+                       assignment, fallback: np.ndarray, draws: np.ndarray,
+                       eff: np.ndarray, one_m_eff: np.ndarray,
+                       has_sc: np.ndarray,
+                       shed_events: np.ndarray, dt: float):
+        """Lane-parallel ``Simulation._serve_buffers`` (no injector).
+
+        ``served``/``loss``/``unserved`` stay ``None`` until a pool
+        actually contributes; the pool ``achieved`` arrays are exact
+        zeros off-mask, so the unmasked adds reproduce the scalar
+        running sums bit-for-bit (``0.0 + x == x`` and ``x + 0.0 == x``
+        for the non-negative quantities involved).
+        """
+        n = buffers.n
+        served = loss = sc_short = ba_short = None
+
+        draw = assignment.sc_draw_w
+        mask = draw > _EPSILON
+        if np.count_nonzero(mask):
+            achieved = buffers.discharge_sc(mask, draw / eff, dt)
+            delivered = achieved * eff
+            loss = achieved * one_m_eff
+            served = delivered
+            # Off-mask lanes read their (<= eps) raw draw here; every
+            # consumer gates on ``short > _EPSILON``, so no zeroing.
+            sc_short = max0(draw - delivered)
+        draw = assignment.battery_draw_w
+        mask = draw > _EPSILON
+        if np.count_nonzero(mask):
+            achieved = buffers.discharge_battery(mask, draw / eff, dt)
+            delivered = achieved * eff
+            term = achieved * one_m_eff
+            loss = term if loss is None else loss + term
+            served = delivered if served is None else served + delivered
+            ba_short = max0(draw - delivered)
+
+        if sc_short is not None:
+            mask = fallback & (sc_short > _EPSILON)
+            if np.count_nonzero(mask):
+                achieved = buffers.discharge_battery(
+                    mask, sc_short / eff, dt)
+                delivered = achieved * eff
+                loss = loss + achieved * one_m_eff
+                served = served + delivered
+                sc_short = max0(sc_short - delivered)
+        if ba_short is not None:
+            mask = fallback & (ba_short > _EPSILON) & has_sc
+            if np.count_nonzero(mask):
+                achieved = buffers.discharge_sc(mask, ba_short / eff, dt)
+                delivered = achieved * eff
+                loss = loss + achieved * one_m_eff
+                served = served + delivered
+                ba_short = max0(ba_short - delivered)
+
+        unserved = None
+        for short, source in ((sc_short, SOURCE_SUPERCAP),
+                              (ba_short, SOURCE_BATTERY)):
+            if short is None:
+                continue
+            short_mask = short > _EPSILON
+            if not np.count_nonzero(short_mask):
+                continue
+            if unserved is None:
+                unserved = np.zeros(n)
+            for lane in np.flatnonzero(short_mask).tolist():
+                shed_ids = cluster.shed_lru_lane(
+                    lane, float(short[lane]), draws, (source,))
+                for sid in shed_ids:  # repro: noqa[RPR502] shed-order re-sum matches the scalar engine
+                    unserved[lane] += float(draws[lane, sid])
+                shed_events[lane] += len(shed_ids)
+        return served, unserved, loss
+
+    @staticmethod
+    def _charge_pools_merged(buffers: BatchBuffers,
+                             sc_lead: Optional[np.ndarray],
+                             bat: Optional[np.ndarray],
+                             sc_trail: Optional[np.ndarray],
+                             eligible: np.ndarray, headroom: np.ndarray,
+                             dt: float) -> Optional[np.ndarray]:
+        """Interleaved charge schedule in three pool calls.
+
+        Exact for every order in :data:`_MERGEABLE_ORDERS`: each lane
+        sees its pools in its own order because sc-leading lanes get
+        the first SC call, every battery-bearing lane shares one
+        battery call (with the scalar's ``remaining > eps`` recheck
+        when an SC call preceded it), and ("battery", "sc") lanes get
+        the trailing SC call.  Eligibility already implies
+        ``headroom > eps``, so the first call a lane participates in
+        needs no recheck.  Returns ``None`` when no pool accepted
+        anything (exact zeros otherwise off-mask).
+        """
+        remaining = headroom
+        accepted = None
+        if sc_lead is not None:
+            active = sc_lead & eligible
+            if np.count_nonzero(active):
+                achieved = buffers.charge_sc(active, remaining, dt)
+                accepted = achieved
+                remaining = np.where(active, remaining - achieved,
+                                     remaining)
+        if bat is not None:
+            active = bat & eligible
+            if accepted is not None:
+                active = active & (remaining > _EPSILON)
+            if np.count_nonzero(active):
+                achieved = buffers.charge_battery(active, remaining, dt,
+                                                  defer=True)
+                accepted = (achieved if accepted is None
+                            else accepted + achieved)
+                if sc_trail is not None:
+                    remaining = np.where(active, remaining - achieved,
+                                         remaining)
+        if sc_trail is not None:
+            active = sc_trail & eligible & (remaining > _EPSILON)
+            if np.count_nonzero(active):
+                achieved = buffers.charge_sc(active, remaining, dt)
+                accepted = (achieved if accepted is None
+                            else accepted + achieved)
+        return accepted
+
+    @staticmethod
+    def _charge_pools(buffers: BatchBuffers,
+                      charge_groups: Dict[Tuple[str, ...], np.ndarray],
+                      eligible: np.ndarray, has_sc: np.ndarray,
+                      headroom: np.ndarray, dt: float) -> np.ndarray:
+        """Lane-parallel ``Simulation._charge_pools`` (no injector).
+
+        Generic per-group fallback for charge orders outside
+        :data:`_MERGEABLE_ORDERS`; battery steps are not deferred here
+        because an exotic order could revisit the battery.
+        """
+        accepted = np.zeros(buffers.n)
+        remaining = headroom
+        for order, group in charge_groups.items():
+            lanes = group & eligible
+            if not np.count_nonzero(lanes):
+                continue
+            for name in order:
+                active = lanes & (remaining > _EPSILON)
+                if name == "sc":
+                    active = active & has_sc
+                if not np.count_nonzero(active):
+                    continue
+                if name == "sc":
+                    achieved = buffers.charge_sc(active, remaining, dt)
+                else:
+                    achieved = buffers.charge_battery(active, remaining, dt)
+                accepted = accepted + np.where(active, achieved, 0.0)
+                remaining = np.where(active, remaining - achieved,
+                                     remaining)
+        return accepted
+
+
+__all__ = ["BatchBuffers", "BatchSimulation"]
