@@ -69,6 +69,10 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="FILE",
         help=f"baseline location (default: {DEFAULT_BASELINE_FILE})")
     parser.add_argument(
+        "--stats", action="store_true",
+        help="append per-pass wall-time and per-family finding-count "
+             "stats to text/json reports (ignored for sarif)")
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="list registered rules and exit")
 
@@ -127,9 +131,14 @@ def run_lint(args: argparse.Namespace,
     except AnalysisError as error:
         err.write(f"lint: error: {error}\n")
         return 2
-    renderer = {"json": render_json,
-                "sarif": render_sarif}.get(args.format, render_text)
-    out.write(renderer(report))
+    want_stats = getattr(args, "stats", False)
+    if args.format == "sarif":
+        rendered = render_sarif(report)
+    elif args.format == "json":
+        rendered = render_json(report, stats=want_stats)
+    else:
+        rendered = render_text(report, stats=want_stats)
+    out.write(rendered)
     out.write("\n")
     return 0 if report.clean else 1
 

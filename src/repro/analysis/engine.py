@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import ast
 import dataclasses
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -48,7 +49,7 @@ from typing import (
 
 from ..errors import AnalysisError
 from .cache import AnalysisCache, content_hash, file_key, project_key
-from .findings import Finding
+from .findings import Finding, PassStat
 from .rules import FileContext, Rule, all_rules, resolve_rule_ids
 from .suppressions import (
     collect_suppressions,
@@ -75,6 +76,9 @@ class LintReport:
     rule_ids: Tuple[str, ...] = field(default_factory=tuple)
     #: Files whose per-file findings were served from the lint cache.
     files_from_cache: int = 0
+    #: Per-stage wall time and finding counts (``lint --stats``); wall
+    #: time is nondeterministic, so reporters omit these by default.
+    stats: Tuple[PassStat, ...] = field(default_factory=tuple)
 
     @property
     def clean(self) -> bool:
@@ -220,12 +224,17 @@ def _run_whole_program_stage(sources: Dict[str, str],
                              semantic_ids: Sequence[str],
                              cache: Optional[AnalysisCache],
                              hashes: Dict[str, str],
+                             stats: List[PassStat],
                              ) -> List[Finding]:
     key: Optional[str] = None
+    start = time.perf_counter()
     if cache is not None:
         key = project_key(sorted(hashes.items()), semantic_ids)
         cached = cache.get_project(key)
         if cached is not None:
+            stats.append(PassStat(name="whole-program (cached)",
+                                  seconds=time.perf_counter() - start,
+                                  findings=len(cached)))
             return cached
     # Imported here so merely loading the engine never pays for the
     # semantics package.
@@ -237,7 +246,7 @@ def _run_whole_program_stage(sources: Dict[str, str],
         except SyntaxError:
             continue  # RPR000 already reported by the per-file stage
         modules.append(SourceModule(path=path, source=source, tree=tree))
-    findings = run_whole_program(modules, semantic_ids)
+    findings = run_whole_program(modules, semantic_ids, stats=stats)
     if cache is not None and key is not None:
         cache.put_project(key, findings)
     return findings
@@ -274,15 +283,21 @@ def lint_paths(paths: Sequence[str],
         hashes = {path: content_hash(source)
                   for path, source in sources.items()}
 
+    stats: List[PassStat] = []
+    start = time.perf_counter()
     findings, hits = _run_per_file_stage(
         sources, per_file_ids, max(1, jobs), cache, hashes)
+    stats.append(PassStat(name="per-file",
+                          seconds=time.perf_counter() - start,
+                          findings=len(findings)))
     if semantic_ids:
         findings.extend(_run_whole_program_stage(
-            sources, semantic_ids, cache, hashes))
+            sources, semantic_ids, cache, hashes, stats))
 
     return LintReport(
         findings=tuple(sorted(findings)),
         files_scanned=len(files),
         rule_ids=tuple(sorted([*per_file_ids, *semantic_ids])),
         files_from_cache=hits,
+        stats=tuple(stats),
     )

@@ -35,3 +35,24 @@ class Finding:
         """The conventional one-line ``path:line:col: RULE message`` form."""
         return (f"{self.path}:{self.line}:{self.col}: "
                 f"{self.rule_id} {self.message}")
+
+
+@dataclass(frozen=True)
+class PassStat:
+    """Wall time and finding count for one analysis stage.
+
+    Collected only when ``lint --stats`` asks for them; ``seconds`` is
+    wall time (the one number that is *not* deterministic, which is why
+    stats stay out of the default byte-stable reports).
+    """
+
+    name: str
+    seconds: float
+    findings: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seconds": round(self.seconds, 6),
+            "findings": self.findings,
+        }

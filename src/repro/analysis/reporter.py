@@ -1,8 +1,14 @@
-"""Human-readable and machine-readable lint reports."""
+"""Human-readable and machine-readable lint reports.
+
+Stats (per-pass wall time, per-family finding counts) are opt-in via
+the ``stats=`` renderer argument: wall time is the one nondeterministic
+number in the system, so the default reports stay byte-stable.
+"""
 
 from __future__ import annotations
 
 import json
+from typing import Dict, List
 
 from .engine import LintReport
 
@@ -10,7 +16,31 @@ from .engine import LintReport
 REPORT_FORMAT_VERSION = 1
 
 
-def render_text(report: LintReport) -> str:
+def _family_counts(report: LintReport) -> Dict[str, int]:
+    """Finding counts keyed by rule family (``RPR6``-style prefix)."""
+    families: Dict[str, int] = {}
+    for finding in report.findings:
+        family = finding.rule_id[:4]
+        families[family] = families.get(family, 0) + 1
+    return families
+
+
+def _stats_lines(report: LintReport) -> List[str]:
+    lines = ["", "pass timings:"]
+    width = max((len(stat.name) for stat in report.stats), default=0)
+    for stat in report.stats:
+        lines.append(f"  {stat.name:<{width}}  "
+                     f"{stat.seconds * 1000:9.1f} ms  "
+                     f"{stat.findings:4d} findings")
+    families = _family_counts(report)
+    if families:
+        lines.append("findings by family:")
+        for family in sorted(families):
+            lines.append(f"  {family}x  {families[family]:4d}")
+    return lines
+
+
+def render_text(report: LintReport, stats: bool = False) -> str:
     """Conventional ``path:line:col: RULE message`` lines plus a summary."""
     lines = [finding.render() for finding in report.findings]
     noun = "file" if report.files_scanned == 1 else "files"
@@ -21,11 +51,17 @@ def render_text(report: LintReport) -> str:
             f"in {report.files_scanned} {noun}")
     else:
         lines.append(f"clean: {report.files_scanned} {noun} scanned")
+    if stats:
+        lines.extend(_stats_lines(report))
     return "\n".join(lines)
 
 
-def render_json(report: LintReport) -> str:
-    """Stable JSON document for tooling (sorted keys, 2-space indent)."""
+def render_json(report: LintReport, stats: bool = False) -> str:
+    """Stable JSON document for tooling (sorted keys, 2-space indent).
+
+    With ``stats=True`` a ``stats`` key is added (pass wall times are
+    nondeterministic; everything else stays stable).
+    """
     payload = {
         "format": REPORT_FORMAT_VERSION,
         "files_scanned": report.files_scanned,
@@ -33,4 +69,9 @@ def render_json(report: LintReport) -> str:
         "rules": list(report.rule_ids),
         "findings": [finding.to_dict() for finding in report.findings],
     }
+    if stats:
+        payload["stats"] = {
+            "passes": [stat.to_dict() for stat in report.stats],
+            "families": _family_counts(report),
+        }
     return json.dumps(payload, sort_keys=True, indent=2)

@@ -33,10 +33,13 @@ SARIF_SCHEMA_URI = (
 
 #: Rule-family prefix -> SARIF ``level`` for its results.  The RPR5xx
 #: batch-readiness audit is advisory (``note``): it tracks ROADMAP
-#: work, not defects.  Everything else is a correctness convention and
-#: reports as ``warning``.
+#: work, not defects.  RPR703 (RNG/cache state duplicated across pool
+#: workers) is likewise advisory — both patterns can be intended.
+#: Everything else is a correctness convention and reports as
+#: ``warning``.
 _LEVEL_BY_PREFIX = {
     "RPR5": "note",
+    "RPR703": "note",
 }
 _DEFAULT_LEVEL = "warning"
 

@@ -23,7 +23,19 @@ and runs two interprocedural passes on top of it:
   view-vs-copy provenance, cache-aliasing taint, and batch-axis
   exposure, flagging dtype narrowing, impossible broadcasts, mutations
   of cache-aliased arrays, uninitialized ``np.empty`` reads, and the
-  batch-readiness debt ROADMAP item 2 must clear.
+  batch-readiness debt ROADMAP item 2 must clear;
+* **twin parity** (RPR601/602, :mod:`.twins`) — checks the declared
+  scalar↔batched class pairs (``Simulation``↔``BatchSimulation`` and
+  friends) for public methods, attributes, and numeric constants with
+  no batched counterpart or with drifted signatures/values;
+* **lane isolation** (RPR603/604, :mod:`.lanes`) — reuses the array
+  lattice's lane-axis facts to flag writes to lane-leading arrays that
+  skip the lane dimension, scalar state shared across per-lane replay
+  loops, and lane-axis reductions outside sanctioned points;
+* **concurrency safety** (RPR701–704, :mod:`.concurrency`) — finds the
+  process-pool boundaries, closes over the worker-reachable functions,
+  and flags unpicklable submissions, worker-side module-global writes,
+  shared RNG/cache state, and blocking calls in ``async def`` bodies.
 
 The passes are wired into the lint engine: their rule ids register in
 the ordinary registry, and :func:`run_whole_program` is invoked by
@@ -36,6 +48,9 @@ from __future__ import annotations
 from .analyzer import run_whole_program
 from .arrays import ArrayAnalysis, ArrayValue, run_array_pass
 from .callgraph import CallGraph, CallSite, build_call_graph
+from .concurrency import run_concurrency_pass
+from .lanes import run_lane_pass
+from .twins import TWIN_REGISTRY, TwinPair, run_twin_pass
 from .symbols import (
     ClassInfo,
     FunctionInfo,
@@ -56,9 +71,14 @@ __all__ = [
     "ModuleInfo",
     "ProjectIndex",
     "SourceModule",
+    "TWIN_REGISTRY",
+    "TwinPair",
     "build_call_graph",
     "build_project_index",
     "module_name_for_path",
     "run_array_pass",
+    "run_concurrency_pass",
+    "run_lane_pass",
+    "run_twin_pass",
     "run_whole_program",
 ]

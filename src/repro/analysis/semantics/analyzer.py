@@ -5,28 +5,40 @@ calls: it builds the project index and call graph once, runs whichever
 interprocedural passes the selected rule ids enable, and applies
 ``# repro: noqa`` suppressions (expanded to full statement extents) to
 the combined findings.
+
+The array lattice is shared: when both the RPR4xx/RPR5xx array pass and
+the RPR603/RPR604 lane-isolation pass are enabled, one
+:class:`~.arrays.ArrayAnalysis` is built and propagated once and both
+passes read the same fixpoint.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence
+import time
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
 
-from ..findings import Finding
+from ..findings import Finding, PassStat
 from ..suppressions import (
     collect_suppressions,
     expand_suppressions,
     is_suppressed,
 )
-from .arrays import run_array_pass
+from .arrays import ArrayAnalysis, run_array_pass
 from .callgraph import build_call_graph
+from .concurrency import run_concurrency_pass
 from .dimensions import run_dimensional_pass
+from .lanes import run_lane_pass
 from .purity import run_purity_pass
 from .symbols import SourceModule, build_project_index
+from .twins import run_twin_pass
 
 #: Rule-id prefixes owned by each interprocedural pass.
 DIMENSION_PREFIX = "RPR11"
 PURITY_PREFIX = "RPR21"
 ARRAY_PREFIXES = ("RPR4", "RPR5")
+TWIN_IDS = frozenset({"RPR601", "RPR602"})
+LANE_IDS = frozenset({"RPR603", "RPR604"})
+CONCURRENCY_PREFIX = "RPR7"
 
 
 def whole_program_rule_ids() -> List[str]:
@@ -37,14 +49,20 @@ def whole_program_rule_ids() -> List[str]:
 
 
 def run_whole_program(modules: Sequence[SourceModule],
-                      enabled_ids: Iterable[str]) -> List[Finding]:
+                      enabled_ids: Iterable[str],
+                      stats: Optional[List[PassStat]] = None,
+                      ) -> List[Finding]:
     """Run the enabled interprocedural passes over ``modules``.
 
     Args:
         modules: Every successfully-parsed module in the lint run; the
             passes see all of them at once (that is the point).
-        enabled_ids: Selected rule ids; only the RPR11x/RPR21x subsets
-            matter here, the rest are ignored.
+        enabled_ids: Selected rule ids; only the whole-program subsets
+            (RPR11x, RPR21x, RPR4xx/5xx, RPR6xx, RPR7xx) matter here,
+            the rest are ignored.
+        stats: When given, one :class:`PassStat` per executed pass
+            (plus the shared index/call-graph and array-lattice builds)
+            is appended, for ``lint --stats``.
 
     Returns:
         Suppression-filtered findings, in (path, line, col, id) order.
@@ -56,20 +74,75 @@ def run_whole_program(modules: Sequence[SourceModule],
                       for rule_id in enabled)
     want_arrays = any(rule_id.startswith(ARRAY_PREFIXES)
                       for rule_id in enabled)
-    if not (want_dimensions or want_purity or want_arrays) \
+    want_twins = bool(enabled & TWIN_IDS)
+    want_lanes = bool(enabled & LANE_IDS)
+    want_concurrency = any(rule_id.startswith(CONCURRENCY_PREFIX)
+                           for rule_id in enabled)
+    if not (want_dimensions or want_purity or want_arrays
+            or want_twins or want_lanes or want_concurrency) \
             or not modules:
         return []
 
+    # (index into ``stats``, ids of the findings the pass produced) so
+    # the table can be re-counted after suppression filtering below.
+    pass_findings: List[tuple] = []
+
+    def timed(name, runner):
+        start = time.perf_counter()
+        result = runner()
+        if stats is not None:
+            count = len(result) if isinstance(result, list) else 0
+            stats.append(PassStat(name=name,
+                                  seconds=time.perf_counter() - start,
+                                  findings=count))
+            if isinstance(result, list):
+                pass_findings.append(
+                    (len(stats) - 1, {id(f) for f in result}))
+        return result
+
+    start = time.perf_counter()
     index = build_project_index(modules)
     graph = build_call_graph(index)
+    if stats is not None:
+        stats.append(PassStat(name="index+callgraph",
+                              seconds=time.perf_counter() - start,
+                              findings=0))
+
+    shared_arrays: Optional[ArrayAnalysis] = None
+    if want_arrays or want_lanes:
+        def build_lattice() -> ArrayAnalysis:
+            analysis = ArrayAnalysis(index, graph)
+            analysis.propagate()
+            return analysis
+        shared_arrays = timed("array-lattice", build_lattice)
 
     findings: List[Finding] = []
     if want_dimensions:
-        findings.extend(run_dimensional_pass(index, graph, enabled))
+        findings.extend(timed(
+            "dimensions (RPR11x)",
+            lambda: run_dimensional_pass(index, graph, enabled)))
     if want_purity:
-        findings.extend(run_purity_pass(index, graph, enabled))
+        findings.extend(timed(
+            "purity (RPR21x)",
+            lambda: run_purity_pass(index, graph, enabled)))
     if want_arrays:
-        findings.extend(run_array_pass(index, graph, enabled))
+        findings.extend(timed(
+            "arrays (RPR4xx/5xx)",
+            lambda: run_array_pass(index, graph, enabled,
+                                   analysis=shared_arrays)))
+    if want_twins:
+        findings.extend(timed(
+            "twin-parity (RPR601/602)",
+            lambda: run_twin_pass(index, graph, enabled)))
+    if want_lanes:
+        findings.extend(timed(
+            "lane-isolation (RPR603/604)",
+            lambda: run_lane_pass(index, graph, enabled,
+                                  analysis=shared_arrays)))
+    if want_concurrency:
+        findings.extend(timed(
+            "concurrency (RPR70x)",
+            lambda: run_concurrency_pass(index, graph, enabled)))
 
     suppressions_by_path: Dict[str, Dict[int, FrozenSet[str]]] = {}
     for module in modules:
@@ -80,4 +153,13 @@ def run_whole_program(modules: Sequence[SourceModule],
             if not is_suppressed(
                 suppressions_by_path.get(finding.path, {}),
                 finding.line, finding.rule_id)]
+    if stats is not None:
+        # Report what survives suppression, so the table agrees with
+        # the verdict the run actually renders.
+        surviving = {id(f) for f in kept}
+        for position, produced in pass_findings:
+            stat = stats[position]
+            stats[position] = PassStat(
+                name=stat.name, seconds=stat.seconds,
+                findings=len(produced & surviving))
     return sorted(kept)

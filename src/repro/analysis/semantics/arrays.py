@@ -393,6 +393,30 @@ class ArrayAnalysis:
         #: ``self.x = param`` passthrough stores (attr_types only sees
         #: constructor calls and annotations).
         self.attr_classes: Dict[Tuple[str, str], str] = {}
+        #: (fn qualname, local name) -> symbolic dims, for the common
+        #: ``shape = (n, num_servers); np.zeros(shape)`` pattern: a
+        #: local bound once to a literal tuple of dims resolves as that
+        #: shape at creation calls.  Rebinding the name to a second,
+        #: different tuple drops the fact (flow-insensitive safety).
+        self._local_tuple_shapes: Dict[Tuple[str, str],
+                                       Optional[Tuple[str, ...]]] = {}
+        for fn in index.functions.values():
+            for node in iter_function_nodes(fn.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not isinstance(node.value, (ast.Tuple, ast.List)):
+                    continue
+                dims = tuple(self._dim_label(elt)
+                             for elt in node.value.elts)
+                for target in node.targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    key = (fn.qualname, target.id)
+                    if key in self._local_tuple_shapes \
+                            and self._local_tuple_shapes[key] != dims:
+                        self._local_tuple_shapes[key] = None
+                    else:
+                        self._local_tuple_shapes[key] = dims
         #: (fn qualname, local name) pairs with at least one element
         #: store (``x[i] = ...`` / ``x.fill(...)``).  Flow-insensitive
         #: optimism: any store clears ``uninit`` for interprocedural
@@ -481,9 +505,14 @@ class ArrayAnalysis:
         return UNKNOWN_DIM
 
     def _shape_from_arg(self, expr: ast.expr,
+                        fn: Optional[FunctionInfo] = None,
                         ) -> Optional[Tuple[str, ...]]:
         if isinstance(expr, (ast.Tuple, ast.List)):
             return tuple(self._dim_label(elt) for elt in expr.elts)
+        if isinstance(expr, ast.Name) and fn is not None:
+            dims = self._local_tuple_shapes.get((fn.qualname, expr.id))
+            if dims is not None:
+                return dims
         # A scalar count: rank-1.  Non-count names could hold a tuple,
         # so they become rank-1 (?,) — broadcast checks treat ? as
         # compatible with everything, keeping the guess harmless.
@@ -693,7 +722,7 @@ class ArrayAnalysis:
         if np_name in _SHAPE_CREATORS:
             if not call.args:
                 return ArrayValue(is_array=True)
-            shape = self._shape_from_arg(call.args[0])
+            shape = self._shape_from_arg(call.args[0], fn)
             uninit = (np_name == "empty" and shape is not None
                       and shape[0] != "0")
             return ArrayValue(
@@ -1540,8 +1569,17 @@ def _in_hot_path(fn: FunctionInfo) -> bool:
 
 
 def run_array_pass(index: ProjectIndex, graph: CallGraph,
-                   enabled: frozenset) -> List[Finding]:
-    """Propagate array facts to a fixpoint, then collect findings."""
-    analysis = ArrayAnalysis(index, graph)
-    analysis.propagate()
+                   enabled: frozenset,
+                   analysis: Optional[ArrayAnalysis] = None,
+                   ) -> List[Finding]:
+    """Propagate array facts to a fixpoint, then collect findings.
+
+    Args:
+        analysis: An already-propagated :class:`ArrayAnalysis` to reuse
+            (the lane-isolation pass shares the same lattice); built
+            and propagated here when omitted.
+    """
+    if analysis is None:
+        analysis = ArrayAnalysis(index, graph)
+        analysis.propagate()
     return analysis.check(enabled)

@@ -1,0 +1,498 @@
+"""Pass 4c: concurrency safety for pool workers and async bodies (RPR70x).
+
+:class:`~repro.runner.runner.ExperimentRunner` fans cache misses out
+over a ``ProcessPoolExecutor``, and the lint engine does the same with
+its per-file stage.  Everything that crosses that boundary is pickled,
+and everything the workers execute runs in a *forked or spawned copy*
+of the parent: module globals diverge silently, module-level RNG and
+cache state is duplicated per worker, and nothing written in a worker
+ever comes back except the return value.  The planned async ``repro
+serve`` entry point adds the dual hazard — blocking calls inside
+``async def`` bodies stall the whole event loop.
+
+The pass finds every **pool boundary** statically: a call
+``pool.map(...)`` / ``pool.submit(...)`` / ``pool.apply_async(...)``
+where ``pool`` is bound (via ``with ... as`` or assignment) to a call
+that resolves to a process-pool factory
+(:data:`PROCESS_POOL_FACTORIES`).  The callable argument of each
+boundary call defines the **worker roots**; the call-graph closure over
+those roots is the worker-reachable set, the analogue of the purity
+pass's cache-feeding closure.
+
+Findings:
+
+* RPR701 — unpicklable objects crossing the boundary: a ``lambda`` or
+  nested function as the submitted callable (pickle refuses both), or a
+  lambda/generator expression passed as a data argument.
+* RPR702 — a worker-reachable function writes a mutable module global
+  (rebind via ``global``, subscript store, or a mutating method call);
+  the write lands in the worker's copy and the parent never sees it.
+* RPR703 (advisory) — RNG or cache state shared across workers without
+  reseed: a worker-reachable function draws from a module-level RNG it
+  never reseeds (every forked worker inherits the same stream), or is
+  itself ``lru_cache``-decorated (each worker grows a cold private
+  cache — correct but silently N× the memory and 0% cross-worker hits).
+* RPR704 — blocking calls in ``async def`` bodies: ``time.sleep``,
+  synchronous ``open``/``Path.read_text``-style file I/O, subprocess
+  and socket waits.
+
+Soundness boundary: like the purity pass, only statically-resolvable
+call shapes produce edges, and only pools bound to a local name are
+recognized — a pool smuggled through an attribute or container is
+invisible.  RPR704 needs no reachability at all: blocking inside *any*
+``async def`` is wrong wherever it is awaited from.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..findings import Finding
+from ..rules import Rule, register
+from .callgraph import CallGraph, iter_function_nodes
+from .purity import MUTATING_METHODS
+from .symbols import (
+    _dotted,
+    FUNCTION_NODES,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+)
+
+#: Constructors whose workers run in separate processes (pickling
+#: boundary + copied module state).
+PROCESS_POOL_FACTORIES = frozenset({
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+    "multiprocessing.Pool",
+    "multiprocessing.pool.Pool",
+    "multiprocessing.get_context.Pool",
+})
+
+#: Pool methods whose first argument is the worker callable.
+SUBMIT_METHODS = frozenset({
+    "map", "submit", "apply", "apply_async",
+    "map_async", "imap", "imap_unordered",
+    "starmap", "starmap_async",
+})
+
+#: Module-level RNG constructors (resolved dotted names).
+RNG_FACTORIES = frozenset({
+    "random.Random",
+    "random.SystemRandom",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+})
+
+#: RNG methods that reseed/fork the stream (using one of these on the
+#: shared RNG inside the worker-reachable function clears RPR703).
+RNG_RESEED_METHODS = frozenset({"seed", "spawn", "jumped"})
+
+#: Decorators that memoize into module-owned state.
+CACHE_DECORATORS = frozenset({"lru_cache", "cache", "cached_property"})
+
+#: Synchronous calls that block the event loop inside ``async def``.
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+    "requests.get",
+    "requests.post",
+})
+
+#: Method names that do synchronous file I/O wherever they appear
+#: (``Path.read_text`` et al.).
+BLOCKING_IO_METHODS = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes",
+})
+
+
+@register
+class PoolBoundaryPickleRule(Rule):
+    """Everything crossing a process-pool boundary must pickle.
+
+    Whole-program: the boundary call and the unpicklable callable can
+    live modules apart; pickle only fails at runtime, in the pool, with
+    the original traceback swallowed.
+    """
+
+    id = "RPR701"
+    whole_program = True
+
+
+@register
+class WorkerGlobalMutationRule(Rule):
+    """No worker-reachable function may write a mutable module global.
+
+    Whole-program: the write executes in a forked worker's copy of the
+    module; the parent (and every other worker) never observes it, so
+    parallel and serial runs silently diverge.
+    """
+
+    id = "RPR702"
+    whole_program = True
+
+
+@register
+class WorkerSharedRandomCacheRule(Rule):
+    """Advisory: module RNG/cache state duplicated across pool workers.
+
+    Whole-program: a module-level RNG drawn from worker-reachable code
+    gives every forked worker the same stream (correlated "random"
+    scenarios); an ``lru_cache`` on a worker-reachable function becomes
+    N cold private caches.  Advisory because both can be intended —
+    suppress with a reasoned ``# repro: noqa[RPR703]`` when they are.
+    """
+
+    id = "RPR703"
+    whole_program = True
+
+
+@register
+class BlockingCallInAsyncRule(Rule):
+    """No blocking call inside an ``async def`` body.
+
+    Whole-program only in machinery (it rides the project index);
+    ``time.sleep`` or sync file I/O in a coroutine stalls every other
+    task on the loop — use the async equivalent or a thread offload.
+    """
+
+    id = "RPR704"
+    whole_program = True
+
+
+class _Boundary:
+    """One ``pool.<submit>(worker, ...)`` call site."""
+
+    __slots__ = ("fn", "call", "method")
+
+    def __init__(self, fn: FunctionInfo, call: ast.Call,
+                 method: str) -> None:
+        self.fn = fn
+        self.call = call
+        self.method = method
+
+
+class ConcurrencyAnalysis:
+    """Pool-boundary discovery, worker closure, and async-body checks."""
+
+    def __init__(self, index: ProjectIndex, graph: CallGraph) -> None:
+        self.index = index
+        self.graph = graph
+        self.boundaries: List[_Boundary] = []
+        self.worker_roots: Set[str] = set()
+        self._find_boundaries()
+        self.reachable, self.parents = graph.reachable_from(
+            sorted(self.worker_roots))
+
+    # -- boundary discovery ---------------------------------------------
+
+    def _resolves_to(self, fn: FunctionInfo, expr: ast.expr,
+                     targets: frozenset) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        dotted = _dotted(expr.func)
+        if dotted is None:
+            return False
+        module = self.index.modules[fn.module]
+        return self.index.resolve_name(module, dotted) in targets
+
+    def _pool_names(self, fn: FunctionInfo) -> Set[str]:
+        """Local names bound to process-pool instances in ``fn``."""
+        names: Set[str] = set()
+        for node in iter_function_nodes(fn.node):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    if (isinstance(item.optional_vars, ast.Name)
+                            and self._resolves_to(
+                                fn, item.context_expr,
+                                PROCESS_POOL_FACTORIES)):
+                        names.add(item.optional_vars.id)
+            elif isinstance(node, ast.Assign):
+                if self._resolves_to(fn, node.value,
+                                     PROCESS_POOL_FACTORIES):
+                    names.update(
+                        target.id for target in node.targets
+                        if isinstance(target, ast.Name))
+        return names
+
+    def _find_boundaries(self) -> None:
+        for qualname in sorted(self.index.functions):
+            fn = self.index.functions[qualname]
+            pools = self._pool_names(fn)
+            if not pools:
+                continue
+            for node in iter_function_nodes(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id in pools
+                        and func.attr in SUBMIT_METHODS):
+                    continue
+                self.boundaries.append(_Boundary(fn, node, func.attr))
+                self._add_worker_root(fn, node)
+
+    def _add_worker_root(self, fn: FunctionInfo, call: ast.Call) -> None:
+        if not call.args:
+            return
+        dotted = _dotted(call.args[0])
+        if dotted is None:
+            return
+        module = self.index.modules[fn.module]
+        resolved = self.index.resolve_name(module, dotted)
+        if resolved in self.index.functions:
+            self.worker_roots.add(resolved)
+        elif resolved in self.index.classes:
+            # Submitting a class runs __init__ in the worker.
+            init = self.index.lookup_method(resolved, "__init__")
+            if init is not None:
+                self.worker_roots.add(init)
+
+    # -- reporting ------------------------------------------------------
+
+    def _finding(self, fn: FunctionInfo, node: ast.AST, rule_id: str,
+                 message: str, chain: bool = False) -> Finding:
+        if chain:
+            links = self.graph.chain_to(fn.qualname, self.parents)
+            tail = " -> ".join(
+                link.rsplit(".", 2)[-1] if link.count(".") < 2
+                else ".".join(link.rsplit(".", 2)[-2:])
+                for link in links)
+            message = f"{message} [worker-reachable: {tail}]"
+        return Finding(
+            path=fn.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=rule_id,
+            message=message)
+
+    # -- driver ---------------------------------------------------------
+
+    def check(self, enabled: frozenset) -> List[Finding]:
+        findings: List[Finding] = []
+        if "RPR701" in enabled:
+            for boundary in self.boundaries:
+                findings.extend(self._check_boundary(boundary))
+        worker_checks = ("RPR702" in enabled or "RPR703" in enabled)
+        if worker_checks:
+            rng_globals = self._module_rng_globals()
+            for qualname in sorted(self.reachable):
+                fn = self.index.functions.get(qualname)
+                if fn is None:
+                    continue
+                if "RPR702" in enabled:
+                    findings.extend(self._check_worker_globals(fn))
+                if "RPR703" in enabled:
+                    findings.extend(
+                        self._check_shared_rng_cache(fn, rng_globals))
+        if "RPR704" in enabled:
+            for qualname in sorted(self.index.functions):
+                fn = self.index.functions[qualname]
+                if isinstance(fn.node, ast.AsyncFunctionDef):
+                    findings.extend(self._check_async_body(fn))
+        return findings
+
+    # RPR701 ------------------------------------------------------------
+
+    def _nested_def_names(self, fn: FunctionInfo) -> Set[str]:
+        names: Set[str] = set()
+        assert isinstance(fn.node, FUNCTION_NODES)
+        for stmt in ast.walk(fn.node):
+            if isinstance(stmt, FUNCTION_NODES) and stmt is not fn.node:
+                names.add(stmt.name)
+        return names
+
+    def _check_boundary(self, boundary: _Boundary) -> Iterator[Finding]:
+        fn, call = boundary.fn, boundary.call
+        if call.args:
+            target = call.args[0]
+            if isinstance(target, ast.Lambda):
+                yield self._finding(
+                    fn, target, "RPR701",
+                    f"lambda submitted to pool.{boundary.method}() "
+                    f"cannot be pickled into a worker process; use a "
+                    f"module-level function")
+            elif (isinstance(target, ast.Name)
+                  and target.id in self._nested_def_names(fn)):
+                yield self._finding(
+                    fn, target, "RPR701",
+                    f"nested function {target.id!r} submitted to "
+                    f"pool.{boundary.method}() cannot be pickled into "
+                    f"a worker process; hoist it to module level")
+        for arg in [*call.args[1:],
+                    *(kw.value for kw in call.keywords)]:
+            if isinstance(arg, ast.Lambda):
+                yield self._finding(
+                    fn, arg, "RPR701",
+                    f"lambda passed as a pool.{boundary.method}() "
+                    f"argument cannot be pickled across the pool "
+                    f"boundary")
+            elif isinstance(arg, ast.GeneratorExp):
+                # The pool consumes iterables in the parent, but a
+                # generator of unpicklable items fails lazily and
+                # cannot be re-consumed on retry; materialize it.
+                yield self._finding(
+                    fn, arg, "RPR701",
+                    f"generator expression passed to "
+                    f"pool.{boundary.method}() is consumed once and "
+                    f"hides pickling failures until mid-iteration; "
+                    f"materialize it as a list first")
+
+    # RPR702 ------------------------------------------------------------
+
+    def _check_worker_globals(self, fn: FunctionInfo) -> Iterator[Finding]:
+        module = self.index.modules[fn.module]
+        declared: Set[str] = set()
+        for node in iter_function_nodes(fn.node):
+            if isinstance(node, ast.Global):
+                declared.update(node.names)
+        for node in iter_function_nodes(fn.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if (isinstance(target, ast.Name)
+                            and target.id in declared):
+                        yield self._finding(
+                            fn, node, "RPR702",
+                            f"rebinding module global {target.id!r} in "
+                            f"a worker-reachable function lands in the "
+                            f"worker's copy; the parent process never "
+                            f"sees it", chain=True)
+                    elif (isinstance(target, ast.Subscript)
+                          and isinstance(target.value, ast.Name)
+                          and target.value.id in module.mutable_globals):
+                        yield self._finding(
+                            fn, node, "RPR702",
+                            f"writing into module-level container "
+                            f"{target.value.id!r} in a worker-reachable "
+                            f"function diverges per worker process",
+                            chain=True)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id in module.mutable_globals
+                        and func.attr in MUTATING_METHODS):
+                    yield self._finding(
+                        fn, node, "RPR702",
+                        f"{func.value.id}.{func.attr}() mutates a "
+                        f"module global in a worker-reachable function; "
+                        f"each worker mutates its own copy", chain=True)
+
+    # RPR703 ------------------------------------------------------------
+
+    def _module_rng_globals(self) -> Dict[str, Tuple[str, int]]:
+        """``module.name`` -> (local name, def line) for RNG globals."""
+        rngs: Dict[str, Tuple[str, int]] = {}
+        for module in self.index.modules.values():
+            for stmt in module.tree.body:
+                if not (isinstance(stmt, ast.Assign)
+                        and isinstance(stmt.value, ast.Call)):
+                    continue
+                dotted = _dotted(stmt.value.func)
+                if dotted is None:
+                    continue
+                if self.index.resolve_name(module,
+                                           dotted) not in RNG_FACTORIES:
+                    continue
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        rngs[f"{module.name}.{target.id}"] = (
+                            target.id, stmt.lineno)
+        return rngs
+
+    def _rng_accesses(self, fn: FunctionInfo, module: ModuleInfo,
+                      rng_globals: Dict[str, Tuple[str, int]],
+                      ) -> Tuple[Dict[str, ast.Attribute], Set[str]]:
+        """(first draw per RNG qualname, reseeded RNG qualnames)."""
+        draws: Dict[str, ast.Attribute] = {}
+        reseeded: Set[str] = set()
+        for node in iter_function_nodes(fn.node):
+            if not (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)):
+                continue
+            resolved = self.index.resolve_name(module, node.value.id)
+            if resolved not in rng_globals:
+                continue
+            if node.attr in RNG_RESEED_METHODS:
+                reseeded.add(resolved)
+            else:
+                draws.setdefault(resolved, node)
+        return draws, reseeded
+
+    def _check_shared_rng_cache(self, fn: FunctionInfo,
+                                rng_globals: Dict[str, Tuple[str, int]],
+                                ) -> Iterator[Finding]:
+        decorators = fn.decorator_names() & CACHE_DECORATORS
+        if decorators:
+            name = sorted(decorators)[0]
+            yield self._finding(
+                fn, fn.node, "RPR703",
+                f"@{name} on worker-reachable {fn.name}() becomes a "
+                f"cold private cache in every pool worker (no "
+                f"cross-worker hits, N x the memory); cache in the "
+                f"parent or key results through the result cache",
+                chain=True)
+        module = self.index.modules[fn.module]
+        if rng_globals:
+            draws, reseeded = self._rng_accesses(fn, module, rng_globals)
+            for qualname, node in sorted(draws.items()):
+                if qualname in reseeded:
+                    continue
+                local, _ = rng_globals[qualname]
+                yield self._finding(
+                    fn, node, "RPR703",
+                    f"module-level RNG {local!r} drawn from a "
+                    f"worker-reachable function without reseed; forked "
+                    f"workers inherit identical streams — reseed per "
+                    f"task or pass a seeded generator in", chain=True)
+
+    # RPR704 ------------------------------------------------------------
+
+    def _check_async_body(self, fn: FunctionInfo) -> Iterator[Finding]:
+        module = self.index.modules[fn.module]
+        for node in iter_function_nodes(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                yield self._finding(
+                    fn, node, "RPR704",
+                    "synchronous open() inside an async def blocks the "
+                    "event loop; offload file I/O to a thread")
+                continue
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in BLOCKING_IO_METHODS):
+                yield self._finding(
+                    fn, node, "RPR704",
+                    f".{func.attr}() inside an async def does "
+                    f"synchronous file I/O on the event loop; offload "
+                    f"it to a thread")
+                continue
+            dotted = _dotted(func)
+            if dotted is None:
+                continue
+            resolved = self.index.resolve_name(module, dotted)
+            if resolved in BLOCKING_CALLS:
+                yield self._finding(
+                    fn, node, "RPR704",
+                    f"blocking call to {resolved!r} inside an async "
+                    f"def stalls every task on the event loop; use "
+                    f"the async equivalent (e.g. asyncio.sleep, "
+                    f"asyncio.create_subprocess_exec)")
+
+
+def run_concurrency_pass(index: ProjectIndex, graph: CallGraph,
+                         enabled: frozenset) -> List[Finding]:
+    """Pool boundaries, worker closure checks, async-body checks."""
+    analysis = ConcurrencyAnalysis(index, graph)
+    return analysis.check(enabled)

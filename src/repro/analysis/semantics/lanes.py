@@ -1,0 +1,370 @@
+"""Pass 4b: lane-isolation analysis for batch modules (RPR603/RPR604).
+
+The batched engine's core invariant is **lane independence**: scenario
+lanes share one tick loop but must never share *state*.  Every array in
+a ``*batch*`` module carries the scenario lane as its leading axis, so
+two write shapes break the invariant silently:
+
+* indexing the lane axis with something that is not a lane — a literal
+  (``state[0] = ...``) or a server/rank index (``state[sid] = ...``)
+  writes one lane's row on behalf of every lane;
+* mutating Python scalar state (``self.flag``, a module global) inside
+  a per-lane replay loop — each lane's iteration clobbers the value the
+  previous lane just wrote, and whatever reads it afterwards sees only
+  the last lane.
+
+A third shape is legal only at sanctioned points: a reduction **over
+the lane axis** (``axis=0`` of a lane-leading array) folds independent
+scenarios into one number, which only finalization/reporting code may
+do.  Inside tick/assign paths it almost always means a lost lane axis.
+
+The pass reuses the RPR4xx :class:`~.arrays.ArrayAnalysis` lattice —
+the same propagated :class:`~.arrays.ArrayValue` facts answer "is this
+expression an array and what is its leading symbolic dim" — and keys
+lane-ness on :data:`LANE_DIMS` (``n``, ``num_lanes``, ...), the
+vocabulary the batch twins actually allocate with
+(``np.zeros((n, num_servers))``).  Scope is any module whose basename
+tokens include ``batch`` (``sim.batch``, ``server.batch``,
+``replay_batch`` fixtures, ...), mirroring the hot-path gating of
+RPR502/503.
+
+Findings: RPR603 lane-axis write without the lane dimension, RPR604
+shared scalar state in a per-lane loop / lane-axis reduction outside a
+sanctioned reduction point.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Set
+
+from ..findings import Finding
+from ..rules import Rule, register
+from .arrays import (
+    _NP_REDUCTIONS,
+    _REDUCTION_METHODS,
+    _int_literal,
+    _is_full_slice,
+    ArrayAnalysis,
+    ArrayValue,
+)
+from .callgraph import CallGraph, iter_function_nodes
+from .symbols import FunctionInfo, ProjectIndex
+
+#: Leading symbolic dims that denote the scenario-lane axis (what the
+#: batch twins allocate with: ``np.zeros((n, num_servers))``).
+LANE_DIMS = frozenset({
+    "n", "lanes", "num_lanes", "n_lanes",
+    "num_scenarios", "n_scenarios",
+})
+
+#: Names that select a single lane legitimately.
+LANE_INDEX_RE = re.compile(r"^(?:lanes?|lanes?_\w+|li|l)$")
+
+#: Names that conventionally hold boolean masks or index arrays; these
+#: address lanes collectively even when the lattice cannot prove the
+#: value is an array (e.g. a comparison result).
+MASK_NAME_RE = re.compile(r"(?:^|_)(?:mask|masks|sel|idx|indices|ids)(?:_|$)")
+
+#: Functions allowed to reduce over the lane axis: finalization,
+#: write-back, and reporting code that *intentionally* folds lanes.
+SANCTIONED_REDUCTION_RE = re.compile(
+    r"write_back|finali[sz]e|result|report|run_all|summar|metric|close")
+
+#: Module-basename token that puts a module in lane scope.
+_BATCH_TOKEN = "batch"
+
+
+@register
+class LaneCoupledWriteRule(Rule):
+    """Writes to a lane-leading array must address the lane axis.
+
+    Whole-program: whether ``arr`` carries the scenario lane on axis 0
+    is an :class:`ArrayValue` fact propagated across modules (the array
+    may be allocated in one module and written in another); a non-lane
+    first index then writes one lane's row for every scenario.
+    """
+
+    id = "RPR603"
+    whole_program = True
+
+
+@register
+class LaneSharedStateRule(Rule):
+    """No shared scalar state in per-lane loops; no stray lane folds.
+
+    Whole-program: per-lane replay loops mutating ``self``/module state
+    couple scenario lanes through Python objects the array lattice
+    proves are *not* per-lane, and a lane-axis reduction outside
+    finalization collapses provably independent scenarios.
+    """
+
+    id = "RPR604"
+    whole_program = True
+
+
+def in_lane_scope(fn: FunctionInfo) -> bool:
+    """True for functions in batch modules (basename token ``batch``)."""
+    tokens = set(fn.module.rsplit(".", 1)[-1].split("_"))
+    return _BATCH_TOKEN in tokens
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+
+
+class LaneIsolationAnalysis:
+    """Lane-axis write/state/reduction checks on top of the lattice."""
+
+    def __init__(self, index: ProjectIndex, graph: CallGraph,
+                 arrays: ArrayAnalysis) -> None:
+        self.index = index
+        self.graph = graph
+        self.arrays = arrays
+
+    # -- lane facts -----------------------------------------------------
+
+    def _lane_leading(self, value: Optional[ArrayValue]) -> bool:
+        return (value is not None and value.is_array
+                and bool(value.shape) and value.shape[0] in LANE_DIMS)
+
+    def _is_lane_count(self, expr: ast.expr) -> bool:
+        """``n`` / ``self.n`` / any :data:`LANE_DIMS` name."""
+        if isinstance(expr, ast.Name):
+            return expr.id in LANE_DIMS
+        if isinstance(expr, ast.Attribute):
+            return expr.attr in LANE_DIMS
+        return False
+
+    def _is_lane_loop(self, node: ast.For) -> bool:
+        """A loop whose target walks scenario lanes."""
+        for name in _target_names(node.target):
+            if LANE_INDEX_RE.match(name):
+                return True
+        iter_expr = node.iter
+        if isinstance(iter_expr, ast.Call) \
+                and isinstance(iter_expr.func, ast.Name) \
+                and iter_expr.func.id == "range" and iter_expr.args:
+            return self._is_lane_count(iter_expr.args[0])
+        return False
+
+    def _lane_index_names(self, fn: FunctionInfo) -> Set[str]:
+        """Names that legitimately select one lane in ``fn``."""
+        names: Set[str] = set()
+        node = fn.node
+        for arg in fn.keyword_parameters():
+            if LANE_INDEX_RE.match(arg.arg):
+                names.add(arg.arg)
+        for child in iter_function_nodes(node):
+            if isinstance(child, ast.For) and self._is_lane_loop(child):
+                names.update(_target_names(child.target))
+        return names
+
+    # -- reporting ------------------------------------------------------
+
+    def _finding(self, fn: FunctionInfo, node: ast.AST, rule_id: str,
+                 message: str) -> Finding:
+        return Finding(
+            path=fn.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=rule_id,
+            message=message)
+
+    # -- checks ---------------------------------------------------------
+
+    def check(self, enabled: frozenset) -> List[Finding]:
+        findings: List[Finding] = []
+        for qualname in sorted(self.index.functions):
+            fn = self.index.functions[qualname]
+            if not in_lane_scope(fn):
+                continue
+            if "RPR603" in enabled:
+                findings.extend(self._check_lane_writes(fn))
+            if "RPR604" in enabled:
+                findings.extend(self._check_shared_state(fn))
+                findings.extend(self._check_lane_reductions(fn))
+        return findings
+
+    # RPR603 ------------------------------------------------------------
+
+    def _first_index(self, sub: ast.Subscript) -> ast.expr:
+        if isinstance(sub.slice, ast.Tuple) and sub.slice.elts:
+            return sub.slice.elts[0]
+        return sub.slice
+
+    def _lane_safe_index(self, first: ast.expr, fn: FunctionInfo,
+                         lane_names: Set[str]) -> bool:
+        if isinstance(first, ast.Slice):
+            return True  # any slice addresses (a range of) lanes
+        if isinstance(first, ast.Constant) and first.value is Ellipsis:
+            return True
+        if isinstance(first, ast.Name):
+            if first.id in lane_names or LANE_INDEX_RE.match(first.id):
+                return True
+            if MASK_NAME_RE.search(first.id):
+                return True
+            value = self.arrays.value_of(first, fn)
+            # A mask or fancy-index array addresses lanes collectively.
+            return value is not None and value.is_array
+        value = self.arrays.value_of(first, fn)
+        if value is not None and value.is_array:
+            return True
+        # Anything else (attribute chains, arithmetic) is unprovable
+        # either way; only constants and plain names are confident
+        # enough to flag.
+        return not isinstance(first, ast.Constant)
+
+    def _check_lane_writes(self, fn: FunctionInfo) -> Iterator[Finding]:
+        lane_names = self._lane_index_names(fn)
+        for node in iter_function_nodes(fn.node):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Subscript):
+                    continue
+                base = self.arrays.value_of(target.value, fn)
+                if not self._lane_leading(base):
+                    continue
+                first = self._first_index(target)
+                if _is_full_slice(first) \
+                        or self._lane_safe_index(first, fn, lane_names):
+                    continue
+                label = (repr(first.value)
+                         if isinstance(first, ast.Constant)
+                         else getattr(first, "id", "<index>"))
+                assert base is not None and base.shape is not None
+                yield self._finding(
+                    fn, node, "RPR603",
+                    f"write to lane-leading array (shape "
+                    f"({', '.join(base.shape)})) indexes the lane axis "
+                    f"with {label}, which is not a lane index; one "
+                    f"lane's row is written on behalf of every "
+                    f"scenario — select lanes with a lane index, mask, "
+                    f"or ':' and put the server/rank index on axis 1")
+
+    # RPR604a: shared scalar state in per-lane loops --------------------
+
+    def _loop_body_nodes(self, loop: ast.For) -> Iterator[ast.AST]:
+        """Walk a loop body without descending into nested defs."""
+        stack: List[ast.AST] = list(loop.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_shared_state(self, fn: FunctionInfo) -> Iterator[Finding]:
+        module = self.index.modules.get(fn.module)
+        module_globals = module.globals if module is not None else set()
+        seen: Set[int] = set()
+        for loop in iter_function_nodes(fn.node):
+            if not isinstance(loop, ast.For) \
+                    or not self._is_lane_loop(loop):
+                continue
+            for node in self._loop_body_nodes(loop):
+                if id(node) in seen:
+                    continue
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, ast.AugAssign):
+                    targets = [node.target]
+                else:
+                    continue
+                for target in targets:
+                    what: Optional[str] = None
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        what = f"self.{target.attr}"
+                    elif (isinstance(target, ast.Name)
+                          and target.id in module_globals):
+                        what = f"module global {target.id!r}"
+                    if what is None:
+                        continue
+                    seen.add(id(node))
+                    yield self._finding(
+                        fn, node, "RPR604",
+                        f"{what} is mutated inside a per-lane replay "
+                        f"loop but shared across lanes; each lane "
+                        f"clobbers the previous lane's value — hoist "
+                        f"the write out of the loop or make the state "
+                        f"a (lanes,) array")
+
+    # RPR604b: lane-axis reductions -------------------------------------
+
+    def _reduction_parts(self, call: ast.Call, fn: FunctionInfo,
+                         ) -> Optional[tuple]:
+        """(base value, axis expr) when ``call`` is an axis reduction."""
+        np_name = self.arrays._np_callee(call)
+        if np_name is not None \
+                and (np_name in _NP_REDUCTIONS
+                     or np_name.endswith(".reduce")) and call.args:
+            axis = self.arrays._keyword(call, "axis")
+            if axis is None and len(call.args) >= 2:
+                axis = call.args[1]
+            return self.arrays.value_of(call.args[0], fn), axis
+        func = call.func
+        if isinstance(func, ast.Attribute) \
+                and func.attr in _REDUCTION_METHODS:
+            axis = self.arrays._keyword(call, "axis")
+            if axis is None and call.args:
+                axis = call.args[0]
+            return self.arrays.value_of(func.value, fn), axis
+        return None
+
+    def _check_lane_reductions(self, fn: FunctionInfo,
+                               ) -> Iterator[Finding]:
+        if SANCTIONED_REDUCTION_RE.search(fn.name):
+            return
+        for node in iter_function_nodes(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = self._reduction_parts(node, fn)
+            if parts is None:
+                continue
+            base, axis = parts
+            if not self._lane_leading(base) or axis is None:
+                continue
+            literal = _int_literal(axis)
+            if literal is None:
+                continue
+            assert base is not None and base.shape is not None
+            rank = len(base.shape)
+            if not -rank <= literal < rank or literal % rank != 0:
+                continue
+            yield self._finding(
+                fn, node, "RPR604",
+                f"reduction over the lane axis (axis={literal} of "
+                f"shape ({', '.join(base.shape)})) outside a "
+                f"sanctioned reduction point; folding independent "
+                f"scenario lanes belongs in finalization/reporting "
+                f"code (or reduce axis 1, the per-server axis)")
+
+
+def run_lane_pass(index: ProjectIndex, graph: CallGraph,
+                  enabled: frozenset,
+                  analysis: Optional[ArrayAnalysis] = None,
+                  ) -> List[Finding]:
+    """Lane-isolation checks; reuses a propagated array lattice.
+
+    Args:
+        analysis: An already-propagated :class:`ArrayAnalysis` (shared
+            with :func:`~.arrays.run_array_pass` when both passes are
+            selected); built and propagated here when omitted.
+    """
+    if analysis is None:
+        analysis = ArrayAnalysis(index, graph)
+        analysis.propagate()
+    return LaneIsolationAnalysis(index, graph, analysis).check(enabled)

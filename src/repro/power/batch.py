@@ -40,7 +40,7 @@ class BatchFabric:
         self.switches = np.zeros(n, dtype=np.int64)
         self._last_sources: Optional[np.ndarray] = None
 
-    def apply_sources(self, sources: np.ndarray) -> None:
+    def apply_sources(self, sources: np.ndarray) -> None:  # repro: noqa[RPR602] the batch twin actuates from the scheduler's source-code plan and maps sources->positions itself; the scalar 'positions' list has no lane analogue
         """Actuate from a (lanes, servers) source-code plan.
 
         Re-applying the identical *immutable* plan object (the

@@ -88,7 +88,7 @@ class BatchCluster:
         """(lanes,) count of OFF servers."""
         return np.count_nonzero(self.state == STATE_OFF, axis=1)
 
-    def draw_array(self, raw: np.ndarray) -> np.ndarray:
+    def draw_array(self, demands_w: np.ndarray) -> np.ndarray:
         """Per-server draws for a (lanes, servers) demand slice.
 
         With every server ON the demands are the draws and the input is
@@ -96,11 +96,11 @@ class BatchCluster:
         the scalar fast path yields per lane.
         """
         if self._all_on:
-            return raw
+            return demands_w
         return np.where(
             self.state == STATE_OFF, 0.0,
             np.where(self.state == STATE_RESTARTING,
-                     self.restart_draw_w, raw))
+                     self.restart_draw_w, demands_w))
 
     # -- relay control --------------------------------------------------
 
@@ -126,7 +126,7 @@ class BatchCluster:
     # -- shutdown / restart (per-lane divergent paths) ------------------
 
     def shed_lru_lane(self, lane: int, power_needed_w: float,
-                      draws: np.ndarray,
+                      demands_w: np.ndarray,
                       from_sources: Tuple[int, ...]) -> List[int]:
         """Scalar ``ServerCluster.shed_lru`` for one lane.
 
@@ -148,9 +148,9 @@ class BatchCluster:
         for sid in candidates:  # repro: noqa[RPR502] per-lane LRU shed replicates the scalar sequential accumulation
             if freed >= power_needed_w - 1e-9:
                 break
-            freed += float(draws[lane, sid])
-            state_row[sid] = STATE_OFF
-            source_row[sid] = SOURCE_NONE
+            freed += float(demands_w[lane, sid])
+            state_row[sid] = STATE_OFF  # repro: noqa[RPR403] invalidated two lines down: any shed clears _all_on
+            source_row[sid] = SOURCE_NONE  # repro: noqa[RPR403] source backs no cache; _own_source() already copied the shared template
             shed.append(sid)
         if shed:
             self._all_on = False
@@ -176,8 +176,8 @@ class BatchCluster:
                              if self.restart_duration_s > 0 else 0.0)
             needed = max(restart_power, self.idle_power_w)
             if needed <= budget:
-                state_row[sid] = STATE_RESTARTING
-                source_row[sid] = SOURCE_UTILITY
+                state_row[sid] = STATE_RESTARTING  # repro: noqa[RPR403] OFF->RESTARTING only; _all_on is already False while any server is OFF, and tick() refreshes on completion
+                source_row[sid] = SOURCE_UTILITY  # repro: noqa[RPR403] source backs no cache; _own_source() already copied the shared template
                 self.restart_count[lane, sid] += 1  # repro: noqa[RPR403] plain per-lane counter, not cache-backing state; nothing memoizes over it
                 self.restart_remaining_s[lane, sid] = self.restart_duration_s
                 budget -= needed
@@ -186,19 +186,21 @@ class BatchCluster:
 
     # -- per-tick bookkeeping -------------------------------------------
 
-    def tick(self, dt: float, now_s: float, raw: np.ndarray) -> None:
+    def tick(self, dt: float, now_s: float,
+             demands_w: np.ndarray) -> None:
         """Advance every server's bookkeeping by one step.
 
-        ``raw`` holds the workload demands (not draws), exactly what the
-        engine hands the scalar ``ServerCluster.tick``.
+        ``demands_w`` holds the workload demands (not draws), exactly
+        what the engine hands the scalar ``ServerCluster.tick``.
         """
         if self._all_on:
             # Every server is ON: the state check is vacuous and the
             # LRU timestamps update in place.
             np.copyto(self.last_active_s, now_s,
-                      where=raw > self.busy_threshold_w)
+                      where=demands_w > self.busy_threshold_w)
             return
-        busy = (self.state == STATE_ON) & (raw > self.busy_threshold_w)
+        busy = ((self.state == STATE_ON)
+                & (demands_w > self.busy_threshold_w))
         self.last_active_s = np.where(busy, now_s, self.last_active_s)
         off = self.state == STATE_OFF
         restarting = self.state == STATE_RESTARTING

@@ -131,7 +131,7 @@ def kibam_coefficients(k: float, c: float, dt: float) -> KiBaMCoefficients:
         cached = KiBaMCoefficients(
             k=k, c=c, dt=dt, ekt=ekt, one_m_ekt=one_m_ekt,
             kdt_m_one_m_ekt=kdt_m_one_m_ekt, denominator=denominator)
-        _COEFFICIENT_CACHE[key] = cached
+        _COEFFICIENT_CACHE[key] = cached  # repro: noqa[RPR702] pure memo keyed by (k, c, dt); per-worker copies recompute identical values, so divergence is unobservable
     return cached
 
 

@@ -1,0 +1,8 @@
+"""Adversarial concurrency-safety package (RPR7xx).
+
+The process-pool boundary lives in ``service.py``; the defects it makes
+reachable live in ``worker.py`` (global mutation), ``rng.py`` (shared
+random stream), and ``memo.py`` (shared cache). ``async_api.py`` holds
+the blocking-call-in-async defect. Linting any defect module alone must
+not reproduce the pool-reachability findings.
+"""

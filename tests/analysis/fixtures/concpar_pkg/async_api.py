@@ -1,0 +1,8 @@
+"""Async facade: blocks the event loop with a synchronous sleep."""
+
+import time
+
+
+async def poll(interval_s):
+    time.sleep(interval_s)
+    return interval_s

@@ -1,0 +1,8 @@
+"""Memoised helper: per-process caches diverge once workers call it."""
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=64)
+def coefficients(x):
+    return x ** 0.5

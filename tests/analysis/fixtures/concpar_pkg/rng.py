@@ -1,0 +1,9 @@
+"""Module RNG stream: shared-state defect surfaces two modules away."""
+
+import random
+
+_STREAM = random.Random(7)
+
+
+def jitter(x):
+    return x + _STREAM.random()

@@ -1,0 +1,12 @@
+"""Pool boundary: the reachability fact every other finding depends on."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from .worker import process
+
+
+def serve(items):
+    with ProcessPoolExecutor() as pool:
+        batch = list(pool.map(process, items))
+        extra = pool.submit(lambda: 0.0)
+    return batch, extra

@@ -1,0 +1,15 @@
+"""Worker: mutates a module global, but only service.py makes it a worker."""
+
+from .memo import coefficients
+from .rng import jitter
+
+_SEEN = {}
+
+
+def process(item):
+    record(item)
+    return jitter(coefficients(item))
+
+
+def record(item):
+    _SEEN[item] = True

@@ -1,0 +1,23 @@
+"""Failing fixture: scalar twin members with no batched counterpart."""
+
+
+class Simulation:
+    def __init__(self, config):
+        self.config = config
+
+    def run(self):
+        return 1.0
+
+    def snapshot_state(self):
+        return {}
+
+    def total_energy_j(self):
+        return 0.0
+
+
+class BatchSimulation:
+    def __init__(self, sims):
+        self.sims = sims
+
+    def run_all(self):
+        return [1.0]

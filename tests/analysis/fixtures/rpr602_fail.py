@@ -1,0 +1,23 @@
+"""Failing fixture: batched twin methods drifted from their scalars."""
+
+
+class Simulation:
+    def __init__(self, config):
+        self.config = config
+
+    def run(self, ticks=100):
+        return float(ticks)
+
+    def step(self, dt, demand_w):
+        return dt * demand_w
+
+
+class BatchSimulation:
+    def __init__(self, sims):
+        self.sims = sims
+
+    def run_all(self, ticks=50):
+        return [float(ticks)]
+
+    def step(self, dt):
+        return [dt]

@@ -1,0 +1,15 @@
+"""Clean fixture: lane-leading writes address the lane axis."""
+
+import numpy as np
+
+
+class BatchThing:
+    def __init__(self, n, num_servers):
+        self.n = n
+        self.state = np.zeros((n, num_servers))
+
+    def poke(self, lane, sid):
+        self.state[lane, sid] = 1.0
+        self.state[:, sid] = 2.0
+        mask = self.state[:, sid] > 0.5
+        self.state[mask] = 3.0

@@ -1,0 +1,13 @@
+"""Failing fixture: lane-leading arrays written without the lane axis."""
+
+import numpy as np
+
+
+class BatchThing:
+    def __init__(self, n, num_servers):
+        self.n = n
+        self.state = np.zeros((n, num_servers))
+
+    def poke(self, sid):
+        self.state[0] = 1.0
+        self.state[sid] = 2.0

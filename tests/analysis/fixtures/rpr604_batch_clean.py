@@ -1,0 +1,23 @@
+"""Clean fixture: per-lane state stays per-lane; folds in finalization."""
+
+import numpy as np
+
+
+class BatchAccum:
+    def __init__(self, n, num_servers):
+        self.n = n
+        self.energy_j = np.zeros((n, num_servers))
+        self.last_total = 0.0
+
+    def advance(self):
+        totals = np.zeros(self.n)
+        for lane in range(self.n):
+            totals[lane] = float(self.energy_j[lane, 0])
+        self.last_total = float(totals[-1])
+        return totals
+
+    def per_lane_total(self):
+        return self.energy_j.sum(axis=1)
+
+    def write_back(self):
+        return self.energy_j.sum(axis=0)

@@ -1,0 +1,18 @@
+"""Failing fixture: shared scalar state + lane-axis fold mid-run."""
+
+import numpy as np
+
+
+class BatchAccum:
+    def __init__(self, n, num_servers):
+        self.n = n
+        self.energy_j = np.zeros((n, num_servers))
+        self.last_total = 0.0
+
+    def advance(self):
+        for lane in range(self.n):
+            self.last_total = float(self.energy_j[lane, 0])
+        return self.last_total
+
+    def cross_lane_total(self):
+        return self.energy_j.sum(axis=0)

@@ -1,0 +1,12 @@
+"""Clean fixture: only module-level callables cross the pool boundary."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def double(x):
+    return x * 2.0
+
+
+def scale(items):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(double, list(items)))

@@ -1,0 +1,14 @@
+"""Failing fixture: unpicklable callables crossing the pool boundary."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def scale(items):
+    def helper(x):
+        return x * 2.0
+
+    results = []
+    with ProcessPoolExecutor() as pool:
+        results.extend(pool.map(lambda x: x + 1.0, items))
+        results.extend(pool.map(helper, items))
+    return results

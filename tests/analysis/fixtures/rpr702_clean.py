@@ -1,0 +1,12 @@
+"""Clean fixture: workers return values instead of mutating globals."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def worker(x):
+    return x * 2.0
+
+
+def fan_out(items):
+    with ProcessPoolExecutor() as pool:
+        return dict(zip(items, pool.map(worker, items)))

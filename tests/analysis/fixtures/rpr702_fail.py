@@ -1,0 +1,18 @@
+"""Failing fixture: worker-reachable functions writing module globals."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_RESULTS = {}
+_MODE = "idle"
+
+
+def worker(x):
+    global _MODE
+    _MODE = "busy"
+    _RESULTS[x] = x * 2.0
+    return x
+
+
+def fan_out(items):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(worker, items))

@@ -1,0 +1,21 @@
+"""Clean fixture: per-task RNG seeding; no module-shared streams."""
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+
+_RNG = random.Random(1234)
+
+
+def draw(seed):
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def fan_out(seeds):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(draw, seeds))
+
+
+def parent_only_draw():
+    # Fine: drawn in the parent process, never worker-reachable.
+    return _RNG.random()

@@ -1,0 +1,21 @@
+"""Failing fixture: module RNG/cache state shared across pool workers."""
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+from functools import lru_cache
+
+_RNG = random.Random(1234)
+
+
+@lru_cache(maxsize=None)
+def expensive(x):
+    return x ** 2
+
+
+def draw(x):
+    return _RNG.random() + expensive(x)
+
+
+def fan_out(items):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(draw, items))

@@ -1,0 +1,13 @@
+"""Clean fixture: async bodies await instead of blocking."""
+
+import asyncio
+
+
+async def refresh(payload):
+    await asyncio.sleep(0.5)
+    return payload
+
+
+def blocking_is_fine_outside_async(path):
+    with open(path) as handle:
+        return handle.read()

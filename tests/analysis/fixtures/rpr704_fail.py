@@ -1,0 +1,11 @@
+"""Failing fixture: blocking calls inside an ``async def`` body."""
+
+import time
+from pathlib import Path
+
+
+async def refresh(path):
+    time.sleep(0.5)
+    data = open(path).read()
+    text = Path(path).read_text()
+    return data + text

@@ -1,0 +1,7 @@
+"""Lane-array factory: the (n, num_servers) shape fact is born here."""
+
+import numpy as np
+
+
+def make_state(n, num_servers):
+    return np.zeros((n, num_servers))

@@ -1,0 +1,17 @@
+"""Batch cluster twin: deliberately missing a method and a constant.
+
+The findings anchor here, but the contract they enforce lives in
+``cluster.py`` — linting this module alone proves nothing.
+"""
+
+import numpy as np
+
+
+class BatchCluster:
+    def __init__(self, n, num_servers):
+        self.n = n
+        self.num_servers = num_servers
+        self.queue_depth = np.zeros(n)
+
+    def tick(self, dt, demand_w):
+        return demand_w * dt

@@ -1,0 +1,15 @@
+"""Scalar cluster: the twin contract the batch module must mirror."""
+
+
+class ServerCluster:
+    IDLE_FRACTION = 0.05
+
+    def __init__(self, num_servers):
+        self.num_servers = num_servers
+        self.queue_depth = 0
+
+    def tick(self, dt, demand_w):
+        return demand_w * dt
+
+    def drain_queue(self):
+        self.queue_depth = 0

@@ -1,0 +1,15 @@
+"""Scalar engine: defines the signatures the batch twin drifts from."""
+
+
+class Simulation:
+    def __init__(self, cluster):
+        self.cluster = cluster
+
+    def run(self, ticks=100):
+        total = 0.0
+        for _ in range(ticks):
+            total += self.cluster.tick(1.0, 50.0)
+        return total
+
+    def step(self, dt, demand_w):
+        return self.cluster.tick(dt, demand_w)

@@ -1,0 +1,12 @@
+"""Batch engine twin: ``step`` silently dropped the demand parameter."""
+
+
+class BatchSimulation:
+    def __init__(self, sims):
+        self.sims = sims
+
+    def run_all(self, ticks=100):
+        return [sim.run(ticks) for sim in self.sims]
+
+    def step(self, dt):
+        return [sim.step(dt, 0.0) for sim in self.sims]

@@ -1,0 +1,19 @@
+"""Per-lane replay: misuses the lane array allocated in alloc_batch."""
+
+from .alloc_batch import make_state
+from .fold_batch import mid_run_fold
+
+
+class BatchReplay:
+    def __init__(self, n, num_servers):
+        self.n = n
+        self.state = make_state(n, num_servers)
+        self.peak_w = 0.0
+
+    def clobber(self, sid):
+        self.state[sid] = 1.0
+
+    def replay(self):
+        for lane in range(self.n):
+            self.peak_w = float(self.state[lane, 0])
+        return mid_run_fold(self.state)

@@ -130,3 +130,42 @@ def test_cache_dir_flag_overrides_the_environment(tmp_path, capsys):
         ["lint", fixture, "--cache-dir", str(store)]) == 0
     capsys.readouterr()
     assert any(store.rglob("*.json"))
+
+
+def test_stats_flag_appends_pass_timing_table(capsys):
+    pkg = sorted(str(p) for p in
+                 (FIXTURES / "twinpar_pkg").glob("*.py"))
+    repro_main(["lint", "--no-cache", "--select", "RPR6", *pkg])
+    plain = capsys.readouterr().out
+    assert "pass timings:" not in plain
+
+    repro_main(["lint", "--no-cache", "--select", "RPR6", "--stats",
+                *pkg])
+    out = capsys.readouterr().out
+    assert out.startswith(plain.rstrip("\n"))
+    assert "pass timings:" in out
+    assert "twin-parity (RPR601/602)" in out
+    assert "lane-isolation (RPR603/604)" in out
+    assert "index+callgraph" in out
+    assert "findings by family:" in out
+
+
+def test_stats_json_payload_and_default_omission(capsys):
+    fixture = str(FIXTURES / "rpr703_fail.py")
+    repro_main(["lint", fixture, "--no-cache", "--select", "RPR7",
+                "--format", "json"])
+    plain = json.loads(capsys.readouterr().out)
+    assert "stats" not in plain
+
+    repro_main(["lint", fixture, "--no-cache", "--select", "RPR7",
+                "--format", "json", "--stats"])
+    payload = json.loads(capsys.readouterr().out)
+    stats = payload["stats"]
+    names = [entry["name"] for entry in stats["passes"]]
+    assert "per-file" in names
+    assert "concurrency (RPR70x)" in names
+    for entry in stats["passes"]:
+        assert entry["seconds"] >= 0.0
+        assert entry["findings"] >= 0
+    assert stats["families"] == {"RPR7": 2}
+    assert payload["findings"] == plain["findings"]

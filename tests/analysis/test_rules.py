@@ -39,6 +39,14 @@ RULE_FIXTURES = {
     "RPR501": ("rpr501_fail.py", "rpr501_clean.py"),
     "RPR502": ("rpr502_engine_fail.py", "rpr502_engine_clean.py"),
     "RPR503": ("rpr503_engine_fail.py", "rpr503_engine_clean.py"),
+    "RPR601": ("rpr601_fail.py", "rpr601_clean.py"),
+    "RPR602": ("rpr602_fail.py", "rpr602_clean.py"),
+    "RPR603": ("rpr603_batch_fail.py", "rpr603_batch_clean.py"),
+    "RPR604": ("rpr604_batch_fail.py", "rpr604_batch_clean.py"),
+    "RPR701": ("rpr701_fail.py", "rpr701_clean.py"),
+    "RPR702": ("rpr702_fail.py", "rpr702_clean.py"),
+    "RPR703": ("rpr703_fail.py", "rpr703_clean.py"),
+    "RPR704": ("rpr704_fail.py", "rpr704_clean.py"),
 }
 
 #: Findings each failing fixture must produce (exact count).
@@ -68,6 +76,14 @@ EXPECTED_FAIL_COUNTS = {
     "RPR501": 2,   # axis=0 reduction + literal [0] index
     "RPR502": 3,   # for loop + builtin sum + builtin max
     "RPR503": 3,   # float(reduction) + .item() + float(whole array)
+    "RPR601": 2,   # missing snapshot_state + missing total_energy_j twin
+    "RPR602": 2,   # dropped scalar parameter + drifted literal default
+    "RPR603": 2,   # literal lane index + non-lane name index
+    "RPR604": 2,   # shared scalar in lane loop + axis-0 lane fold
+    "RPR701": 2,   # lambda + nested def submitted to the pool
+    "RPR702": 2,   # global rebind + dict store in a worker
+    "RPR703": 2,   # shared module RNG draw + lru_cache on a worker fn
+    "RPR704": 3,   # time.sleep + open() + Path.read_text in async def
 }
 
 

@@ -109,6 +109,43 @@ def test_document_validates_against_the_2_1_0_schema():
             instance=sarif_document(report), schema=schema)
 
 
+def test_pass_four_advisory_and_blocking_levels():
+    """RPR703 is advisory (per-worker caches are a cost, not a bug);
+    the rest of Pass 4 blocks like any other correctness rule."""
+    assert result_level("RPR703") == "note"
+    for rule_id in ("RPR601", "RPR602", "RPR603", "RPR604",
+                    "RPR701", "RPR702", "RPR704"):
+        assert result_level(rule_id) == "warning"
+    doc = sarif_document(_report("rpr703_fail.py", select=["RPR703"]))
+    results = doc["runs"][0]["results"]
+    assert results
+    assert {r["level"] for r in results} == {"note"}
+
+
+def test_pass_four_results_and_descriptors_round_trip():
+    report = _report("rpr601_fail.py", "rpr603_batch_fail.py",
+                     "rpr704_fail.py", select=["RPR6", "RPR7"])
+    doc = sarif_document(report)
+    results = doc["runs"][0]["results"]
+    assert {r["ruleId"] for r in results} == {"RPR601", "RPR603",
+                                              "RPR704"}
+    descriptor_ids = {r["id"] for r in doc["runs"][0]["tool"]
+                      ["driver"]["rules"]}
+    assert descriptor_ids == set(report.rule_ids)
+    assert {"RPR601", "RPR602", "RPR603", "RPR604", "RPR701",
+            "RPR702", "RPR703", "RPR704"} <= descriptor_ids
+
+
+def test_pass_four_documents_validate_against_the_schema():
+    jsonschema = pytest.importorskip("jsonschema")
+    schema = json.loads(
+        (FIXTURES / "sarif-2.1.0.schema.json").read_text())
+    report = _report("rpr601_fail.py", "rpr703_fail.py",
+                     "rpr704_fail.py", select=["RPR6", "RPR7"])
+    assert report.findings
+    jsonschema.validate(instance=sarif_document(report), schema=schema)
+
+
 def test_schema_rejects_malformed_documents():
     """The vendored schema has teeth: missing required members fail."""
     jsonschema = pytest.importorskip("jsonschema")
