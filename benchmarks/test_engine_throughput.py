@@ -26,11 +26,7 @@ to measure without enforcing (e.g. on a loaded machine).
 
 from __future__ import annotations
 
-import hashlib
 import itertools
-import json
-import os
-from pathlib import Path
 from time import perf_counter
 
 from repro.core import make_policy
@@ -42,17 +38,18 @@ from repro.sim.batch import BatchSimulation
 from repro.units import hours
 from repro.workloads import get_workload
 
-BENCH_DIR = Path(__file__).resolve().parent
-RESULT_PATH = BENCH_DIR / "BENCH_engine.json"
-BASELINE_PATH = BENCH_DIR / "BENCH_baseline.json"
+from .gate import (
+    digest,
+    enforce_gate,
+    sizing_payload,
+    write_section,
+)
 
 SCHEME = "HEB-D"
 WORKLOAD = "PR"
 DURATION_H = 2.0
 SEED = 1
 ROUNDS = 5
-#: Fail when throughput drops below this fraction of the recorded baseline.
-GATE_FRACTION = 0.7
 
 # The expected simulation outcome for this exact configuration; any
 # optimization that changes the simulated numbers is a bug, not a win.
@@ -68,46 +65,6 @@ BATCH_DURATION_H = 0.5
 BATCH_ROUNDS = 3
 
 
-def _write_section(section: str, measurement: dict) -> None:
-    """Merge one measurement section into the result file."""
-    results = {}
-    if RESULT_PATH.exists():
-        try:
-            loaded = json.loads(RESULT_PATH.read_text())
-        except ValueError:
-            loaded = {}
-        if isinstance(loaded, dict):
-            results = {key: loaded[key] for key in ("engine", "batch")
-                       if key in loaded}
-    results[section] = measurement
-    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
-
-
-def _baseline_section(section: str) -> dict | None:
-    if not BASELINE_PATH.exists():
-        return None
-    baseline = json.loads(BASELINE_PATH.read_text())
-    return baseline.get(section)
-
-
-def _sizing_payload(setup: ExperimentSetup) -> dict:
-    cluster = setup.cluster()
-    hybrid = setup.hybrid()
-    return {
-        "num_servers": cluster.num_servers,
-        "utility_budget_w": cluster.utility_budget_w,
-        "server_peak_w": cluster.server.peak_power_w,
-        "server_idle_w": cluster.server.idle_power_w,
-        "total_energy_j": hybrid.total_energy_j,
-        "sc_fraction": hybrid.sc_fraction,
-    }
-
-
-def _digest(payload: dict) -> str:
-    canonical = json.dumps(payload, sort_keys=True)
-    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
-
-
 def _config_hash(setup: ExperimentSetup) -> str:
     """Commit-agnostic fingerprint of everything the measurement depends on."""
     payload = {
@@ -116,8 +73,8 @@ def _config_hash(setup: ExperimentSetup) -> str:
         "duration_h": DURATION_H,
         "seed": SEED,
     }
-    payload.update(_sizing_payload(setup))
-    return _digest(payload)
+    payload.update(sizing_payload(setup))
+    return digest(payload)
 
 
 def _batch_config_hash(requests) -> str:
@@ -126,8 +83,8 @@ def _batch_config_hash(requests) -> str:
         "scenarios": [[r.scheme, r.workload, r.setup.seed]
                       for r in requests],
     }
-    payload.update(_sizing_payload(requests[0].setup))
-    return _digest(payload)
+    payload.update(sizing_payload(requests[0].setup))
+    return digest(payload)
 
 
 def _measure() -> dict:
@@ -224,26 +181,9 @@ def _measure_batch() -> tuple[dict, list, list]:
     return measurement, batched, scalar
 
 
-def _enforce_gate(section: str, measurement: dict, metric: str,
-                  unit: str) -> None:
-    if os.environ.get("REPRO_BENCH_SKIP_GATE"):
-        return
-    baseline = _baseline_section(section)
-    if baseline is None:
-        return
-    assert baseline["config_hash"] == measurement["config_hash"], (
-        f"{section} benchmark configuration changed; re-record the "
-        f"'{section}' section of BENCH_baseline.json")
-    floor = baseline[metric] * GATE_FRACTION
-    assert measurement[metric] >= floor, (
-        f"{section} throughput regression: {measurement[metric]:,.0f} "
-        f"{unit} is below {GATE_FRACTION:.0%} of the recorded baseline "
-        f"{baseline[metric]:,.0f} {unit}")
-
-
 def test_engine_throughput():
     measurement = _measure()
-    _write_section("engine", measurement)
+    write_section("engine", measurement)
     print()
     print(f"engine throughput: {measurement['ticks_per_s']:,.0f} ticks/s "
           f"({measurement['ticks']} ticks in {measurement['wall_s']:.3f} s)")
@@ -251,12 +191,12 @@ def test_engine_throughput():
     # Correctness anchor: the timed run must produce the golden numbers.
     assert measurement["energy_efficiency"] == EXPECTED_EFFICIENCY
 
-    _enforce_gate("engine", measurement, "ticks_per_s", "ticks/s")
+    enforce_gate("engine", measurement, "ticks_per_s", "ticks/s")
 
 
 def test_batched_sweep_throughput():
     measurement, batched, scalar = _measure_batch()
-    _write_section("batch", measurement)
+    write_section("batch", measurement)
     print()
     print(f"batched sweep: {measurement['scenarios_per_s']:,.1f} "
           f"scenarios/s ({measurement['scenarios']} scenarios in "
@@ -272,4 +212,4 @@ def test_batched_sweep_throughput():
             f"{request.scheme} x {request.workload} seed "
             f"{request.setup.seed} diverged from the scalar oracle")
 
-    _enforce_gate("batch", measurement, "scenarios_per_s", "scenarios/s")
+    enforce_gate("batch", measurement, "scenarios_per_s", "scenarios/s")

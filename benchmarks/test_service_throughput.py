@@ -1,0 +1,86 @@
+"""Benchmark: scenario-service throughput under concurrent load.
+
+Self-hosts a scenario server on a loopback port and drives it with the
+:mod:`repro.experiments.loadtest` harness: 100 concurrent clients, a
+95%-hot request mix over a warmed spec pool, every submission polled to
+a terminal state.  This is the service's acceptance scenario — the
+measured phase must sustain the client count with a warm-cache hit rate
+above 90% (most submissions answered by the dedup registry or the
+content-addressed cache, not fresh simulation).
+
+The measurement lands as the ``service`` section of
+``benchmarks/BENCH_engine.json`` (requests/s, p50/p99 latency, hit
+rate) and gates against ``BENCH_baseline.json`` exactly like the engine
+and batch sections: configuration changes invalidate the baseline via
+``config_hash``; throughput below 70% of baseline fails;
+``REPRO_BENCH_SKIP_GATE=1`` measures without enforcing.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.loadtest import run_loadtest
+from repro.runner.request import ExperimentSetup
+
+from .gate import digest, enforce_gate, sizing_payload, write_section
+
+CLIENTS = 100
+REQUESTS_PER_CLIENT = 10
+HOT_FRACTION = 0.95
+UNIQUE_SPECS = 12
+DURATION_H = 1.0 / 30.0
+SEED = 1
+#: The acceptance floor on the measured-phase server-side hit rate.
+MIN_WARM_HIT_RATE = 0.90
+
+
+def _config_hash() -> str:
+    payload = {
+        "clients": CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "hot_fraction": HOT_FRACTION,
+        "unique": UNIQUE_SPECS,
+        "duration_h": DURATION_H,
+        "seed": SEED,
+    }
+    payload.update(sizing_payload(ExperimentSetup(duration_h=DURATION_H)))
+    return digest(payload)
+
+
+def test_service_throughput(tmp_path):
+    report = run_loadtest(
+        clients=CLIENTS, requests_per_client=REQUESTS_PER_CLIENT,
+        hot_fraction=HOT_FRACTION, unique=UNIQUE_SPECS,
+        duration_h=DURATION_H, seed=SEED,
+        cache_dir=str(tmp_path / "bench-cache"))
+
+    measurement = {
+        "clients": report.clients,
+        "requests": report.requests,
+        "hot_fraction": HOT_FRACTION,
+        "unique_specs": UNIQUE_SPECS,
+        "duration_h": DURATION_H,
+        "seed": SEED,
+        "wall_s": report.wall_s,
+        "requests_per_s": report.requests_per_s,
+        "p50_ms": report.p50_ms,
+        "p99_ms": report.p99_ms,
+        "warm_hit_rate": report.warm_hit_rate,
+        "executed": report.executed,
+        "rejected_429": report.rejected_429,
+        "config_hash": _config_hash(),
+    }
+    write_section("service", measurement)
+    print()
+    print(f"service throughput: {report.requests_per_s:,.1f} requests/s "
+          f"({report.clients} clients, {report.requests} requests in "
+          f"{report.wall_s:.3f} s; p50 {report.p50_ms:.1f} ms, "
+          f"p99 {report.p99_ms:.1f} ms; "
+          f"warm hit rate {report.warm_hit_rate:.1%})")
+
+    # Acceptance anchors: the full client count completed every request,
+    # nothing failed, and the warm-cache economics held up.
+    assert report.requests == CLIENTS * REQUESTS_PER_CLIENT
+    assert report.failed == 0
+    assert report.warm_hit_rate > MIN_WARM_HIT_RATE
+
+    enforce_gate("service", measurement, "requests_per_s", "requests/s")

@@ -8,6 +8,8 @@ Usage::
     python -m repro run HEB-D PR --hours 2
     python -m repro run HEB-D PR --faults storm.json
     python -m repro resilience --hours 2
+    python -m repro serve --port 8421 --jobs 8
+    python -m repro loadtest --clients 100
     python -m repro cache stats
     python -m repro cache clear
     python -m repro lint src --format json
@@ -157,6 +159,46 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=list(workload_names()))
     _add_runner_arguments(resilience)
 
+    serve = subparsers.add_parser(
+        "serve", help="run the scenario service: an async HTTP API over "
+                      "the content-addressed result cache "
+                      "(see docs/service.md)")
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8421)
+    serve.add_argument("--queue-size", type=int, default=256,
+                       metavar="N",
+                       help="bounded work queue; beyond it submissions "
+                            "get 429 + Retry-After (default 256)")
+    serve.add_argument("--max-group", type=int, default=64, metavar="N",
+                       help="largest burst dispatched as one batched "
+                            "group (default 64)")
+    serve.add_argument("--batch-window", type=float, default=0.005,
+                       metavar="SECONDS",
+                       help="how long the dispatcher lingers so a burst "
+                            "can share one batched tick loop "
+                            "(default 0.005)")
+    _add_runner_arguments(serve)
+
+    loadtest = subparsers.add_parser(
+        "loadtest", help="fire concurrent clients at a scenario service "
+                         "and report throughput / latency / hit rate")
+    loadtest.add_argument("--host", type=str, default=None,
+                          help="target a running service (default: "
+                               "self-host one in-process)")
+    loadtest.add_argument("--port", type=int, default=None)
+    loadtest.add_argument("--clients", type=int, default=100)
+    loadtest.add_argument("--requests", type=int, default=10,
+                          metavar="N", help="requests per client")
+    loadtest.add_argument("--hot-fraction", type=float, default=0.95,
+                          help="probability a request repeats a warmed "
+                               "spec (default 0.95)")
+    loadtest.add_argument("--unique", type=int, default=12,
+                          help="distinct specs in the warmed hot pool")
+    loadtest.add_argument("--hours", type=float, default=1.0 / 30.0,
+                          help="simulated hours per spec (default 2 min)")
+    loadtest.add_argument("--seed", type=int, default=1)
+    _add_runner_arguments(loadtest)
+
     lint = subparsers.add_parser(
         "lint", help="static analysis: unit, determinism, and exception "
                      "invariants (see docs/analysis.md)")
@@ -221,6 +263,33 @@ def _run_single(args) -> str:
     return "\n".join(lines)
 
 
+def _serve(args, runner: ExperimentRunner) -> int:
+    import asyncio
+
+    from .service.server import serve as serve_async
+
+    try:
+        asyncio.run(serve_async(runner, host=args.host, port=args.port,
+                                max_queue=args.queue_size,
+                                max_group=args.max_group,
+                                batch_window_s=args.batch_window))
+    except KeyboardInterrupt:
+        print("shutting down (accepted runs drained)")
+    return 0
+
+
+def _loadtest(args) -> str:
+    from .experiments.loadtest import format_loadtest, run_loadtest
+
+    report = run_loadtest(
+        host=args.host, port=args.port, clients=args.clients,
+        requests_per_client=args.requests,
+        hot_fraction=args.hot_fraction, unique=args.unique,
+        duration_h=args.hours, seed=args.seed, jobs=args.jobs,
+        cache_dir=args.cache)
+    return format_loadtest(report)
+
+
 def _cache_command(args) -> int:
     cache = ResultCache(args.cache)
     if args.cache_command == "clear":
@@ -252,6 +321,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         runner = _build_runner(args)
     except (ConfigurationError, FaultSpecError, OSError) as exc:
         parser.error(str(exc))
+    if args.command == "serve":
+        return _serve(args, runner)
+    if args.command == "loadtest":
+        if (args.host is None) != (args.port is None):
+            parser.error("--host and --port must be given together")
+        print(_loadtest(args))
+        return 0
     with using_runner(runner):
         if args.command == "run":
             print(_run_single(args))

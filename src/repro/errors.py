@@ -88,3 +88,67 @@ class AnalysisError(ReproError):
     source files — usage errors, never findings (those are data, not
     exceptions).
     """
+
+
+class ServiceError(ReproError):
+    """Base class for scenario-service failures (``python -m repro serve``).
+
+    Every subclass maps onto one structured HTTP error: the response body
+    carries ``{"error": {"code": <class name>, "message": ...}}`` so
+    clients can dispatch on the code without parsing prose.
+    """
+
+
+class ProtocolError(ServiceError):
+    """An HTTP exchange violated the service's wire contract.
+
+    Raised for malformed request lines, oversized headers/bodies, and
+    unroutable method/path pairs — transport-level problems, as opposed
+    to :class:`SpecError` which covers a well-transported but invalid
+    run spec.
+    """
+
+
+class SpecError(ServiceError):
+    """A submitted run spec is malformed (not a valid ``RunRequest``).
+
+    Raised for non-JSON bodies, unknown fields, wrong field types, and
+    unknown scheme/workload names — always before anything is enqueued,
+    and always surfaced as a structured HTTP 400.
+    """
+
+
+class QueueFullError(ServiceError):
+    """The service's bounded work queue rejected a new submission.
+
+    Carries ``retry_after_s`` — the server's estimate of when capacity
+    frees up — which the HTTP layer surfaces as a 429 ``Retry-After``
+    header.  An accepted request is never dropped; rejection happens
+    only at submission time.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class UnknownRunError(ServiceError):
+    """A poll/stream referenced a run key this service has never seen."""
+
+
+class RunExecutionError(ServiceError):
+    """An accepted run's execution crashed outside the ReproError contract.
+
+    Wraps pool/pickle/engine failures so the run still reaches a
+    terminal ``failed`` state with a structured code instead of hanging
+    its submitters; the original failure is preserved in the message.
+    """
+
+
+class ServiceShutdownError(ServiceError):
+    """The service is shutting down and no longer accepts submissions.
+
+    Also the terminal error recorded on queued runs aborted by a
+    non-draining shutdown: every accepted run either completes or
+    faults with this code — none silently disappear.
+    """

@@ -23,6 +23,11 @@ from .fig12_schemes import run_fig12, format_fig12
 from .fig13_ratio import run_fig13, format_fig13
 from .fig14_capacity import run_fig14, format_fig14
 from .fig15_tco import run_fig15, format_fig15
+from .loadtest import (
+    LoadTestReport,
+    format_loadtest,
+    run_loadtest,
+)
 from .resilience import (
     fault_schedule_for,
     format_resilience,
@@ -46,4 +51,5 @@ __all__ = [
     "run_fig14", "format_fig14",
     "run_fig15", "format_fig15",
     "run_resilience", "format_resilience", "fault_schedule_for",
+    "LoadTestReport", "run_loadtest", "format_loadtest",
 ]

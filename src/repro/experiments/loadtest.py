@@ -1,0 +1,266 @@
+"""Load-test harness for the scenario service.
+
+Drives N concurrent asyncio clients against a running (or self-hosted)
+service with a mixed hot/cold request distribution — the bursty,
+repetition-heavy shape real deployments see, where most submissions
+should be answered by the content-addressed cache and only genuinely
+new scenarios cost a simulation.
+
+Phases:
+
+1. **Warm** — every spec in the hot pool is submitted once and run to
+   completion, so the measured phase's "hot" draws are honest cache
+   economics, not first-run simulation cost.
+2. **Measured** — each of ``clients`` concurrent clients issues
+   ``requests_per_client`` submissions; a draw is *hot* (uniform over
+   the warmed pool) with probability ``hot_fraction``, otherwise *cold*
+   (a fresh, never-seen seed).  Every submission is polled to a
+   terminal state; 429 rejections are honoured via ``Retry-After`` and
+   retried.
+
+The report's ``warm_hit_rate`` comes from the service's own ``/stats``
+delta across the measured phase (registry + cache + coalesced hits over
+submissions), so it counts exactly what the server did, not what the
+clients believe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ProtocolError
+from ..runner import ExperimentRunner, ExperimentSetup, ResultCache, \
+    RunRequest
+from ..service import ScenarioServer, ScenarioService, ServiceClient, \
+    request_to_spec
+
+#: Workloads the spec pool cycles through (mirrors the batch benchmark).
+POOL_WORKLOADS = ("PR", "WC", "DA", "WS", "MS", "DFS", "HB", "TS")
+#: Seed space reserved for cold (never-repeated) draws.
+COLD_SEED_BASE = 100_000
+
+
+@dataclass(frozen=True)
+class LoadTestReport:
+    """What one load-test run measured.
+
+    Attributes:
+        clients: Concurrent client connections sustained.
+        requests: Submissions completed to a terminal state.
+        rejected_429: Backpressure rejections absorbed (and retried).
+        failed: Submissions whose run ended ``failed``.
+        wall_s: Measured-phase wall time.
+        requests_per_s: ``requests / wall_s``.
+        p50_ms / p99_ms: Submit-to-terminal latency percentiles.
+        warm_hit_rate: Server-side fraction of measured-phase
+            submissions answered without a new simulation.
+        executed: Simulations actually run during the measured phase.
+        stats: Final ``/stats`` snapshot of the service.
+    """
+
+    clients: int
+    requests: int
+    rejected_429: int
+    failed: int
+    wall_s: float
+    requests_per_s: float
+    p50_ms: float
+    p99_ms: float
+    warm_hit_rate: float
+    executed: int
+    stats: Dict[str, Any]
+
+
+def build_spec_pool(unique: int, duration_h: float,
+                    scheme: str = "HEB-D") -> List[Dict[str, Any]]:
+    """The hot pool: ``unique`` distinct, tiny, batch-compatible specs."""
+    specs = []
+    for index in range(unique):
+        request = RunRequest(
+            scheme=scheme,
+            workload=POOL_WORKLOADS[index % len(POOL_WORKLOADS)],
+            setup=ExperimentSetup(duration_h=duration_h,
+                                  seed=1 + index // len(POOL_WORKLOADS)))
+        specs.append(request_to_spec(request))
+    return specs
+
+
+def _cold_spec(draw_index: int, duration_h: float,
+               scheme: str = "HEB-D") -> Dict[str, Any]:
+    """A spec no other draw ever repeats (a guaranteed first sight)."""
+    request = RunRequest(
+        scheme=scheme,
+        workload=POOL_WORKLOADS[draw_index % len(POOL_WORKLOADS)],
+        setup=ExperimentSetup(duration_h=duration_h,
+                              seed=COLD_SEED_BASE + draw_index))
+    return request_to_spec(request)
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(fraction * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+async def _client_worker(host: str, port: int,
+                         specs: Sequence[Dict[str, Any]],
+                         latencies_ms: List[float],
+                         counters: Dict[str, int]) -> None:
+    client = ServiceClient(host, port)
+    try:
+        for spec in specs:
+            start_s = perf_counter()
+            snapshot, rejections = await client.submit_and_wait(spec)
+            latencies_ms.append((perf_counter() - start_s) * 1e3)
+            counters["rejected"] += rejections
+            if snapshot["status"] == "failed":
+                counters["failed"] += 1
+    finally:
+        await client.close()
+
+
+async def run_loadtest_async(host: str, port: int, clients: int = 100,
+                             requests_per_client: int = 10,
+                             hot_fraction: float = 0.95,
+                             unique: int = 12,
+                             duration_h: float = 1.0 / 30.0,
+                             seed: int = 1) -> LoadTestReport:
+    """Drive a running service; see the module docstring for phases."""
+    rng = random.Random(seed)
+    pool = build_spec_pool(unique, duration_h)
+
+    # Warm phase: pay every hot spec's one simulation up front.
+    warm_client = ServiceClient(host, port)
+    try:
+        for spec in pool:
+            await warm_client.submit_and_wait(spec)
+        stats_before = await warm_client.stats()
+    finally:
+        await warm_client.close()
+
+    # Deal each client its request sequence ahead of time so the
+    # measured phase is pure traffic.
+    cold_draws = 0
+    plans: List[List[Dict[str, Any]]] = []
+    for _ in range(clients):
+        plan = []
+        for _ in range(requests_per_client):
+            if rng.random() < hot_fraction:
+                plan.append(pool[rng.randrange(len(pool))])
+            else:
+                plan.append(_cold_spec(cold_draws, duration_h))
+                cold_draws += 1
+        plans.append(plan)
+
+    latencies_ms: List[float] = []
+    counters = {"rejected": 0, "failed": 0}
+    start_s = perf_counter()
+    await asyncio.gather(*(
+        _client_worker(host, port, plan, latencies_ms, counters)
+        for plan in plans))
+    wall_s = perf_counter() - start_s
+
+    tail_client = ServiceClient(host, port)
+    try:
+        stats_after = await tail_client.stats()
+    finally:
+        await tail_client.close()
+
+    submissions = stats_after["submissions"] - stats_before["submissions"]
+    hits = stats_after["hits"] - stats_before["hits"]
+    executed = stats_after["executed"] - stats_before["executed"]
+    latencies_ms.sort()
+    requests = len(latencies_ms)
+    return LoadTestReport(
+        clients=clients,
+        requests=requests,
+        rejected_429=counters["rejected"],
+        failed=counters["failed"],
+        wall_s=round(wall_s, 6),
+        requests_per_s=round(requests / wall_s, 2) if wall_s else 0.0,
+        p50_ms=round(_percentile(latencies_ms, 0.50), 3),
+        p99_ms=round(_percentile(latencies_ms, 0.99), 3),
+        warm_hit_rate=(round(hits / submissions, 4) if submissions
+                       else 0.0),
+        executed=executed,
+        stats=stats_after,
+    )
+
+
+async def _self_hosted(clients: int, requests_per_client: int,
+                       hot_fraction: float, unique: int,
+                       duration_h: float, seed: int,
+                       jobs: Optional[int], cache_dir: Optional[str],
+                       max_queue: int) -> LoadTestReport:
+    cache = ResultCache(cache_dir) if cache_dir is not None else \
+        ResultCache()
+    runner = ExperimentRunner(jobs=jobs, cache=cache)
+    service = ScenarioService(runner, max_queue=max_queue)
+    server = ScenarioServer(service, host="127.0.0.1", port=0)
+    await server.start()
+    try:
+        return await run_loadtest_async(
+            server.host, server.port, clients=clients,
+            requests_per_client=requests_per_client,
+            hot_fraction=hot_fraction, unique=unique,
+            duration_h=duration_h, seed=seed)
+    finally:
+        await server.close(drain=True)
+
+
+def run_loadtest(host: Optional[str] = None, port: Optional[int] = None,
+                 clients: int = 100, requests_per_client: int = 10,
+                 hot_fraction: float = 0.95, unique: int = 12,
+                 duration_h: float = 1.0 / 30.0, seed: int = 1,
+                 jobs: Optional[int] = None,
+                 cache_dir: Optional[str] = None,
+                 max_queue: int = 256) -> LoadTestReport:
+    """Synchronous entry point: target a live server or self-host one.
+
+    With ``host``/``port`` the load test targets a running service;
+    without them it spins a server on a loopback port in-process (its
+    runner uses ``jobs``/``cache_dir``/``max_queue``) and tears it down
+    afterwards.
+    """
+    if (host is None) != (port is None):
+        raise ProtocolError("pass both host and port, or neither")
+    if host is not None and port is not None:
+        return asyncio.run(run_loadtest_async(
+            host, port, clients=clients,
+            requests_per_client=requests_per_client,
+            hot_fraction=hot_fraction, unique=unique,
+            duration_h=duration_h, seed=seed))
+    return asyncio.run(_self_hosted(
+        clients, requests_per_client, hot_fraction, unique,
+        duration_h, seed, jobs, cache_dir, max_queue))
+
+
+def format_loadtest(report: LoadTestReport) -> str:
+    """Paper-style summary block for the CLI."""
+    lines = [
+        f"service load test: {report.clients} concurrent clients, "
+        f"{report.requests} requests in {report.wall_s:.3f} s",
+        f"  throughput     : {report.requests_per_s:,.1f} requests/s",
+        f"  latency        : p50 {report.p50_ms:.1f} ms, "
+        f"p99 {report.p99_ms:.1f} ms",
+        f"  warm hit rate  : {report.warm_hit_rate:.1%}",
+        f"  simulations    : {report.executed} executed, "
+        f"{report.failed} failed",
+        f"  backpressure   : {report.rejected_429} x 429 absorbed",
+    ]
+    return "\n".join(lines)
+
+
+__all__ = [
+    "LoadTestReport",
+    "build_spec_pool",
+    "format_loadtest",
+    "run_loadtest",
+    "run_loadtest_async",
+]

@@ -18,6 +18,14 @@ loops:
 
 Because batched results are exactly equal to scalar results per
 scenario, cache entries written by either path are interchangeable.
+
+Duplicate keys never reach :func:`plan_units`: the runner claims cache
+misses per key before planning (see :meth:`ExperimentRunner.map`), so a
+group cannot contain two lanes of the same request racing to write one
+cache entry.  ``plan_units`` itself is deliberately duplicate-tolerant —
+two identical requests would simply occupy two lanes and produce two
+identical results — so callers that bypass the runner stay correct,
+just not deduplicated.
 """
 
 from __future__ import annotations

@@ -17,7 +17,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
-from typing import Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..errors import ConfigurationError
 from ..sim import RunResult
@@ -46,6 +46,9 @@ class ExperimentRunner:
             also count every request executed with caching disabled).
         batched: Requests executed via a batched group (a subset of
             ``misses``).
+        coalesced: Duplicate cache-missing requests within one
+            :meth:`map` call that shared another miss's execution
+            instead of running again (see the dedup note on ``map``).
     """
 
     def __init__(self, jobs: Optional[int] = None,
@@ -59,6 +62,7 @@ class ExperimentRunner:
         self.hits = 0
         self.misses = 0
         self.batched = 0
+        self.coalesced = 0
 
     @property
     def effective_jobs(self) -> int:
@@ -69,11 +73,26 @@ class ExperimentRunner:
         return self.map([request])[0]
 
     def map(self, requests: Sequence[RunRequest]) -> List[RunResult]:
-        """Execute a batch; results align with ``requests`` by index."""
+        """Execute a batch; results align with ``requests`` by index.
+
+        Identical requests in one batch execute **once**: the cache
+        check and the execution decision used to be a check-then-act
+        window — two misses on the same key both executed (and both
+        wrote the cache) because neither could see the other.  Misses
+        are now claimed by key: the first occurrence executes, later
+        occurrences share its result (counted in ``coalesced``).  Two
+        *separate* ``map`` calls racing on one key in different
+        processes can still both execute — that window is benign
+        (atomic cache writes, bit-identical bytes, last writer wins)
+        and is closed in-process by the scenario service's in-flight
+        registry (:mod:`repro.service.queue`).
+        """
         requests = list(requests)
         results: List[Optional[RunResult]] = [None] * len(requests)
         keys: List[Optional[str]] = [None] * len(requests)
         miss_indices: List[int] = []
+        claimed: Dict[str, int] = {}
+        followers: Dict[int, List[int]] = {}
 
         if self.cache is not None:
             for index, request in enumerate(requests):
@@ -83,9 +102,15 @@ class ExperimentRunner:
                 if cached is not None:
                     results[index] = cached
                     self.hits += 1
-                else:
+                    continue
+                leader = claimed.get(key)
+                if leader is None:
+                    claimed[key] = index
                     miss_indices.append(index)
                     self.misses += 1
+                else:
+                    followers.setdefault(leader, []).append(index)
+                    self.coalesced += 1
         else:
             miss_indices = list(range(len(requests)))
             self.misses += len(requests)
@@ -118,6 +143,8 @@ class ExperimentRunner:
                 results[index] = result
                 if self.cache is not None:
                     self.cache.put(keys[index], result)
+                for duplicate in followers.get(index, ()):
+                    results[duplicate] = result
 
         return results  # type: ignore[return-value]
 

@@ -1,0 +1,56 @@
+"""Scenario-as-a-service: a long-running async API over the run cache.
+
+The experiment runner already gives every simulation a content address
+(:func:`~repro.runner.cache_key`), a portable JSON result, and batched
+process-pool execution; this package puts an asyncio HTTP server in
+front of those so a fleet of clients can share one simulator:
+
+* **Dedup** — concurrent identical submissions coalesce onto one
+  in-flight execution; completed results answer from memory or the
+  on-disk cache.  A million identical requests cost one simulation.
+* **Backpressure** — a bounded work queue; a full queue answers 429
+  with ``Retry-After`` instead of accepting work it cannot promise.
+* **Batching** — queued compatible requests ride one vectorized
+  :class:`~repro.sim.batch.BatchSimulation` tick loop, exactly like
+  CLI sweeps.
+* **Graceful shutdown** — every accepted run reaches a terminal state.
+
+Named ``service`` (not ``server``) because :mod:`repro.server` models
+the *simulated* datacenter servers; this package serves HTTP.
+
+Start one with ``python -m repro serve``; load-test it with
+``python -m repro loadtest``.  See ``docs/service.md``.
+"""
+
+from .client import ServiceClient
+from .metrics import ServiceMetrics
+from .protocol import (
+    error_payload,
+    request_from_spec,
+    request_to_spec,
+)
+from .queue import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    RunEntry,
+    ScenarioService,
+)
+from .server import ScenarioServer, serve
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "RunEntry",
+    "ScenarioServer",
+    "ScenarioService",
+    "ServiceClient",
+    "ServiceMetrics",
+    "error_payload",
+    "request_from_spec",
+    "request_to_spec",
+    "serve",
+]

@@ -1,0 +1,211 @@
+"""A minimal asyncio client for the scenario service.
+
+Stdlib-only (``urllib``/``http.client`` are synchronous and would block
+the event loop), speaking exactly the subset of HTTP/1.1 the server
+emits: JSON bodies with ``Content-Length``, keep-alive connections, and
+chunked transfer encoding for the progress stream.  The load-test
+harness drives hundreds of these concurrently; each client owns one
+connection and reconnects transparently if the server closed it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator, Dict, List, Optional, Tuple
+
+from ..errors import ProtocolError
+
+#: (status code, headers, parsed JSON body or None)
+Response = Tuple[int, Dict[str, str], Optional[Any]]
+
+
+class ServiceClient:
+    """One keep-alive connection to a scenario server."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    # ------------------------------------------------------------------
+    # One HTTP exchange
+    # ------------------------------------------------------------------
+
+    async def request(self, method: str, path: str,
+                      payload: Optional[Any] = None) -> Response:
+        """Send one request; reconnects once if keep-alive lapsed."""
+        try:
+            return await self._exchange(method, path, payload)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            await self.close()
+            await self._connect()
+            return await self._exchange(method, path, payload)
+
+    async def _exchange(self, method: str, path: str,
+                        payload: Optional[Any]) -> Response:
+        if self._writer is None:
+            await self._connect()
+        assert self._reader is not None and self._writer is not None
+        body = (json.dumps(payload).encode("utf-8")
+                if payload is not None else b"")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        ).encode("latin-1")
+        self._writer.write(head + body)
+        await self._writer.drain()
+        status, headers = await self._read_head()
+        parsed = await self._read_body(headers)
+        if headers.get("connection") == "close":
+            await self.close()
+        return status, headers, parsed
+
+    async def _read_head(self) -> Tuple[int, Dict[str, str]]:
+        assert self._reader is not None
+        status_line = await self._reader.readline()
+        if not status_line:
+            # ConnectionError on purpose: it is the signal request()'s
+            # reconnect path catches for a lapsed keep-alive connection.
+            raise ConnectionError(  # repro: noqa[RPR302]
+                "server closed the connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise ProtocolError(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await self._reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip().lower()
+        return status, headers
+
+    async def _read_body(self, headers: Dict[str, str]) -> Optional[Any]:
+        assert self._reader is not None
+        if headers.get("transfer-encoding") == "chunked":
+            raw = b"".join([chunk async for chunk in self._chunks()])
+        else:
+            length = int(headers.get("content-length", "0"))
+            raw = (await self._reader.readexactly(length)
+                   if length else b"")
+        if not raw:
+            return None
+        return json.loads(raw.decode("utf-8"))
+
+    async def _chunks(self) -> AsyncIterator[bytes]:
+        assert self._reader is not None
+        while True:
+            size_line = await self._reader.readline()
+            size = int(size_line.strip() or b"0", 16)
+            if size == 0:
+                await self._reader.readline()  # trailing CRLF
+                return
+            chunk = await self._reader.readexactly(size)
+            await self._reader.readexactly(2)  # chunk CRLF
+            yield chunk
+
+    # ------------------------------------------------------------------
+    # Endpoint helpers
+    # ------------------------------------------------------------------
+
+    async def submit(self, spec: Dict[str, Any]) -> Response:
+        """``POST /runs`` — returns the raw (status, headers, body)."""
+        return await self.request("POST", "/runs", spec)
+
+    async def poll(self, key: str) -> Response:
+        """``GET /runs/{key}``."""
+        return await self.request("GET", f"/runs/{key}")
+
+    async def stats(self) -> Dict[str, Any]:
+        """``GET /stats`` (raises on a non-200)."""
+        status, _, body = await self.request("GET", "/stats")
+        if status != 200 or not isinstance(body, dict):
+            raise ProtocolError(f"GET /stats returned {status}")
+        return body
+
+    async def stream(self, key: str) -> List[Dict[str, Any]]:
+        """``GET /runs/{key}/stream`` — all progress lines, in order.
+
+        The server closes a streamed connection when the run reaches a
+        terminal state, so this returns the full status history ending
+        in ``done``/``failed``.
+        """
+        if self._writer is None:
+            await self._connect()
+        assert self._reader is not None and self._writer is not None
+        head = (
+            f"GET /runs/{key}/stream HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        ).encode("latin-1")
+        self._writer.write(head)
+        await self._writer.drain()
+        status, headers = await self._read_head()
+        if headers.get("transfer-encoding") != "chunked":
+            body = await self._read_body(headers)
+            await self.close()
+            if status == 200:  # pragma: no cover - server always chunks
+                raise ProtocolError("stream response was not chunked")
+            raise ProtocolError(
+                f"stream for {key!r} returned {status}: {body}")
+        text = b"".join([chunk async for chunk in self._chunks()])
+        await self.close()  # server sent Connection: close
+        return [json.loads(line) for line in
+                text.decode("utf-8").splitlines() if line]
+
+    async def submit_and_wait(self, spec: Dict[str, Any],
+                              poll_interval_s: float = 0.002,
+                              max_retries: int = 200,
+                              ) -> Tuple[Dict[str, Any], int]:
+        """Submit, honouring 429 backpressure, then poll to a terminal state.
+
+        Returns ``(final snapshot, rejections)`` where ``rejections``
+        counts 429 responses absorbed along the way.  Raises
+        :class:`ProtocolError` when the submission keeps being rejected
+        or answers with an error status.
+        """
+        rejections = 0
+        for _ in range(max_retries):
+            status, headers, body = await self.submit(spec)
+            if status in (200, 202):
+                assert isinstance(body, dict)
+                key = body["key"]
+                break
+            if status == 429:
+                rejections += 1
+                retry_s = float(headers.get("retry-after", "1"))
+                await asyncio.sleep(min(retry_s, poll_interval_s * 10))
+                continue
+            raise ProtocolError(f"submission failed with {status}: {body}")
+        else:
+            raise ProtocolError(
+                f"submission rejected {rejections} times; giving up")
+        while True:
+            status, _, body = await self.poll(key)
+            if status != 200 or not isinstance(body, dict):
+                raise ProtocolError(f"poll of {key!r} returned {status}")
+            if body["status"] in ("done", "failed"):
+                return body, rejections
+            await asyncio.sleep(poll_interval_s)
+
+
+__all__ = ["Response", "ServiceClient"]

@@ -1,0 +1,94 @@
+"""Service counters: what the scenario service did since it started.
+
+All counters are plain ints mutated only from the server's single event
+loop (submission bookkeeping) or from the dispatch coroutine between
+``await`` points, so no locking is needed — asyncio interleaves tasks
+only at awaits, never mid-statement.  The dispatch *executor* threads
+never touch these; they hand results back through futures the loop
+consumes.
+
+``hit_rate`` is the headline economics number of the service: the
+fraction of submissions that cost zero simulation because the result
+already existed (completed registry entry, on-disk cache entry, or an
+identical in-flight run they coalesced onto).  A million identical
+requests should push it asymptotically to 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass
+class ServiceMetrics:
+    """Monotonic counters plus instantaneous gauges.
+
+    Attributes:
+        submissions: Every ``POST /runs`` that parsed to a valid request.
+        accepted: Submissions that created a new queued run.
+        registry_hits: Submissions answered by a completed in-memory run.
+        cache_hits: Submissions answered by the on-disk result cache.
+        coalesced: Submissions that attached to an identical queued or
+            in-flight run (the dedup path: K submitters, one execution).
+        rejected: Submissions refused with 429 because the queue was full.
+        executed: Runs actually simulated (dispatched and completed).
+        failed: Runs that ended in a fault (execution error or aborted
+            by a non-draining shutdown).
+        streamed: Progress streams opened.
+        in_flight: Runs currently executing (gauge).
+        queue_depth: Runs accepted but not yet dispatched (gauge).
+    """
+
+    submissions: int = 0
+    accepted: int = 0
+    registry_hits: int = 0
+    cache_hits: int = 0
+    coalesced: int = 0
+    rejected: int = 0
+    executed: int = 0
+    failed: int = 0
+    streamed: int = 0
+    in_flight: int = 0
+    queue_depth: int = 0
+    #: Exponential moving average of per-run execution wall time; feeds
+    #: the 429 ``Retry-After`` estimate.
+    avg_run_wall_s: float = field(default=0.0, repr=False)
+
+    @property
+    def hits(self) -> int:
+        """Submissions that cost zero new simulation."""
+        return self.registry_hits + self.cache_hits + self.coalesced
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / submissions`` (0.0 before any submission)."""
+        if self.submissions == 0:
+            return 0.0
+        return self.hits / self.submissions
+
+    def observe_run_wall_s(self, wall_s: float, alpha: float = 0.3) -> None:
+        """Fold one per-run wall-time sample into the moving average."""
+        if self.avg_run_wall_s == 0.0:
+            self.avg_run_wall_s = wall_s
+        else:
+            self.avg_run_wall_s += alpha * (wall_s - self.avg_run_wall_s)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-compatible view served by ``GET /stats``."""
+        return {
+            "submissions": self.submissions,
+            "accepted": self.accepted,
+            "registry_hits": self.registry_hits,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "executed": self.executed,
+            "failed": self.failed,
+            "streamed": self.streamed,
+            "in_flight": self.in_flight,
+            "queue_depth": self.queue_depth,
+            "hits": self.hits,
+            "hit_rate": self.hit_rate,
+            "avg_run_wall_s": self.avg_run_wall_s,
+        }

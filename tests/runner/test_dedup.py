@@ -1,0 +1,79 @@
+"""Regression: duplicate misses inside one ``map`` call execute once.
+
+The cache probe and the execution decision used to be a check-then-act
+window — a batch containing the same request twice saw two misses on
+one key and executed (and cache-wrote) both.  The runner now claims
+misses by key: the first occurrence executes, later occurrences share
+its result and count in ``coalesced``.
+"""
+
+import pytest
+
+from repro.runner import (
+    ExperimentRunner,
+    ExperimentSetup,
+    ResultCache,
+    RunRequest,
+    execute_request,
+)
+
+TINY = ExperimentSetup(duration_h=1.0 / 60.0, seed=4)
+REQ_A = RunRequest("BaOnly", "TS", setup=TINY)
+REQ_B = RunRequest("SCFirst", "TS", setup=TINY)
+
+
+class TestDuplicateMissesInOneCall:
+    def test_duplicates_claim_one_execution(self, tmp_path,
+                                            monkeypatch):
+        from repro.runner.batch import execute_unit as real_execute_unit
+
+        executed = []
+
+        def counting(unit):
+            executed.extend(unit[1])
+            return real_execute_unit(unit)
+
+        # Every in-process execution (scalar or batched group) funnels
+        # through execute_unit when jobs=1; count what actually ran.
+        monkeypatch.setattr("repro.runner.runner.execute_unit", counting)
+        runner = ExperimentRunner(jobs=1, cache=ResultCache(tmp_path))
+        results = runner.map([REQ_A, REQ_A, REQ_B, REQ_A])
+        assert sorted(set((r.scheme, r.workload) for r in executed)) \
+            == [("BaOnly", "TS"), ("SCFirst", "TS")]
+        assert len(executed) == 2
+        assert runner.misses == 2
+        assert runner.coalesced == 2
+        assert runner.hits == 0
+        assert results[0].to_dict() == results[1].to_dict() \
+            == results[3].to_dict()
+        assert results[1] is results[0]  # shared, not re-simulated
+
+    def test_followers_hit_warm_cache_next_call(self, tmp_path):
+        runner = ExperimentRunner(jobs=1, cache=ResultCache(tmp_path))
+        runner.map([REQ_A, REQ_A])
+        assert (runner.misses, runner.coalesced) == (1, 1)
+        warm = ExperimentRunner(jobs=1, cache=ResultCache(tmp_path))
+        warm.map([REQ_A, REQ_A])
+        assert (warm.hits, warm.misses, warm.coalesced) == (2, 0, 0)
+
+    def test_duplicate_results_are_bit_exact_with_serial_run(
+            self, tmp_path):
+        runner = ExperimentRunner(jobs=1, cache=ResultCache(tmp_path))
+        deduped = runner.map([REQ_A, REQ_A])[1]
+        assert deduped.to_dict() == execute_request(REQ_A).to_dict()
+
+    @pytest.mark.parametrize("batch", [True, False])
+    def test_claiming_works_on_both_engine_paths(self, tmp_path, batch):
+        runner = ExperimentRunner(jobs=1, batch=batch,
+                                  cache=ResultCache(tmp_path))
+        results = runner.map([REQ_B, REQ_B, REQ_B])
+        assert runner.misses == 1 and runner.coalesced == 2
+        assert results[0].to_dict() == results[2].to_dict()
+
+    def test_cacheless_runner_still_answers_every_index(self):
+        # Without a cache there are no keys to claim; duplicates run
+        # independently but every index gets a result.
+        runner = ExperimentRunner(jobs=1)
+        results = runner.map([REQ_A, REQ_A])
+        assert runner.misses == 2 and runner.coalesced == 0
+        assert results[0].to_dict() == results[1].to_dict()

@@ -1,0 +1,137 @@
+"""Dedup invariant: one execution per cache key, ever.
+
+The headline contract of the scenario service — K concurrent identical
+submissions cost exactly one simulation and every submitter gets the
+same (bit-identical) result — exercised at the service layer with a
+gated executor (so the interleavings are forced, not lucky) and at the
+HTTP layer against the real runner.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner import cache_key
+from repro.service import DONE, RUNNING, ServiceClient
+from repro.sim.results import result_to_dict
+
+from .conftest import (
+    GatedExecutor,
+    make_service,
+    run_async,
+    start_server,
+    tiny_request,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(k=st.integers(min_value=1, max_value=8))
+def test_concurrent_identical_submissions_execute_once(k, tiny_result):
+    """K submissions of one spec -> one entry, one execution, K shares."""
+
+    async def scenario():
+        executor = GatedExecutor(tiny_result)
+        service = make_service(run_batch=executor, max_group=8)
+        service.start()
+        executor.hold()  # nothing may execute until the burst is in
+        try:
+            entries = [service.submit(tiny_request())[0]
+                       for _ in range(k)]
+            assert len({id(entry) for entry in entries}) == 1
+            entry = entries[0]
+            assert entry.submissions == k
+            assert service.metrics.accepted == 1
+            assert service.metrics.coalesced == k - 1
+        finally:
+            executor.release()
+        await asyncio.wait_for(entry.done.wait(), timeout=10.0)
+        assert entry.status == DONE
+        assert executor.executions == 1
+        expected = result_to_dict(tiny_result)
+        for submitted in entries:
+            assert result_to_dict(submitted.result) == expected
+        await service.shutdown()
+
+    run_async(scenario())
+
+
+def test_submission_coalesces_onto_running_entry(tiny_result):
+    """A duplicate arriving *while the run executes* still coalesces.
+
+    This is the forced check-then-act interleaving: the first submission
+    has already been popped off the queue and is blocked inside the
+    executor when the duplicates arrive.
+    """
+
+    async def scenario():
+        executor = GatedExecutor(tiny_result)
+        service = make_service(run_batch=executor, max_group=1)
+        service.start()
+        executor.hold()
+        first, created = service.submit(tiny_request())
+        assert created
+        while not executor.started.is_set():  # dispatched and in-flight
+            await asyncio.sleep(0.001)
+        assert first.status == RUNNING
+        duplicate, created = service.submit(tiny_request())
+        assert duplicate is first and not created
+        assert service.metrics.coalesced == 1
+        executor.release()
+        await asyncio.wait_for(first.done.wait(), timeout=10.0)
+        assert executor.executions == 1
+        assert first.submissions == 2
+        await service.shutdown()
+
+    run_async(scenario())
+
+
+def test_terminal_entry_answers_from_registry(tiny_result):
+    async def scenario():
+        executor = GatedExecutor(tiny_result)
+        service = make_service(run_batch=executor)
+        service.start()
+        entry, created = service.submit(tiny_request())
+        assert created
+        await asyncio.wait_for(entry.done.wait(), timeout=10.0)
+        again, created = service.submit(tiny_request())
+        assert again is entry and not created
+        assert service.metrics.registry_hits == 1
+        assert executor.executions == 1
+        await service.shutdown()
+
+    run_async(scenario())
+
+
+def test_http_concurrent_clients_share_one_simulation():
+    """End to end: many clients, one spec, one runner miss."""
+
+    async def scenario():
+        service = make_service()  # real runner.map, cacheless, serial
+        server = await start_server(service)
+        spec = {"scheme": "BaOnly", "workload": "WS",
+                "setup": {"duration_h": 1.0 / 60.0, "seed": 5}}
+        clients = [ServiceClient(server.host, server.port)
+                   for _ in range(8)]
+        try:
+            outcomes = await asyncio.gather(*(
+                client.submit_and_wait(spec) for client in clients))
+        finally:
+            for client in clients:
+                await client.close()
+        snapshots = [snapshot for snapshot, _ in outcomes]
+        assert {snapshot["status"] for snapshot in snapshots} == {"done"}
+        results = [snapshot["result"] for snapshot in snapshots]
+        assert all(result == results[0] for result in results)
+        keys = {snapshot["key"] for snapshot in snapshots}
+        assert keys == {cache_key(tiny_request(
+            seed=5, workload="WS", scheme="BaOnly"))}
+        assert service.runner.misses == 1
+        assert service.metrics.executed == 1
+        assert (service.metrics.coalesced
+                + service.metrics.registry_hits) == 7
+        await server.close()
+
+    run_async(scenario())

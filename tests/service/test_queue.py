@@ -1,0 +1,146 @@
+"""Backpressure invariant: bounded queue, 429 beyond it, no drops.
+
+A submission that would exceed ``max_queue`` is rejected *at submission
+time* with a retry hint; every submission that was accepted reaches a
+terminal state once capacity frees up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import QueueFullError
+from repro.runner import cache_key
+from repro.service import DONE, ServiceClient
+
+from .conftest import (
+    GatedExecutor,
+    make_service,
+    run_async,
+    start_server,
+    tiny_request,
+)
+
+
+def test_queue_full_rejects_but_never_drops_accepted(tiny_result):
+    async def scenario():
+        executor = GatedExecutor(tiny_result)
+        service = make_service(run_batch=executor, max_queue=2,
+                               max_group=1)
+        service.start()
+        executor.hold()
+        first, _ = service.submit(tiny_request(seed=10))
+        while not executor.started.is_set():  # first is now in-flight
+            await asyncio.sleep(0.001)
+        second, _ = service.submit(tiny_request(seed=11))
+        third, _ = service.submit(tiny_request(seed=12))
+        with pytest.raises(QueueFullError) as rejection:
+            service.submit(tiny_request(seed=13))
+        assert rejection.value.retry_after_s > 0.0
+        assert service.metrics.rejected == 1
+
+        # A duplicate of queued work coalesces even at capacity: it
+        # costs no queue slot, so it must not be rejected.
+        duplicate, created = service.submit(tiny_request(seed=11))
+        assert duplicate is second and not created
+
+        executor.release()
+        for entry in (first, second, third):
+            await asyncio.wait_for(entry.done.wait(), timeout=10.0)
+            assert entry.status == DONE
+        assert executor.executions == 3
+        await service.shutdown()
+
+    run_async(scenario())
+
+
+def test_rejected_submission_leaves_no_registry_trace(tiny_result):
+    """A 429'd submission is as if it never happened: no entry, no
+    queue slot, and a later retry can succeed."""
+
+    async def scenario():
+        executor = GatedExecutor(tiny_result)
+        service = make_service(run_batch=executor, max_queue=1,
+                               max_group=1)
+        service.start()
+        executor.hold()
+        service.submit(tiny_request(seed=20))
+        while not executor.started.is_set():
+            await asyncio.sleep(0.001)
+        service.submit(tiny_request(seed=21))  # fills the queue
+        rejected_request = tiny_request(seed=22)
+        with pytest.raises(QueueFullError):
+            service.submit(rejected_request)
+        assert service.get(cache_key(rejected_request)) is None
+
+        executor.release()
+        retried, created = None, False
+        for _ in range(1000):
+            if service.stats()["queue_depth"] < service.max_queue:
+                retried, created = service.submit(rejected_request)
+                break
+            await asyncio.sleep(0.002)
+        assert retried is not None and created
+        await asyncio.wait_for(retried.done.wait(), timeout=10.0)
+        assert retried.status == DONE
+        await service.shutdown()
+
+    run_async(scenario())
+
+
+def test_retry_after_estimate_scales_with_observations(tiny_result):
+    async def scenario():
+        executor = GatedExecutor(tiny_result)
+        service = make_service(run_batch=executor, max_queue=4)
+        service.start()
+        assert service.retry_after_s() == 1.0  # cold default
+        service.metrics.observe_run_wall_s(2.0)
+        executor.hold()
+        service.submit(tiny_request(seed=30))
+        service.submit(tiny_request(seed=31))
+        hint = service.retry_after_s()
+        assert 0.1 <= hint <= 60.0
+        assert hint >= 2.0  # two pending runs at ~2 s each, one job
+        executor.release()
+        await service.shutdown()
+
+    run_async(scenario())
+
+
+def test_http_429_carries_retry_after_header(tiny_result):
+    async def scenario():
+        executor = GatedExecutor(tiny_result)
+        service = make_service(run_batch=executor, max_queue=1,
+                               max_group=1)
+        server = await start_server(service)
+        executor.hold()
+        client = ServiceClient(server.host, server.port)
+        try:
+            def spec(seed):
+                return {"scheme": "BaOnly", "workload": "WS",
+                        "setup": {"duration_h": 1.0 / 60.0, "seed": seed}}
+
+            status, _, first = await client.submit(spec(40))
+            assert status == 202
+            while not executor.started.is_set():
+                await asyncio.sleep(0.001)
+            status, _, _ = await client.submit(spec(41))
+            assert status == 202
+            status, headers, body = await client.submit(spec(42))
+            assert status == 429
+            assert int(headers["retry-after"]) >= 1
+            assert body["error"]["code"] == "QueueFullError"
+
+            executor.release()
+            snapshot, rejections = await client.submit_and_wait(spec(42))
+            assert snapshot["status"] == "done"
+            # every earlier accepted run settled too
+            status, _, polled = await client.poll(first["key"])
+            assert status == 200 and polled["status"] == "done"
+        finally:
+            await client.close()
+        await server.close()
+
+    run_async(scenario())

@@ -1,0 +1,124 @@
+"""Shutdown invariant: every accepted run is settled, both ways.
+
+Graceful shutdown (``drain=True``) executes queued and in-flight runs
+to completion before returning; immediate shutdown (``drain=False``)
+faults queued runs with :class:`ServiceShutdownError` while the run
+already executing still completes.  Either way, after ``shutdown()``
+returns there is no accepted run left in a non-terminal state — the
+"never drop accepted work" half of the backpressure contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServiceShutdownError
+from repro.service import DONE, FAILED, ServiceClient
+
+from .conftest import (
+    GatedExecutor,
+    make_service,
+    run_async,
+    start_server,
+    tiny_request,
+)
+
+
+def test_graceful_shutdown_drains_queued_runs(tiny_result):
+    async def scenario():
+        executor = GatedExecutor(tiny_result)
+        service = make_service(run_batch=executor, max_group=1)
+        service.start()
+        executor.hold()
+        entries = [service.submit(tiny_request(seed=50 + i))[0]
+                   for i in range(4)]
+        while not executor.started.is_set():
+            await asyncio.sleep(0.001)
+        closing = asyncio.get_running_loop().create_task(
+            service.shutdown(drain=True))
+        await asyncio.sleep(0.01)
+        assert not closing.done()  # drain waits for in-flight work
+        with pytest.raises(ServiceShutdownError):
+            service.submit(tiny_request(seed=99))
+        executor.release()
+        await asyncio.wait_for(closing, timeout=10.0)
+        assert all(entry.status == DONE for entry in entries)
+        assert executor.executions == 4
+        assert not service.accepting
+
+    run_async(scenario())
+
+
+def test_immediate_shutdown_faults_queued_completes_inflight(tiny_result):
+    async def scenario():
+        executor = GatedExecutor(tiny_result)
+        service = make_service(run_batch=executor, max_group=1)
+        service.start()
+        executor.hold()
+        inflight, _ = service.submit(tiny_request(seed=60))
+        while not executor.started.is_set():
+            await asyncio.sleep(0.001)
+        queued = [service.submit(tiny_request(seed=61 + i))[0]
+                  for i in range(3)]
+        closing = asyncio.get_running_loop().create_task(
+            service.shutdown(drain=False))
+        await asyncio.sleep(0)  # queued runs fault before drain returns
+        for entry in queued:
+            assert entry.status == FAILED
+            assert entry.error_code == "ServiceShutdownError"
+            assert entry.done.is_set()
+        executor.release()
+        await asyncio.wait_for(closing, timeout=10.0)
+        # the run that was already executing still completed
+        assert inflight.status == DONE
+        assert executor.executions == 1
+        assert service.stats()["queue_depth"] == 0
+
+    run_async(scenario())
+
+
+def test_shutdown_under_load_settles_every_accepted_run(tiny_result):
+    """Stress the race window: shutdown fires mid-burst; afterwards no
+    accepted run is left non-terminal, whichever side of the cut it
+    landed on."""
+
+    async def scenario():
+        executor = GatedExecutor(tiny_result)
+        service = make_service(run_batch=executor, max_group=2)
+        service.start()
+        accepted = []
+        for i in range(10):
+            entry, created = service.submit(tiny_request(seed=70 + i))
+            if created:
+                accepted.append(entry)
+            if i == 4:
+                await asyncio.sleep(0)  # let dispatch interleave
+        closing = asyncio.get_running_loop().create_task(
+            service.shutdown(drain=True))
+        await asyncio.wait_for(closing, timeout=10.0)
+        assert accepted and all(entry.terminal for entry in accepted)
+        assert all(entry.status == DONE for entry in accepted)
+
+    run_async(scenario())
+
+
+def test_http_submission_after_shutdown_is_503(tiny_result):
+    async def scenario():
+        executor = GatedExecutor(tiny_result)
+        service = make_service(run_batch=executor)
+        server = await start_server(service)
+        await service.shutdown(drain=True)  # listener still up
+        client = ServiceClient(server.host, server.port)
+        try:
+            status, _, body = await client.submit(
+                {"scheme": "BaOnly", "workload": "WS",
+                 "setup": {"duration_h": 1.0 / 60.0, "seed": 1}})
+            assert status == 503
+            assert body["error"]["code"] == "ServiceShutdownError"
+        finally:
+            await client.close()
+        await server.close()
+
+    run_async(scenario())

@@ -1,0 +1,104 @@
+"""Streaming: chunked progress lines reassemble to the polled result.
+
+The stream endpoint must tell the same story polling does — every line
+is a valid snapshot, statuses only move forward through the lifecycle,
+and the terminal line carries the exact result a ``GET /runs/{key}``
+returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import ProtocolError
+from repro.service import ServiceClient
+
+import pytest
+
+from .conftest import (
+    GatedExecutor,
+    make_service,
+    run_async,
+    start_server,
+)
+
+_LIFECYCLE = ("queued", "running", "done")
+
+
+def _spec(seed: int = 1) -> dict:
+    return {"scheme": "BaOnly", "workload": "WS",
+            "setup": {"duration_h": 1.0 / 60.0, "seed": seed}}
+
+
+def test_stream_reports_forward_lifecycle_and_final_result(tiny_result):
+    """Hold the run in-flight so the stream provably sees transitions
+    (queued/running) before the terminal line, then compare that line
+    against a fresh poll byte-for-byte (same JSON object)."""
+
+    async def scenario():
+        executor = GatedExecutor(tiny_result)
+        service = make_service(run_batch=executor, max_group=1)
+        server = await start_server(service)
+        executor.hold()
+        submitter = ServiceClient(server.host, server.port)
+        streamer = ServiceClient(server.host, server.port)
+        try:
+            status, _, body = await submitter.submit(_spec())
+            assert status == 202
+            key = body["key"]
+            stream_task = asyncio.get_running_loop().create_task(
+                streamer.stream(key))
+            while not executor.started.is_set():
+                await asyncio.sleep(0.001)
+            executor.release()
+            lines = await asyncio.wait_for(stream_task, timeout=10.0)
+
+            statuses = [line["status"] for line in lines]
+            assert statuses[-1] == "done"
+            positions = [_LIFECYCLE.index(status) for status in statuses]
+            assert positions == sorted(set(positions))  # strictly forward
+            assert all(line["key"] == key for line in lines)
+
+            status, _, polled = await submitter.poll(key)
+            assert status == 200
+            assert lines[-1] == polled
+            assert polled["result"]  # terminal line carried the result
+        finally:
+            await submitter.close()
+            await streamer.close()
+        await server.close()
+
+    run_async(scenario())
+
+
+def test_stream_of_completed_run_is_single_terminal_line():
+    async def scenario():
+        service = make_service()  # real runner
+        server = await start_server(service)
+        client = ServiceClient(server.host, server.port)
+        try:
+            snapshot, _ = await client.submit_and_wait(_spec(seed=2))
+            lines = await client.stream(snapshot["key"])
+            assert len(lines) == 1
+            assert lines[0]["status"] == "done"
+            assert lines[0]["result"] == snapshot["result"]
+        finally:
+            await client.close()
+        await server.close()
+
+    run_async(scenario())
+
+
+def test_stream_of_unknown_key_is_404():
+    async def scenario():
+        service = make_service()
+        server = await start_server(service)
+        client = ServiceClient(server.host, server.port)
+        try:
+            with pytest.raises(ProtocolError, match="404"):
+                await client.stream("no-such-key")
+        finally:
+            await client.close()
+        await server.close()
+
+    run_async(scenario())
